@@ -1,0 +1,66 @@
+// Ablation: UAM burstiness.
+//
+// The paper's arrival-model novelty is the UAM ⟨l, a, W⟩: the same
+// long-run rate admits anything from strictly periodic (a=1) to bursts
+// of `a` simultaneous releases.  This sweep holds the long-run load
+// fixed (window scales with a, so a/W is constant) and grows the burst
+// size, showing how burstiness alone erodes timeliness — and that
+// lock-free RUA degrades far more gracefully than lock-based, because
+// bursts multiply both blocking chains and lock/unlock scheduling
+// events.
+#include "analysis/bounds.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace lfrt;
+  bench::print_header("Ablation",
+                      "UAM burstiness a_i at fixed long-run load");
+  std::cout << "tasks=6  objects=4  accesses/job=3  rate-normalized load="
+               "0.7  r=" << to_usec(bench::kDefaultR) << "us  s="
+            << to_usec(bench::kDefaultS) << "us  seed=42\n\n";
+
+  Table table({"a_i", "AUR lock-based", "AUR lock-free", "CMR lock-based",
+               "CMR lock-free", "retry bound (T2)"});
+
+  for (const std::int64_t a : {1, 2, 3, 4, 6}) {
+    workload::WorkloadSpec spec;
+    spec.task_count = 6;
+    spec.object_count = 4;
+    spec.accesses_per_job = 3;
+    spec.avg_exec = usec(300);
+    // AL is defined per critical-time window; burst size a with window
+    // (and critical time) scaled by a keeps the long-run demand a*u/W
+    // constant while allowing a simultaneous releases.
+    spec.load = 0.7 / static_cast<double>(a);
+    spec.max_per_window = a;
+    spec.tuf_class = workload::TufClass::kStep;
+    spec.seed = 42;
+    const TaskSet ts = workload::make_task_set(spec);
+
+    bench::RunParams rp;
+    rp.windows_per_run = 80;
+    rp.mode = sim::ShareMode::kLockBased;
+    const auto lb = bench::run_series(ts, rp);
+    rp.mode = sim::ShareMode::kLockFree;
+    const auto lf = bench::run_series(ts, rp);
+
+    // Representative Theorem-2 bound (task 0) for context: the bound
+    // grows linearly in a.
+    const auto bound = analysis::retry_bound(ts, 0);
+
+    table.add_row(
+        {std::to_string(a),
+         Table::num(lb.aur_mean, 3) + " ±" + Table::num(lb.aur_ci, 3),
+         Table::num(lf.aur_mean, 3) + " ±" + Table::num(lf.aur_ci, 3),
+         Table::num(lb.cmr_mean, 3) + " ±" + Table::num(lb.cmr_ci, 3),
+         Table::num(lf.cmr_mean, 3) + " ±" + Table::num(lf.cmr_ci, 3),
+         std::to_string(bound)});
+  }
+  table.print();
+  std::cout << "\nExpected shape: at a=1 (periodic) both modes are near "
+               "their Figure-10 values; growing a packs releases into "
+               "bursts that serialize on the locks, so lock-based AUR/CMR "
+               "fall fastest while lock-free mainly pays bounded "
+               "retries.\n";
+  return 0;
+}

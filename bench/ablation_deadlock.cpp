@@ -1,0 +1,91 @@
+// Ablation: nested critical sections and deadlock handling.
+//
+// The general RUA model (paper, Section 3.3) allows nested sections and
+// resolves the resulting deadlocks by aborting the least-utility job in
+// the cycle.  This bench sweeps nesting depth on a contended object set
+// and compares three configurations:
+//
+//   * lock-based RUA with deadlock detection ON  (the paper's general
+//     algorithm: cycles are broken immediately)
+//   * lock-based EDF with detection OFF (cycles pin their jobs until
+//     critical-time expiry — what a detection-free system suffers)
+//   * lock-free RUA on an equivalent flat-access workload (nesting is
+//     excluded under lock-free sharing — Section 2 — so its column is
+//     the dependency-free reference)
+#include "common.hpp"
+#include "sched/edf.hpp"
+
+int main() {
+  using namespace lfrt;
+  bench::print_header("Ablation", "nesting depth, deadlock detection "
+                                  "on/off vs lock-free");
+  std::cout << "tasks=6  objects=4  AL=0.8  r=" << to_usec(usec(20))
+            << "us  s=" << to_usec(bench::kDefaultS) << "us  seed=9\n\n";
+
+  Table table({"depth", "config", "AUR", "CMR", "deadlocks", "aborted"});
+  const sched::RuaScheduler rua_detect(sched::Sharing::kLockBased, true);
+  const sched::EdfScheduler edf;
+  const sched::RuaScheduler rua_lf(sched::Sharing::kLockFree);
+
+  for (const int depth : {1, 2, 3}) {
+    workload::WorkloadSpec spec;
+    spec.task_count = 6;
+    spec.object_count = 4;
+    spec.avg_exec = usec(300);
+    spec.load = 0.8;
+    spec.seed = 9;
+    spec.nest_depth = depth;
+    const TaskSet nested_ts = workload::make_task_set(spec);
+    spec.nest_depth = 0;
+    spec.accesses_per_job = depth;  // same per-job access count, flat
+    const TaskSet flat_ts = workload::make_task_set(spec);
+
+    struct Config {
+      const char* name;
+      const TaskSet* ts;
+      const sched::Scheduler* sch;
+      sim::ShareMode mode;
+    };
+    const Config configs[] = {
+        {"RUA + detection", &nested_ts, &rua_detect,
+         sim::ShareMode::kLockBased},
+        {"EDF, no detection", &nested_ts, &edf,
+         sim::ShareMode::kLockBased},
+        {"lock-free (flat)", &flat_ts, &rua_lf, sim::ShareMode::kLockFree},
+    };
+
+    for (const Config& c : configs) {
+      RunningStats aur, cmr;
+      std::int64_t deadlocks = 0, aborted = 0;
+      for (int rep = 0; rep < 5; ++rep) {
+        sim::SimConfig cfg;
+        cfg.mode = c.mode;
+        cfg.lock_access_time = usec(20);
+        cfg.lockfree_access_time = bench::kDefaultS;
+        cfg.sched_ns_per_op = bench::kDefaultNsPerOp;
+        Time max_window = 0;
+        for (const auto& t : c.ts->tasks)
+          max_window = std::max(max_window, t.arrival.window);
+        cfg.horizon = max_window * 80;
+        sim::Simulator s(*c.ts, *c.sch, cfg);
+        s.seed_arrivals(100 + static_cast<std::uint64_t>(rep));
+        const auto out = s.run();
+        aur.add(out.aur());
+        cmr.add(out.cmr());
+        deadlocks += out.deadlocks_resolved;
+        aborted += out.aborted;
+      }
+      table.add_row({std::to_string(depth), c.name,
+                     Table::num(aur.mean(), 3), Table::num(cmr.mean(), 3),
+                     std::to_string(deadlocks), std::to_string(aborted)});
+    }
+  }
+  table.print();
+  std::cout << "\nExpected shape: deeper nesting holds locks longer and "
+               "creates lock-order cycles; detection converts them into "
+               "single-victim aborts, while the detection-free "
+               "configuration loses every cycle member to critical-time "
+               "expiry.  Lock-free sharing sidesteps the problem class "
+               "entirely (at the price of excluding nested sharing).\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation: execution-time uncertainty.
+//
+// The paper's dynamic systems have context-dependent execution times,
+// and the scheduler only sees estimates (Section 3, footnote 4).  This
+// sweep grows the per-job variation band around the nominal estimate at
+// a fixed nominal load and shows utility-accrual scheduling absorbing
+// the uncertainty: overruns become targeted aborts of the jobs that
+// drew long, rather than cascading misses — and lock-free sharing keeps
+// its advantage at every uncertainty level.
+#include "common.hpp"
+#include "uam/uam.hpp"
+
+int main() {
+  using namespace lfrt;
+  bench::print_header("Ablation", "execution-time uncertainty (estimate "
+                                  "vs actual)");
+  std::cout << "tasks=8  objects=4  accesses/job=2  nominal AL=1.02  r="
+            << to_usec(bench::kDefaultR) << "us  s="
+            << to_usec(bench::kDefaultS) << "us  seed=3\n\n";
+
+  Table table({"variation", "mode", "AUR", "CMR", "aborted/1k jobs"});
+
+  for (const double variation : {0.0, 0.2, 0.4, 0.6}) {
+    workload::WorkloadSpec spec;
+    spec.task_count = 8;
+    spec.object_count = 4;
+    spec.accesses_per_job = 2;
+    spec.avg_exec = usec(400);
+    spec.load = 1.02;
+    spec.seed = 3;
+    TaskSet ts = workload::make_task_set(spec);
+    for (auto& t : ts.tasks) t.exec_variation = variation;
+
+    for (const auto mode :
+         {sim::ShareMode::kLockFree, sim::ShareMode::kLockBased}) {
+      RunningStats aur, cmr;
+      std::int64_t aborted = 0, jobs = 0;
+      for (int rep = 0; rep < 5; ++rep) {
+        sim::SimConfig cfg;
+        cfg.mode = mode;
+        cfg.lock_access_time = bench::kDefaultR;
+        cfg.lockfree_access_time = bench::kDefaultS;
+        cfg.sched_ns_per_op = bench::kDefaultNsPerOp;
+        cfg.exec_seed = 100 + static_cast<std::uint64_t>(rep);
+        Time max_window = 0;
+        for (const auto& t : ts.tasks)
+          max_window = std::max(max_window, t.arrival.window);
+        cfg.horizon = max_window * 100;
+        sim::Simulator s(ts, bench::scheduler_for(mode), cfg);
+        // Exact-rate periodic arrivals: the nominal load is delivered in
+        // full, so the variation band alone decides the overrun rate.
+        for (const auto& t : ts.tasks) {
+          Rng rng(700 + static_cast<std::uint64_t>(rep) * 131 +
+                  static_cast<std::uint64_t>(t.id));
+          s.set_arrivals(t.id, arrivals::periodic_phased(
+                                   t.arrival, cfg.horizon, rng));
+        }
+        const auto out = s.run();
+        aur.add(out.aur());
+        cmr.add(out.cmr());
+        aborted += out.aborted;
+        jobs += out.counted_jobs;
+      }
+      table.add_row(
+          {Table::num(variation, 1), sim::to_string(mode),
+           Table::num(aur.mean(), 3) + " ±" + Table::num(aur.ci95(), 3),
+           Table::num(cmr.mean(), 3) + " ±" + Table::num(cmr.ci95(), 3),
+           Table::num(jobs ? 1000.0 * static_cast<double>(aborted) /
+                                 static_cast<double>(jobs)
+                           : 0.0,
+                      1)});
+    }
+  }
+  table.print();
+  std::cout << "\nExpected shape: utility degrades gracefully as the "
+               "variation band widens (only the jobs that actually drew "
+               "long are shed), and the lock-free column dominates the "
+               "lock-based one at every level.\n";
+  return 0;
+}

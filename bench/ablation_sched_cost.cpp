@@ -1,0 +1,88 @@
+// Ablation (Sections 3.6 / 5): scheduling cost of lock-based RUA
+// (O(n^2 log n) with dependency chains) vs lock-free RUA (O(n^2)) vs
+// EDF (O(n log n)), measured two ways:
+//   * wall-clock per invocation (google-benchmark), and
+//   * the counted elementary operations the simulator charges,
+// as the number of pending jobs n grows.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "sched/edf.hpp"
+#include "sched/rua.hpp"
+#include "tuf/tuf.hpp"
+
+namespace {
+
+using namespace lfrt;
+
+struct View {
+  std::vector<std::unique_ptr<Tuf>> tufs;
+  std::vector<sched::SchedJob> jobs;
+};
+
+/// n pending jobs; `chained` links each job to the next in one long
+/// dependency chain (the lock-based worst case the paper analyzes).
+View make_view(int n, bool chained) {
+  View v;
+  for (int i = 0; i < n; ++i) {
+    v.tufs.push_back(make_step_tuf(10.0 + i % 7, msec(100) + usec(13 * i)));
+    sched::SchedJob j;
+    j.id = i;
+    j.arrival = 0;
+    j.critical = v.tufs.back()->critical_time();
+    j.remaining = usec(50);
+    j.tuf = v.tufs.back().get();
+    j.waits_on = chained && i + 1 < n ? i + 1 : kNoJob;
+    v.jobs.push_back(j);
+  }
+  return v;
+}
+
+void BM_RuaLockBasedChained(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const View v = make_view(n, /*chained=*/true);
+  const sched::RuaScheduler rua(sched::Sharing::kLockBased);
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    const auto res = rua.build(v.jobs, 0);
+    ops = res.ops;
+    benchmark::DoNotOptimize(res.dispatch);
+  }
+  state.counters["ops"] = static_cast<double>(ops);
+  state.counters["n2logn"] = analysis::rua_lockbased_asymptotic(n);
+}
+
+void BM_RuaLockFree(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const View v = make_view(n, /*chained=*/false);
+  const sched::RuaScheduler rua(sched::Sharing::kLockFree);
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    const auto res = rua.build(v.jobs, 0);
+    ops = res.ops;
+    benchmark::DoNotOptimize(res.dispatch);
+  }
+  state.counters["ops"] = static_cast<double>(ops);
+  state.counters["n2"] = analysis::rua_lockfree_asymptotic(n);
+}
+
+void BM_Edf(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const View v = make_view(n, /*chained=*/false);
+  const sched::EdfScheduler edf;
+  for (auto _ : state) {
+    const auto res = edf.build(v.jobs, 0);
+    benchmark::DoNotOptimize(res.dispatch);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_RuaLockBasedChained)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_RuaLockFree)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_Edf)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Shared driver for Figures 10-13: AUR and CMR of lock-based vs
+// lock-free RUA as the number of shared objects grows, at a fixed
+// approximate load and TUF class.
+//
+// Following Section 6.2's setup, the task set has 10 tasks; "increasing
+// number of shared objects" increases both the object universe and the
+// per-job access count (each job touches every queue once, as in the
+// paper's arbitrary-access 10-task/10-queue configuration).
+#pragma once
+
+#include "common.hpp"
+
+namespace lfrt::bench {
+
+/// Lock-based access time as a function of the number of shared objects
+/// the job set uses.  Figure 8 (both the paper's and ours) shows r
+/// growing with the object count — every lock/unlock request invokes
+/// lock-based RUA, whose dependency machinery scales with the sharing
+/// degree — while s stays flat.  The growth rate mirrors the measured
+/// fig08 slope relative to the 500 us average job execution time.
+inline Time r_for_objects(int objects) {
+  return usec(100) + usec(120) * objects;
+}
+
+inline int run_aur_cmr_sweep(const std::string& fig, double load,
+                             workload::TufClass tuf_class,
+                             std::uint64_t seed = 42) {
+  print_header(fig,
+               std::string("AUR/CMR vs #objects, AL=") + Table::num(load, 2) +
+                   (tuf_class == workload::TufClass::kStep
+                        ? ", step TUFs"
+                        : ", heterogeneous TUFs"));
+  std::cout << "tasks=10  r=100us+120us*objects  s=" << to_usec(kDefaultS)
+            << "us  ns/op=" << kDefaultNsPerOp << "  seed=" << seed
+            << "\n\n";
+
+  Table table({"objects", "r (us)", "AUR lock-based", "AUR lock-free",
+               "CMR lock-based", "CMR lock-free", "blk/job", "rty/job"});
+
+  for (int objects = 1; objects <= 10; ++objects) {
+    workload::WorkloadSpec spec;
+    spec.task_count = 10;
+    spec.object_count = objects;
+    spec.accesses_per_job = objects;  // each job touches every queue
+    spec.avg_exec = usec(500);
+    spec.load = load;
+    spec.tuf_class = tuf_class;
+    spec.seed = seed;
+    const TaskSet ts = workload::make_task_set(spec);
+
+    RunParams rp;
+    rp.r = r_for_objects(objects);
+    rp.mode = sim::ShareMode::kLockBased;
+    const SeriesPoint lb = run_series(ts, rp);
+    rp.mode = sim::ShareMode::kLockFree;
+    const SeriesPoint lf = run_series(ts, rp);
+
+    table.add_row({std::to_string(objects),
+                   std::to_string(rp.r / 1000),
+                   Table::num(lb.aur_mean, 3) + " ±" + Table::num(lb.aur_ci, 3),
+                   Table::num(lf.aur_mean, 3) + " ±" + Table::num(lf.aur_ci, 3),
+                   Table::num(lb.cmr_mean, 3) + " ±" + Table::num(lb.cmr_ci, 3),
+                   Table::num(lf.cmr_mean, 3) + " ±" + Table::num(lf.cmr_ci, 3),
+                   Table::num(lb.blockings_per_job, 2),
+                   Table::num(lf.retries_per_job, 2)});
+  }
+  table.print();
+  std::cout << "\ncsv:\n";
+  table.print_csv();
+  return 0;
+}
+
+}  // namespace lfrt::bench

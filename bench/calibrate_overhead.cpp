@@ -1,0 +1,86 @@
+// Calibration: the simulator charges `ops * sched_ns_per_op` per
+// scheduler invocation (DESIGN.md, key decision 1).  This bench derives
+// that constant from reality: it times real RuaScheduler::build calls
+// across job counts and dependency shapes, regresses wall nanoseconds
+// against counted ops, and prints the fitted ns/op — the value a user
+// would pass as SimConfig::sched_ns_per_op to make CML numbers match
+// this host.
+#include <chrono>
+#include <memory>
+
+#include "common.hpp"
+#include "sched/rua.hpp"
+#include "tuf/tuf.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace lfrt;
+
+struct Sample {
+  double ops = 0.0;
+  double ns = 0.0;
+};
+
+Sample time_build(const sched::RuaScheduler& rua, int n, bool chained) {
+  std::vector<std::unique_ptr<Tuf>> tufs;
+  std::vector<sched::SchedJob> jobs;
+  for (int i = 0; i < n; ++i) {
+    tufs.push_back(make_step_tuf(10.0 + i % 9, msec(50) + usec(31 * i)));
+    sched::SchedJob j;
+    j.id = i;
+    j.critical = tufs.back()->critical_time();
+    j.remaining = usec(40);
+    j.tuf = tufs.back().get();
+    j.waits_on = chained && i + 1 < n ? i + 1 : kNoJob;
+    jobs.push_back(j);
+  }
+  // Warm up, then time a batch.
+  (void)rua.build(jobs, 0);
+  constexpr int kIters = 200;
+  std::int64_t ops = 0;
+  const auto t0 = Clock::now();
+  for (int k = 0; k < kIters; ++k) ops += rua.build(jobs, 0).ops;
+  const auto t1 = Clock::now();
+  Sample s;
+  s.ops = static_cast<double>(ops) / kIters;
+  s.ns = static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                 .count()) /
+         kIters;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Calibration", "scheduler ns-per-op for this host");
+
+  Table table({"jobs", "shape", "ops/invocation", "ns/invocation",
+               "ns/op"});
+  const sched::RuaScheduler lb(sched::Sharing::kLockBased);
+  const sched::RuaScheduler lf(sched::Sharing::kLockFree);
+
+  double sum_xy = 0.0, sum_xx = 0.0;
+  for (const int n : {4, 8, 16, 32, 64}) {
+    for (const bool chained : {false, true}) {
+      const auto& rua = chained ? lb : lf;
+      const Sample s = time_build(rua, n, chained);
+      sum_xy += s.ops * s.ns;
+      sum_xx += s.ops * s.ops;
+      table.add_row({std::to_string(n),
+                     chained ? "chained/lock-based" : "flat/lock-free",
+                     Table::num(s.ops, 0), Table::num(s.ns, 0),
+                     Table::num(s.ns / s.ops, 2)});
+    }
+  }
+  table.print();
+
+  const double fitted = sum_xy / sum_xx;  // least squares through origin
+  std::cout << "\nfitted sched_ns_per_op for this host: "
+            << Table::num(fitted, 2)
+            << "   (benches default to " << bench::kDefaultNsPerOp
+            << "; pass the fitted value to SimConfig::sched_ns_per_op to "
+               "match this machine's scheduler speed)\n";
+  return 0;
+}

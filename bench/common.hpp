@@ -1,0 +1,148 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// Every bench prints: the experiment id, all parameters (including
+// seeds, so rows are exactly regenerable), a human-readable table, and a
+// trailing CSV block for plotting.
+//
+// Default access-time parameters (overridable per bench via argv):
+//   s = 500 ns   (lock-free queue op, cf. measured values in fig08)
+//   r = 50 us    (lock-based op incl. the RUA resource-management
+//                 invocation each lock/unlock request triggers; the
+//                 paper's meta-scheduler r is of the same order relative
+//                 to its 30-1000 us job execution times)
+//   sched_ns_per_op = 5  (scheduler overhead charge per counted op)
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sched/edf.hpp"
+#include "sched/rua.hpp"
+#include "sim/simulator.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "workload/workload.hpp"
+
+namespace lfrt::bench {
+
+inline constexpr Time kDefaultS = nsec(500);
+inline constexpr Time kDefaultR = usec(50);
+inline constexpr double kDefaultNsPerOp = 5.0;
+
+/// Mean and 95% CI of AUR and CMR over repeated runs (the paper reports
+/// every data point with a 95% confidence error bar).
+struct SeriesPoint {
+  double aur_mean = 0.0, aur_ci = 0.0;
+  double cmr_mean = 0.0, cmr_ci = 0.0;
+  double retries_per_job = 0.0;
+  double blockings_per_job = 0.0;
+  std::int64_t jobs = 0;
+};
+
+struct RunParams {
+  sim::ShareMode mode = sim::ShareMode::kLockFree;
+  Time r = kDefaultR;
+  Time s = kDefaultS;
+  double ns_per_op = kDefaultNsPerOp;
+  Time horizon = 0;           ///< 0: auto (windows_per_run windows)
+  int windows_per_run = 200;  ///< horizon = max W_i * windows_per_run
+  int repeats = 5;
+  std::uint64_t arrival_seed = 1000;
+
+  /// Arrival pattern: phase-jittered periodic (exact a_i/W_i rate, so
+  /// the generated load equals the configured AL) or gate-thinned
+  /// random (shape-stressing, slightly below the configured AL).
+  bool periodic_arrivals = true;
+};
+
+/// Scheduler paired with a sharing mode: RUA/lock-based for kLockBased,
+/// RUA/lock-free otherwise (the "ideal" yardstick also runs lock-free
+/// RUA — it differs only in zero-cost object accesses).
+inline const sched::Scheduler& scheduler_for(sim::ShareMode mode) {
+  static const sched::RuaScheduler lb(sched::Sharing::kLockBased);
+  static const sched::RuaScheduler lf(sched::Sharing::kLockFree);
+  return mode == sim::ShareMode::kLockBased
+             ? static_cast<const sched::Scheduler&>(lb)
+             : static_cast<const sched::Scheduler&>(lf);
+}
+
+/// Run `repeats` simulations of the task set with fresh arrival seeds
+/// and aggregate AUR/CMR statistics.
+inline SeriesPoint run_series(const TaskSet& ts, const RunParams& rp) {
+  RunningStats aur, cmr;
+  std::int64_t retries = 0, blockings = 0, jobs = 0;
+  Time max_window = 0;
+  for (const auto& t : ts.tasks)
+    max_window = std::max(max_window, t.arrival.window);
+
+  for (int rep = 0; rep < rp.repeats; ++rep) {
+    sim::SimConfig cfg;
+    cfg.mode = rp.mode;
+    cfg.lock_access_time = rp.r;
+    cfg.lockfree_access_time = rp.s;
+    cfg.sched_ns_per_op = rp.ns_per_op;
+    cfg.horizon = rp.horizon > 0 ? rp.horizon
+                                 : max_window * rp.windows_per_run;
+    sim::Simulator s(ts, scheduler_for(rp.mode), cfg);
+    const std::uint64_t seed =
+        rp.arrival_seed + static_cast<std::uint64_t>(rep);
+    if (rp.periodic_arrivals) {
+      for (const auto& t : ts.tasks) {
+        Rng rng(seed ^ (0xA5A5A5A5ULL * static_cast<std::uint64_t>(
+                                            t.id + 1)));
+        s.set_arrivals(t.id, arrivals::periodic_phased(t.arrival,
+                                                       cfg.horizon, rng));
+      }
+    } else {
+      s.seed_arrivals(seed);
+    }
+    const sim::SimReport rep_out = s.run();
+    aur.add(rep_out.aur());
+    cmr.add(rep_out.cmr());
+    retries += rep_out.total_retries;
+    blockings += rep_out.total_blockings;
+    jobs += rep_out.counted_jobs;
+  }
+
+  SeriesPoint p;
+  p.aur_mean = aur.mean();
+  p.aur_ci = aur.ci95();
+  p.cmr_mean = cmr.mean();
+  p.cmr_ci = cmr.ci95();
+  p.jobs = jobs;
+  p.retries_per_job =
+      jobs > 0 ? static_cast<double>(retries) / static_cast<double>(jobs)
+               : 0.0;
+  p.blockings_per_job =
+      jobs > 0 ? static_cast<double>(blockings) / static_cast<double>(jobs)
+               : 0.0;
+  return p;
+}
+
+/// Critical time-Miss Load (Section 6.1): the largest approximate load
+/// AL on a sweep grid at which the scheduler still misses (essentially)
+/// no critical times.  `make_spec` maps an AL to a workload spec.
+template <typename MakeSpec>
+double measure_cml(MakeSpec&& make_spec, const RunParams& rp,
+                   double al_step = 0.05, double al_max = 1.3,
+                   double miss_tolerance = 0.001) {
+  double cml = 0.0;
+  for (double al = al_step; al <= al_max + 1e-9; al += al_step) {
+    const TaskSet ts = workload::make_task_set(make_spec(al));
+    const SeriesPoint p = run_series(ts, rp);
+    if (1.0 - p.cmr_mean <= miss_tolerance)
+      cml = al;
+    else
+      break;  // misses only grow with load
+  }
+  return cml;
+}
+
+/// Print the standard bench header.
+inline void print_header(const std::string& id, const std::string& what) {
+  std::cout << "=== " << id << " — " << what << " ===\n";
+}
+
+}  // namespace lfrt::bench

@@ -1,0 +1,75 @@
+// Extension experiment (paper future work, Section 7): lock-free vs
+// lock-based sharing under *global* RUA on M processors.
+//
+// An overloaded-for-one-CPU workload is run on 1, 2, and 4 CPUs.  With
+// locks, the shared objects serialize the extra processors (holders pin
+// requesters regardless of free CPUs) and every lock/unlock request
+// still invokes the global scheduler; lock-free sharing converts that
+// serialization into bounded retries, so its AUR/CMR scale with the
+// CPU count much more closely.
+#include "common.hpp"
+
+int main() {
+  using namespace lfrt;
+  bench::print_header("Extension", "multiprocessor scaling (global RUA)");
+  std::cout << "tasks=10  objects=2  accesses/job=6  AL=3.0 (overloaded "
+               "on 1 CPU)  r=" << to_usec(usec(80)) << "us  s="
+            << to_usec(usec(2)) << "us  seed=42\n\n";
+
+  workload::WorkloadSpec spec;
+  spec.task_count = 10;
+  spec.object_count = 2;  // heavy contention
+  spec.accesses_per_job = 6;
+  spec.avg_exec = usec(400);
+  spec.load = 3.0;
+  spec.seed = 42;
+  const TaskSet ts = workload::make_task_set(spec);
+
+  Table table({"CPUs", "mode", "AUR", "CMR", "retries/job", "blk/job"});
+
+  for (const int cpus : {1, 2, 4}) {
+    for (const auto mode :
+         {sim::ShareMode::kLockBased, sim::ShareMode::kLockFree}) {
+      RunningStats aur, cmr;
+      std::int64_t retries = 0, blockings = 0, jobs = 0;
+      for (int rep = 0; rep < 5; ++rep) {
+        sim::SimConfig cfg;
+        cfg.mode = mode;
+        cfg.lock_access_time = usec(80);
+        cfg.lockfree_access_time = usec(2);
+        cfg.sched_ns_per_op = bench::kDefaultNsPerOp;
+        cfg.cpu_count = cpus;
+        Time max_window = 0;
+        for (const auto& t : ts.tasks)
+          max_window = std::max(max_window, t.arrival.window);
+        cfg.horizon = max_window * 120;
+        sim::Simulator s(ts, bench::scheduler_for(mode), cfg);
+        s.seed_arrivals(900 + static_cast<std::uint64_t>(rep));
+        const auto out = s.run();
+        aur.add(out.aur());
+        cmr.add(out.cmr());
+        retries += out.total_retries;
+        blockings += out.total_blockings;
+        jobs += out.counted_jobs;
+      }
+      table.add_row(
+          {std::to_string(cpus), sim::to_string(mode),
+           Table::num(aur.mean(), 3) + " ±" + Table::num(aur.ci95(), 3),
+           Table::num(cmr.mean(), 3) + " ±" + Table::num(cmr.ci95(), 3),
+           Table::num(jobs ? static_cast<double>(retries) /
+                                 static_cast<double>(jobs)
+                           : 0.0,
+                      2),
+           Table::num(jobs ? static_cast<double>(blockings) /
+                                 static_cast<double>(jobs)
+                           : 0.0,
+                      2)});
+    }
+  }
+  table.print();
+  std::cout << "\nExpected shape: both modes gain from extra CPUs, but "
+               "lock-based gains are capped by lock serialization on the "
+               "two hot objects while lock-free approaches full "
+               "utilization of the added processors.\n";
+  return 0;
+}

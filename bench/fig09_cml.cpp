@@ -1,0 +1,58 @@
+// Figure 9: Critical time-Miss Load (CML) of ideal, lock-free, and
+// lock-based RUA under increasing average job execution time.
+//
+// CML is the approximate load AL = sum u_i / C_i (object-access time
+// excluded) after which the scheduler begins to miss critical times.
+// Shorter jobs expose the fixed scheduler overhead, so CML < 1 at small
+// execution times; lock-free RUA should track the ideal curve closely
+// while lock-based RUA — with its costlier invocations, extra lock/
+// unlock scheduling events, and blocking — only approaches CML 1 at
+// execution times orders of magnitude larger (paper: ~1 ms vs ~10 us).
+#include "common.hpp"
+
+int main() {
+  using namespace lfrt;
+  bench::print_header("Figure 9", "CML vs average job execution time");
+  const Time r = usec(25), s = bench::kDefaultS;
+  std::cout << "tasks=10  objects=10  accesses/job=2  r=" << to_usec(r)
+            << "us  s=" << to_usec(s) << "us  ns/op="
+            << bench::kDefaultNsPerOp << "  seed=42\n\n";
+
+  Table table({"avg exec (us)", "CML ideal", "CML lock-free",
+               "CML lock-based"});
+
+  for (const Time exec :
+       {usec(10), usec(30), usec(100), usec(300), usec(1000)}) {
+    auto make_spec = [&](double al) {
+      workload::WorkloadSpec spec;
+      spec.task_count = 10;
+      spec.object_count = 10;
+      spec.accesses_per_job = 2;
+      spec.avg_exec = exec;
+      spec.load = al;
+      spec.tuf_class = workload::TufClass::kStep;
+      spec.seed = 42;
+      return spec;
+    };
+
+    bench::RunParams rp;
+    rp.r = r;
+    rp.s = s;
+    rp.repeats = 3;
+    rp.windows_per_run = 100;
+
+    rp.mode = sim::ShareMode::kIdeal;
+    const double cml_ideal = bench::measure_cml(make_spec, rp);
+    rp.mode = sim::ShareMode::kLockFree;
+    const double cml_lf = bench::measure_cml(make_spec, rp);
+    rp.mode = sim::ShareMode::kLockBased;
+    const double cml_lb = bench::measure_cml(make_spec, rp);
+
+    table.add_row({std::to_string(exec / 1000), Table::num(cml_ideal, 2),
+                   Table::num(cml_lf, 2), Table::num(cml_lb, 2)});
+  }
+  table.print();
+  std::cout << "\ncsv:\n";
+  table.print_csv();
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 11: AUR/CMR during underload (AL ~= 0.4), heterogeneous TUFs
+// (step + parabolic + linearly-decreasing).
+#include "aur_cmr_sweep.hpp"
+
+int main() {
+  return lfrt::bench::run_aur_cmr_sweep(
+      "Figure 11", 0.4, lfrt::workload::TufClass::kHeterogeneous);
+}

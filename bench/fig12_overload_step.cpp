@@ -1,0 +1,7 @@
+// Figure 12: AUR/CMR during overload (AL ~= 1.1), step TUFs.
+#include "aur_cmr_sweep.hpp"
+
+int main() {
+  return lfrt::bench::run_aur_cmr_sweep("Figure 12", 1.1,
+                                        lfrt::workload::TufClass::kStep);
+}

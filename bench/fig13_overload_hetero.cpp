@@ -1,0 +1,7 @@
+// Figure 13: AUR/CMR during overload (AL ~= 1.1), heterogeneous TUFs.
+#include "aur_cmr_sweep.hpp"
+
+int main() {
+  return lfrt::bench::run_aur_cmr_sweep(
+      "Figure 13", 1.1, lfrt::workload::TufClass::kHeterogeneous);
+}

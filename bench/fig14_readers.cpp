@@ -1,0 +1,51 @@
+// Figure 14: AUR/CMR under an increasing number of reader tasks
+// (heterogeneous TUFs, AL swept 0.1 -> 1.1 as readers are added).
+//
+// Instead of growing the object universe (Figures 10-13), this sweep
+// grows the task population: each added reader contributes ~0.1 of
+// approximate load and touches three of the ten shared queues.
+#include "common.hpp"
+
+int main() {
+  using namespace lfrt;
+  bench::print_header("Figure 14", "AUR/CMR vs number of reader tasks");
+  std::cout << "objects=10  accesses/job=3  r=" << to_usec(bench::kDefaultR)
+            << "us  s=" << to_usec(bench::kDefaultS) << "us  seed=42\n\n";
+
+  Table table({"readers", "AL", "AUR lock-based", "AUR lock-free",
+               "CMR lock-based", "CMR lock-free"});
+
+  for (int readers = 1; readers <= 11; ++readers) {
+    const double load = 0.1 * readers;
+    workload::WorkloadSpec spec;
+    spec.task_count = readers;
+    spec.object_count = 10;
+    spec.accesses_per_job = 3;
+    spec.avg_exec = usec(500);
+    spec.load = load;
+    spec.tuf_class = workload::TufClass::kHeterogeneous;
+    // Reader tasks mostly read the shared queues; under lock-free
+    // sharing reads never invalidate concurrent attempts, while mutual
+    // exclusion serializes reads and writes alike.
+    spec.read_fraction = 0.75;
+    spec.seed = 42;
+    const TaskSet ts = workload::make_task_set(spec);
+
+    bench::RunParams rp;
+    rp.mode = sim::ShareMode::kLockBased;
+    const auto lb = bench::run_series(ts, rp);
+    rp.mode = sim::ShareMode::kLockFree;
+    const auto lf = bench::run_series(ts, rp);
+
+    table.add_row(
+        {std::to_string(readers), Table::num(load, 1),
+         Table::num(lb.aur_mean, 3) + " ±" + Table::num(lb.aur_ci, 3),
+         Table::num(lf.aur_mean, 3) + " ±" + Table::num(lf.aur_ci, 3),
+         Table::num(lb.cmr_mean, 3) + " ±" + Table::num(lb.cmr_ci, 3),
+         Table::num(lf.cmr_mean, 3) + " ±" + Table::num(lf.cmr_ci, 3)});
+  }
+  table.print();
+  std::cout << "\ncsv:\n";
+  table.print_csv();
+  return 0;
+}

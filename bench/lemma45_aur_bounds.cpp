@@ -1,0 +1,64 @@
+// Lemmas 4/5 validation: when every job is feasible (low load) and TUFs
+// are non-increasing, the long-run measured AUR lies inside the analytic
+// [lower, upper] band for both sharing modes.
+#include "analysis/bounds.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace lfrt;
+  bench::print_header("Lemmas 4/5", "measured AUR inside analytic band");
+
+  Table table({"TUF class", "mode", "lower", "measured AUR", "upper",
+               "inside"});
+  bool all_ok = true;
+
+  for (const auto tuf_class :
+       {workload::TufClass::kStep, workload::TufClass::kHeterogeneous}) {
+    workload::WorkloadSpec spec;
+    spec.task_count = 5;
+    spec.object_count = 3;
+    spec.accesses_per_job = 1;
+    spec.avg_exec = usec(200);
+    spec.load = 0.25;  // feasible regime
+    spec.tuf_class = tuf_class;
+    spec.seed = 11;
+    const TaskSet ts = workload::make_task_set(spec);
+
+    const Time s = usec(2), r = usec(10);
+    struct Case {
+      sim::ShareMode mode;
+      analysis::AurBounds band;
+      Time acc;
+    };
+    const Case cases[] = {
+        {sim::ShareMode::kLockFree, analysis::lockfree_aur_bounds(ts, s), s},
+        {sim::ShareMode::kLockBased, analysis::lockbased_aur_bounds(ts, r),
+         r},
+    };
+
+    for (const Case& c : cases) {
+      bench::RunParams rp;
+      rp.mode = c.mode;
+      rp.r = r;
+      rp.s = s;
+      rp.ns_per_op = 0.0;  // the lemmas exclude scheduler overhead
+      rp.repeats = 5;
+      rp.windows_per_run = 400;  // long run: the band is a limit statement
+      const auto p = bench::run_series(ts, rp);
+      const bool inside = p.aur_mean >= c.band.lower - 1e-9 &&
+                          p.aur_mean <= c.band.upper + 1e-9;
+      all_ok = all_ok && inside;
+      table.add_row(
+          {tuf_class == workload::TufClass::kStep ? "step" : "hetero",
+           sim::to_string(c.mode), Table::num(c.band.lower, 4),
+           Table::num(p.aur_mean, 4), Table::num(c.band.upper, 4),
+           inside ? "yes" : "NO"});
+    }
+  }
+  table.print();
+  std::cout << "\nresult: "
+            << (all_ok ? "measured AUR inside the analytic band everywhere"
+                       : "BAND VIOLATED")
+            << "\n";
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Theorem 3 validation: sweep the access-time ratio s/r and compare
+// measured mean sojourn times under lock-free vs lock-based RUA against
+// the predicted preference threshold (s/r < 2/3 sufficient when
+// m_i <= n_i).
+//
+// The theorem bounds *worst-case* sojourns, so the empirical crossover
+// (where lock-free stops being faster on average) must lie at an s/r no
+// smaller than the analytic sufficient threshold.
+#include "analysis/bounds.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace lfrt;
+  bench::print_header("Theorem 3", "sojourn crossover vs s/r threshold");
+
+  workload::WorkloadSpec spec;
+  spec.task_count = 6;
+  spec.object_count = 3;
+  spec.accesses_per_job = 2;
+  spec.avg_exec = usec(300);
+  spec.load = 0.9;
+  spec.seed = 21;
+  const TaskSet ts = workload::make_task_set(spec);
+
+  double min_threshold = 1.0;
+  for (const auto& t : ts.tasks)
+    min_threshold =
+        std::min(min_threshold, analysis::lockfree_ratio_threshold(ts, t.id));
+  std::cout << "analytic sufficient threshold (min over tasks): "
+            << Table::num(min_threshold, 3) << "\n\n";
+
+  const Time r = usec(40);
+  Table table({"s/r", "mean sojourn LF (us)", "mean sojourn LB (us)",
+               "LF faster", "predicted sufficient"});
+
+  double crossover = -1.0;
+  for (const double ratio : {0.1, 0.25, 0.5, 0.66, 0.8, 1.0, 1.5, 2.0}) {
+    const Time s = static_cast<Time>(static_cast<double>(r) * ratio);
+    bench::RunParams rp;
+    rp.r = r;
+    rp.s = s;
+    rp.repeats = 5;
+
+    auto mean_sojourn = [&](sim::ShareMode mode) {
+      rp.mode = mode;
+      RunningStats st;
+      for (int rep = 0; rep < rp.repeats; ++rep) {
+        sim::SimConfig cfg;
+        cfg.mode = mode;
+        cfg.lock_access_time = r;
+        cfg.lockfree_access_time = s;
+        cfg.sched_ns_per_op = rp.ns_per_op;
+        Time max_window = 0;
+        for (const auto& t : ts.tasks)
+          max_window = std::max(max_window, t.arrival.window);
+        cfg.horizon = max_window * 150;
+        sim::Simulator sim(ts, bench::scheduler_for(mode), cfg);
+        sim.seed_arrivals(500 + static_cast<std::uint64_t>(rep));
+        const auto rep_out = sim.run();
+        for (const Job& j : rep_out.jobs)
+          if (j.state == JobState::kCompleted)
+            st.add(to_usec(j.sojourn()));
+      }
+      return st.mean();
+    };
+
+    const double lf = mean_sojourn(sim::ShareMode::kLockFree);
+    const double lb = mean_sojourn(sim::ShareMode::kLockBased);
+    const bool lf_faster = lf < lb;
+    if (!lf_faster && crossover < 0) crossover = ratio;
+    table.add_row({Table::num(ratio, 2), Table::num(lf, 1),
+                   Table::num(lb, 1), lf_faster ? "yes" : "no",
+                   ratio < min_threshold ? "yes" : "-"});
+  }
+  table.print();
+  std::cout << "\nempirical crossover s/r: "
+            << (crossover < 0 ? std::string("none (lock-free always faster)")
+                              : Table::num(crossover, 2))
+            << "  (must be >= analytic sufficient threshold "
+            << Table::num(min_threshold, 3) << ")\n";
+  return 0;
+}

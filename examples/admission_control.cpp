@@ -1,0 +1,108 @@
+// Admission control: the UAM machinery at a system boundary.
+//
+// A ground station accepts task registrations at runtime.  Each request
+// declares its UAM arrival contract and execution demand; the station
+// admits it only if the whole set stays feasible per the demand-bound
+// test (analysis::uam_edf_feasible).  At runtime, per-task UamGates
+// police the declared contracts, and a misbehaving source's excess
+// arrivals are shed at the boundary instead of overloading the
+// scheduler.  Finally the admitted set runs in the simulator and the
+// feasibility verdict is checked against reality.
+#include <iostream>
+
+#include "analysis/bounds.hpp"
+#include "sched/rua.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "uam/uam.hpp"
+
+using namespace lfrt;
+
+int main() {
+  struct Request {
+    const char* name;
+    Time exec;
+    Time critical;
+    std::int64_t burst;  // UAM a_i, W = critical
+  };
+  const Request requests[] = {
+      {"attitude control", usec(200), msec(2), 1},
+      {"telemetry frame", usec(800), msec(10), 1},
+      {"image compress", msec(3), msec(20), 1},
+      {"science burst", msec(2), msec(15), 2},
+      {"diagnostics", msec(6), msec(25), 2},  // the one that won't fit
+      {"beacon", usec(100), msec(5), 1},
+  };
+
+  TaskSet admitted;
+  admitted.object_count = 1;
+  Table table({"request", "a_i", "C_i (ms)", "u_i (ms)", "verdict",
+               "slack (us)"});
+
+  TaskId next_id = 0;
+  for (const Request& r : requests) {
+    TaskParams p;
+    p.id = next_id;
+    p.exec_time = r.exec;
+    p.tuf = make_step_tuf(10.0, r.critical);
+    p.arrival = UamSpec{1, r.burst, r.critical};
+
+    TaskSet trial = admitted;
+    trial.tasks.push_back(p);
+    trial.validate();
+
+    Time slack = 0;
+    const bool ok = analysis::uam_edf_feasible(trial, 0, &slack);
+    table.add_row({r.name, std::to_string(r.burst),
+                   Table::num(to_msec(r.critical), 1),
+                   Table::num(to_msec(r.exec), 2),
+                   ok ? "ADMIT" : "reject",
+                   ok ? Table::num(to_usec(slack), 0) : "-"});
+    if (ok) {
+      admitted = std::move(trial);
+      ++next_id;
+    }
+  }
+  table.print();
+  std::cout << "\nadmitted " << admitted.tasks.size() << "/6 requests; "
+            << "worst-case load AL = "
+            << Table::num(admitted.approximate_load(), 2) << "\n\n";
+
+  // Run the admitted set with adversarial arrivals: the analysis is a
+  // sufficient test, so zero misses are guaranteed.
+  const sched::RuaScheduler rua(sched::Sharing::kLockFree);
+  sim::SimConfig cfg;
+  cfg.mode = sim::ShareMode::kIdeal;
+  cfg.horizon = sec(1);
+  sim::Simulator sim(admitted, rua, cfg);
+  for (const auto& t : admitted.tasks)
+    sim.set_arrivals(t.id, arrivals::adversarial(t.arrival, 0, cfg.horizon));
+  const auto rep = sim.run();
+  std::cout << "adversarial-arrival run: " << rep.completed << "/"
+            << rep.counted_jobs << " jobs met their critical times (CMR "
+            << Table::num(rep.cmr(), 3) << ")\n\n";
+
+  // Boundary enforcement: a source that doubles its declared burst rate
+  // is clipped back to contract by its gate.
+  const auto& noisy = admitted.tasks.back();
+  UamSpec violating = noisy.arrival;
+  violating.max_per_window *= 2;
+  Rng rng(7);
+  const auto proposals =
+      arrivals::random_conformant(violating, sec(1), rng);
+  UamGate gate(noisy.arrival);
+  std::int64_t shed = 0;
+  for (Time t : proposals)
+    if (!gate.offer(t)) ++shed;
+  std::cout << "contract enforcement for '" << "task " << noisy.id
+            << "': " << gate.admitted() << " arrivals admitted, " << shed
+            << " shed at the boundary (declared a="
+            << noisy.arrival.max_per_window << ", offered a="
+            << violating.max_per_window << ")\n";
+  std::cout << "\nThe UAM contract is what makes Theorem 2's retry bound "
+               "and the demand-bound test enforceable: the gate turns an "
+               "open environment into the bounded adversary the analysis "
+               "assumes.\n";
+  return 0;
+}

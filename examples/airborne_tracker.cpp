@@ -1,0 +1,106 @@
+// Airborne tracker scenario (paper, Figure 1(b) / reference [8]).
+//
+// An AWACS-style surveillance application: track-association activities
+// whose utility plateaus and then decays (piecewise-linear TUF), plot
+// correlation with a firm deadline (step TUF), and a mid-course missile
+// guidance activity whose utility is quadratic in time (parabolic TUF).
+// All of them share track-store queues.  The mission phase shifts from
+// cruise (underload) to engagement (overload) — exactly the dynamic,
+// overloaded regime the paper targets — and we compare how much mission
+// utility lock-free vs lock-based RUA accrues in each phase.
+#include <iostream>
+
+#include "sched/rua.hpp"
+#include "sim/simulator.hpp"
+#include "support/table.hpp"
+
+using namespace lfrt;
+
+namespace {
+
+TaskSet make_tracker(double load_scale) {
+  // Base windows chosen so cruise AL ~= 0.45 * load_scale.
+  const Time base = static_cast<Time>(static_cast<double>(msec(20)) /
+                                      load_scale);
+  TaskSet ts;
+  ts.object_count = 3;  // track store, sensor queue, display queue
+
+  // Track association: plateau then linear decay (Figure 1(b) shape).
+  TaskParams assoc;
+  assoc.id = 0;
+  assoc.arrival = UamSpec{1, 2, base};
+  assoc.tuf = make_piecewise_tuf(
+      {{0, 80.0}, {base / 4, 80.0}, {base / 2, 0.0}});
+  assoc.exec_time = msec(3);
+  assoc.accesses = {{0, msec(1)}, {1, msec(2)}};
+  ts.tasks.push_back(std::move(assoc));
+
+  // Plot correlation: firm deadline.
+  TaskParams plot;
+  plot.id = 1;
+  plot.arrival = UamSpec{1, 1, base};
+  plot.tuf = make_step_tuf(50.0, base / 2);
+  plot.exec_time = msec(2);
+  plot.accesses = {{1, usec(500)}};
+  ts.tasks.push_back(std::move(plot));
+
+  // Mid-course guidance: parabolic decay.
+  TaskParams guidance;
+  guidance.id = 2;
+  guidance.arrival = UamSpec{1, 1, base};
+  guidance.tuf = make_parabolic_tuf(120.0, base * 3 / 4);
+  guidance.exec_time = msec(4);
+  guidance.accesses = {{0, msec(1)}, {2, msec(3)}};
+  ts.tasks.push_back(std::move(guidance));
+
+  // Display refresh: low-value background work.
+  TaskParams display;
+  display.id = 3;
+  display.arrival = UamSpec{1, 1, base};
+  display.tuf = make_linear_tuf(10.0, base);
+  display.exec_time = msec(2);
+  display.accesses = {{2, msec(1)}};
+  ts.tasks.push_back(std::move(display));
+
+  ts.validate();
+  return ts;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Airborne tracker: cruise (underload) vs engagement "
+               "(overload)\n\n";
+  Table table({"phase", "AL", "mode", "AUR", "CMR", "aborted"});
+
+  for (const double scale : {1.0, 2.6}) {
+    const TaskSet ts = make_tracker(scale);
+    for (const auto mode :
+         {sim::ShareMode::kLockFree, sim::ShareMode::kLockBased}) {
+      const sched::RuaScheduler rua(mode == sim::ShareMode::kLockBased
+                                        ? sched::Sharing::kLockBased
+                                        : sched::Sharing::kLockFree);
+      sim::SimConfig cfg;
+      cfg.mode = mode;
+      cfg.lockfree_access_time = usec(3);
+      cfg.lock_access_time = usec(800);
+      cfg.sched_ns_per_op = 5.0;
+      cfg.horizon = sec(2);
+      sim::Simulator sim(ts, rua, cfg);
+      sim.seed_arrivals(7);
+      const sim::SimReport rep = sim.run();
+      table.add_row({scale < 2.0 ? "cruise" : "engagement",
+                     Table::num(ts.approximate_load(), 2),
+                     sim::to_string(mode), Table::num(rep.aur(), 3),
+                     Table::num(rep.cmr(), 3),
+                     std::to_string(rep.aborted)});
+    }
+  }
+  table.print();
+  std::cout << "\nDuring engagement the tracker is overloaded; utility-"
+               "accrual scheduling sheds the low-value display refreshes "
+               "first, and lock-free sharing avoids the lock-induced "
+               "blocking that would otherwise cascade into missed "
+               "guidance critical times.\n";
+  return 0;
+}

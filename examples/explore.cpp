@@ -1,0 +1,152 @@
+// lfrt explorer: run a parameterized experiment from the command line.
+//
+// Usage:
+//   explore [tasks N] [objects K] [accesses M] [load AL] [exec USEC]
+//           [mode lock-free|lock-based|ideal] [sched rua|edf|llf|pip]
+//           [cpus P] [r USEC] [s USEC] [hetero] [nest D] [seed S]
+//           [gantt] [trace FILE]
+//
+// Examples:
+//   explore load 1.1 mode lock-based
+//   explore tasks 4 cpus 2 sched edf gantt
+//   explore nest 2 mode lock-based sched rua
+//   explore load 1.0 trace /tmp/run.json   # open in ui.perfetto.dev
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "analysis/bounds.hpp"
+#include "sched/edf.hpp"
+#include "sched/edf_pip.hpp"
+#include "sched/llf.hpp"
+#include "sched/rua.hpp"
+#include "sim/gantt.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace_export.hpp"
+#include "workload/workload.hpp"
+
+using namespace lfrt;
+
+int main(int argc, char** argv) {
+  workload::WorkloadSpec spec;
+  spec.task_count = 6;
+  spec.object_count = 4;
+  spec.accesses_per_job = 2;
+  spec.avg_exec = usec(300);
+  spec.load = 0.8;
+  spec.seed = 1;
+
+  sim::SimConfig cfg;
+  cfg.mode = sim::ShareMode::kLockFree;
+  cfg.lock_access_time = usec(50);
+  cfg.lockfree_access_time = nsec(500);
+  cfg.sched_ns_per_op = 5.0;
+
+  std::string sched_name = "rua";
+  bool gantt = false;
+  std::string trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << key << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (key == "tasks") spec.task_count = std::stoi(next());
+    else if (key == "objects") spec.object_count = std::stoi(next());
+    else if (key == "accesses") spec.accesses_per_job = std::stoi(next());
+    else if (key == "load") spec.load = std::stod(next());
+    else if (key == "exec") spec.avg_exec = usec(std::stoll(next()));
+    else if (key == "nest") spec.nest_depth = std::stoi(next());
+    else if (key == "seed") spec.seed = std::stoull(next());
+    else if (key == "hetero") spec.tuf_class = workload::TufClass::kHeterogeneous;
+    else if (key == "cpus") cfg.cpu_count = std::stoi(next());
+    else if (key == "r") cfg.lock_access_time = usec(std::stoll(next()));
+    else if (key == "s") cfg.lockfree_access_time = usec(std::stoll(next()));
+    else if (key == "gantt") gantt = true;
+    else if (key == "trace") trace_path = next();
+    else if (key == "sched") sched_name = next();
+    else if (key == "mode") {
+      const std::string m = next();
+      cfg.mode = m == "lock-based" ? sim::ShareMode::kLockBased
+                 : m == "ideal"    ? sim::ShareMode::kIdeal
+                                   : sim::ShareMode::kLockFree;
+    } else {
+      std::cerr << "unknown option: " << key << "\n";
+      return 2;
+    }
+  }
+  if (spec.nest_depth > 0) cfg.mode = sim::ShareMode::kLockBased;
+
+  const TaskSet ts = workload::make_task_set(spec);
+  Time max_window = 0;
+  for (const auto& t : ts.tasks)
+    max_window = std::max(max_window, t.arrival.window);
+  cfg.horizon = max_window * 100;
+  cfg.record_slices = gantt || !trace_path.empty();
+
+  const sched::RuaScheduler rua(cfg.mode == sim::ShareMode::kLockBased
+                                    ? sched::Sharing::kLockBased
+                                    : sched::Sharing::kLockFree,
+                                spec.nest_depth > 0);
+  const sched::EdfScheduler edf;
+  const sched::LlfScheduler llf;
+  const sched::EdfPipScheduler pip;
+  const sched::Scheduler* sch = &rua;
+  if (sched_name == "edf") sch = &edf;
+  else if (sched_name == "llf") sch = &llf;
+  else if (sched_name == "pip") sch = &pip;
+  else if (sched_name != "rua") {
+    std::cerr << "unknown scheduler: " << sched_name << "\n";
+    return 2;
+  }
+
+  std::cout << "tasks=" << spec.task_count << " objects="
+            << spec.object_count << " AL=" << spec.load << " mode="
+            << sim::to_string(cfg.mode) << " sched=" << sch->name()
+            << " cpus=" << cfg.cpu_count << " seed=" << spec.seed
+            << " horizon=" << to_msec(cfg.horizon) << "ms\n";
+
+  sim::Simulator sim(ts, *sch, cfg);
+  sim.seed_arrivals(spec.seed);
+  const sim::SimReport rep = sim.run();
+
+  std::cout << "jobs=" << rep.counted_jobs << " completed="
+            << rep.completed << " aborted=" << rep.aborted
+            << " deadlocks=" << rep.deadlocks_resolved << "\n"
+            << "AUR=" << rep.aur() << " CMR=" << rep.cmr()
+            << " retries=" << rep.total_retries << " blockings="
+            << rep.total_blockings << " preemptions="
+            << rep.total_preemptions << "\n"
+            << "scheduler: " << rep.sched_invocations << " invocations, "
+            << rep.sched_ops << " ops, " << to_usec(rep.sched_overhead)
+            << "us charged\n";
+
+  if (cfg.mode == sim::ShareMode::kLockFree) {
+    std::cout << "Theorem-2 retry bounds:";
+    for (const auto& t : ts.tasks)
+      std::cout << " T" << t.id << "<=" << analysis::retry_bound(ts, t.id);
+    std::cout << "\n";
+  }
+
+  if (!trace_path.empty()) {
+    if (sim::write_chrome_trace(ts, rep, trace_path))
+      std::cout << "chrome trace written to " << trace_path
+                << " (open in ui.perfetto.dev)\n";
+    else
+      std::cerr << "failed to write " << trace_path << "\n";
+  }
+  if (gantt) {
+    sim::GanttOptions opt;
+    opt.width = 100;
+    opt.end = std::min(cfg.horizon, max_window * 4);
+    opt.show_cpus = cfg.cpu_count > 1;
+    std::cout << "\nfirst four windows:\n"
+              << sim::render_gantt(ts, rep, opt);
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Real-thread demonstration of the lock-free substrate: a Michael &
+// Scott queue and a Treiber stack shared by producer/consumer threads
+// pinned to one CPU (the paper's uniprocessor model), with CAS-retry
+// statistics, next to a wait-free SPSC ring for contrast.
+#include <atomic>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "lockfree/msqueue.hpp"
+#include "lockfree/spsc_ring.hpp"
+#include "lockfree/treiber_stack.hpp"
+#include "rt/priority.hpp"
+
+using namespace lfrt;
+
+int main() {
+  constexpr int kItems = 100000;
+
+  // --- MS queue: 2 producers, 2 consumers ---
+  lockfree::MsQueue<int> queue(4096);
+  std::atomic<std::int64_t> consumed{0};
+  std::atomic<bool> done{false};
+  {
+    std::vector<std::thread> threads;
+    for (int p = 0; p < 2; ++p) {
+      threads.emplace_back([&queue, p] {
+        rt::pin_to_cpu(0);
+        for (int i = 0; i < kItems; ++i)
+          while (!queue.enqueue(p * kItems + i)) std::this_thread::yield();
+      });
+    }
+    for (int c = 0; c < 2; ++c) {
+      threads.emplace_back([&queue, &consumed, &done] {
+        rt::pin_to_cpu(0);
+        for (;;) {
+          if (queue.dequeue()) {
+            consumed.fetch_add(1, std::memory_order_relaxed);
+          } else if (done.load()) {
+            break;
+          } else {
+            std::this_thread::yield();
+          }
+        }
+      });
+    }
+    threads[0].join();
+    threads[1].join();
+    done.store(true);
+    threads[2].join();
+    threads[3].join();
+  }
+  std::cout << "MS queue:      delivered " << consumed.load() << "/"
+            << 2 * kItems << " items, CAS retries: enqueue="
+            << queue.stats().enqueue_retries.load()
+            << " dequeue=" << queue.stats().dequeue_retries.load() << "\n";
+
+  // --- Treiber stack: mixed push/pop from 3 threads ---
+  lockfree::TreiberStack<int> stack(1024);
+  std::atomic<std::int64_t> popped{0};
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back([&stack, &popped] {
+        rt::pin_to_cpu(0);
+        for (int i = 0; i < kItems / 2; ++i) {
+          while (!stack.push(i)) std::this_thread::yield();
+          if (stack.pop()) popped.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  while (stack.pop()) popped.fetch_add(1);
+  std::cout << "Treiber stack: popped " << popped.load() << "/"
+            << 3 * (kItems / 2) << " items, CAS retries: "
+            << stack.retries() << "\n";
+
+  // --- Wait-free SPSC ring: zero retries by construction ---
+  lockfree::SpscRing<int> ring(256);
+  std::int64_t ring_received = 0;
+  {
+    std::thread producer([&ring] {
+      rt::pin_to_cpu(0);
+      for (int i = 0; i < kItems; ++i)
+        while (!ring.push(i)) std::this_thread::yield();
+    });
+    while (ring_received < kItems)
+      if (ring.pop())
+        ++ring_received;
+      else
+        std::this_thread::yield();
+    producer.join();
+  }
+  std::cout << "SPSC ring:     received " << ring_received << "/" << kItems
+            << " items, retries: 0 (wait-free by construction)\n\n";
+
+  std::cout << "Lock-free structures guarantee system-wide progress but "
+               "individual operations retry under contention — the cost "
+               "Theorem 2 bounds.  The wait-free ring never retries but "
+               "is restricted to one producer and one consumer, the "
+               "a-priori knowledge the paper notes wait-free schemes "
+               "need.\n";
+  return 0;
+}

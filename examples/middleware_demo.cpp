@@ -1,0 +1,95 @@
+// Middleware demo: the paper's implementation experience, live.
+//
+// The paper ran lock-free and lock-based object sharing under RUA inside
+// an application-level meta-scheduler on a POSIX RTOS.  This demo does
+// the real-thread equivalent with rt::Executor: a burst of sensor-fusion
+// jobs with mixed TUFs shares a track store, once through a lock-free
+// Michael&Scott queue and once through a mutex queue, under RUA
+// dispatching.  Watch the accrued utility and the contention counters.
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <memory>
+
+#include "lockbased/mutex_queue.hpp"
+#include "lockfree/msqueue.hpp"
+#include "rt/executor.hpp"
+#include "sched/rua.hpp"
+#include "support/table.hpp"
+
+using namespace lfrt;
+
+namespace {
+
+/// Spin for roughly `us` microseconds between checkpoints.
+void work(rt::JobContext& ctx, int us, int checkpoints = 4) {
+  for (int k = 0; k < checkpoints; ++k) {
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::microseconds(us / checkpoints);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+    ctx.checkpoint();
+  }
+}
+
+template <typename PushFn, typename PopFn>
+rt::ExecutorReport run_burst(PushFn push, PopFn pop) {
+  const sched::RuaScheduler rua(sched::Sharing::kLockFree);
+  rt::Executor ex(rua);
+
+  // Twelve fusion jobs: importance varies 10..120, critical times vary
+  // 3..14ms, each touches the shared track store twice.
+  for (int i = 0; i < 12; ++i) {
+    rt::RtJob job;
+    const double importance = 10.0 * (1 + i % 4) + i;
+    const Time critical = msec(3 + (i * 7) % 12);
+    job.tuf = (i % 3 == 0) ? make_step_tuf(importance, critical)
+                           : make_linear_tuf(importance, critical);
+    job.expected_exec = usec(800);
+    job.body = [push, pop, i](rt::JobContext& ctx) {
+      push(i);
+      work(ctx, 400);
+      pop();
+      work(ctx, 400);
+    };
+    ex.submit(std::move(job));
+  }
+  return ex.shutdown();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Middleware burst: 12 fusion jobs under RUA on real "
+               "threads\n\n";
+  Table table({"sharing", "completed", "aborted", "AUR", "dispatches",
+               "contention"});
+
+  {
+    auto q = std::make_shared<lockfree::MsQueue<int>>(64);
+    const auto rep = run_burst([q](int v) { q->enqueue(v); },
+                               [q] { q->dequeue(); });
+    table.add_row({"lock-free", std::to_string(rep.completed),
+                   std::to_string(rep.aborted), Table::num(rep.aur(), 3),
+                   std::to_string(rep.dispatches),
+                   std::to_string(q->stats().total()) + " CAS retries"});
+  }
+  {
+    auto q = std::make_shared<lockbased::MutexQueue<int>>();
+    const auto rep = run_burst([q](int v) { q->enqueue(v); },
+                               [q] { q->dequeue(); });
+    table.add_row({"lock-based", std::to_string(rep.completed),
+                   std::to_string(rep.aborted), Table::num(rep.aur(), 3),
+                   std::to_string(rep.dispatches),
+                   std::to_string(q->stats().contended.load()) +
+                       " contended acquires"});
+  }
+  table.print();
+  std::cout << "\nThe executor serializes job bodies (cooperative "
+               "middleware scheduling), so both runs complete the burst; "
+               "the difference the paper quantifies appears in the "
+               "object-access costs and, at RTOS scale, in the blocking "
+               "chains the lock-based variant adds to every scheduling "
+               "decision.\n";
+  return 0;
+}

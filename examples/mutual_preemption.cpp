@@ -1,0 +1,89 @@
+// Figure 6 illustration: mutual preemption under UA scheduling.
+//
+// Under fully-dynamic eligibility (PUD changes as time passes and
+// scheduling events arrive), two jobs can preempt each other repeatedly
+// — unlike static or job-level dynamic priority schedulers, where a job
+// preempts another at most once.  This example constructs such a
+// scenario and prints the simulator trace showing the alternation,
+// which is exactly why Lemma 1 counts *events*, not releases.
+#include <iostream>
+
+#include "sched/rua.hpp"
+#include "sim/gantt.hpp"
+#include "sim/simulator.hpp"
+
+using namespace lfrt;
+
+int main() {
+  // Two long jobs plus a stream of tiny jobs whose arrivals are
+  // scheduling events; at each event eligibility is re-evaluated and
+  // the balance between the two long jobs can flip.
+  TaskSet ts;
+  ts.object_count = 1;
+
+  TaskParams a;
+  a.id = 0;
+  a.arrival = UamSpec{1, 1, msec(100)};
+  a.tuf = make_linear_tuf(100.0, msec(60));  // decaying: PUD drifts
+  a.exec_time = msec(10);
+  ts.tasks.push_back(std::move(a));
+
+  TaskParams b;
+  b.id = 1;
+  b.arrival = UamSpec{1, 1, msec(100)};
+  b.tuf = make_parabolic_tuf(95.0, msec(40));  // decays faster near C
+  b.exec_time = msec(10);
+  ts.tasks.push_back(std::move(b));
+
+  TaskParams ticks;
+  ticks.id = 2;
+  ticks.arrival = UamSpec{1, 1, msec(2)};
+  ticks.tuf = make_step_tuf(500.0, msec(1));  // urgent micro-jobs
+  ticks.exec_time = usec(100);
+  ts.tasks.push_back(std::move(ticks));
+  ts.validate();
+
+  const sched::RuaScheduler rua(sched::Sharing::kLockFree);
+  sim::SimConfig cfg;
+  cfg.mode = sim::ShareMode::kIdeal;
+  cfg.record_trace = true;
+  cfg.record_slices = true;
+  cfg.horizon = msec(100);
+  sim::Simulator sim(ts, rua, cfg);
+  sim.set_arrivals(0, {0});
+  sim.set_arrivals(1, {0});
+  std::vector<Time> tick_times;
+  for (Time t = usec(500); t < msec(40); t += msec(2))
+    tick_times.push_back(t);
+  sim.set_arrivals(2, tick_times);
+
+  const sim::SimReport rep = sim.run();
+
+  const Job& ja = rep.jobs[0];
+  const Job& jb = rep.jobs[1];
+  std::cout << "Figure 6 — mutual preemption under a UA scheduler\n\n";
+  std::cout << "job A: preemptions=" << ja.preemptions
+            << "  completion=" << to_msec(ja.completion) << " ms\n";
+  std::cout << "job B: preemptions=" << jb.preemptions
+            << "  completion=" << to_msec(jb.completion) << " ms\n\n";
+
+  std::cout << "Under RM/EDF a job preempts a peer at most once per "
+               "release; here the long jobs are preempted "
+            << ja.preemptions << " and " << jb.preemptions
+            << " times respectively — once per scheduling event in the "
+               "worst case (Lemma 1), which is what Theorem 2 counts.\n\n";
+  sim::GanttOptions opt;
+  opt.width = 100;
+  opt.end = std::max(ja.completion, jb.completion);
+  std::cout << "execution timeline (T2 is the event-generating tick "
+               "stream):\n"
+            << sim::render_gantt(ts, rep, opt) << "\n";
+
+  std::cout << "trace (first 30 events):\n";
+  int shown = 0;
+  for (const auto& line : rep.trace) {
+    std::cout << "  " << line << "\n";
+    if (++shown >= 30) break;
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Planetary rover scenario (paper, Section 1 / reference [10]).
+//
+// A Mars-rover-like control loop with context-dependent execution times:
+// hazard avoidance runs longer on rough terrain, and science activities
+// arrive in bursts (UAM a_i > 1).  The rover cannot know these at design
+// time — the motivating case for online UA scheduling.  This example
+// demonstrates the UAM admission gate at the system boundary and sustained
+// overload behaviour, printing a per-task breakdown of what RUA sheds.
+#include <iostream>
+
+#include "sched/rua.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "uam/uam.hpp"
+
+using namespace lfrt;
+
+int main() {
+  TaskSet ts;
+  ts.object_count = 2;  // telemetry queue, motor-command queue
+
+  // Hazard avoidance: critical, short deadline, bursty on rough terrain.
+  TaskParams hazard;
+  hazard.id = 0;
+  hazard.arrival = UamSpec{1, 3, msec(50)};
+  hazard.tuf = make_step_tuf(1000.0, msec(20));
+  hazard.exec_time = msec(8);
+  hazard.accesses = {{1, msec(2)}};
+  ts.tasks.push_back(std::move(hazard));
+
+  // Navigation update.
+  TaskParams nav;
+  nav.id = 1;
+  nav.arrival = UamSpec{1, 1, msec(50)};
+  nav.tuf = make_linear_tuf(200.0, msec(40));
+  nav.exec_time = msec(16);
+  nav.accesses = {{0, msec(3)}, {1, msec(8)}};
+  ts.tasks.push_back(std::move(nav));
+
+  // Science capture: valuable but sheddable.
+  TaskParams science;
+  science.id = 2;
+  science.arrival = UamSpec{0, 2, msec(50)};
+  science.tuf = make_parabolic_tuf(60.0, msec(45));
+  science.exec_time = msec(20);
+  science.accesses = {{0, msec(5)}};
+  ts.tasks.push_back(std::move(science));
+
+  // Telemetry downlink: background.
+  TaskParams telemetry;
+  telemetry.id = 3;
+  telemetry.arrival = UamSpec{1, 1, msec(50)};
+  telemetry.tuf = make_linear_tuf(15.0, msec(50));
+  telemetry.exec_time = msec(12);
+  telemetry.accesses = {{0, msec(4)}};
+  ts.tasks.push_back(std::move(telemetry));
+  ts.validate();
+
+  std::cout << "Rover worst-case AL (all bursts at maximum): "
+            << Table::num(ts.approximate_load(), 2) << "\n";
+
+  // The terrain module proposes arrivals; the UAM gate enforces each
+  // task's declared contract before they reach the scheduler.
+  const Time horizon = sec(5);
+  Rng rng(13);
+  const sched::RuaScheduler rua(sched::Sharing::kLockFree);
+  sim::SimConfig cfg;
+  cfg.mode = sim::ShareMode::kLockFree;
+  cfg.lockfree_access_time = usec(4);
+  cfg.sched_ns_per_op = 5.0;
+  cfg.horizon = horizon;
+  sim::Simulator sim(ts, rua, cfg);
+
+  std::int64_t proposed = 0, admitted = 0;
+  for (const auto& t : ts.tasks) {
+    // Rough-terrain burst proposals at twice the contract rate.
+    UamSpec stress = t.arrival;
+    stress.max_per_window *= 2;
+    Rng task_rng(rng.next());
+    const auto proposals =
+        arrivals::random_conformant(stress, horizon, task_rng);
+    UamGate gate(t.arrival);
+    std::vector<Time> accepted;
+    for (Time at : proposals)
+      if (gate.offer(at)) accepted.push_back(at);
+    proposed += static_cast<std::int64_t>(proposals.size());
+    admitted += gate.admitted();
+    sim.set_arrivals(t.id, std::move(accepted));
+  }
+  std::cout << "UAM admission gate: " << admitted << "/" << proposed
+            << " proposed arrivals admitted\n\n";
+
+  const sim::SimReport rep = sim.run();
+
+  Table table({"task", "arrivals", "completed", "aborted", "mean sojourn "
+               "(ms)"});
+  const char* names[] = {"hazard", "nav", "science", "telemetry"};
+  for (TaskId id = 0; id < 4; ++id) {
+    std::int64_t n = 0, done = 0, dead = 0;
+    for (const Job& j : rep.jobs) {
+      if (j.task != id) continue;
+      ++n;
+      done += j.state == JobState::kCompleted;
+      dead += j.state == JobState::kAborted;
+    }
+    table.add_row({names[id], std::to_string(n), std::to_string(done),
+                   std::to_string(dead),
+                   Table::num(rep.mean_sojourn_of_task(id) / 1e6, 2)});
+  }
+  table.print();
+  std::cout << "\noverall: AUR=" << Table::num(rep.aur(), 3)
+            << "  CMR=" << Table::num(rep.cmr(), 3)
+            << "  retries=" << rep.total_retries << "\n";
+  std::cout << "Under overload RUA protects the high-utility hazard "
+               "avoidance and sheds telemetry/science — urgency and "
+               "importance are decoupled.\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Lock-based counterparts of the lock-free structures.
+//
+// These serialize access by mutual exclusion, exactly the class of
+// mechanism the paper's lock-based RUA manages.  Contention accounting
+// (how often an acquire found the lock held) lets the rt-layer
+// microbenchmarks separate the raw critical-section cost from the
+// blocking cost, mirroring the r-vs-s decomposition of Section 5.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace lfrt::lockbased {
+
+/// Blocking/contention accounting shared by the lock-based structures.
+struct LockStats {
+  std::atomic<std::int64_t> acquisitions{0};
+  std::atomic<std::int64_t> contended{0};  ///< acquire found lock held
+
+  double contention_ratio() const {
+    const auto a = acquisitions.load(std::memory_order_relaxed);
+    if (a == 0) return 0.0;
+    return static_cast<double>(contended.load(std::memory_order_relaxed)) /
+           static_cast<double>(a);
+  }
+};
+
+/// Unbounded mutex-protected MPMC FIFO.
+template <typename T>
+class MutexQueue {
+ public:
+  void enqueue(const T& value) {
+    Guard g(*this);
+    q_.push_back(value);
+  }
+
+  std::optional<T> dequeue() {
+    Guard g(*this);
+    if (q_.empty()) return std::nullopt;
+    T value = q_.front();
+    q_.pop_front();
+    return value;
+  }
+
+  bool empty() const {
+    Guard g(const_cast<MutexQueue&>(*this));
+    return q_.empty();
+  }
+
+  const LockStats& stats() const { return stats_; }
+
+ private:
+  /// Lock guard that records whether the acquire contended.
+  class Guard {
+   public:
+    explicit Guard(MutexQueue& q) : q_(q) {
+      q_.stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
+      if (!q_.mutex_.try_lock()) {
+        q_.stats_.contended.fetch_add(1, std::memory_order_relaxed);
+        q_.mutex_.lock();
+      }
+    }
+    ~Guard() { q_.mutex_.unlock(); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    MutexQueue& q_;
+  };
+
+  mutable std::mutex mutex_;
+  std::deque<T> q_;
+  LockStats stats_;
+};
+
+/// Unbounded mutex-protected MPMC LIFO.
+template <typename T>
+class MutexStack {
+ public:
+  void push(const T& value) {
+    record_acquire();
+    std::lock_guard<std::mutex> g(mutex_);
+    s_.push_back(value);
+  }
+
+  std::optional<T> pop() {
+    record_acquire();
+    std::lock_guard<std::mutex> g(mutex_);
+    if (s_.empty()) return std::nullopt;
+    T value = s_.back();
+    s_.pop_back();
+    return value;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> g(mutex_);
+    return s_.empty();
+  }
+
+  const LockStats& stats() const { return stats_; }
+
+ private:
+  void record_acquire() {
+    stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
+    if (mutex_.try_lock()) {
+      mutex_.unlock();
+    } else {
+      stats_.contended.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::deque<T> s_;
+  LockStats stats_;
+};
+
+}  // namespace lfrt::lockbased

@@ -1,0 +1,239 @@
+// Lock-free sorted linked list (set) — Valois [26] / Harris style, over
+// a fixed node pool with tagged references.
+//
+// Deletion is two-phase: a node is first *logically* deleted by setting
+// a mark bit in its next-reference (CAS-ed together with the tag, so
+// marking and linking race safely), then *physically* unlinked by
+// helping traversals.  Unlinked nodes park on a retired list and return
+// to the free pool only via reclaim(), which the owner calls at a
+// quiescent point (no concurrent operations) — the bounded-memory
+// discipline an embedded system would use between activation bursts,
+// avoiding the unbounded reference-count chains of Valois's original
+// scheme.
+//
+// Reference layout (64-bit word, single-word CAS):
+//   [ mark:1 | tag:31 | index:32 ]
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "lockfree/node_pool.hpp"
+#include "lockfree/tagged.hpp"
+
+namespace lfrt::lockfree {
+
+/// Marked tagged reference: TaggedRef plus a logical-deletion bit.
+struct MarkedRef {
+  std::uint64_t bits = 0;
+
+  static constexpr std::uint64_t kMarkBit = 1ULL << 63;
+  static constexpr std::uint32_t kNullIndex = TaggedRef::kNullIndex;
+
+  static constexpr MarkedRef make(std::uint32_t index, std::uint32_t tag,
+                                  bool marked) {
+    return MarkedRef{(marked ? kMarkBit : 0) |
+                     (static_cast<std::uint64_t>(tag & 0x7FFFFFFFu) << 32) |
+                     index};
+  }
+  static constexpr MarkedRef null() { return make(kNullIndex, 0, false); }
+
+  constexpr std::uint32_t index() const {
+    return static_cast<std::uint32_t>(bits & 0xFFFFFFFFu);
+  }
+  constexpr std::uint32_t tag() const {
+    return static_cast<std::uint32_t>((bits >> 32) & 0x7FFFFFFFu);
+  }
+  constexpr bool marked() const { return (bits & kMarkBit) != 0; }
+  constexpr bool is_null() const { return index() == kNullIndex; }
+
+  friend constexpr bool operator==(MarkedRef a, MarkedRef b) {
+    return a.bits == b.bits;
+  }
+};
+
+/// Bounded lock-free sorted set of int64 keys.
+class LfList {
+ public:
+  explicit LfList(std::size_t capacity) : pool_(capacity) {
+    head_.store(MarkedRef::null().bits, std::memory_order_relaxed);
+    retired_.store(TaggedRef::null().bits, std::memory_order_relaxed);
+  }
+
+  /// Insert `key`; false if already present or the pool is exhausted.
+  bool insert(std::int64_t key) {
+    const std::uint32_t node = pool_.allocate();
+    if (node == TaggedRef::kNullIndex) return false;
+    pool_.at(node).key = key;
+    for (;;) {
+      auto [prev, curr] = search(key);
+      if (!curr.is_null() && pool_.at(curr.index()).key == key) {
+        pool_.release(node);
+        return false;  // already present
+      }
+      // Link node before curr.
+      pool_.at(node).next.store(
+          MarkedRef::make(curr.index(), 0, false).bits,
+          std::memory_order_release);
+      if (cas_link(prev, curr,
+                   MarkedRef::make(node, next_tag(prev, curr), false)))
+        return true;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Remove `key`; false if absent.
+  bool remove(std::int64_t key) {
+    for (;;) {
+      auto [prev, curr] = search(key);
+      if (curr.is_null() || pool_.at(curr.index()).key != key)
+        return false;
+      Node& victim = pool_.at(curr.index());
+      const MarkedRef succ{victim.next.load(std::memory_order_acquire)};
+      if (succ.marked()) continue;  // someone else is deleting it
+      // Phase 1: logical deletion — mark the victim's next ref.
+      MarkedRef expect = succ;
+      const MarkedRef marked =
+          MarkedRef::make(succ.index(), succ.tag() + 1, true);
+      if (!victim.next.compare_exchange_strong(expect.bits, marked.bits,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // Phase 2: physical unlink (best effort; search() helps too).
+      if (cas_link(prev, curr,
+                   MarkedRef::make(succ.index(), next_tag(prev, curr),
+                                   false))) {
+        retire(curr.index());
+      }
+      return true;
+    }
+  }
+
+  bool contains(std::int64_t key) const {
+    MarkedRef curr{head_.load(std::memory_order_acquire)};
+    while (!curr.is_null()) {
+      const Node& n = pool_.at(curr.index());
+      const MarkedRef next{n.next.load(std::memory_order_acquire)};
+      if (!next.marked()) {
+        if (n.key == key) return true;
+        if (n.key > key) return false;
+      }
+      curr = MarkedRef{next.bits & ~MarkedRef::kMarkBit};
+    }
+    return false;
+  }
+
+  /// Snapshot of live keys (quiescent use: tests/diagnostics).
+  std::vector<std::int64_t> keys() const {
+    std::vector<std::int64_t> out;
+    MarkedRef curr{head_.load(std::memory_order_acquire)};
+    while (!curr.is_null()) {
+      const Node& n = pool_.at(curr.index());
+      const MarkedRef next{n.next.load(std::memory_order_acquire)};
+      if (!next.marked()) out.push_back(n.key);
+      curr = MarkedRef{next.bits & ~MarkedRef::kMarkBit};
+    }
+    return out;
+  }
+
+  /// Return retired nodes to the free pool.  Caller must guarantee no
+  /// concurrent operations (a quiescent point).
+  std::size_t reclaim() {
+    std::size_t n = 0;
+    TaggedRef top{retired_.load(std::memory_order_acquire)};
+    retired_.store(TaggedRef::null().bits, std::memory_order_release);
+    std::uint32_t idx = top.index();
+    while (idx != TaggedRef::kNullIndex) {
+      const TaggedRef next{pool_.at(idx).retired_next};
+      pool_.release(idx);
+      ++n;
+      idx = next.index();
+    }
+    return n;
+  }
+
+  std::int64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Node {
+    std::int64_t key = 0;
+    std::atomic<std::uint64_t> next{0};
+    std::uint64_t retired_next = 0;  // single-threaded within retire list
+  };
+
+  /// Find the first unmarked node with key >= `key`; returns
+  /// {prev, curr} where prev is the unmarked predecessor (null = head).
+  /// Physically unlinks marked nodes encountered on the way (helping).
+  std::pair<MarkedRef, MarkedRef> search(std::int64_t key) {
+  restart:
+    MarkedRef prev = MarkedRef::null();
+    MarkedRef curr{head_.load(std::memory_order_acquire)};
+    while (!curr.is_null()) {
+      Node& n = pool_.at(curr.index());
+      const MarkedRef next{n.next.load(std::memory_order_acquire)};
+      if (next.marked()) {
+        // Help unlink the logically deleted node.
+        if (!cas_link(prev, curr,
+                      MarkedRef::make(next.index(), next_tag(prev, curr),
+                                      false))) {
+          retries_.fetch_add(1, std::memory_order_relaxed);
+          goto restart;
+        }
+        retire(curr.index());
+        curr = MarkedRef::make(next.index(), 0, false);
+        continue;
+      }
+      if (n.key >= key) return {prev, curr};
+      prev = curr;
+      curr = MarkedRef::make(next.index(), 0, false);
+    }
+    return {prev, curr};
+  }
+
+  /// The link word holding the reference to `curr` (head or prev.next).
+  std::atomic<std::uint64_t>& link_of(MarkedRef prev) {
+    return prev.is_null() ? head_ : pool_.at(prev.index()).next;
+  }
+
+  /// Tag to use for the next write through that link.
+  std::uint32_t next_tag(MarkedRef prev, MarkedRef /*curr*/) {
+    const MarkedRef now{link_of(prev).load(std::memory_order_acquire)};
+    return now.tag() + 1;
+  }
+
+  /// CAS the link currently referencing `curr` (unmarked) to `desired`.
+  bool cas_link(MarkedRef prev, MarkedRef curr, MarkedRef desired) {
+    std::atomic<std::uint64_t>& link = link_of(prev);
+    std::uint64_t expect = link.load(std::memory_order_acquire);
+    const MarkedRef e{expect};
+    if (e.marked() || e.index() != curr.index()) return false;
+    return link.compare_exchange_strong(expect, desired.bits,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+  }
+
+  void retire(std::uint32_t idx) {
+    TaggedRef top{retired_.load(std::memory_order_acquire)};
+    for (;;) {
+      pool_.at(idx).retired_next = TaggedRef::make(top.index(), 0).bits;
+      const TaggedRef desired = TaggedRef::make(idx, top.tag() + 1);
+      if (retired_.compare_exchange_weak(top.bits, desired.bits,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire))
+        return;
+    }
+  }
+
+  NodePool<Node> pool_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::int64_t> retries_{0};
+};
+
+}  // namespace lfrt::lockfree

@@ -1,0 +1,140 @@
+// Michael & Scott lock-free FIFO queue [21] with counted (tagged)
+// pointers over a fixed node pool.
+//
+// This is the queue the paper's implementation study uses ("We used the
+// lock-free queues introduced in [21]", Section 6).  Enqueue and dequeue
+// are lock-free: some operation always completes in a finite number of
+// steps, but an individual operation may retry when a concurrent (or, on
+// a uniprocessor, a preempting) operation changes the queue between its
+// read and its CAS.  Retries are counted so experiments can compare the
+// measured retry rate with the Theorem-2 bound.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "lockfree/node_pool.hpp"
+#include "lockfree/tagged.hpp"
+
+namespace lfrt::lockfree {
+
+/// Per-structure retry accounting (relaxed counters; read after quiesce
+/// or tolerate small skew during a run).
+struct RetryStats {
+  std::atomic<std::int64_t> enqueue_retries{0};
+  std::atomic<std::int64_t> dequeue_retries{0};
+
+  std::int64_t total() const {
+    return enqueue_retries.load(std::memory_order_relaxed) +
+           dequeue_retries.load(std::memory_order_relaxed);
+  }
+};
+
+/// Bounded multi-producer/multi-consumer lock-free FIFO.
+template <typename T>
+class MsQueue {
+ public:
+  /// `capacity` is the maximum number of enqueued elements; one extra
+  /// pool node serves as the permanent dummy.
+  explicit MsQueue(std::size_t capacity) : pool_(capacity + 1) {
+    const std::uint32_t dummy = pool_.allocate();
+    pool_.at(dummy).next.store(TaggedRef::null().bits,
+                               std::memory_order_relaxed);
+    head_.store(TaggedRef::make(dummy, 0).bits, std::memory_order_relaxed);
+    tail_.store(TaggedRef::make(dummy, 0).bits, std::memory_order_relaxed);
+  }
+
+  /// Enqueue a copy of `value`; returns false when the pool is full.
+  bool enqueue(const T& value) {
+    const std::uint32_t node = pool_.allocate();
+    if (node == TaggedRef::kNullIndex) return false;
+    pool_.at(node).value = value;
+    pool_.at(node).next.store(TaggedRef::null().bits,
+                              std::memory_order_release);
+    for (;;) {
+      TaggedRef tail{tail_.load(std::memory_order_acquire)};
+      TaggedRef next{pool_.at(tail.index()).next.load(
+          std::memory_order_acquire)};
+      if (TaggedRef{tail_.load(std::memory_order_acquire)} == tail) {
+        if (next.is_null()) {
+          // Try to link the new node after the current last node.
+          TaggedRef desired = TaggedRef::make(node, next.tag() + 1);
+          if (pool_.at(tail.index())
+                  .next.compare_exchange_weak(next.bits, desired.bits,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+            // Swing tail; failure is fine (someone helped).
+            TaggedRef new_tail = TaggedRef::make(node, tail.tag() + 1);
+            tail_.compare_exchange_strong(tail.bits, new_tail.bits,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed);
+            return true;
+          }
+        } else {
+          // Tail is lagging — help advance it.
+          TaggedRef new_tail = TaggedRef::make(next.index(), tail.tag() + 1);
+          tail_.compare_exchange_strong(tail.bits, new_tail.bits,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed);
+        }
+      }
+      stats_.enqueue_retries.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Dequeue the oldest element; empty optional when the queue is empty.
+  std::optional<T> dequeue() {
+    for (;;) {
+      TaggedRef head{head_.load(std::memory_order_acquire)};
+      TaggedRef tail{tail_.load(std::memory_order_acquire)};
+      TaggedRef next{pool_.at(head.index()).next.load(
+          std::memory_order_acquire)};
+      if (TaggedRef{head_.load(std::memory_order_acquire)} == head) {
+        if (head.index() == tail.index()) {
+          if (next.is_null()) return std::nullopt;  // genuinely empty
+          // Tail lagging behind a half-finished enqueue — help.
+          TaggedRef new_tail = TaggedRef::make(next.index(), tail.tag() + 1);
+          tail_.compare_exchange_strong(tail.bits, new_tail.bits,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed);
+        } else {
+          // Read the value *before* the CAS: after the CAS another
+          // thread may recycle the node.
+          T value = pool_.at(next.index()).value;
+          TaggedRef new_head = TaggedRef::make(next.index(), head.tag() + 1);
+          if (head_.compare_exchange_weak(head.bits, new_head.bits,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+            pool_.release(head.index());
+            return value;
+          }
+        }
+      }
+      stats_.dequeue_retries.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Approximate emptiness (exact when quiescent).
+  bool empty() const {
+    TaggedRef head{head_.load(std::memory_order_acquire)};
+    TaggedRef next{pool_.at(head.index()).next.load(
+        std::memory_order_acquire)};
+    return next.is_null();
+  }
+
+  const RetryStats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    T value{};
+    std::atomic<std::uint64_t> next{0};
+  };
+
+  NodePool<Node> pool_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  RetryStats stats_;
+};
+
+}  // namespace lfrt::lockfree

@@ -1,0 +1,79 @@
+// NBW — the Non-Blocking Write protocol of Kopetz & Reisinger [16].
+//
+// The paper's related work contrasts lock-free sharing with wait-free
+// protocols descended from NBW (Chen & Burns [6], Huang et al. [14],
+// Cho et al. [7]).  NBW protects a single-writer/multi-reader state
+// message: the writer is *wait-free* (never blocks, never retries —
+// fitting its real-time producer), while readers are lock-free (they
+// retry when a write overlapped their read, detected via a concurrency
+// control field incremented before and after each write).
+//
+// Included as the contrast structure for tests/examples: it shows the
+// retry cost migrating from writers (MS queue) to readers (NBW), and
+// why these schemes need the a-priori writer identity the paper says is
+// hard to obtain in dynamic systems.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace lfrt::lockfree {
+
+/// Single-writer/multi-reader tear-free state buffer.
+///
+/// T must be trivially copyable (it is copied field-blind under a
+/// version check).  Exactly one thread may call write(); any number may
+/// call read().
+template <typename T>
+class NbwBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "NBW copies the message blindly; T must be trivially "
+                "copyable");
+
+ public:
+  explicit NbwBuffer(const T& initial = T{}) : data_(initial) {}
+
+  /// Wait-free write: bounded steps, unconditionally.
+  void write(const T& value) {
+    const std::uint64_t s = ccf_.load(std::memory_order_relaxed);
+    ccf_.store(s + 1, std::memory_order_release);  // odd: write in flight
+    std::atomic_thread_fence(std::memory_order_release);
+    data_ = value;
+    std::atomic_thread_fence(std::memory_order_release);
+    ccf_.store(s + 2, std::memory_order_release);  // even: stable
+  }
+
+  /// Lock-free read: retries while a write is in flight or overlapped.
+  T read() const {
+    for (;;) {
+      const std::uint64_t before = ccf_.load(std::memory_order_acquire);
+      if (before & 1) {  // writer mid-flight
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      T copy = data_;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const std::uint64_t after = ccf_.load(std::memory_order_acquire);
+      if (before == after) return copy;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Version counter (even when stable); exposes write progress.
+  std::uint64_t version() const {
+    return ccf_.load(std::memory_order_acquire);
+  }
+
+  std::int64_t read_retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> ccf_{0};
+  T data_;
+  mutable std::atomic<std::int64_t> retries_{0};
+};
+
+}  // namespace lfrt::lockfree

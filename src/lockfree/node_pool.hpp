@@ -1,0 +1,81 @@
+// Fixed-capacity lock-free node pool.
+//
+// Embedded real-time systems avoid dynamic allocation; every lock-free
+// structure here draws nodes from a pool sized at construction.  The
+// free list is itself a Treiber stack of tagged indices, so allocation
+// and release are lock-free and ABA-safe.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "lockfree/tagged.hpp"
+#include "support/check.hpp"
+
+namespace lfrt::lockfree {
+
+/// Lock-free pool of `Node` objects addressed by 32-bit index.
+///
+/// Node must expose `std::atomic<std::uint64_t> next` (the pool reuses
+/// it as the free-list link).
+template <typename Node>
+class NodePool {
+ public:
+  explicit NodePool(std::size_t capacity) : nodes_(capacity) {
+    LFRT_CHECK_MSG(capacity >= 1, "pool needs at least one node");
+    LFRT_CHECK_MSG(capacity < TaggedRef::kNullIndex, "pool too large");
+    // Thread all nodes onto the free list.
+    for (std::size_t i = 0; i + 1 < capacity; ++i)
+      nodes_[i].next.store(
+          TaggedRef::make(static_cast<std::uint32_t>(i + 1), 0).bits,
+          std::memory_order_relaxed);
+    nodes_[capacity - 1].next.store(TaggedRef::null().bits,
+                                    std::memory_order_relaxed);
+    free_.store(TaggedRef::make(0, 0).bits, std::memory_order_relaxed);
+  }
+
+  Node& at(std::uint32_t index) { return nodes_[index]; }
+  const Node& at(std::uint32_t index) const { return nodes_[index]; }
+
+  /// Pop a node index off the free list; returns kNullIndex when the
+  /// pool is exhausted.  Lock-free (Treiber pop).
+  std::uint32_t allocate() {
+    TaggedRef head{free_.load(std::memory_order_acquire)};
+    while (!head.is_null()) {
+      const TaggedRef next{
+          nodes_[head.index()].next.load(std::memory_order_acquire)};
+      TaggedRef desired = TaggedRef::make(next.index(), head.tag() + 1);
+      if (free_.compare_exchange_weak(head.bits,
+                                      desired.bits,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire))
+        return head.index();
+      // head reloaded by compare_exchange on failure.
+    }
+    return TaggedRef::kNullIndex;
+  }
+
+  /// Push a node index back onto the free list (Treiber push).
+  void release(std::uint32_t index) {
+    TaggedRef head{free_.load(std::memory_order_acquire)};
+    for (;;) {
+      nodes_[index].next.store(TaggedRef::make(head.index(), 0).bits,
+                               std::memory_order_relaxed);
+      TaggedRef desired = TaggedRef::make(index, head.tag() + 1);
+      if (free_.compare_exchange_weak(head.bits,
+                                      desired.bits,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire))
+        return;
+    }
+  }
+
+  std::size_t capacity() const { return nodes_.size(); }
+
+ private:
+  std::vector<Node> nodes_;
+  std::atomic<std::uint64_t> free_{TaggedRef::null().bits};
+};
+
+}  // namespace lfrt::lockfree

@@ -1,0 +1,100 @@
+// Lock-free atomic snapshot — the "snapshot abstraction" named in the
+// paper's future work (Section 7).
+//
+// N single-writer segments; scan() returns a view of all N that is
+// guaranteed to have existed at one instant (linearizable).  The
+// classic double-collect construction: two identical collects with no
+// version change in between constitute a clean snapshot.  update() is
+// wait-free (one version bump + one store); scan() is lock-free — it
+// retries while writers keep moving, which is exactly the retry cost
+// class Theorem 2 bounds for a job performing the scan.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace lfrt::lockfree {
+
+/// Bounded lock-free N-segment atomic snapshot.
+///
+/// T must be trivially copyable.  Each segment has exactly one writer
+/// thread (single-writer/multi-reader per segment, like the register
+/// model of the snapshot literature); any thread may scan.
+template <typename T, std::size_t N>
+class AtomicSnapshot {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "segments are copied field-blind under version checks");
+  static_assert(N >= 1, "need at least one segment");
+
+ public:
+  /// Wait-free single-writer update of segment `i`.
+  void update(std::size_t i, const T& value) {
+    Segment& seg = segments_[i];
+    const std::uint64_t v = seg.version.load(std::memory_order_relaxed);
+    seg.version.store(v + 1, std::memory_order_release);  // odd: in flight
+    std::atomic_thread_fence(std::memory_order_release);
+    seg.value = value;
+    std::atomic_thread_fence(std::memory_order_release);
+    seg.version.store(v + 2, std::memory_order_release);
+  }
+
+  /// Lock-free scan: returns a linearizable view of all segments.
+  std::array<T, N> scan() const {
+    std::array<std::uint64_t, N> before{};
+    std::array<T, N> view{};
+    for (;;) {
+      bool stable = true;
+      for (std::size_t i = 0; i < N; ++i) {
+        before[i] = segments_[i].version.load(std::memory_order_acquire);
+        if (before[i] & 1) stable = false;  // writer mid-flight
+      }
+      if (stable) {
+        std::atomic_thread_fence(std::memory_order_acquire);
+        for (std::size_t i = 0; i < N; ++i) view[i] = segments_[i].value;
+        std::atomic_thread_fence(std::memory_order_acquire);
+        bool clean = true;
+        for (std::size_t i = 0; i < N; ++i) {
+          if (segments_[i].version.load(std::memory_order_acquire) !=
+              before[i]) {
+            clean = false;
+            break;
+          }
+        }
+        if (clean) return view;  // double collect agreed: atomic view
+      }
+      retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Read one segment without snapshot semantics (seqlock-style).
+  T read(std::size_t i) const {
+    const Segment& seg = segments_[i];
+    for (;;) {
+      const std::uint64_t v0 = seg.version.load(std::memory_order_acquire);
+      if (v0 & 1) continue;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      T copy = seg.value;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (seg.version.load(std::memory_order_acquire) == v0) return copy;
+    }
+  }
+
+  std::int64_t scan_retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr std::size_t size() { return N; }
+
+ private:
+  struct Segment {
+    std::atomic<std::uint64_t> version{0};
+    T value{};
+  };
+
+  std::array<Segment, N> segments_;
+  mutable std::atomic<std::int64_t> retries_{0};
+};
+
+}  // namespace lfrt::lockfree

@@ -1,0 +1,63 @@
+// Wait-free single-producer/single-consumer ring buffer.
+//
+// Included as a contrast structure: the paper's related work (Kopetz's
+// NBW protocol [16] and successors [6, 7, 14]) covers wait-free sharing,
+// which completes in a *bounded* number of steps but needs a-priori
+// knowledge of the communicating parties.  For the SPSC special case a
+// ring buffer is wait-free with no retries at all; examples use it to
+// illustrate the retry-free end of the design space.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace lfrt::lockfree {
+
+/// Bounded wait-free SPSC FIFO.  One thread may call push, one thread
+/// may call pop; both complete in O(1) steps unconditionally.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) : buf_(capacity + 1) {
+    LFRT_CHECK_MSG(capacity >= 1, "ring needs capacity >= 1");
+  }
+
+  /// Returns false when full (never blocks, never retries).
+  bool push(const T& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = advance(head);
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    buf_[head] = value;
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Empty optional when empty (never blocks, never retries).
+  std::optional<T> pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    T value = buf_[tail];
+    tail_.store(advance(tail), std::memory_order_release);
+    return value;
+  }
+
+  bool empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::size_t advance(std::size_t i) const {
+    return (i + 1) % buf_.size();
+  }
+
+  std::vector<T> buf_;
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace lfrt::lockfree

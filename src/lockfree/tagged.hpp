@@ -1,0 +1,49 @@
+// Tagged index references for ABA-safe lock-free structures.
+//
+// The paper's implementation used CAS on a Pentium-III under QNX; nodes
+// were pool-allocated.  We follow the same discipline: structures draw
+// nodes from a fixed pool and refer to them by a 32-bit index packed
+// with a 32-bit modification tag into one 64-bit word, so a single-word
+// CAS updates reference and tag together.  The tag increments on every
+// reuse, which defeats the ABA problem without hazard pointers — the
+// classic counted-pointer technique of Michael & Scott [21] and
+// Treiber [25].
+#pragma once
+
+#include <cstdint>
+
+namespace lfrt::lockfree {
+
+/// Packed {index, tag} reference.  Index 0xFFFFFFFF is the null ref.
+struct TaggedRef {
+  std::uint64_t bits = 0;
+
+  static constexpr std::uint32_t kNullIndex = 0xFFFFFFFFu;
+
+  static constexpr TaggedRef make(std::uint32_t index, std::uint32_t tag) {
+    return TaggedRef{(static_cast<std::uint64_t>(tag) << 32) | index};
+  }
+
+  static constexpr TaggedRef null(std::uint32_t tag = 0) {
+    return make(kNullIndex, tag);
+  }
+
+  constexpr std::uint32_t index() const {
+    return static_cast<std::uint32_t>(bits & 0xFFFFFFFFu);
+  }
+  constexpr std::uint32_t tag() const {
+    return static_cast<std::uint32_t>(bits >> 32);
+  }
+  constexpr bool is_null() const { return index() == kNullIndex; }
+
+  /// Same index with the tag advanced — used when re-publishing a node.
+  constexpr TaggedRef bump(std::uint32_t new_index) const {
+    return make(new_index, tag() + 1);
+  }
+
+  friend constexpr bool operator==(TaggedRef a, TaggedRef b) {
+    return a.bits == b.bits;
+  }
+};
+
+}  // namespace lfrt::lockfree

@@ -1,0 +1,78 @@
+// Treiber lock-free LIFO stack [25] with tagged references over a fixed
+// node pool — the second classic structure the paper's related work
+// cites as well-suited to lock-free sharing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "lockfree/node_pool.hpp"
+#include "lockfree/tagged.hpp"
+
+namespace lfrt::lockfree {
+
+/// Bounded multi-producer/multi-consumer lock-free LIFO.
+template <typename T>
+class TreiberStack {
+ public:
+  explicit TreiberStack(std::size_t capacity) : pool_(capacity) {}
+
+  /// Push a copy of `value`; returns false when the pool is full.
+  bool push(const T& value) {
+    const std::uint32_t node = pool_.allocate();
+    if (node == TaggedRef::kNullIndex) return false;
+    pool_.at(node).value = value;
+    TaggedRef top{top_.load(std::memory_order_acquire)};
+    for (;;) {
+      pool_.at(node).next.store(TaggedRef::make(top.index(), 0).bits,
+                                std::memory_order_relaxed);
+      TaggedRef desired = TaggedRef::make(node, top.tag() + 1);
+      if (top_.compare_exchange_weak(top.bits, desired.bits,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire))
+        return true;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Pop the most recent element; empty optional when the stack is empty.
+  std::optional<T> pop() {
+    TaggedRef top{top_.load(std::memory_order_acquire)};
+    for (;;) {
+      if (top.is_null()) return std::nullopt;
+      const TaggedRef next{
+          pool_.at(top.index()).next.load(std::memory_order_acquire)};
+      // Copy the value before the CAS — the node may be recycled after.
+      T value = pool_.at(top.index()).value;
+      TaggedRef desired = TaggedRef::make(next.index(), top.tag() + 1);
+      if (top_.compare_exchange_weak(top.bits, desired.bits,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+        pool_.release(top.index());
+        return value;
+      }
+      retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  bool empty() const {
+    return TaggedRef{top_.load(std::memory_order_acquire)}.is_null();
+  }
+
+  std::int64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Node {
+    T value{};
+    std::atomic<std::uint64_t> next{0};
+  };
+
+  NodePool<Node> pool_;
+  std::atomic<std::uint64_t> top_{TaggedRef::null().bits};
+  std::atomic<std::int64_t> retries_{0};
+};
+
+}  // namespace lfrt::lockfree

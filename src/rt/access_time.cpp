@@ -1,0 +1,170 @@
+#include "rt/access_time.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "lockbased/mutex_queue.hpp"
+#include "lockfree/msqueue.hpp"
+#include "rt/priority.hpp"
+#include "sched/rua.hpp"
+#include "support/rng.hpp"
+#include "tuf/tuf.hpp"
+
+namespace lfrt::rt {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t elapsed_ns(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+}
+
+/// Build the scheduler view lock-based RUA is invoked with on each lock
+/// request: `task_count` jobs whose dependency chain spans the shared
+/// objects (job k waits on job k+1 for object k), mirroring a loaded
+/// 10-task/10-queue system.  More shared objects -> longer chains ->
+/// costlier invocations, which is why r grows with the object count in
+/// Figure 8.
+std::vector<sched::SchedJob> make_rua_view(
+    std::int32_t task_count, std::int32_t object_count,
+    const std::vector<std::shared_ptr<const Tuf>>& tufs) {
+  std::vector<sched::SchedJob> view;
+  const std::int32_t chained =
+      std::min(object_count, task_count - 1);
+  for (std::int32_t i = 0; i < task_count; ++i) {
+    sched::SchedJob j;
+    j.id = i;
+    j.arrival = 0;
+    j.critical = msec(10) + usec(100) * i;
+    j.remaining = usec(200);
+    j.tuf = tufs[static_cast<std::size_t>(i)].get();
+    j.waits_on = i < chained ? i + 1 : kNoJob;
+    view.push_back(j);
+  }
+  return view;
+}
+
+/// Background interferer: performs queue operations with periodic
+/// yields so the OS interleaves it with the measuring thread, inducing
+/// the preemptions of a loaded uniprocessor.
+class Interferer {
+ public:
+  Interferer(std::vector<std::unique_ptr<lockfree::MsQueue<int>>>* lf,
+             std::vector<std::unique_ptr<lockbased::MutexQueue<int>>>* lb)
+      : lf_(lf), lb_(lb), thread_([this] { run(); }) {}
+
+  ~Interferer() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    pin_to_cpu(0);
+    std::uint64_t i = 0;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      if (lf_ && !lf_->empty()) {
+        auto& q = *(*lf_)[i % lf_->size()];
+        q.enqueue(static_cast<int>(i));
+        q.dequeue();
+      }
+      if (lb_ && !lb_->empty()) {
+        auto& q = *(*lb_)[i % lb_->size()];
+        q.enqueue(static_cast<int>(i));
+        q.dequeue();
+      }
+      if (++i % 64 == 0) std::this_thread::yield();
+    }
+  }
+
+  std::vector<std::unique_ptr<lockfree::MsQueue<int>>>* lf_;
+  std::vector<std::unique_ptr<lockbased::MutexQueue<int>>>* lb_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace
+
+AccessTimeResult measure_lockfree_access(const AccessTimeConfig& cfg) {
+  AccessTimeResult out;
+  pin_to_cpu(0);
+
+  std::vector<std::unique_ptr<lockfree::MsQueue<int>>> queues;
+  for (std::int32_t i = 0; i < cfg.object_count; ++i)
+    queues.push_back(std::make_unique<lockfree::MsQueue<int>>(1024));
+
+  std::unique_ptr<Interferer> noise;
+  if (cfg.with_interferer)
+    noise = std::make_unique<Interferer>(&queues, nullptr);
+
+  Rng rng(cfg.seed);
+  // Warm-up: touch every queue once.
+  for (auto& q : queues) {
+    q->enqueue(0);
+    q->dequeue();
+  }
+
+  for (std::int64_t n = 0; n < cfg.samples; ++n) {
+    auto& q = *queues[static_cast<std::size_t>(
+        rng.uniform(0, cfg.object_count - 1))];
+    const auto t0 = Clock::now();
+    q.enqueue(static_cast<int>(n));
+    q.dequeue();
+    const auto t1 = Clock::now();
+    // Two operations per sample; report per-access time.
+    out.per_access_ns.add(static_cast<double>(elapsed_ns(t0, t1)) / 2.0);
+  }
+  for (auto& q : queues) out.retries += q->stats().total();
+  return out;
+}
+
+AccessTimeResult measure_lockbased_access(const AccessTimeConfig& cfg) {
+  AccessTimeResult out;
+  pin_to_cpu(0);
+
+  std::vector<std::unique_ptr<lockbased::MutexQueue<int>>> queues;
+  for (std::int32_t i = 0; i < cfg.object_count; ++i)
+    queues.push_back(std::make_unique<lockbased::MutexQueue<int>>());
+
+  std::unique_ptr<Interferer> noise;
+  if (cfg.with_interferer)
+    noise = std::make_unique<Interferer>(nullptr, &queues);
+
+  // Pre-built pieces of the per-request RUA invocation.
+  std::vector<std::shared_ptr<const Tuf>> tufs;
+  for (std::int32_t i = 0; i < cfg.task_count; ++i)
+    tufs.emplace_back(make_step_tuf(10.0 + i, msec(100)));
+  const sched::RuaScheduler rua(sched::Sharing::kLockBased);
+  const auto view =
+      make_rua_view(cfg.task_count, cfg.object_count, tufs);
+
+  Rng rng(cfg.seed);
+  for (auto& q : queues) {
+    q->enqueue(0);
+    q->dequeue();
+  }
+
+  Time fake_now = 0;
+  for (std::int64_t n = 0; n < cfg.samples; ++n) {
+    auto& q = *queues[static_cast<std::size_t>(
+        rng.uniform(0, cfg.object_count - 1))];
+    const auto t0 = Clock::now();
+    // Lock request -> scheduler invocation -> critical section ->
+    // unlock request -> scheduler invocation.
+    (void)rua.build(view, fake_now);
+    q.enqueue(static_cast<int>(n));
+    (void)rua.build(view, fake_now);
+    q.dequeue();
+    const auto t1 = Clock::now();
+    out.per_access_ns.add(static_cast<double>(elapsed_ns(t0, t1)) / 2.0);
+    fake_now += usec(1);
+  }
+  for (auto& q : queues)
+    out.contended += q->stats().contended.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace lfrt::rt

@@ -1,0 +1,50 @@
+// Shared-object access-time microbenchmarks (Figure 8).
+//
+// The paper measures, on its RTOS testbed, the time r to access a
+// lock-based object and the time s to access a lock-free object, as the
+// number of shared objects accessed by jobs grows.  Two effects make
+// r >> s there: (1) each lock/unlock request invokes lock-based RUA's
+// resource-management machinery (dependency chains, feasibility tests),
+// and (2) the meta-scheduler adds per-request overhead.  We reproduce
+// the same decomposition:
+//
+//   s  =  one CAS-based Michael&Scott queue operation
+//   r  =  one mutex-protected queue operation
+//         + one lock-based RUA invocation over a 10-job view whose
+//           dependency chains span the shared objects
+//
+// Both are measured on real threads with std::atomic; an optional
+// interferer thread induces the preemption interleavings of a loaded
+// uniprocessor.
+#pragma once
+
+#include <cstdint>
+
+#include "support/stats.hpp"
+#include "support/time.hpp"
+
+namespace lfrt::rt {
+
+struct AccessTimeResult {
+  RunningStats per_access_ns;    ///< r or s samples, in nanoseconds
+  std::int64_t retries = 0;      ///< CAS retries observed (lock-free)
+  std::int64_t contended = 0;    ///< contended acquires (lock-based)
+};
+
+struct AccessTimeConfig {
+  std::int32_t object_count = 10;  ///< objects the job set shares
+  std::int32_t task_count = 10;    ///< jobs in the RUA view (paper: 10)
+  std::int64_t samples = 2000;     ///< paper: ~2000 samples per point
+  bool with_interferer = true;     ///< background thread touching objects
+  std::uint64_t seed = 1;
+};
+
+/// Measure s: per-operation time of lock-free queue accesses.
+AccessTimeResult measure_lockfree_access(const AccessTimeConfig& cfg);
+
+/// Measure r: per-operation time of lock-based queue accesses including
+/// the lock-based RUA resource-management invocation each lock request
+/// triggers.
+AccessTimeResult measure_lockbased_access(const AccessTimeConfig& cfg);
+
+}  // namespace lfrt::rt

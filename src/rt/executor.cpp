@@ -1,0 +1,251 @@
+#include "rt/executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "support/check.hpp"
+
+namespace lfrt::rt {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class RtState : std::uint8_t {
+  kReady,      // submitted, waiting for its first dispatch
+  kRunning,    // the dispatched job (its worker owns the CPU)
+  kPreempted,  // parked inside checkpoint()
+  kAborting,   // abort requested; body will throw at its next checkpoint
+  kCompleted,
+  kAborted,
+};
+
+bool terminal(RtState s) {
+  return s == RtState::kCompleted || s == RtState::kAborted;
+}
+
+}  // namespace
+
+struct Executor::Impl {
+  struct JobRec;
+
+  const sched::Scheduler* scheduler;
+  Clock::time_point epoch = Clock::now();
+
+  std::mutex mu;
+  std::condition_variable sched_cv;    // wakes the scheduling thread
+  std::condition_variable worker_cv;   // wakes parked workers
+  std::map<JobId, std::unique_ptr<JobRec>> jobs;
+  JobId next_id = 0;
+  JobId dispatched = kNoJob;
+  bool stopping = false;
+  ExecutorReport report;
+  std::thread sched_thread;
+
+  struct JobRec final : public JobContext {
+    Impl* owner = nullptr;
+    JobId jid = kNoJob;
+    RtJob spec;
+    Time arrival = 0;        // ns since epoch
+    Time critical_abs = 0;
+    RtState state = RtState::kReady;
+    Time ran_for = 0;        // accumulated execution time estimate input
+    Time last_dispatch = 0;  // when it last got the CPU
+    Time completion = -1;
+    std::thread worker;
+
+    // --- JobContext ---
+    void checkpoint() override {
+      std::unique_lock<std::mutex> lock(owner->mu);
+      if (state == RtState::kAborting) throw JobAborted{};
+      if (owner->dispatched == jid) return;  // still ours: keep going
+      // Preempted: account the stint and park.
+      state = RtState::kPreempted;
+      owner->sched_cv.notify_all();
+      owner->worker_cv.wait(lock, [&] {
+        return owner->dispatched == jid || state == RtState::kAborting;
+      });
+      if (state == RtState::kAborting) throw JobAborted{};
+      state = RtState::kRunning;
+    }
+
+    bool aborted() const override {
+      std::lock_guard<std::mutex> lock(owner->mu);
+      return state == RtState::kAborting;
+    }
+
+    JobId id() const override { return jid; }
+  };
+
+  explicit Impl(const sched::Scheduler& sch) : scheduler(&sch) {
+    sched_thread = std::thread([this] { scheduler_loop(); });
+  }
+
+  Time now() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - epoch)
+        .count();
+  }
+
+  JobId submit(RtJob job) {
+    LFRT_CHECK_MSG(job.tuf != nullptr, "job needs a TUF");
+    LFRT_CHECK_MSG(job.body != nullptr, "job needs a body");
+    LFRT_CHECK_MSG(job.expected_exec > 0, "job needs an execution estimate");
+    std::unique_lock<std::mutex> lock(mu);
+    const JobId id = next_id++;
+    auto rec = std::make_unique<JobRec>();
+    JobRec* r = rec.get();
+    r->owner = this;
+    r->jid = id;
+    r->spec = std::move(job);
+    r->arrival = now();
+    r->critical_abs = r->arrival + r->spec.tuf->critical_time();
+    ++report.submitted;
+    report.max_possible_utility += r->spec.tuf->utility(0);
+    jobs.emplace(id, std::move(rec));
+    r->worker = std::thread([this, r] { worker_main(r); });
+    sched_cv.notify_all();
+    return id;
+  }
+
+  void worker_main(JobRec* r) {
+    {
+      // Wait for the first dispatch (or an abort before ever running).
+      std::unique_lock<std::mutex> lock(mu);
+      worker_cv.wait(lock, [&] {
+        return dispatched == r->jid || r->state == RtState::kAborting;
+      });
+      if (r->state != RtState::kAborting) r->state = RtState::kRunning;
+    }
+    bool completed = false;
+    try {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (r->state == RtState::kAborting) throw JobAborted{};
+      }
+      r->spec.body(*r);
+      completed = true;
+    } catch (const JobAborted&) {
+      if (r->spec.abort_handler) r->spec.abort_handler();
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    if (completed) {
+      r->state = RtState::kCompleted;
+      r->completion = now();
+      ++report.completed;
+      report.accrued_utility +=
+          r->spec.tuf->utility(r->completion - r->arrival);
+    } else {
+      r->state = RtState::kAborted;
+      ++report.aborted;
+    }
+    if (dispatched == r->jid) dispatched = kNoJob;
+    sched_cv.notify_all();
+  }
+
+  void scheduler_loop() {
+    std::unique_lock<std::mutex> lock(mu);
+    while (true) {
+      const Time t = now();
+
+      // Raise abort-exceptions for expired jobs (the timer going off).
+      for (auto& [id, r] : jobs) {
+        if (terminal(r->state) || r->state == RtState::kAborting) continue;
+        if (t >= r->critical_abs) {
+          r->state = RtState::kAborting;
+          if (dispatched == id) dispatched = kNoJob;
+          worker_cv.notify_all();  // parked workers observe and throw
+        }
+      }
+
+      // Build the scheduler view over pending jobs.
+      std::vector<sched::SchedJob> view;
+      for (auto& [id, r] : jobs) {
+        if (terminal(r->state) || r->state == RtState::kAborting) continue;
+        sched::SchedJob sj;
+        sj.id = id;
+        sj.arrival = r->arrival;
+        sj.critical = r->critical_abs;
+        Time elapsed = r->ran_for;
+        if (dispatched == id) elapsed += t - r->last_dispatch;
+        sj.remaining = std::max<Time>(1, r->spec.expected_exec - elapsed);
+        sj.tuf = r->spec.tuf.get();
+        view.push_back(sj);
+      }
+
+      if (stopping && view.empty()) return;
+
+      const auto res = scheduler->build(view, t);
+      if (res.dispatch != dispatched) {
+        // Account the descheduled job's stint.
+        if (dispatched != kNoJob) {
+          auto it = jobs.find(dispatched);
+          if (it != jobs.end())
+            it->second->ran_for += t - it->second->last_dispatch;
+        }
+        dispatched = res.dispatch;
+        if (dispatched != kNoJob) {
+          jobs.at(dispatched)->last_dispatch = t;
+          ++report.dispatches;
+        }
+        worker_cv.notify_all();
+      }
+
+      // Sleep until the next critical time (abort timer) or any event.
+      Time next_expiry = kTimeNever;
+      for (auto& [id, r] : jobs) {
+        if (terminal(r->state) || r->state == RtState::kAborting) continue;
+        next_expiry = std::min(next_expiry, r->critical_abs);
+      }
+      if (next_expiry == kTimeNever) {
+        sched_cv.wait(lock);
+      } else {
+        sched_cv.wait_until(
+            lock, epoch + std::chrono::nanoseconds(next_expiry));
+      }
+    }
+  }
+
+  void drain() {
+    std::unique_lock<std::mutex> lock(mu);
+    sched_cv.wait(lock, [&] {
+      return std::all_of(jobs.begin(), jobs.end(), [](const auto& kv) {
+        return terminal(kv.second->state);
+      });
+    });
+  }
+
+  ExecutorReport shutdown() {
+    drain();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stopping = true;
+      sched_cv.notify_all();
+    }
+    sched_thread.join();
+    for (auto& [id, r] : jobs)
+      if (r->worker.joinable()) r->worker.join();
+    std::lock_guard<std::mutex> lock(mu);
+    return report;
+  }
+};
+
+Executor::Executor(const sched::Scheduler& scheduler)
+    : impl_(std::make_unique<Impl>(scheduler)) {}
+
+Executor::~Executor() {
+  if (impl_ && impl_->sched_thread.joinable()) (void)impl_->shutdown();
+}
+
+JobId Executor::submit(RtJob job) { return impl_->submit(std::move(job)); }
+
+void Executor::drain() { impl_->drain(); }
+
+ExecutorReport Executor::shutdown() { return impl_->shutdown(); }
+
+}  // namespace lfrt::rt

@@ -1,0 +1,115 @@
+// Middleware-level utility-accrual executor on real POSIX threads.
+//
+// The paper's implementation study ran RUA inside the *meta-scheduler*
+// framework of Li et al. [18]: application-level real-time scheduling
+// layered on a POSIX RTOS.  This is that substrate: an Executor owns a
+// scheduling thread that runs a sched::Scheduler (RUA, EDF, ...) at
+// every scheduling event, and job bodies — ordinary C++ callables —
+// execute on worker threads that yield control at *checkpoints*
+// (cooperative preemption, exactly the application-level discipline a
+// middleware scheduler imposes).  Critical-time expiry raises an
+// abort-exception: the body's next checkpoint throws JobAborted, the
+// job's abort handler runs, and the job accrues zero utility
+// (Section 3.5's abort model, for real).
+//
+// Bodies may share objects through the lock-free or lock-based
+// structures in src/lockfree and src/lockbased; retry/contention
+// statistics come from those structures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "support/time.hpp"
+#include "task/task.hpp"
+
+namespace lfrt::sched {
+class Scheduler;
+}
+
+namespace lfrt::rt {
+
+/// Thrown out of JobContext::checkpoint when the job has been aborted;
+/// the executor catches it after the abort handler has run.
+class JobAborted {};
+
+/// Handle a running body uses to cooperate with the scheduler.
+class JobContext {
+ public:
+  /// Preemption/abort point.  Blocks while the job is preempted;
+  /// throws JobAborted once the job's critical time has expired.
+  /// Bodies should call this between work quanta.
+  virtual void checkpoint() = 0;
+
+  /// True once an abort has been requested (checkpoint would throw).
+  virtual bool aborted() const = 0;
+
+  virtual JobId id() const = 0;
+
+ protected:
+  ~JobContext() = default;
+};
+
+/// What to run for one job.
+struct RtJob {
+  /// Time constraint; utility accrues at U(sojourn) on completion.
+  std::shared_ptr<const Tuf> tuf;
+
+  /// Execution-time estimate handed to the scheduler (the paper's
+  /// model: execution times presented to the scheduler are estimates).
+  Time expected_exec = 0;
+
+  /// The body.  Must call ctx.checkpoint() between work quanta.
+  std::function<void(JobContext&)> body;
+
+  /// Optional compensation run after an abort (Section 3.5's handler).
+  std::function<void()> abort_handler;
+};
+
+/// Aggregate outcome of an Executor run.
+struct ExecutorReport {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t aborted = 0;
+  double accrued_utility = 0.0;
+  double max_possible_utility = 0.0;
+  std::int64_t dispatches = 0;  ///< scheduler-driven context switches
+
+  double aur() const {
+    return max_possible_utility > 0 ? accrued_utility / max_possible_utility
+                                    : 0.0;
+  }
+};
+
+/// Middleware UA scheduler over real threads.
+///
+/// Thread model: one scheduling thread plus one worker per in-flight
+/// job; exactly one worker executes at a time (the dispatched one), so
+/// execution is serialized the way a uniprocessor RTOS would — which is
+/// also what makes runs reproducible enough to test.
+class Executor {
+ public:
+  /// `scheduler` must outlive the executor.
+  explicit Executor(const sched::Scheduler& scheduler);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Submit a job; its arrival is "now".  Thread-safe.
+  JobId submit(RtJob job);
+
+  /// Block until every submitted job has completed or aborted.
+  void drain();
+
+  /// Drain, stop the scheduling thread, and return the tallies.
+  ExecutorReport shutdown();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace lfrt::rt

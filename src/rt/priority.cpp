@@ -1,0 +1,21 @@
+#include "rt/priority.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+namespace lfrt::rt {
+
+bool set_realtime_priority(int priority) {
+  sched_param sp{};
+  sp.sched_priority = priority;
+  return pthread_setschedparam(pthread_self(), SCHED_FIFO, &sp) == 0;
+}
+
+bool pin_to_cpu(int cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+}  // namespace lfrt::rt

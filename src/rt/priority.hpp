@@ -1,0 +1,24 @@
+// POSIX real-time thread helpers.
+//
+// The paper's testbed ran on QNX Neutrino with RT scheduling; on a
+// generic Linux host, SCHED_FIFO needs privileges, so every helper here
+// degrades gracefully: it attempts the RT configuration and reports
+// whether it took effect.  Experiments remain valid without RT
+// priorities (access-time microbenchmarks measure the object operations
+// themselves); the helpers exist so the same binaries exploit a
+// privileged host when given one.
+#pragma once
+
+namespace lfrt::rt {
+
+/// Attempt to switch the calling thread to SCHED_FIFO at `priority`
+/// (1..99).  Returns true on success, false when the host denies it.
+bool set_realtime_priority(int priority);
+
+/// Attempt to pin the calling thread to the given CPU.  Returns true on
+/// success.  The paper's model (and its retry analysis) is uniprocessor;
+/// pinning every thread to one CPU reproduces that interleaving on
+/// multicore hosts.
+bool pin_to_cpu(int cpu);
+
+}  // namespace lfrt::rt

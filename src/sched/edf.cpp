@@ -1,0 +1,32 @@
+#include "sched/edf.hpp"
+
+#include <algorithm>
+
+namespace lfrt::sched {
+
+ScheduleResult EdfScheduler::build(const std::vector<SchedJob>& jobs,
+                                   Time /*now*/) const {
+  ScheduleResult out;
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (jobs[a].critical != jobs[b].critical)
+      return jobs[a].critical < jobs[b].critical;
+    return jobs[a].id < jobs[b].id;
+  });
+  std::int64_t cost = 1;
+  for (std::size_t len = jobs.size(); len > 1; len >>= 1) ++cost;
+  out.ops = static_cast<std::int64_t>(jobs.size()) * cost;
+
+  out.schedule.reserve(order.size());
+  for (std::size_t i : order) out.schedule.push_back(jobs[i].id);
+  for (std::size_t i : order) {
+    if (jobs[i].runnable()) {
+      out.dispatch = jobs[i].id;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace lfrt::sched

@@ -1,0 +1,23 @@
+// Earliest-critical-time-first (ECF / EDF) baseline scheduler.
+//
+// During underloads with step TUFs and no object sharing, RUA's output
+// schedule is exactly ECF-ordered (paper, Section 3.4), which is optimal
+// there.  This baseline makes that equivalence testable and provides the
+// deadline-scheduling reference point for the CML discussion.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace lfrt::sched {
+
+/// EDF with critical times as deadlines.  Never rejects a job; dispatch
+/// is the earliest-critical runnable job.
+class EdfScheduler final : public Scheduler {
+ public:
+  ScheduleResult build(const std::vector<SchedJob>& jobs,
+                       Time now) const override;
+
+  std::string name() const override { return "EDF"; }
+};
+
+}  // namespace lfrt::sched

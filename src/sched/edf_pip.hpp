@@ -1,0 +1,31 @@
+// EDF with priority inheritance (Sha, Rajkumar, Lehoczky [23]).
+//
+// The paper's Section 1.1 motivates lock-free sharing against exactly
+// this class of lock-based protocol: PIP bounds priority inversion but
+// adds scheduler activations on contention and needs the dependency
+// bookkeeping this scheduler implements.  Included as the classical
+// lock-based baseline between plain EDF (unbounded inversion: a blocked
+// head simply yields to the next runnable job, so a middle-eligibility
+// job can starve the lock holder indefinitely — the Mars Pathfinder
+// failure mode) and RUA (whose dependency-chain schedules subsume
+// inheritance).
+//
+// Dispatch rule: take the earliest-critical-time pending job; if it is
+// blocked, follow its chain of holders and run the job at the end — the
+// holder *inherits* the blocked job's eligibility.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace lfrt::sched {
+
+/// EDF + priority inheritance.  Never rejects a job.
+class EdfPipScheduler final : public Scheduler {
+ public:
+  ScheduleResult build(const std::vector<SchedJob>& jobs,
+                       Time now) const override;
+
+  std::string name() const override { return "EDF+PIP"; }
+};
+
+}  // namespace lfrt::sched

@@ -1,0 +1,34 @@
+#include "sched/llf.hpp"
+
+#include <algorithm>
+
+namespace lfrt::sched {
+
+ScheduleResult LlfScheduler::build(const std::vector<SchedJob>& jobs,
+                                   Time now) const {
+  ScheduleResult out;
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto laxity = [&](std::size_t i) {
+    return jobs[i].critical - now - jobs[i].remaining;
+  };
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (laxity(a) != laxity(b)) return laxity(a) < laxity(b);
+    return jobs[a].id < jobs[b].id;
+  });
+  std::int64_t cost = 1;
+  for (std::size_t len = jobs.size(); len > 1; len >>= 1) ++cost;
+  out.ops = static_cast<std::int64_t>(jobs.size()) * cost;
+
+  out.schedule.reserve(order.size());
+  for (std::size_t i : order) out.schedule.push_back(jobs[i].id);
+  for (std::size_t i : order) {
+    if (jobs[i].runnable()) {
+      out.dispatch = jobs[i].id;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace lfrt::sched

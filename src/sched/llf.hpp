@@ -1,0 +1,28 @@
+// Least-Laxity-First baseline scheduler.
+//
+// The paper (Section 4.1, citing Carpenter et al. and Anderson et al.)
+// classes LLF as a *fully-dynamic* priority scheduler: a job's laxity
+// (critical time minus now minus remaining work) changes as time passes,
+// so two jobs can preempt each other repeatedly — the same mutual-
+// preemption behaviour as UA schedulers, which is what makes Lemma 1
+// count events rather than releases.  LLF is included as the second
+// fully-dynamic baseline next to RUA (EDF being the job-level-dynamic
+// one).
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace lfrt::sched {
+
+/// LLF with critical times as deadlines.  Never rejects a job; dispatch
+/// is the runnable job with the smallest laxity
+/// (critical - now - remaining).
+class LlfScheduler final : public Scheduler {
+ public:
+  ScheduleResult build(const std::vector<SchedJob>& jobs,
+                       Time now) const override;
+
+  std::string name() const override { return "LLF"; }
+};
+
+}  // namespace lfrt::sched

@@ -1,0 +1,59 @@
+// RUA — the Resource-constrained Utility Accrual scheduling algorithm
+// (Wu, Ravindran, Jensen, Balli [27]), in both the lock-based form the
+// paper starts from (Section 3) and the lock-free form it derives
+// (Sections 3.6/5).
+//
+// Lock-based RUA, per scheduling event:
+//   1. build every job's dependency chain by following the chain of
+//      resource request and ownership                      — O(n^2)
+//   2. compute each job's potential utility density (PUD) over the
+//      aggregate (job + dependents)                        — O(n^2)
+//   3. detect dependency cycles (deadlock) and resolve by aborting the
+//      least-utility job in the cycle                      — O(n^2)
+//   4. sort jobs by non-increasing PUD                     — O(n log n)
+//   5. greedily insert each aggregate into a tentative ECF schedule,
+//      respecting dependencies (with critical-time clamping and
+//      removal/reinsertion, Figures 4 and 5) and testing feasibility
+//                                                          — O(n^2 log n)
+//
+// Lock-free RUA is the same algorithm with dependency chains reduced to
+// the job itself: steps 1 and 3 vanish, 2 becomes O(n), 5 becomes
+// O(n^2); the whole algorithm costs O(n^2).
+#pragma once
+
+#include <memory>
+
+#include "sched/scheduler.hpp"
+
+namespace lfrt::sched {
+
+/// Object-sharing regime the scheduler is paired with.
+enum class Sharing {
+  kLockBased,  ///< mutual exclusion; dependency chains and blocking exist
+  kLockFree,   ///< retry-based; dependencies never arise
+};
+
+/// RUA scheduler.  Construct with Sharing::kLockFree for lock-free RUA.
+///
+/// `detect_deadlocks` enables step 3.  The paper's apples-to-apples
+/// comparison (Section 5) excludes nested critical sections, where
+/// cycles cannot arise, and turns the detector off; it remains available
+/// for the general algorithm and is exercised by tests with synthetic
+/// cycles.
+class RuaScheduler final : public Scheduler {
+ public:
+  explicit RuaScheduler(Sharing sharing, bool detect_deadlocks = false);
+
+  ScheduleResult build(const std::vector<SchedJob>& jobs,
+                       Time now) const override;
+
+  std::string name() const override;
+
+  Sharing sharing() const { return sharing_; }
+
+ private:
+  Sharing sharing_;
+  bool detect_deadlocks_;
+};
+
+}  // namespace lfrt::sched

@@ -1,0 +1,72 @@
+// Scheduler interface shared by RUA (lock-based and lock-free) and the
+// EDF baseline.
+//
+// A scheduler is invoked at *scheduling events* (job arrivals and
+// departures; plus lock and unlock requests under lock-based sharing —
+// paper, Section 3).  It sees an immutable projection of every pending
+// job, constructs a schedule, and nominates the job to dispatch.
+//
+// Every elementary operation performed during schedule construction is
+// counted; the simulator charges `ops * ns_per_op` of CPU time to the
+// scheduler, which is how the O(n^2 log n) vs O(n^2) asymptotic gap of
+// Sections 3.6/5 manifests in the CML experiment (Figure 9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "task/task.hpp"
+
+namespace lfrt::sched {
+
+/// Immutable projection of one pending job, rebuilt at each scheduling
+/// event (dependencies and remaining-time estimates change dynamically —
+/// paper, Section 3.4).
+struct SchedJob {
+  JobId id = kNoJob;
+  Time arrival = 0;
+  Time critical = 0;   ///< absolute critical time
+  Time remaining = 0;  ///< remaining execution estimate incl. access time
+  const Tuf* tuf = nullptr;
+
+  /// Job currently holding the object this job has requested (kNoJob if
+  /// not blocked).  Always kNoJob under lock-free sharing.
+  JobId waits_on = kNoJob;
+
+  bool runnable() const { return waits_on == kNoJob; }
+};
+
+/// Outcome of one scheduler invocation.
+struct ScheduleResult {
+  /// Accepted jobs in execution order (ECF with dependencies respected).
+  std::vector<JobId> schedule;
+
+  /// The job to run now: the first runnable job in `schedule`; kNoJob if
+  /// every accepted job is blocked or the schedule is empty.
+  JobId dispatch = kNoJob;
+
+  /// Jobs examined but excluded because including them (with their
+  /// dependents) made the tentative schedule infeasible.
+  std::vector<JobId> rejected;
+
+  /// Jobs selected for abortion to break dependency cycles (only when
+  /// deadlock detection is enabled and a cycle exists).
+  std::vector<JobId> deadlock_victims;
+
+  /// Elementary operations performed (the overhead model's input).
+  std::int64_t ops = 0;
+};
+
+/// Abstract scheduling policy.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Construct a schedule over `jobs` at time `now`.
+  virtual ScheduleResult build(const std::vector<SchedJob>& jobs,
+                               Time now) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace lfrt::sched

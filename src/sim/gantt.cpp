@@ -1,0 +1,56 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace lfrt::sim {
+
+std::string render_gantt(const TaskSet& tasks, const SimReport& report,
+                         const GanttOptions& options) {
+  LFRT_CHECK_MSG(options.width >= 10, "gantt needs at least 10 columns");
+  Time end = options.end;
+  if (end <= 0) {
+    for (const auto& s : report.slices) end = std::max(end, s.end);
+  }
+  if (end <= options.begin) return "(no execution in window)\n";
+  const Time begin = options.begin;
+  const double span = static_cast<double>(end - begin);
+  const int width = options.width;
+
+  auto col_of = [&](Time t) {
+    const double frac = static_cast<double>(t - begin) / span;
+    return std::clamp(static_cast<int>(frac * width), 0, width - 1);
+  };
+
+  // Row key: task id, optionally refined by CPU.
+  std::map<std::pair<TaskId, int>, std::string> rows;
+  for (const auto& t : tasks.tasks) {
+    if (!options.show_cpus)
+      rows[{t.id, 0}] = std::string(static_cast<std::size_t>(width), '.');
+  }
+  for (const auto& s : report.slices) {
+    if (s.end <= begin || s.begin >= end) continue;
+    const int cpu = options.show_cpus ? s.cpu : 0;
+    auto& row = rows[{s.task, cpu}];
+    if (row.empty())
+      row = std::string(static_cast<std::size_t>(width), '.');
+    const int c0 = col_of(std::max(s.begin, begin));
+    const int c1 = col_of(std::min(s.end, end));
+    for (int c = c0; c <= c1; ++c)
+      row[static_cast<std::size_t>(c)] = '#';
+  }
+
+  std::ostringstream os;
+  os << "time " << begin << " .. " << end << " ns  ('#' running)\n";
+  for (const auto& [key, row] : rows) {
+    os << 'T' << key.first;
+    if (options.show_cpus) os << "/cpu" << key.second;
+    os << "  |" << row << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace lfrt::sim

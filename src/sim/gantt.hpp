@@ -1,0 +1,27 @@
+// ASCII Gantt rendering of simulator execution slices.
+//
+// Turns SimReport::slices (record_slices = true) into a per-task
+// timeline, which makes preemption patterns — e.g. the mutual
+// preemption of Figure 6 or a priority-inversion pile-up — visible at a
+// glance in examples and failure reports.
+#pragma once
+
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace lfrt::sim {
+
+struct GanttOptions {
+  int width = 100;        ///< characters across the rendered window
+  Time begin = 0;         ///< window start
+  Time end = 0;           ///< window end; 0 = last slice end
+  bool show_cpus = false; ///< one row per (task, cpu) instead of task
+};
+
+/// Render the slices as rows of '#' (running) over '.' (not running),
+/// one row per task (or per task+cpu), with a time axis header.
+std::string render_gantt(const TaskSet& tasks, const SimReport& report,
+                         const GanttOptions& options = {});
+
+}  // namespace lfrt::sim

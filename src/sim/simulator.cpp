@@ -1,0 +1,781 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "uam/uam.hpp"
+
+namespace lfrt::sim {
+
+std::string to_string(ShareMode mode) {
+  switch (mode) {
+    case ShareMode::kLockBased:
+      return "lock-based";
+    case ShareMode::kLockFree:
+      return "lock-free";
+    case ShareMode::kIdeal:
+      return "ideal";
+  }
+  return "?";
+}
+
+std::int64_t SimReport::max_retries_of_task(const TaskSet& /*ts*/,
+                                            TaskId id) const {
+  std::int64_t best = 0;
+  for (const Job& j : jobs)
+    if (j.task == id) best = std::max(best, j.retries);
+  return best;
+}
+
+double SimReport::mean_sojourn_of_task(TaskId id) const {
+  double sum = 0.0;
+  std::int64_t n = 0;
+  for (const Job& j : jobs) {
+    if (j.task == id && j.state == JobState::kCompleted) {
+      sum += static_cast<double>(j.sojourn());
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+namespace {
+
+enum class MsKind : std::uint8_t {
+  kAccessStart,
+  kAccessEnd,
+  kSpanAcquire,  // nested: lock request at a span's acquire offset
+  kSpanRelease,  // nested: unlock request at a span's release offset
+  kCompletion,
+  kHandlerEnd,
+};
+
+enum class EvKind : std::uint8_t { kMilestone, kExpiry, kArrival };
+
+struct Event {
+  Time t = 0;
+  int prio = 0;  // milestone 0 < expiry 1 < arrival 2 at equal time
+  std::int64_t seq = 0;
+  EvKind kind = EvKind::kArrival;
+  JobId job = kNoJob;     // milestone/expiry target
+  TaskId task = -1;       // arrival target
+  std::int64_t epoch = 0; // milestone validity stamp
+  MsKind ms = MsKind::kCompletion;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.t != b.t) return a.t > b.t;
+    if (a.prio != b.prio) return a.prio > b.prio;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+struct Simulator::Impl {
+  TaskSet tasks;
+  const sched::Scheduler* scheduler;
+  SimConfig cfg;
+  std::unordered_map<TaskId, std::vector<Time>> arrival_traces;
+
+  // ---- runtime state ----
+  Time now = 0;
+  std::unordered_map<JobId, Job> jobs;
+  std::vector<JobId> alive;
+  std::vector<JobId> running_on;    // per CPU: job or kNoJob
+  std::vector<Time> run_start_on;   // per CPU: instant its job (re)starts
+  std::int64_t epoch = 0;
+  Time last_sync = 0;
+  Time cpu_free_at = 0;  // when pending scheduler overhead drains
+  // Per-object holder set (multi-unit resources: capacity comes from
+  // TaskSet::object_units; the DATE paper's single-unit model is the
+  // one-unit special case).
+  std::vector<std::vector<JobId>> holders;
+  std::vector<Time> last_obj_write;  // per-object last lock-free WRITE
+                                     // completion (conflict source)
+  JobId next_job_id = 0;
+  std::int64_t next_seq = 0;
+  bool ran = false;
+  Rng exec_rng{0};
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> q;
+  SimReport report;
+
+  Impl(TaskSet ts, const sched::Scheduler& sch, SimConfig c)
+      : tasks(std::move(ts)), scheduler(&sch), cfg(c) {
+    tasks.validate();
+    LFRT_CHECK_MSG(cfg.cpu_count >= 1, "need at least one CPU");
+    if (cfg.mode == ShareMode::kLockFree)
+      LFRT_CHECK_MSG(cfg.lockfree_access_time > 0,
+                     "lock-free access time must be positive");
+    for (const auto& t : tasks.tasks) {
+      if (t.nested())
+        LFRT_CHECK_MSG(cfg.mode == ShareMode::kLockBased,
+                       "nested critical sections require lock-based "
+                       "sharing (paper, Section 2)");
+    }
+    running_on.assign(static_cast<std::size_t>(cfg.cpu_count), kNoJob);
+    run_start_on.assign(static_cast<std::size_t>(cfg.cpu_count), 0);
+    holders.assign(static_cast<std::size_t>(tasks.object_count), {});
+    exec_rng = Rng(cfg.exec_seed);
+    last_obj_write.assign(static_cast<std::size_t>(tasks.object_count),
+                          -1);
+  }
+
+  const TaskParams& params_of(const Job& j) const {
+    return tasks.by_id(j.task);
+  }
+
+  /// A compute offset declared against the nominal u_i, rescaled to the
+  /// job's actual execution demand (context-dependent execution times).
+  Time scaled(const Job& j, Time nominal_offset) const {
+    const Time nominal = params_of(j).exec_time;
+    if (j.exec_actual == nominal) return nominal_offset;
+    return nominal_offset * j.exec_actual / nominal;
+  }
+
+  Time access_len() const {
+    switch (cfg.mode) {
+      case ShareMode::kLockBased:
+        return cfg.lock_access_time;
+      case ShareMode::kLockFree:
+        return cfg.lockfree_access_time;
+      case ShareMode::kIdeal:
+        return 0;
+    }
+    return 0;
+  }
+
+  void trace(const std::string& line) {
+    if (cfg.record_trace) {
+      std::ostringstream os;
+      os << "[" << now << "] " << line;
+      report.trace.push_back(os.str());
+    }
+  }
+
+  void record_slice(JobId id, TaskId task, int cpu, Time begin, Time end) {
+    auto& out = report.slices;
+    if (!out.empty() && out.back().job == id && out.back().cpu == cpu &&
+        out.back().end == begin) {
+      out.back().end = end;  // merge contiguous stretches
+      return;
+    }
+    out.push_back({id, task, cpu, begin, end});
+  }
+
+  int cpu_of(JobId id) const {
+    for (int c = 0; c < cfg.cpu_count; ++c)
+      if (running_on[static_cast<std::size_t>(c)] == id) return c;
+    return -1;
+  }
+
+  // ---- per-job execution geometry -----------------------------------
+
+  /// Remaining execution estimate: remaining compute plus remaining
+  /// access time at the mode's per-access cost (c_i = u_i + m_i * t_acc).
+  Time remaining_estimate(const Job& j) const {
+    const auto& p = params_of(j);
+    const Time t_acc = access_len();
+    // The scheduler is shown the task's *estimate*; a job whose actual
+    // demand overruns it simply looks (optimistically) nearly done.
+    Time rem = std::max<Time>(1, p.exec_time - j.compute_done);
+    if (p.nested()) {
+      rem += static_cast<std::int64_t>(p.spans.size() - j.next_span) *
+             t_acc;
+      if (j.in_access) rem += t_acc - j.access_progress;
+      return rem;
+    }
+    const auto pending =
+        static_cast<std::int64_t>(p.accesses.size() - j.next_access);
+    if (j.in_access) {
+      rem += (t_acc - j.access_progress) + (pending - 1) * t_acc;
+    } else {
+      rem += pending * t_acc;
+    }
+    return rem;
+  }
+
+  /// Next interesting point of the job if it runs uninterrupted from
+  /// now: {delta until it, what it is}.
+  std::pair<Time, MsKind> next_milestone(const Job& j) const {
+    const auto& p = params_of(j);
+    if (j.state == JobState::kAborting)
+      return {p.abort_handler_time - j.handler_done, MsKind::kHandlerEnd};
+    if (j.in_access)
+      return {access_len() - j.access_progress, MsKind::kAccessEnd};
+    if (p.nested()) {
+      // Next interesting compute offset: the innermost open span's
+      // release, the next span's acquire, or completion — release
+      // before acquire before completion at equal offsets (LIFO
+      // discipline; validation guarantees release <= u_i).
+      Time best = j.exec_actual;
+      MsKind kind = MsKind::kCompletion;
+      if (j.next_span < p.spans.size() &&
+          scaled(j, p.spans[j.next_span].acquire_offset) <= best) {
+        best = scaled(j, p.spans[j.next_span].acquire_offset);
+        kind = MsKind::kSpanAcquire;
+      }
+      if (!j.open_spans.empty() &&
+          scaled(j, p.spans[j.open_spans.back()].release_offset) <= best) {
+        best = scaled(j, p.spans[j.open_spans.back()].release_offset);
+        kind = MsKind::kSpanRelease;
+      }
+      return {std::max<Time>(0, best - j.compute_done), kind};
+    }
+    if (j.next_access < p.accesses.size()) {
+      const Time off = scaled(j, p.accesses[j.next_access].offset);
+      if (j.compute_done >= off) return {0, MsKind::kAccessStart};
+      return {off - j.compute_done, MsKind::kAccessStart};
+    }
+    return {j.exec_actual - j.compute_done, MsKind::kCompletion};
+  }
+
+  /// Apply CPU progress of every running job up to instant t.
+  void sync_progress(Time t) {
+    for (int c = 0; c < cfg.cpu_count; ++c) {
+      const JobId id = running_on[static_cast<std::size_t>(c)];
+      if (id == kNoJob) continue;
+      Job& j = jobs.at(id);
+      const Time from =
+          std::max(run_start_on[static_cast<std::size_t>(c)], last_sync);
+      if (t <= from) continue;
+      const Time delta = t - from;
+      if (cfg.record_slices) record_slice(id, j.task, c, from, t);
+      if (j.state == JobState::kAborting) {
+        j.handler_done += delta;
+        LFRT_CHECK(j.handler_done <= params_of(j).abort_handler_time);
+      } else if (j.in_access) {
+        j.access_progress += delta;
+        LFRT_CHECK(j.access_progress <= access_len());
+      } else {
+        j.compute_done += delta;
+        LFRT_CHECK(j.compute_done <= j.exec_actual);
+      }
+    }
+    last_sync = std::max(last_sync, t);
+  }
+
+  // ---- dispatching ----------------------------------------------------
+
+  /// Invalidate all pending milestones and re-post one per running job.
+  void repost_milestones() {
+    ++epoch;
+    for (int c = 0; c < cfg.cpu_count; ++c) {
+      const JobId id = running_on[static_cast<std::size_t>(c)];
+      if (id == kNoJob) continue;
+      const Job& j = jobs.at(id);
+      const Time base =
+          std::max(now, run_start_on[static_cast<std::size_t>(c)]);
+      const auto [delta, kind] = next_milestone(j);
+      q.push(Event{base + delta, 0, next_seq++, EvKind::kMilestone, id, -1,
+                   epoch, kind});
+    }
+  }
+
+  /// Keep the CPUs as they are but recompute the current job milestones
+  /// (used after in-place state changes that are not scheduling events,
+  /// e.g. lock-free access boundaries).
+  void continue_running() { repost_milestones(); }
+
+  /// Full scheduler invocation + dispatch.  Called at every scheduling
+  /// event: arrivals, departures (completion/abort), and — lock-based
+  /// only — lock and unlock requests.
+  void reschedule() {
+    std::vector<sched::SchedJob> view;
+    view.reserve(alive.size());
+    std::vector<JobId> aborting;
+    for (JobId id : alive) {
+      const Job& j = jobs.at(id);
+      if (j.state == JobState::kAborting) {
+        // Abort handlers execute immediately at the highest eligibility
+        // (Section 3.5); they are not the scheduler's to order.
+        aborting.push_back(id);
+        continue;
+      }
+      sched::SchedJob sj;
+      sj.id = j.id;
+      sj.arrival = j.arrival;
+      sj.critical = j.critical_abs;
+      sj.remaining = remaining_estimate(j);
+      sj.tuf = params_of(j).tuf.get();
+      sj.waits_on = j.state == JobState::kBlocked ? j.waits_on : kNoJob;
+      view.push_back(sj);
+    }
+
+    const sched::ScheduleResult res = scheduler->build(view, now);
+    ++report.sched_invocations;
+    report.sched_ops += res.ops;
+    const Time overhead = static_cast<Time>(
+        std::llround(static_cast<double>(res.ops) * cfg.sched_ns_per_op));
+    report.sched_overhead += overhead;
+
+    // Deadlock resolution (nested sections): the scheduler's cycle
+    // victims receive an abort-exception right away (Section 3.3).
+    bool resolved_any = false;
+    for (JobId victim : res.deadlock_victims) {
+      auto it = jobs.find(victim);
+      if (it == jobs.end() || it->second.finished() ||
+          it->second.state == JobState::kAborting)
+        continue;
+      trace("deadlock victim job=" + std::to_string(victim));
+      ++report.deadlocks_resolved;
+      raise_abort(it->second);
+      resolved_any = true;
+    }
+    if (resolved_any) {
+      // Immediate aborts released locks and woke waiters; rebuild the
+      // schedule against the post-resolution state (both invocations
+      // genuinely ran and are charged).  Recursion is bounded: a job is
+      // a victim at most once.
+      reschedule();
+      return;
+    }
+
+    // Select up to cpu_count jobs: abort handlers first, then the
+    // scheduler's own dispatch choice (which may differ from the first
+    // runnable schedule entry — e.g. EDF+PIP dispatches a lock *holder*
+    // on behalf of the blocked head), then the schedule's runnable jobs
+    // in order.
+    std::vector<JobId> targets;
+    for (JobId id : aborting) {
+      if (static_cast<int>(targets.size()) >= cfg.cpu_count) break;
+      targets.push_back(id);
+    }
+    if (res.dispatch != kNoJob &&
+        static_cast<int>(targets.size()) < cfg.cpu_count) {
+      const auto it = jobs.find(res.dispatch);
+      if (it != jobs.end() && (it->second.state == JobState::kReady ||
+                               it->second.state == JobState::kRunning))
+        targets.push_back(res.dispatch);
+    }
+    for (JobId id : res.schedule) {
+      if (static_cast<int>(targets.size()) >= cfg.cpu_count) break;
+      const auto it = jobs.find(id);
+      if (it == jobs.end()) continue;
+      const Job& j = it->second;
+      if (j.state != JobState::kReady && j.state != JobState::kRunning)
+        continue;
+      if (std::find(targets.begin(), targets.end(), id) != targets.end())
+        continue;
+      targets.push_back(id);
+    }
+
+    dispatch(targets, overhead);
+  }
+
+  void dispatch(const std::vector<JobId>& targets, Time overhead) {
+    // Sticky assignment: keep selected jobs on their current CPUs, fill
+    // newcomers into the freed ones.
+    std::vector<JobId> next(static_cast<std::size_t>(cfg.cpu_count),
+                            kNoJob);
+    std::vector<JobId> newcomers;
+    for (JobId id : targets) {
+      const int c = cpu_of(id);
+      if (c >= 0)
+        next[static_cast<std::size_t>(c)] = id;
+      else
+        newcomers.push_back(id);
+    }
+    std::size_t fill = 0;
+    for (JobId id : newcomers) {
+      while (fill < next.size() && next[fill] != kNoJob) ++fill;
+      LFRT_CHECK(fill < next.size());
+      next[fill] = id;
+    }
+
+    cpu_free_at = std::max(cpu_free_at, now) + overhead;
+
+    for (int c = 0; c < cfg.cpu_count; ++c) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      const JobId prev = running_on[ci];
+      const JobId target = next[ci];
+      if (prev == target) continue;  // sticky: run_start unchanged
+      if (prev != kNoJob) {
+        auto it = jobs.find(prev);
+        if (it != jobs.end() && !it->second.finished() &&
+            it->second.state != JobState::kBlocked) {
+          Job& pj = it->second;
+          if (pj.state == JobState::kRunning) pj.state = JobState::kReady;
+          ++pj.preemptions;
+          ++report.total_preemptions;
+        }
+      }
+      running_on[ci] = target;
+      if (target != kNoJob) {
+        Job& j = jobs.at(target);
+        if (j.state != JobState::kAborting) j.state = JobState::kRunning;
+        run_start_on[ci] = cpu_free_at;
+      }
+    }
+    repost_milestones();
+  }
+
+  // ---- event handlers -------------------------------------------------
+
+  void handle_arrival(TaskId task_id) {
+    const TaskParams& p = tasks.by_id(task_id);
+    Job j;
+    j.id = next_job_id++;
+    j.task = task_id;
+    j.arrival = now;
+    j.critical_abs = now + p.critical_time();
+    j.state = JobState::kReady;
+    j.exec_actual = p.exec_time;
+    if (p.exec_variation > 0.0) {
+      const double f = 1.0 + exec_rng.uniform_real(-p.exec_variation,
+                                                   p.exec_variation);
+      j.exec_actual = std::max<Time>(
+          1, static_cast<Time>(static_cast<double>(p.exec_time) * f));
+    }
+    trace("arrival task=" + std::to_string(task_id) +
+          " job=" + std::to_string(j.id));
+    q.push(Event{j.critical_abs, 1, next_seq++, EvKind::kExpiry, j.id, -1,
+                 0, MsKind::kCompletion});
+    alive.push_back(j.id);
+    jobs.emplace(j.id, j);
+    reschedule();
+  }
+
+  /// Wake every job blocked on this object (a unit just freed); they
+  /// remain parked at their access boundary and re-request when
+  /// dispatched (if another waiter grabs the unit first, they re-block).
+  void wake_waiters_on(ObjectId obj) {
+    for (JobId id : alive) {
+      Job& w = jobs.at(id);
+      if (w.state == JobState::kBlocked && w.access_object == obj) {
+        w.waits_on = kNoJob;
+        w.state = JobState::kReady;
+      }
+    }
+  }
+
+  void release_object(Job& j, ObjectId obj) {
+    auto& hs = holders[static_cast<std::size_t>(obj)];
+    const auto it = std::find(hs.begin(), hs.end(), j.id);
+    LFRT_CHECK_MSG(it != hs.end(), "release by a non-holder");
+    hs.erase(it);
+    wake_waiters_on(obj);
+  }
+
+  /// Flat-mode release of the single held lock.
+  void release_lock(Job& j) {
+    if (j.held_object == kNoObject) return;
+    const ObjectId obj = j.held_object;
+    j.held_object = kNoObject;
+    release_object(j, obj);
+  }
+
+  /// Rollback: release everything the job holds (abort path; the
+  /// exception handler restores object consistency — Section 3.5).
+  void release_all_locks(Job& j) {
+    release_lock(j);
+    while (!j.held_stack.empty()) {
+      const ObjectId obj = j.held_stack.back();
+      j.held_stack.pop_back();
+      release_object(j, obj);
+    }
+    j.open_spans.clear();
+  }
+
+  void retire(JobId id) {
+    alive.erase(std::remove(alive.begin(), alive.end(), id), alive.end());
+    const int c = cpu_of(id);
+    if (c >= 0) running_on[static_cast<std::size_t>(c)] = kNoJob;
+  }
+
+  /// Raise an abort-exception on a job (critical-time expiry or
+  /// deadlock resolution).  Does not invoke the scheduler; callers do.
+  void raise_abort(Job& j) {
+    trace("abort-exception job=" + std::to_string(j.id));
+    const TaskParams& p = params_of(j);
+    // The abandoned access (if any) is rolled back by the handler.
+    j.in_access = false;
+    j.access_progress = 0;
+    j.waits_on = kNoJob;
+    if (p.abort_handler_time <= 0) {
+      release_all_locks(j);
+      j.state = JobState::kAborted;
+      retire(j.id);
+    } else {
+      j.state = JobState::kAborting;
+      j.handler_done = 0;
+      // It re-enters the CPU via the abort-priority dispatch path.
+      const int c = cpu_of(j.id);
+      if (c >= 0) running_on[static_cast<std::size_t>(c)] = kNoJob;
+    }
+  }
+
+  void handle_expiry(JobId id) {
+    auto it = jobs.find(id);
+    if (it == jobs.end()) return;
+    Job& j = it->second;
+    if (j.finished() || j.state == JobState::kAborting) return;
+    raise_abort(j);
+    reschedule();
+  }
+
+  void handle_milestone(const Event& e) {
+    if (e.epoch != epoch || cpu_of(e.job) < 0) return;  // stale
+    Job& j = jobs.at(e.job);
+    const TaskParams& p = params_of(j);
+
+    switch (e.ms) {
+      case MsKind::kAccessStart: {
+        LFRT_CHECK(j.next_access < p.accesses.size());
+        const ObjectId obj = p.accesses[j.next_access].object;
+        if (cfg.mode == ShareMode::kIdeal) {
+          // Zero-cost access: consume every access due at this offset.
+          while (j.next_access < p.accesses.size() &&
+                 p.accesses[j.next_access].offset <= j.compute_done)
+            ++j.next_access;
+          continue_running();
+          return;
+        }
+        if (cfg.mode == ShareMode::kLockFree) {
+          j.in_access = true;
+          j.access_progress = 0;
+          j.access_object = obj;
+          j.access_attempt_start = now;
+          continue_running();  // not a scheduling event
+          return;
+        }
+        // Lock-based: a lock request — a scheduling event either way.
+        auto& hs = holders[static_cast<std::size_t>(obj)];
+        if (static_cast<std::int32_t>(hs.size()) < tasks.units_of(obj)) {
+          hs.push_back(j.id);
+          j.held_object = obj;
+          j.in_access = true;
+          j.access_progress = 0;
+          j.access_object = obj;
+          trace("lock acquired job=" + std::to_string(j.id) +
+                " obj=" + std::to_string(obj));
+        } else {
+          // Block on the earliest holder: the dependency chain's target.
+          j.state = JobState::kBlocked;
+          j.waits_on = hs.front();
+          j.access_object = obj;
+          ++j.blockings;
+          ++report.total_blockings;
+          const int c = cpu_of(j.id);
+          running_on[static_cast<std::size_t>(c)] = kNoJob;
+          trace("blocked job=" + std::to_string(j.id) + " on=" +
+                std::to_string(hs.front()) + " obj=" +
+                std::to_string(obj));
+        }
+        reschedule();
+        return;
+      }
+
+      case MsKind::kAccessEnd: {
+        LFRT_CHECK(j.in_access);
+        LFRT_CHECK(j.access_progress == access_len());
+        if (cfg.mode == ShareMode::kLockFree) {
+          // The CAS executes here, at the end of the attempt: it fails
+          // iff another job completed a WRITE to the same object since
+          // this attempt's read (its window start) — reads never
+          // invalidate anyone.  On one CPU the interfering writer must
+          // have preempted this job mid-access — the Section-4 retry
+          // model; on many CPUs true concurrency triggers it too.
+          const auto oi = static_cast<std::size_t>(j.access_object);
+          if (last_obj_write[oi] > j.access_attempt_start) {
+            ++j.retries;
+            ++report.total_retries;
+            j.access_progress = 0;
+            j.access_attempt_start = now;
+            trace("retry job=" + std::to_string(j.id) +
+                  " obj=" + std::to_string(j.access_object));
+            continue_running();
+            return;
+          }
+          if (p.accesses[j.next_access].write) last_obj_write[oi] = now;
+          j.in_access = false;
+          j.access_progress = 0;
+          j.access_object = kNoObject;
+          ++j.next_access;
+          continue_running();
+          return;
+        }
+        j.in_access = false;
+        j.access_progress = 0;
+        j.access_object = kNoObject;
+        if (p.nested()) {
+          // The object work is done but the lock stays held until the
+          // span's release offset — not a scheduling event.
+          continue_running();
+          return;
+        }
+        ++j.next_access;
+        release_lock(j);  // unlock request — a scheduling event
+        trace("lock released job=" + std::to_string(j.id));
+        reschedule();
+        return;
+      }
+
+      case MsKind::kSpanAcquire: {
+        LFRT_CHECK(j.next_span < p.spans.size());
+        LFRT_CHECK(j.compute_done ==
+                   scaled(j, p.spans[j.next_span].acquire_offset));
+        const ObjectId obj = p.spans[j.next_span].object;
+        auto& hs = holders[static_cast<std::size_t>(obj)];
+        if (static_cast<std::int32_t>(hs.size()) < tasks.units_of(obj)) {
+          hs.push_back(j.id);
+          j.held_stack.push_back(obj);
+          j.open_spans.push_back(j.next_span);
+          ++j.next_span;
+          j.in_access = true;
+          j.access_progress = 0;
+          j.access_object = obj;
+          trace("span acquired job=" + std::to_string(j.id) +
+                " obj=" + std::to_string(obj) + " depth=" +
+                std::to_string(j.held_stack.size()));
+        } else {
+          j.state = JobState::kBlocked;
+          j.waits_on = hs.front();
+          j.access_object = obj;
+          ++j.blockings;
+          ++report.total_blockings;
+          const int c = cpu_of(j.id);
+          running_on[static_cast<std::size_t>(c)] = kNoJob;
+          trace("blocked job=" + std::to_string(j.id) + " on=" +
+                std::to_string(hs.front()) + " obj=" +
+                std::to_string(obj));
+        }
+        reschedule();  // lock request — a scheduling event either way
+        return;
+      }
+
+      case MsKind::kSpanRelease: {
+        LFRT_CHECK(!j.open_spans.empty());
+        const std::size_t span = j.open_spans.back();
+        LFRT_CHECK(j.compute_done == scaled(j, p.spans[span].release_offset));
+        const ObjectId obj = p.spans[span].object;
+        LFRT_CHECK(!j.held_stack.empty() && j.held_stack.back() == obj);
+        j.open_spans.pop_back();
+        j.held_stack.pop_back();
+        release_object(j, obj);
+        trace("span released job=" + std::to_string(j.id) +
+              " obj=" + std::to_string(obj));
+        reschedule();  // unlock request — a scheduling event
+        return;
+      }
+
+      case MsKind::kCompletion: {
+        LFRT_CHECK(j.compute_done == j.exec_actual);
+        LFRT_CHECK(j.next_access == p.accesses.size());
+        LFRT_CHECK(j.next_span == p.spans.size());
+        LFRT_CHECK(j.held_object == kNoObject);
+        LFRT_CHECK(j.held_stack.empty() && j.open_spans.empty());
+        j.state = JobState::kCompleted;
+        j.completion = now;
+        trace("completion job=" + std::to_string(j.id));
+        retire(j.id);
+        reschedule();  // a departure — a scheduling event
+        return;
+      }
+
+      case MsKind::kHandlerEnd: {
+        LFRT_CHECK(j.handler_done == p.abort_handler_time);
+        release_all_locks(j);
+        j.state = JobState::kAborted;
+        trace("aborted job=" + std::to_string(j.id));
+        retire(j.id);
+        reschedule();
+        return;
+      }
+    }
+  }
+
+  // ---- top level ------------------------------------------------------
+
+  void seed_arrivals(std::uint64_t seed) {
+    for (const auto& t : tasks.tasks) {
+      if (arrival_traces.count(t.id)) continue;
+      Rng rng(seed ^ (0x9E3779B97F4A7C15ULL *
+                      static_cast<std::uint64_t>(t.id + 1)));
+      arrival_traces[t.id] =
+          arrivals::random_conformant(t.arrival, cfg.horizon, rng);
+    }
+  }
+
+  SimReport run() {
+    LFRT_CHECK_MSG(!ran, "Simulator::run is single-shot");
+    ran = true;
+    seed_arrivals(1);  // default traces for tasks without explicit ones
+
+    for (const auto& [task_id, times] : arrival_traces) {
+      LFRT_CHECK_MSG(uam_conforms_max(tasks.by_id(task_id).arrival, times),
+                     "arrival trace violates the task's UAM contract");
+      for (Time t : times)
+        q.push(Event{t, 2, next_seq++, EvKind::kArrival, kNoJob, task_id,
+                     0, MsKind::kCompletion});
+    }
+
+    while (!q.empty()) {
+      const Event e = q.top();
+      q.pop();
+      if (e.t > cfg.horizon) break;
+      sync_progress(e.t);
+      now = e.t;
+      switch (e.kind) {
+        case EvKind::kArrival:
+          handle_arrival(e.task);
+          break;
+        case EvKind::kExpiry:
+          handle_expiry(e.job);
+          break;
+        case EvKind::kMilestone:
+          handle_milestone(e);
+          break;
+      }
+    }
+
+    finalize();
+    return std::move(report);
+  }
+
+  void finalize() {
+    for (auto& [id, j] : jobs) {
+      const TaskParams& p = params_of(j);
+      if (j.critical_abs <= cfg.horizon) {
+        ++report.counted_jobs;
+        report.max_possible_utility += p.tuf->utility(0);
+        if (j.state == JobState::kCompleted) {
+          ++report.completed;
+          report.accrued_utility += p.tuf->utility(j.sojourn());
+        } else {
+          ++report.aborted;
+        }
+      }
+      report.jobs.push_back(j);
+    }
+    std::sort(report.jobs.begin(), report.jobs.end(),
+              [](const Job& a, const Job& b) { return a.id < b.id; });
+  }
+};
+
+Simulator::Simulator(TaskSet tasks, const sched::Scheduler& scheduler,
+                     SimConfig config)
+    : impl_(std::make_unique<Impl>(std::move(tasks), scheduler, config)) {}
+
+Simulator::~Simulator() = default;
+Simulator::Simulator(Simulator&&) noexcept = default;
+Simulator& Simulator::operator=(Simulator&&) noexcept = default;
+
+void Simulator::set_arrivals(TaskId task, std::vector<Time> arrivals) {
+  LFRT_CHECK(std::is_sorted(arrivals.begin(), arrivals.end()));
+  impl_->arrival_traces[task] = std::move(arrivals);
+}
+
+void Simulator::seed_arrivals(std::uint64_t seed) {
+  impl_->seed_arrivals(seed);
+}
+
+SimReport Simulator::run() { return impl_->run(); }
+
+}  // namespace lfrt::sim

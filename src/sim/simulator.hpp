@@ -1,0 +1,180 @@
+// Discrete-event uniprocessor RTOS simulator.
+//
+// Substitutes for the paper's QNX Neutrino / meta-scheduler testbed
+// (DESIGN.md, Section 2).  The simulator executes the *real* scheduler
+// implementation (sched::RuaScheduler / sched::EdfScheduler) at every
+// scheduling event, models job execution as compute segments with
+// embedded shared-object accesses, and reproduces the paper's sharing
+// semantics exactly:
+//
+//   * lock-based — an access is a critical section of length r.  A
+//     request on a held object blocks the requester (waits_on is set;
+//     RUA's dependency machinery engages).  Lock and unlock requests are
+//     scheduling events.  Preemption inside a critical section keeps the
+//     lock held (the priority-inversion source).
+//
+//     Tasks may instead declare *nested* critical sections (LockSpan):
+//     the lock is requested at an acquire offset, the access costs r,
+//     and the lock is held while computing to a release offset, with
+//     stack (LIFO) discipline.  Nesting makes deadlock possible; pair
+//     the simulator with RuaScheduler(kLockBased, detect_deadlocks=true)
+//     and the scheduler's cycle victims are aborted through the normal
+//     abort-exception path (paper, Section 3.3).  Under a non-detecting
+//     scheduler (EDF/LLF) a deadlock simply pins the cycle's jobs until
+//     their critical times expire — the behaviour a real system without
+//     detection would exhibit.
+//
+//   * lock-free — an access is a segment of length s.  If the job is
+//     preempted mid-access (another job ran), the access restarts when
+//     the job resumes; restarts are counted as retries (f_i) and are
+//     validated against Theorem 2.  Accesses are NOT scheduling events —
+//     only arrivals and departures invoke the scheduler (Section 4.1).
+//
+//   * ideal — accesses take zero time (the "ideal RUA" yardstick of
+//     Section 6.1 used to define CML).
+//
+// Scheduler overhead: each invocation's counted elementary operations
+// are charged to the CPU at `sched_ns_per_op`, so the O(n^2 log n) vs
+// O(n^2) gap manifests in the CML experiment exactly as in Figure 9.
+//
+// Abort model (Section 3.5): when a job's critical time expires before
+// completion, an abort-exception fires; the job's handler executes
+// immediately (at the highest eligibility), rolls back (releases) any
+// held lock on completion, and the job accrues zero utility.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "support/rng.hpp"
+#include "task/task.hpp"
+
+namespace lfrt::sim {
+
+/// Object-sharing regime simulated.
+enum class ShareMode {
+  kLockBased,
+  kLockFree,
+  kIdeal,
+};
+
+std::string to_string(ShareMode mode);
+
+struct SimConfig {
+  ShareMode mode = ShareMode::kLockFree;
+  Time lock_access_time = usec(10);    ///< r — lock-based access time
+  Time lockfree_access_time = usec(1); ///< s — lock-free access time
+  double sched_ns_per_op = 0.0;        ///< overhead per counted op
+  Time horizon = msec(1000);           ///< simulation end
+  bool record_trace = false;           ///< collect a human-readable trace
+  bool record_slices = false;          ///< collect execution slices
+                                       ///< (SimReport::slices, Gantt input)
+
+  /// Seed for per-job actual-execution draws (TaskParams::
+  /// exec_variation); runs are reproducible for a fixed seed.
+  std::uint64_t exec_seed = 77;
+
+  /// Number of processors.  1 reproduces the paper's model.  With M > 1
+  /// the same scheduler runs globally and the first M runnable jobs of
+  /// its schedule occupy the CPUs (global RUA/EDF/LLF — the paper's
+  /// "multiprocessor systems" future-work direction).  Lock-free
+  /// conflicts then arise from true concurrency as well as preemption:
+  /// an access attempt fails (and retries) iff another job completed an
+  /// access to the same object during the attempt window — the CAS
+  /// loses — which on one CPU degenerates to the preemption-induced
+  /// retry model of Section 4.
+  int cpu_count = 1;
+};
+
+/// Aggregate results of one run.
+struct SimReport {
+  // Only jobs whose critical time falls within the horizon are counted —
+  // every such job reaches a terminal state (completed or aborted).
+  std::int64_t counted_jobs = 0;
+  std::int64_t completed = 0;  ///< completed at or before critical time
+  std::int64_t aborted = 0;    ///< critical time expired first
+
+  double accrued_utility = 0.0;
+  double max_possible_utility = 0.0;  ///< sum of U_i(0) over counted jobs
+
+  /// Accrued utility ratio (paper, Section 5): accrued / max possible.
+  double aur() const {
+    return max_possible_utility > 0 ? accrued_utility / max_possible_utility
+                                    : 0.0;
+  }
+  /// Critical-time-meet ratio (Section 6.2).
+  double cmr() const {
+    return counted_jobs > 0
+               ? static_cast<double>(completed) /
+                     static_cast<double>(counted_jobs)
+               : 0.0;
+  }
+
+  std::int64_t sched_invocations = 0;
+  std::int64_t sched_ops = 0;
+  Time sched_overhead = 0;  ///< total CPU time charged to the scheduler
+
+  std::int64_t total_retries = 0;    ///< lock-free access restarts
+  std::int64_t total_blockings = 0;  ///< lock-based blocking episodes
+  std::int64_t total_preemptions = 0;
+  std::int64_t deadlocks_resolved = 0;  ///< cycle victims aborted (nested)
+
+  /// Per-job terminal records (arrival, sojourn, retries, ...).
+  std::vector<Job> jobs;
+
+  /// Optional event trace (record_trace).
+  std::vector<std::string> trace;
+
+  /// One contiguous stretch of CPU time given to a job
+  /// (record_slices).  Adjacent stretches of the same job on the same
+  /// CPU are merged.  Ordered by start time.
+  struct ExecSlice {
+    JobId job = kNoJob;
+    TaskId task = -1;
+    int cpu = 0;
+    Time begin = 0;
+    Time end = 0;
+  };
+  std::vector<ExecSlice> slices;
+
+  /// Maximum retries by any single counted job of the given task —
+  /// compared against analysis::retry_bound in tests/benches.
+  std::int64_t max_retries_of_task(const TaskSet& ts, TaskId id) const;
+
+  /// Mean sojourn time of completed jobs of the given task.
+  double mean_sojourn_of_task(TaskId id) const;
+};
+
+/// One simulation instance: a task set, a scheduler, arrival traces.
+class Simulator {
+ public:
+  Simulator(TaskSet tasks, const sched::Scheduler& scheduler,
+            SimConfig config);
+
+  /// Override the arrival trace of one task (default: random UAM-
+  /// conformant arrivals from `seed_arrivals`).
+  void set_arrivals(TaskId task, std::vector<Time> arrivals);
+
+  /// Generate random UAM-conformant arrival traces for every task that
+  /// has no explicit trace yet.
+  void seed_arrivals(std::uint64_t seed);
+
+  /// Run to the horizon and produce the report.  Single-shot: construct
+  /// a new Simulator for another run.
+  SimReport run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+
+ public:
+  ~Simulator();
+  Simulator(Simulator&&) noexcept;
+  Simulator& operator=(Simulator&&) noexcept;
+};
+
+}  // namespace lfrt::sim

@@ -1,0 +1,44 @@
+#include "sim/trace_export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace lfrt::sim {
+
+std::string to_chrome_trace(const TaskSet& tasks, const SimReport& report) {
+  std::ostringstream os;
+  os << "[\n";
+  bool first = true;
+
+  // Thread-name metadata: one row per task.
+  for (const auto& t : tasks.tasks) {
+    if (!first) os << ",\n";
+    first = false;
+    os << R"({"name":"thread_name","ph":"M","pid":1,"tid":)" << t.id
+       << R"(,"args":{"name":"T)" << t.id << " (" << t.tuf->describe()
+       << R"x( TUF)"}})x";
+  }
+
+  for (const auto& s : report.slices) {
+    if (!first) os << ",\n";
+    first = false;
+    // Complete event: ts/dur are in microseconds by convention.
+    os << R"({"name":"job )" << s.job << R"(","cat":"cpu)" << s.cpu
+       << R"(","ph":"X","pid":1,"tid":)" << s.task << R"(,"ts":)"
+       << static_cast<double>(s.begin) / 1e3 << R"(,"dur":)"
+       << static_cast<double>(s.end - s.begin) / 1e3
+       << R"(,"args":{"cpu":)" << s.cpu << "}}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+bool write_chrome_trace(const TaskSet& tasks, const SimReport& report,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_chrome_trace(tasks, report);
+  return static_cast<bool>(out);
+}
+
+}  // namespace lfrt::sim

@@ -1,0 +1,25 @@
+// Chrome-tracing export of simulator execution slices.
+//
+// Writes SimReport::slices as a Chrome trace-event JSON array
+// (chrome://tracing / Perfetto "JSON array format"): one complete
+// event ("ph":"X") per slice, CPUs as track ids, tasks as thread rows.
+// Gives point-and-zoom inspection of preemption patterns, blocking
+// pile-ups, and multiprocessor interleavings.
+#pragma once
+
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace lfrt::sim {
+
+/// Serialize the report's slices as Chrome trace-event JSON.
+/// Timestamps are microseconds (the format's native unit).
+std::string to_chrome_trace(const TaskSet& tasks, const SimReport& report);
+
+/// Convenience: serialize and write to a file; returns false on I/O
+/// failure.
+bool write_chrome_trace(const TaskSet& tasks, const SimReport& report,
+                        const std::string& path);
+
+}  // namespace lfrt::sim

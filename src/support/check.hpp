@@ -1,0 +1,44 @@
+// Invariant checking.
+//
+// LFRT_CHECK is an always-on invariant assertion (experiments are only
+// meaningful if the model invariants hold, so these are not compiled out
+// in release builds).  Violations throw, which gtest death/throw tests
+// can observe and which aborts a bench loudly instead of producing a
+// silently wrong table.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lfrt {
+
+/// Thrown when an internal invariant is violated.
+class InvariantViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace lfrt
+
+#define LFRT_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::lfrt::detail::check_failed(#expr, __FILE__, __LINE__, {});    \
+  } while (false)
+
+#define LFRT_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::lfrt::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,95 @@
+// Deterministic pseudo-random number generation for reproducible
+// experiments.
+//
+// Every benchmark prints the seed it used; re-running with the same seed
+// regenerates the same workload, arrival trace, and therefore the same
+// table row.  xoshiro256** is used as the core generator (fast, good
+// statistical quality, trivially seedable from a single 64-bit value via
+// SplitMix64).
+#pragma once
+
+#include <cstdint>
+
+namespace lfrt {
+
+/// SplitMix64 — used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — the experiment-facing generator.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can also feed
+/// <random> distributions where convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  constexpr result_type operator()() { return next(); }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  constexpr std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Lemire-style rejection-free multiply-shift is overkill here; simple
+    // modulo bias is < 2^-40 for the spans used in experiments, but use
+    // rejection sampling anyway to keep property tests exact.
+    if (span == 0) return lo + static_cast<std::int64_t>(next());
+    const std::uint64_t limit = (~0ULL) - (~0ULL) % span;
+    std::uint64_t v = next();
+    while (v >= limit) v = next();
+    return lo + static_cast<std::int64_t>(v % span);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  constexpr bool chance(double p) { return uniform01() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace lfrt

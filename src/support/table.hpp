@@ -1,0 +1,75 @@
+// Console/CSV table writer used by the benchmark harness.
+//
+// Each bench binary regenerates one figure of the paper and prints both a
+// human-readable aligned table and (optionally) a CSV block that plotting
+// scripts can consume directly.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lfrt {
+
+/// Row-oriented table with fixed column headers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Append a row; the number of cells must equal the number of headers.
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Format a double with fixed precision (helper for cell construction).
+  static std::string num(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  /// Print as an aligned ASCII table.
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+           << cells[c];
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    std::string rule;
+    for (auto w : widths) rule += std::string(w, '-') + "  ";
+    os << rule << '\n';
+    for (const auto& row : rows_) emit(row);
+  }
+
+  /// Print as CSV (headers + rows).
+  void print_csv(std::ostream& os = std::cout) const {
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c) os << ',';
+        os << cells[c];
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lfrt

@@ -1,0 +1,43 @@
+// Simulation time base for the lfrt library.
+//
+// All simulator state advances in integer nanoseconds.  A single signed
+// 64-bit tick type is used for both points and durations; the helpers
+// below construct values from human-scale units.  2^63 ns is ~292 years,
+// far beyond any experiment horizon, so overflow is not a practical
+// concern and the type stays trivially copyable and cheap to pass.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lfrt {
+
+/// Simulation time in nanoseconds (point or duration by context).
+using Time = std::int64_t;
+
+/// Sentinel for "no deadline / never".
+inline constexpr Time kTimeNever = std::numeric_limits<Time>::max();
+
+constexpr Time nsec(std::int64_t v) { return v; }
+constexpr Time usec(std::int64_t v) { return v * 1'000; }
+constexpr Time msec(std::int64_t v) { return v * 1'000'000; }
+constexpr Time sec(std::int64_t v) { return v * 1'000'000'000; }
+
+/// Convert a tick count to floating-point microseconds (for reporting).
+constexpr double to_usec(Time t) { return static_cast<double>(t) / 1e3; }
+
+/// Convert a tick count to floating-point milliseconds (for reporting).
+constexpr double to_msec(Time t) { return static_cast<double>(t) / 1e6; }
+
+/// Convert a tick count to floating-point seconds (for reporting).
+constexpr double to_sec(Time t) { return static_cast<double>(t) / 1e9; }
+
+/// Ceiling division for non-negative operands: ceil(num / den).
+///
+/// Used throughout the UAM arithmetic, e.g. the ceil(C_i / W_j) term of
+/// the Theorem-2 retry bound.
+constexpr std::int64_t ceil_div(std::int64_t num, std::int64_t den) {
+  return (num + den - 1) / den;
+}
+
+}  // namespace lfrt

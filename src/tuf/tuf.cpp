@@ -1,0 +1,207 @@
+#include "tuf/tuf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace lfrt {
+namespace {
+
+/// Common base handling the critical-time clamp all shapes share.
+class BasicTuf : public Tuf {
+ public:
+  BasicTuf(double height, Time critical) : height_(height), critical_(critical) {
+    LFRT_CHECK_MSG(height > 0.0, "TUF height must be positive");
+    LFRT_CHECK_MSG(critical > 0, "TUF critical time must be positive");
+  }
+
+  double utility(Time t) const final {
+    if (t < 0) t = 0;
+    if (t > critical_) return 0.0;
+    return shape(t);
+  }
+
+  Time critical_time() const final { return critical_; }
+
+ protected:
+  /// Shape on [0, C]; callers guarantee 0 <= t <= C.
+  virtual double shape(Time t) const = 0;
+
+  double height_;
+  Time critical_;
+};
+
+class StepTuf final : public BasicTuf {
+ public:
+  using BasicTuf::BasicTuf;
+  double max_utility() const override { return height_; }
+  bool non_increasing() const override { return true; }
+  std::string describe() const override { return "step"; }
+  std::unique_ptr<Tuf> clone() const override {
+    return std::make_unique<StepTuf>(*this);
+  }
+
+ protected:
+  double shape(Time) const override { return height_; }
+};
+
+class LinearTuf final : public BasicTuf {
+ public:
+  using BasicTuf::BasicTuf;
+  double max_utility() const override { return height_; }
+  bool non_increasing() const override { return true; }
+  std::string describe() const override { return "linear"; }
+  std::unique_ptr<Tuf> clone() const override {
+    return std::make_unique<LinearTuf>(*this);
+  }
+
+ protected:
+  double shape(Time t) const override {
+    return height_ * (1.0 - static_cast<double>(t) / static_cast<double>(critical_));
+  }
+};
+
+class ParabolicTuf final : public BasicTuf {
+ public:
+  using BasicTuf::BasicTuf;
+  double max_utility() const override { return height_; }
+  bool non_increasing() const override { return true; }
+  std::string describe() const override { return "parabolic"; }
+  std::unique_ptr<Tuf> clone() const override {
+    return std::make_unique<ParabolicTuf>(*this);
+  }
+
+ protected:
+  double shape(Time t) const override {
+    const double x = static_cast<double>(t) / static_cast<double>(critical_);
+    return height_ * (1.0 - x * x);
+  }
+};
+
+class RampTuf final : public BasicTuf {
+ public:
+  using BasicTuf::BasicTuf;
+  double max_utility() const override { return height_; }
+  bool non_increasing() const override { return false; }
+  std::string describe() const override { return "ramp"; }
+  std::unique_ptr<Tuf> clone() const override {
+    return std::make_unique<RampTuf>(*this);
+  }
+
+ protected:
+  double shape(Time t) const override {
+    return height_ * static_cast<double>(t) / static_cast<double>(critical_);
+  }
+};
+
+class ExponentialTuf final : public BasicTuf {
+ public:
+  ExponentialTuf(double height, Time critical, double decay)
+      : BasicTuf(height, critical), decay_(decay) {
+    LFRT_CHECK_MSG(decay > 0.0, "decay must be positive");
+  }
+  double max_utility() const override { return height_; }
+  bool non_increasing() const override { return true; }
+  std::string describe() const override { return "exponential"; }
+  std::unique_ptr<Tuf> clone() const override {
+    return std::make_unique<ExponentialTuf>(*this);
+  }
+
+ protected:
+  double shape(Time t) const override {
+    const double x = static_cast<double>(t) / static_cast<double>(critical_);
+    return height_ * std::exp(-decay_ * x);
+  }
+
+ private:
+  double decay_;
+};
+
+class PiecewiseTuf final : public Tuf {
+ public:
+  explicit PiecewiseTuf(std::vector<std::pair<Time, double>> pts)
+      : pts_(std::move(pts)) {
+    LFRT_CHECK_MSG(pts_.size() >= 2, "piecewise TUF needs >= 2 breakpoints");
+    LFRT_CHECK_MSG(pts_.front().first == 0, "first breakpoint must be at t=0");
+    for (std::size_t i = 1; i < pts_.size(); ++i)
+      LFRT_CHECK_MSG(pts_[i].first > pts_[i - 1].first,
+                     "breakpoint times must be strictly increasing");
+    for (const auto& [t, u] : pts_)
+      LFRT_CHECK_MSG(u >= 0.0, "utilities must be non-negative");
+    LFRT_CHECK_MSG(pts_.back().second == 0.0,
+                   "utility must be zero at the critical time");
+    // Ensure the critical time is *single*: utility must be positive
+    // somewhere, and must not return to positive after first touching
+    // zero at the final breakpoint (enforced by the zero-last rule and
+    // the clamp in utility()).
+    double peak = 0.0;
+    for (const auto& [t, u] : pts_) peak = std::max(peak, u);
+    LFRT_CHECK_MSG(peak > 0.0, "TUF must attain positive utility");
+    max_ = peak;
+  }
+
+  double utility(Time t) const override {
+    if (t < 0) t = 0;
+    if (t > critical_time()) return 0.0;
+    // Find the segment containing t and interpolate.
+    auto it = std::upper_bound(
+        pts_.begin(), pts_.end(), t,
+        [](Time v, const auto& p) { return v < p.first; });
+    if (it == pts_.begin()) return pts_.front().second;
+    const auto& hi = *it;
+    const auto& lo = *(it - 1);
+    if (it == pts_.end()) return pts_.back().second;
+    const double frac = static_cast<double>(t - lo.first) /
+                        static_cast<double>(hi.first - lo.first);
+    return lo.second + frac * (hi.second - lo.second);
+  }
+
+  Time critical_time() const override { return pts_.back().first; }
+  double max_utility() const override { return max_; }
+
+  bool non_increasing() const override {
+    for (std::size_t i = 1; i < pts_.size(); ++i)
+      if (pts_[i].second > pts_[i - 1].second) return false;
+    return true;
+  }
+
+  std::string describe() const override { return "piecewise"; }
+  std::unique_ptr<Tuf> clone() const override {
+    return std::make_unique<PiecewiseTuf>(*this);
+  }
+
+ private:
+  std::vector<std::pair<Time, double>> pts_;
+  double max_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<Tuf> make_step_tuf(double height, Time critical) {
+  return std::make_unique<StepTuf>(height, critical);
+}
+
+std::unique_ptr<Tuf> make_linear_tuf(double height, Time critical) {
+  return std::make_unique<LinearTuf>(height, critical);
+}
+
+std::unique_ptr<Tuf> make_parabolic_tuf(double height, Time critical) {
+  return std::make_unique<ParabolicTuf>(height, critical);
+}
+
+std::unique_ptr<Tuf> make_ramp_tuf(double height, Time critical) {
+  return std::make_unique<RampTuf>(height, critical);
+}
+
+std::unique_ptr<Tuf> make_exponential_tuf(double height, Time critical,
+                                          double decay) {
+  return std::make_unique<ExponentialTuf>(height, critical, decay);
+}
+
+std::unique_ptr<Tuf> make_piecewise_tuf(
+    std::vector<std::pair<Time, double>> breakpoints) {
+  return std::make_unique<PiecewiseTuf>(std::move(breakpoints));
+}
+
+}  // namespace lfrt

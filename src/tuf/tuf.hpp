@@ -1,0 +1,88 @@
+// Time/Utility Functions (TUFs) — Jensen et al. [15].
+//
+// A TUF expresses the utility of completing an activity as a function of
+// its completion time (measured from the activity's arrival).  Deadlines
+// are the special case of a binary-valued downward-step TUF.  Every TUF
+// in this model has a single *critical time* C: the time at which utility
+// drops to zero; utility is zero for all t > C (paper, Section 2).
+//
+// The paper's evaluation uses two TUF classes:
+//   * homogeneous  — step shapes only (Figures 10, 12)
+//   * heterogeneous — step + parabolic + linearly-decreasing (11, 13, 14)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/time.hpp"
+
+namespace lfrt {
+
+/// Abstract time/utility function.
+///
+/// `utility(t)` is the utility accrued by completing the job `t` time
+/// units after its arrival (its sojourn time).  Implementations must
+/// guarantee: utility(t) >= 0 for all t, and utility(t) == 0 for
+/// t > critical_time().
+class Tuf {
+ public:
+  virtual ~Tuf() = default;
+
+  /// Utility of completion at sojourn time t (t < 0 is treated as 0).
+  virtual double utility(Time t) const = 0;
+
+  /// The single critical time C: utility is zero strictly after C.
+  virtual Time critical_time() const = 0;
+
+  /// Maximum utility over [0, C].  For non-increasing TUFs this equals
+  /// utility(0), the U_i(0) appearing in the AUR definitions.
+  virtual double max_utility() const = 0;
+
+  /// True if the shape is non-increasing on [0, C].  Theorem 3's
+  /// "shorter sojourn => higher utility" statement requires this.
+  virtual bool non_increasing() const = 0;
+
+  /// Short human-readable descriptor ("step", "linear", ...).
+  virtual std::string describe() const = 0;
+
+  virtual std::unique_ptr<Tuf> clone() const = 0;
+
+ protected:
+  Tuf() = default;
+  Tuf(const Tuf&) = default;
+  Tuf& operator=(const Tuf&) = default;
+};
+
+/// Downward step TUF: utility `height` for 0 <= t <= C, zero after.
+/// This is the classic hard/firm deadline (Figure 1(a)).
+std::unique_ptr<Tuf> make_step_tuf(double height, Time critical);
+
+/// Linearly decreasing TUF: height * (1 - t/C) on [0, C], zero after.
+std::unique_ptr<Tuf> make_linear_tuf(double height, Time critical);
+
+/// Downward parabolic TUF: height * (1 - (t/C)^2) on [0, C], zero after.
+/// Decreasing, concave — the "parabolic" member of the paper's
+/// heterogeneous class.
+std::unique_ptr<Tuf> make_parabolic_tuf(double height, Time critical);
+
+/// Increasing ramp TUF: height * t/C on [0, C], zero after.  Used in
+/// tests of the Theorem-3 caveat that shorter sojourns do not always
+/// raise utility for increasing TUFs.
+std::unique_ptr<Tuf> make_ramp_tuf(double height, Time critical);
+
+/// Exponentially decaying TUF: height * exp(-decay * t / C) on [0, C],
+/// zero after.  Models intelligence/track data whose value halves on a
+/// fixed timescale; `decay` is the number of e-foldings across [0, C].
+std::unique_ptr<Tuf> make_exponential_tuf(double height, Time critical,
+                                          double decay = 3.0);
+
+/// Piecewise-linear TUF through (t_k, u_k) breakpoints.  The last
+/// breakpoint fixes the critical time and must have zero utility; all
+/// utilities must be non-negative.  Models the soft real-world shapes of
+/// Figure 1(b) (e.g., the AWACS track-association TUF).
+std::unique_ptr<Tuf> make_piecewise_tuf(
+    std::vector<std::pair<Time, double>> breakpoints);
+
+}  // namespace lfrt

@@ -1,0 +1,214 @@
+#include "uam/uam.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace lfrt {
+
+void UamSpec::validate() const {
+  LFRT_CHECK_MSG(window > 0, "UAM window W must be positive");
+  LFRT_CHECK_MSG(max_per_window >= 1, "UAM a must be >= 1");
+  LFRT_CHECK_MSG(min_per_window >= 0, "UAM l must be >= 0");
+  LFRT_CHECK_MSG(min_per_window <= max_per_window, "UAM requires l <= a");
+}
+
+std::int64_t uam_max_arrivals(const UamSpec& spec, Time interval) {
+  spec.validate();
+  if (interval < 0) return 0;
+  return spec.max_per_window * (ceil_div(interval, spec.window) + 1);
+}
+
+std::int64_t uam_min_arrivals(const UamSpec& spec, Time interval) {
+  spec.validate();
+  if (interval < 0) return 0;
+  return spec.min_per_window * (interval / spec.window);
+}
+
+bool uam_conforms_max(const UamSpec& spec,
+                      const std::vector<Time>& arrivals) {
+  spec.validate();
+  LFRT_CHECK_MSG(std::is_sorted(arrivals.begin(), arrivals.end()),
+                 "arrival trace must be sorted");
+  // The supremum of the window count over all placements of a half-open
+  // window [t, t+W) is attained with the window starting at an arrival.
+  std::size_t head = 0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    if (head < i) head = i;
+    while (head < arrivals.size() &&
+           arrivals[head] < arrivals[i] + spec.window)
+      ++head;
+    if (static_cast<std::int64_t>(head - i) > spec.max_per_window)
+      return false;
+  }
+  return true;
+}
+
+std::int64_t uam_max_window_count(Time window,
+                                  const std::vector<Time>& arrivals) {
+  LFRT_CHECK(window > 0);
+  LFRT_CHECK_MSG(std::is_sorted(arrivals.begin(), arrivals.end()),
+                 "arrival trace must be sorted");
+  std::int64_t best = 0;
+  std::size_t head = 0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    if (head < i) head = i;
+    while (head < arrivals.size() && arrivals[head] < arrivals[i] + window)
+      ++head;
+    best = std::max(best, static_cast<std::int64_t>(head - i));
+  }
+  return best;
+}
+
+std::int64_t uam_min_window_count(Time window,
+                                  const std::vector<Time>& arrivals,
+                                  Time span_begin, Time span_end) {
+  LFRT_CHECK(window > 0);
+  LFRT_CHECK_MSG(std::is_sorted(arrivals.begin(), arrivals.end()),
+                 "arrival trace must be sorted");
+  if (span_end - span_begin < window) return 0;
+  const Time last_start = span_end - window;
+
+  auto count_in = [&](Time t) {
+    auto lo = std::lower_bound(arrivals.begin(), arrivals.end(), t);
+    auto hi = std::lower_bound(arrivals.begin(), arrivals.end(), t + window);
+    return static_cast<std::int64_t>(hi - lo);
+  };
+
+  // Minima occur at window starts just after an arrival leaves (t_j+1)
+  // or at the span ends (see uam_conforms_min).
+  std::int64_t best = std::min(count_in(span_begin), count_in(last_start));
+  for (Time tj : arrivals) {
+    const Time t = tj + 1;
+    if (t < span_begin || t > last_start) continue;
+    best = std::min(best, count_in(t));
+  }
+  return best;
+}
+
+UamSpec uam_fit(Time window, const std::vector<Time>& arrivals,
+                Time span_begin, Time span_end) {
+  UamSpec spec;
+  spec.window = window;
+  spec.max_per_window = std::max<std::int64_t>(
+      1, uam_max_window_count(window, arrivals));
+  spec.min_per_window = std::min(
+      spec.max_per_window,
+      uam_min_window_count(window, arrivals, span_begin, span_end));
+  spec.validate();
+  return spec;
+}
+
+bool uam_conforms_min(const UamSpec& spec, const std::vector<Time>& arrivals,
+                      Time span_begin, Time span_end) {
+  spec.validate();
+  LFRT_CHECK_MSG(std::is_sorted(arrivals.begin(), arrivals.end()),
+                 "arrival trace must be sorted");
+  if (span_end - span_begin < spec.window) return true;  // no full window
+  const Time last_start = span_end - spec.window;
+
+  auto count_in = [&](Time t) {
+    // #arrivals in half-open [t, t + W)
+    auto lo = std::lower_bound(arrivals.begin(), arrivals.end(), t);
+    auto hi = std::lower_bound(arrivals.begin(), arrivals.end(),
+                               t + spec.window);
+    return static_cast<std::int64_t>(hi - lo);
+  };
+
+  // The window count, as a function of the window start t, only
+  // *decreases* immediately after an arrival instant exits the window
+  // (t = t_j + 1 with integer time).  Checking those candidates, plus
+  // the two span ends, covers every local minimum.
+  if (count_in(span_begin) < spec.min_per_window) return false;
+  if (count_in(last_start) < spec.min_per_window) return false;
+  for (Time tj : arrivals) {
+    const Time t = tj + 1;
+    if (t < span_begin || t > last_start) continue;
+    if (count_in(t) < spec.min_per_window) return false;
+  }
+  return true;
+}
+
+namespace arrivals {
+
+std::vector<Time> periodic(const UamSpec& spec, Time horizon) {
+  spec.validate();
+  std::vector<Time> out;
+  for (Time t = 0; t <= horizon; t += spec.window) out.push_back(t);
+  return out;
+}
+
+std::vector<Time> bursty(const UamSpec& spec, Time horizon) {
+  spec.validate();
+  std::vector<Time> out;
+  for (Time t = 0; t <= horizon; t += spec.window)
+    for (std::int64_t k = 0; k < spec.max_per_window; ++k) out.push_back(t);
+  return out;
+}
+
+std::vector<Time> random_conformant(const UamSpec& spec, Time horizon,
+                                    Rng& rng) {
+  spec.validate();
+  // Per tiled window, draw a count in [l, a] and uniform offsets, then
+  // run the combined trace through the admission gate: tiling guarantees
+  // the l-side (each tile has >= l arrivals), the gate guarantees the
+  // a-side for *sliding* windows, which tiling alone does not.
+  std::vector<Time> proposal;
+  for (Time t = 0; t < horizon; t += spec.window) {
+    const std::int64_t n =
+        rng.uniform(spec.min_per_window, spec.max_per_window);
+    for (std::int64_t k = 0; k < n; ++k)
+      proposal.push_back(t + rng.uniform(0, spec.window - 1));
+  }
+  std::sort(proposal.begin(), proposal.end());
+  UamGate gate(spec);
+  std::vector<Time> out;
+  for (Time t : proposal)
+    if (gate.offer(t)) out.push_back(t);
+  return out;
+}
+
+std::vector<Time> periodic_phased(const UamSpec& spec, Time horizon,
+                                  Rng& rng) {
+  spec.validate();
+  std::vector<Time> out;
+  const Time phase = rng.uniform(0, spec.window - 1);
+  for (Time t = phase; t <= horizon; t += spec.window)
+    for (std::int64_t k = 0; k < spec.max_per_window; ++k) out.push_back(t);
+  return out;
+}
+
+std::vector<Time> adversarial(const UamSpec& spec, Time anchor,
+                              Time horizon) {
+  spec.validate();
+  LFRT_CHECK(anchor >= 0);
+  std::vector<Time> out;
+  for (Time t = anchor; t <= horizon; t += spec.window)
+    for (std::int64_t k = 0; k < spec.max_per_window; ++k) out.push_back(t);
+  return out;
+}
+
+}  // namespace arrivals
+
+UamGate::UamGate(UamSpec spec) : spec_(spec) { spec_.validate(); }
+
+bool UamGate::offer(Time t) {
+  LFRT_CHECK_MSG(t >= last_offer_, "offers must be in time order");
+  last_offer_ = t;
+  // Any half-open window [t', t'+W) containing t with t' <= t has its
+  // count maximized as t' -> (t - W)+, i.e. by the admitted arrivals in
+  // (t - W, t].  Future windows are checked when future offers arrive.
+  const Time cutoff = t - spec_.window;
+  recent_.erase(std::remove_if(recent_.begin(), recent_.end(),
+                               [&](Time x) { return x <= cutoff; }),
+                recent_.end());
+  if (static_cast<std::int64_t>(recent_.size()) + 1 > spec_.max_per_window) {
+    ++rejected_;
+    return false;
+  }
+  recent_.push_back(t);
+  ++admitted_;
+  return true;
+}
+
+}  // namespace lfrt

@@ -1,0 +1,145 @@
+// Unimodal Arbitrary Arrival Model (UAM) — Hermant & Le Lann [12].
+//
+// A task T_i's arrival behaviour is the tuple ⟨l_i, a_i, W_i⟩: during
+// *any* sliding time window of length W_i, at least l_i and at most a_i
+// jobs of T_i arrive.  Simultaneous arrivals are allowed.  The periodic
+// model is the special case ⟨1, 1, W⟩; UAM embodies a stronger adversary
+// than periodic/sporadic models (paper, Sections 1.2 and 2).
+//
+// This module provides the window arithmetic the paper's proofs rest on
+// (maximum/minimum arrivals in an arbitrary interval), conformance
+// checkers for arrival traces, and a family of UAM-conformant arrival
+// generators, including the adversarial pattern used in the proof of
+// Theorem 2 (all of window W^1 released just after t0, all of window W^3
+// released just before t0 + C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace lfrt {
+
+/// UAM tuple ⟨l, a, W⟩ for one task.
+struct UamSpec {
+  std::int64_t min_per_window = 1;  ///< l_i
+  std::int64_t max_per_window = 1;  ///< a_i
+  Time window = 0;                  ///< W_i
+
+  /// Periodic arrivals with the given period (UAM ⟨1, 1, W⟩).
+  static UamSpec periodic(Time period) { return {1, 1, period}; }
+
+  /// Throws InvariantViolation unless 0 <= l <= a, a >= 1, W > 0.
+  void validate() const;
+};
+
+/// Maximum number of arrivals of a ⟨l, a, W⟩ task in *any* interval of
+/// length `interval`: a * (ceil(interval / W) + 1).
+///
+/// This is the n_i^max of Lemma 4 and the per-task release count used in
+/// Theorem 2's proof (worst-case window alignment straddling both ends
+/// of the interval).
+std::int64_t uam_max_arrivals(const UamSpec& spec, Time interval);
+
+/// Minimum number of arrivals guaranteed in any interval of length
+/// `interval`: l * floor(interval / W)  (n_i^min of Lemma 4).
+std::int64_t uam_min_arrivals(const UamSpec& spec, Time interval);
+
+/// True iff the sorted arrival trace never exceeds `a` arrivals in any
+/// window of length W (windows are treated as half-open [t, t+W); the
+/// supremum over window placements is attained at window starts that
+/// coincide with arrival instants, which is what the checker sweeps).
+bool uam_conforms_max(const UamSpec& spec,
+                      const std::vector<Time>& arrivals);
+
+/// True iff every window of length W that lies fully inside
+/// [span_begin, span_end] contains at least `l` arrivals.  Used by tests
+/// of the AUR lower bounds, which require the l_i guarantee to hold over
+/// the measurement horizon.
+bool uam_conforms_min(const UamSpec& spec, const std::vector<Time>& arrivals,
+                      Time span_begin, Time span_end);
+
+/// Largest arrival count observed in any window of length W over the
+/// (sorted) trace — the empirical counterpart of `a`.
+std::int64_t uam_max_window_count(Time window,
+                                  const std::vector<Time>& arrivals);
+
+/// Smallest arrival count observed in any window of length W fully
+/// inside [span_begin, span_end] — the empirical counterpart of `l`.
+/// Returns 0 when the span holds no full window.
+std::int64_t uam_min_window_count(Time window,
+                                  const std::vector<Time>& arrivals,
+                                  Time span_begin, Time span_end);
+
+/// Fit the tightest UAM contract ⟨l, a, W⟩ a trace satisfies for the
+/// given window length — the inverse problem a system integrator faces
+/// when characterizing an arrival source from measurements.  The
+/// returned spec is the least permissive one the trace conforms to:
+/// any sliding window holds between l and a arrivals.
+UamSpec uam_fit(Time window, const std::vector<Time>& arrivals,
+                Time span_begin, Time span_end);
+
+/// Arrival-trace generators.  All produce sorted, UAM-max-conformant
+/// traces over [0, horizon].
+namespace arrivals {
+
+/// One arrival per window, evenly spaced (the periodic special case).
+std::vector<Time> periodic(const UamSpec& spec, Time horizon);
+
+/// `a` simultaneous arrivals at the start of every window — the densest
+/// *regular* pattern UAM admits.
+std::vector<Time> bursty(const UamSpec& spec, Time horizon);
+
+/// Random arrivals: each window of length W receives a uniform number of
+/// arrivals in [l, a] at uniform offsets, then the whole trace is passed
+/// through the admission gate so the sliding-window (not just tiled-
+/// window) constraint holds.
+std::vector<Time> random_conformant(const UamSpec& spec, Time horizon,
+                                    Rng& rng);
+
+/// Exactly `a` arrivals at the start of every window, with a uniformly
+/// random phase offset: the densest regular UAM pattern at an exact
+/// long-run rate of a/W.  Used by the load-sweep experiments, where the
+/// generated load must match the configured AL (the admission-gated
+/// random generator sheds a load-dependent fraction of proposals).
+std::vector<Time> periodic_phased(const UamSpec& spec, Time horizon,
+                                  Rng& rng);
+
+/// The adversarial pattern from the proof of Theorem 2: clusters of `a`
+/// simultaneous arrivals spaced exactly W apart starting at `anchor`, so
+/// an interval [anchor, anchor + interval] sees close to
+/// a * (ceil(interval/W) + 1) arrivals.  Clusters continue to `horizon`.
+std::vector<Time> adversarial(const UamSpec& spec, Time anchor,
+                              Time horizon);
+
+}  // namespace arrivals
+
+/// Online admission gate enforcing the `a`-per-window constraint: offers
+/// arrive in time order; an offer is admitted iff admitting it keeps
+/// every window of length W at or below `a` arrivals.
+///
+/// This is the mechanism a dynamic system at the system boundary would
+/// use to uphold its declared UAM contract, and it is how the random
+/// generator guarantees conformance.
+class UamGate {
+ public:
+  explicit UamGate(UamSpec spec);
+
+  /// Returns true (and records the arrival) iff `t` can be admitted.
+  /// `t` must be >= every previously offered time.
+  bool offer(Time t);
+
+  std::int64_t admitted() const { return admitted_; }
+  std::int64_t rejected() const { return rejected_; }
+
+ private:
+  UamSpec spec_;
+  std::vector<Time> recent_;  // admitted arrivals within the last window
+  std::int64_t admitted_ = 0;
+  std::int64_t rejected_ = 0;
+  Time last_offer_ = -1;
+};
+
+}  // namespace lfrt

@@ -1,0 +1,111 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace lfrt::workload {
+
+TaskSet make_task_set(const WorkloadSpec& spec) {
+  LFRT_CHECK(spec.task_count >= 1);
+  LFRT_CHECK(spec.object_count >= 1);
+  LFRT_CHECK(spec.avg_exec > 0);
+  LFRT_CHECK(spec.exec_jitter >= 0.0 && spec.exec_jitter < 1.0);
+  LFRT_CHECK(spec.load > 0.0);
+  LFRT_CHECK_MSG(spec.load <= static_cast<double>(spec.task_count),
+                 "per-task load share must not exceed 1");
+  LFRT_CHECK(spec.accesses_per_job >= 0);
+  LFRT_CHECK(spec.critical_fraction > 0.0 && spec.critical_fraction <= 1.0);
+  LFRT_CHECK(spec.read_fraction >= 0.0 && spec.read_fraction <= 1.0);
+
+  Rng rng(spec.seed);
+  TaskSet ts;
+  ts.object_count = spec.object_count;
+
+  for (std::int32_t i = 0; i < spec.task_count; ++i) {
+    TaskParams p;
+    p.id = i;
+
+    const double jitter = rng.uniform_real(-spec.exec_jitter, spec.exec_jitter);
+    p.exec_time = std::max<Time>(
+        1, static_cast<Time>(static_cast<double>(spec.avg_exec) *
+                             (1.0 + jitter)));
+
+    // Equal per-task load shares: u_i / C_i = load / N; the UAM window
+    // stretches beyond the critical time by 1/critical_fraction.
+    const Time critical = std::max<Time>(
+        p.exec_time,
+        static_cast<Time>(static_cast<double>(p.exec_time) *
+                          static_cast<double>(spec.task_count) /
+                          spec.load));
+    const Time window = std::max<Time>(
+        critical, static_cast<Time>(static_cast<double>(critical) /
+                                    spec.critical_fraction));
+
+    const double height = rng.uniform_real(10.0, 100.0);
+    switch (spec.tuf_class) {
+      case TufClass::kStep:
+        p.tuf = make_step_tuf(height, critical);
+        break;
+      case TufClass::kHeterogeneous:
+        switch (i % 3) {
+          case 0:
+            p.tuf = make_step_tuf(height, critical);
+            break;
+          case 1:
+            p.tuf = make_linear_tuf(height, critical);
+            break;
+          default:
+            p.tuf = make_parabolic_tuf(height, critical);
+            break;
+        }
+        break;
+    }
+
+    p.arrival = UamSpec{std::min<std::int64_t>(1, spec.max_per_window),
+                        spec.max_per_window, window};
+    p.abort_handler_time = spec.abort_handler_time;
+
+    if (spec.nest_depth > 0) {
+      // One nest of `nest_depth` spans: span k acquires at offset
+      // (k+1)*u/(2d+2) and releases at u - that same offset, over
+      // distinct objects in a random order (enabling lock-order
+      // cycles across jobs).
+      LFRT_CHECK_MSG(spec.nest_depth <= spec.object_count,
+                     "nest depth cannot exceed the object universe");
+      std::vector<ObjectId> objs(
+          static_cast<std::size_t>(spec.object_count));
+      for (std::int32_t k = 0; k < spec.object_count; ++k)
+        objs[static_cast<std::size_t>(k)] = k;
+      for (std::size_t k = objs.size(); k > 1; --k)
+        std::swap(objs[k - 1],
+                  objs[static_cast<std::size_t>(
+                      rng.uniform(0, static_cast<std::int64_t>(k) - 1))]);
+      const Time step = p.exec_time / (2 * spec.nest_depth + 2);
+      for (std::int32_t k = 0; k < spec.nest_depth; ++k) {
+        p.spans.push_back({objs[static_cast<std::size_t>(k)],
+                           step * (k + 1), p.exec_time - step * (k + 1)});
+      }
+    } else {
+      std::vector<Time> offsets;
+      for (std::int32_t k = 0; k < spec.accesses_per_job; ++k) {
+        const Time lo = p.exec_time / 10;
+        const Time hi = std::max(lo, p.exec_time * 9 / 10);
+        offsets.push_back(rng.uniform(lo, hi));
+      }
+      std::sort(offsets.begin(), offsets.end());
+      for (Time off : offsets)
+        p.accesses.push_back(
+            {static_cast<ObjectId>(rng.uniform(0, spec.object_count - 1)),
+             off, !rng.chance(spec.read_fraction)});
+    }
+
+    ts.tasks.push_back(std::move(p));
+  }
+
+  ts.validate();
+  return ts;
+}
+
+}  // namespace lfrt::workload

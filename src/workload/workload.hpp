@@ -1,0 +1,62 @@
+// Synthetic workload generation for the paper's experiments.
+//
+// The evaluation (Section 6) uses task sets of 10 tasks accessing 10
+// shared queues, with controllable approximate load AL = sum u_i / C_i,
+// two TUF classes (step-only and heterogeneous), and average job
+// execution times swept from 10 usec to 1 msec.  This module synthesizes
+// TaskSets with exactly those knobs.
+#pragma once
+
+#include <cstdint>
+
+#include "task/task.hpp"
+
+namespace lfrt::workload {
+
+/// TUF class of the generated task set (Section 6.2).
+enum class TufClass {
+  kStep,           ///< homogeneous: step shapes only
+  kHeterogeneous,  ///< step + parabolic + linearly-decreasing
+};
+
+struct WorkloadSpec {
+  std::int32_t task_count = 10;
+  std::int32_t object_count = 10;
+  Time avg_exec = usec(500);      ///< mean u_i
+  double exec_jitter = 0.5;       ///< u_i uniform in avg*(1 +/- jitter)
+  double load = 0.4;              ///< target AL = sum u_i / C_i
+  std::int32_t accesses_per_job = 2;  ///< m_i
+  TufClass tuf_class = TufClass::kStep;
+  std::int64_t max_per_window = 1;    ///< UAM a_i (l_i = min(1, a_i))
+  Time abort_handler_time = 0;
+  std::uint64_t seed = 1;
+
+  /// Fraction of generated accesses that are reads (lock-free reads
+  /// never invalidate concurrent attempts; lock-based treats reads and
+  /// writes alike under mutual exclusion).  0 = all writes (default).
+  double read_fraction = 0.0;
+
+  /// Critical time as a fraction of the UAM window: C_i = fraction *
+  /// W_i (the model requires C_i <= W_i; the paper's evaluation uses
+  /// C = W, the default).  Smaller fractions leave idle headroom after
+  /// each critical time and stress the C < W corner of the model.
+  double critical_fraction = 1.0;
+
+  /// Depth of nested critical sections (lock-based only).  0 = flat
+  /// accesses (the default).  With depth d >= 1, each job gets one
+  /// nest of d properly nested LockSpans over distinct random objects,
+  /// acquired in random order — so lock-order cycles (deadlocks) can
+  /// arise across jobs.
+  std::int32_t nest_depth = 0;
+};
+
+/// Build a task set matching the spec.  Each task receives:
+///   * u_i drawn uniformly in avg_exec * (1 +/- exec_jitter),
+///   * C_i = W_i = u_i * task_count / load  (so AL sums to `load`),
+///   * a TUF of the requested class with height uniform in [10, 100],
+///   * accesses_per_job accesses at sorted random offsets in
+///     [0.1 u_i, 0.9 u_i] to uniformly random objects,
+///   * UAM ⟨1, max_per_window, W_i⟩.
+TaskSet make_task_set(const WorkloadSpec& spec);
+
+}  // namespace lfrt::workload

@@ -1,0 +1,232 @@
+// Unit tests for the executable theorems (analysis module), validated
+// against hand-computed values.
+#include "analysis/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "workload/workload.hpp"
+
+namespace lfrt {
+namespace {
+
+/// Two-task fixture with round numbers:
+///   T0: a=2, W=100us, C=100us, u=10us, m=2 accesses
+///   T1: a=1, W=50us,  C=50us,  u=5us,  m=1 access
+TaskSet two_task_set() {
+  TaskSet ts;
+  ts.object_count = 2;
+  {
+    TaskParams p;
+    p.id = 0;
+    p.arrival = UamSpec{1, 2, usec(100)};
+    p.tuf = make_step_tuf(10.0, usec(100));
+    p.exec_time = usec(10);
+    p.accesses = {{0, usec(2)}, {1, usec(5)}};
+    ts.tasks.push_back(std::move(p));
+  }
+  {
+    TaskParams p;
+    p.id = 1;
+    p.arrival = UamSpec{1, 1, usec(50)};
+    p.tuf = make_step_tuf(20.0, usec(50));
+    p.exec_time = usec(5);
+    p.accesses = {{0, usec(1)}};
+    ts.tasks.push_back(std::move(p));
+  }
+  ts.validate();
+  return ts;
+}
+
+TEST(InterferenceArrivals, HandComputed) {
+  const TaskSet ts = two_task_set();
+  // x_0 = a_1 (ceil(C_0/W_1) + 1) = 1 * (ceil(100/50) + 1) = 3.
+  EXPECT_EQ(analysis::interference_arrivals(ts, 0), 3);
+  // x_1 = a_0 (ceil(C_1/W_0) + 1) = 2 * (ceil(50/100) + 1) = 4.
+  EXPECT_EQ(analysis::interference_arrivals(ts, 1), 4);
+}
+
+TEST(RetryBound, Theorem2HandComputed) {
+  const TaskSet ts = two_task_set();
+  // f_0 <= 3*2 + 2*3 = 12;  f_1 <= 3*1 + 2*4 = 11.
+  EXPECT_EQ(analysis::retry_bound(ts, 0), 12);
+  EXPECT_EQ(analysis::retry_bound(ts, 1), 11);
+  EXPECT_EQ(analysis::max_scheduling_events(ts, 0), 12);
+}
+
+TEST(RetryBound, IndependentOfObjectCount) {
+  // Theorem 2: f_i does not depend on how many objects the job touches.
+  TaskSet ts = two_task_set();
+  const auto before = analysis::retry_bound(ts, 0);
+  ts.tasks[0].accesses.push_back({1, usec(7)});
+  ts.tasks[0].accesses.push_back({0, usec(9)});
+  EXPECT_EQ(analysis::retry_bound(ts, 0), before);
+}
+
+TEST(RetryBound, SingleTaskOnlySelfEvents) {
+  TaskSet ts;
+  ts.object_count = 1;
+  TaskParams p;
+  p.id = 0;
+  p.arrival = UamSpec{1, 4, usec(100)};
+  p.tuf = make_step_tuf(1.0, usec(100));
+  p.exec_time = usec(10);
+  ts.tasks.push_back(std::move(p));
+  ts.validate();
+  EXPECT_EQ(analysis::retry_bound(ts, 0), 12);  // 3 a_i, no other tasks
+}
+
+TEST(BlockingJobs, HandComputed) {
+  const TaskSet ts = two_task_set();
+  // n_0 <= 2 a_0 + x_0 = 4 + 3 = 7;  n_1 <= 2 + 4 = 6.
+  EXPECT_EQ(analysis::max_blocking_jobs(ts, 0), 7);
+  EXPECT_EQ(analysis::max_blocking_jobs(ts, 1), 6);
+}
+
+TEST(BlockingTime, UsesMinOfAccessesAndJobs) {
+  const TaskSet ts = two_task_set();
+  const Time r = usec(3);
+  // B_0 = r * min(m_0=2, n_0=7) = 2r.
+  EXPECT_EQ(analysis::worst_blocking_time(ts, 0, r), 2 * r);
+  // B_1 = r * min(1, 6) = r.
+  EXPECT_EQ(analysis::worst_blocking_time(ts, 1, r), r);
+}
+
+TEST(RetryTime, IsSTimesBound) {
+  const TaskSet ts = two_task_set();
+  EXPECT_EQ(analysis::worst_retry_time(ts, 0, usec(1)), usec(12));
+}
+
+TEST(Interference, HandComputed) {
+  const TaskSet ts = two_task_set();
+  const Time t_acc = usec(1);
+  // I_0 <= a_1 (ceil(C_0/W_1)+1) * c_1 = 3 * (5 + 1*1) us = 18 us.
+  EXPECT_EQ(analysis::worst_interference(ts, 0, t_acc), usec(18));
+  // I_1 <= a_0 (ceil(C_1/W_0)+1) * c_0 = 4 * (10 + 2) us = 48 us.
+  EXPECT_EQ(analysis::worst_interference(ts, 1, t_acc), usec(48));
+}
+
+TEST(Sojourn, WorstCaseFormulas) {
+  const TaskSet ts = two_task_set();
+  const Time r = usec(2), s = usec(1);
+  // Lock-based T0: u + I(r) + r*m + B = 10 + 3*(5+2)= hmm computed below.
+  const Time i_lb = analysis::worst_interference(ts, 0, r);
+  EXPECT_EQ(analysis::worst_sojourn_lockbased(ts, 0, r),
+            usec(10) + i_lb + r * 2 + analysis::worst_blocking_time(ts, 0, r));
+  const Time i_lf = analysis::worst_interference(ts, 0, s);
+  EXPECT_EQ(analysis::worst_sojourn_lockfree(ts, 0, s),
+            usec(10) + i_lf + s * 2 + analysis::worst_retry_time(ts, 0, s));
+}
+
+TEST(Theorem3, ThresholdIsTwoThirdsWhenFewAccesses) {
+  const TaskSet ts = two_task_set();
+  // m_0 = 2 <= n_0 = 7 -> threshold 2/3.
+  EXPECT_DOUBLE_EQ(analysis::lockfree_ratio_threshold(ts, 0), 2.0 / 3.0);
+  EXPECT_TRUE(analysis::lockfree_wins(ts, 0, usec(1), usec(2)));
+  EXPECT_FALSE(analysis::lockfree_wins(ts, 0, usec(2), usec(3)));
+}
+
+TEST(Theorem3, ManyAccessCaseUsesGeneralFormula) {
+  TaskSet ts = two_task_set();
+  // Blow up m_0 beyond n_0 = 7.
+  auto& t0 = ts.tasks[0];
+  t0.accesses.clear();
+  for (int k = 0; k < 10; ++k)
+    t0.accesses.push_back({static_cast<ObjectId>(k % 2), usec(k)});
+  // m=10 > n=7: threshold = (m+n)/(m + 3a + 2x) = 17/(10+6+6) = 17/22.
+  EXPECT_DOUBLE_EQ(analysis::lockfree_ratio_threshold(ts, 0), 17.0 / 22.0);
+  // Theorem 3: the general threshold is always < 1 — lock-free never
+  // wins the worst case unless s < r.
+  EXPECT_LT(analysis::lockfree_ratio_threshold(ts, 0), 1.0);
+}
+
+TEST(Theorem3, RejectsNonPositiveAccessTimes) {
+  const TaskSet ts = two_task_set();
+  EXPECT_THROW(analysis::lockfree_wins(ts, 0, 0, usec(1)),
+               InvariantViolation);
+}
+
+TEST(Lemma4, BandIsOrderedAndWithinUnit) {
+  const TaskSet ts = two_task_set();
+  const auto b = analysis::lockfree_aur_bounds(ts, usec(1));
+  EXPECT_GE(b.lower, 0.0);
+  EXPECT_LE(b.lower, b.upper);
+  EXPECT_LE(b.upper, 1.0 + 1e-12);
+}
+
+TEST(Lemma4, UpperHitsOneForStepTufsWithSlack) {
+  // With step TUFs and best-case sojourns far below C, the upper bound
+  // is exactly 1 (every job accrues full utility).
+  const TaskSet ts = two_task_set();
+  const auto b = analysis::lockfree_aur_bounds(ts, usec(1));
+  EXPECT_DOUBLE_EQ(b.upper, 1.0);
+}
+
+TEST(Lemma5, LockBasedBandOrdered) {
+  const TaskSet ts = two_task_set();
+  const auto b = analysis::lockbased_aur_bounds(ts, usec(5));
+  EXPECT_GE(b.lower, 0.0);
+  EXPECT_LE(b.lower, b.upper);
+  EXPECT_LE(b.upper, 1.0 + 1e-12);
+}
+
+TEST(Lemma45, RejectIncreasingTufs) {
+  TaskSet ts = two_task_set();
+  ts.tasks[0].tuf = make_ramp_tuf(10.0, usec(100));
+  EXPECT_THROW(analysis::lockfree_aur_bounds(ts, usec(1)),
+               InvariantViolation);
+}
+
+TEST(AsymptoticCost, LockFreeBeatsLockBasedBeyondTrivialN) {
+  for (std::int64_t n : {4, 16, 64, 256})
+    EXPECT_LT(analysis::rua_lockfree_asymptotic(n),
+              analysis::rua_lockbased_asymptotic(n));
+  // And the gap grows as log n.
+  const double g16 = analysis::rua_lockbased_asymptotic(16) /
+                     analysis::rua_lockfree_asymptotic(16);
+  const double g256 = analysis::rua_lockbased_asymptotic(256) /
+                      analysis::rua_lockfree_asymptotic(256);
+  EXPECT_DOUBLE_EQ(g16, 4.0);
+  EXPECT_DOUBLE_EQ(g256, 8.0);
+}
+
+/// Property sweep over generated workloads: structural relations between
+/// the bounds hold for arbitrary parameters.
+class BoundRelationTest
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {
+};
+
+TEST_P(BoundRelationTest, StructuralInequalities) {
+  const auto [tasks, accesses, seed] = GetParam();
+  workload::WorkloadSpec spec;
+  spec.task_count = tasks;
+  spec.accesses_per_job = accesses;
+  spec.seed = seed;
+  spec.max_per_window = 1 + static_cast<std::int32_t>(seed % 3);
+  const TaskSet ts = workload::make_task_set(spec);
+
+  for (const auto& t : ts.tasks) {
+    // Retry bound = 3a + 2x and n-bound = 2a + x: f >= n always.
+    EXPECT_GE(analysis::retry_bound(ts, t.id),
+              analysis::max_blocking_jobs(ts, t.id));
+    // Thresholds are in (0, 1).
+    const double th = analysis::lockfree_ratio_threshold(ts, t.id);
+    EXPECT_GT(th, 0.0);
+    EXPECT_LE(th, 1.0);
+    // Worst sojourns dominate the no-interference path.
+    EXPECT_GE(analysis::worst_sojourn_lockfree(ts, t.id, usec(1)),
+              t.exec_time + usec(1) * t.access_count());
+    // AUR bands are ordered.
+    const auto lf = analysis::lockfree_aur_bounds(ts, usec(1));
+    EXPECT_LE(lf.lower, lf.upper);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoundRelationTest,
+    ::testing::Combine(::testing::Values(2, 5, 10),
+                       ::testing::Values(0, 1, 4),
+                       ::testing::Values(3u, 17u, 2026u)));
+
+}  // namespace
+}  // namespace lfrt

@@ -1,0 +1,195 @@
+// EDF+PIP tests, including the classic unbounded-priority-inversion
+// scenario that plain EDF suffers and inheritance bounds — the paper's
+// Section 1.1 motivation for examining lock-based alternatives.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sched/edf.hpp"
+#include "sched/edf_pip.hpp"
+#include "sim/simulator.hpp"
+#include "support/check.hpp"
+
+namespace lfrt {
+namespace {
+
+using sched::EdfPipScheduler;
+using sched::SchedJob;
+
+SchedJob mk(JobId id, Time critical, Time remaining,
+            std::vector<std::unique_ptr<Tuf>>& tufs,
+            JobId waits_on = kNoJob) {
+  tufs.push_back(make_step_tuf(1.0, critical));
+  SchedJob j;
+  j.id = id;
+  j.arrival = 0;
+  j.critical = critical;
+  j.remaining = remaining;
+  j.tuf = tufs.back().get();
+  j.waits_on = waits_on;
+  return j;
+}
+
+TEST(EdfPip, DispatchesHolderOnBehalfOfBlockedHead) {
+  std::vector<std::unique_ptr<Tuf>> tufs;
+  const EdfPipScheduler pip;
+  // Head (earliest critical) blocked on the *latest*-critical job: PIP
+  // runs the holder; plain EDF would run the middle job.
+  std::vector<SchedJob> jobs{mk(0, usec(100), usec(10), tufs, /*waits=*/2),
+                             mk(1, usec(200), usec(10), tufs),
+                             mk(2, usec(300), usec(10), tufs)};
+  EXPECT_EQ(pip.build(jobs, 0).dispatch, 2);
+  const sched::EdfScheduler edf;
+  EXPECT_EQ(edf.build(jobs, 0).dispatch, 1);
+}
+
+TEST(EdfPip, TransitiveInheritance) {
+  std::vector<std::unique_ptr<Tuf>> tufs;
+  const EdfPipScheduler pip;
+  std::vector<SchedJob> jobs{mk(0, usec(100), usec(10), tufs, 1),
+                             mk(1, usec(200), usec(10), tufs, 2),
+                             mk(2, usec(300), usec(10), tufs)};
+  EXPECT_EQ(pip.build(jobs, 0).dispatch, 2);
+}
+
+TEST(EdfPip, NoBlockingBehavesLikeEdf) {
+  std::vector<std::unique_ptr<Tuf>> tufs;
+  const EdfPipScheduler pip;
+  const sched::EdfScheduler edf;
+  std::vector<SchedJob> jobs{mk(0, usec(300), usec(10), tufs),
+                             mk(1, usec(100), usec(10), tufs),
+                             mk(2, usec(200), usec(10), tufs)};
+  const auto a = pip.build(jobs, 0);
+  const auto b = edf.build(jobs, 0);
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.dispatch, b.dispatch);
+}
+
+TEST(EdfPip, CycleViolatesInvariant) {
+  std::vector<std::unique_ptr<Tuf>> tufs;
+  const EdfPipScheduler pip;
+  std::vector<SchedJob> jobs{mk(0, usec(100), usec(10), tufs, 1),
+                             mk(1, usec(200), usec(10), tufs, 0)};
+  EXPECT_THROW(pip.build(jobs, 0), InvariantViolation);
+}
+
+TEST(EdfPip, EmptyViewIdles) {
+  const EdfPipScheduler pip;
+  EXPECT_EQ(pip.build({}, 0).dispatch, kNoJob);
+}
+
+/// The Mars-Pathfinder-shaped scenario, end to end in the simulator:
+///   * L (low importance, long deadline) takes the shared lock early;
+///   * H (tight deadline) arrives and blocks on the lock;
+///   * a stream of M (middle deadline) jobs arrives and — under plain
+///     EDF — runs instead of L, starving the lock release and killing H.
+/// Under EDF+PIP, L inherits H's eligibility and releases quickly; H
+/// meets its critical time.
+struct InversionWorld {
+  TaskSet ts;
+  std::vector<Time> m_arrivals;
+
+  // Timeline under plain EDF (r = 30us):
+  //   L: arrives 0, computes to 10, acquires the lock (section 10..40
+  //      uninterrupted), deadline far away (100ms).
+  //   H: arrives 15 (abs critical 415us), preempts L, computes 10us,
+  //      requests the lock at 25 -> blocked on L.
+  //   M: arrives 30 (abs critical 530us) with 380us of compute: earlier
+  //      deadline than L, later than H -> EDF runs M over the lock
+  //      holder until 410; L only then finishes its section (430), far
+  //      past H's 415us critical time.  Inversion killed H.
+  // Under EDF+PIP, L inherits H's eligibility at 25, releases at 50,
+  // and H completes at ~100us.
+  InversionWorld() {
+    ts.object_count = 1;
+
+    TaskParams low;
+    low.id = 0;
+    low.arrival = UamSpec{1, 1, msec(100)};
+    low.tuf = make_step_tuf(5.0, msec(100));
+    low.exec_time = usec(100);
+    low.accesses = {{0, usec(10)}};
+    ts.tasks.push_back(std::move(low));
+
+    TaskParams high;
+    high.id = 1;
+    high.arrival = UamSpec{1, 1, msec(100)};
+    high.tuf = make_step_tuf(100.0, usec(400));
+    high.exec_time = usec(30);
+    high.accesses = {{0, usec(10)}};
+    ts.tasks.push_back(std::move(high));
+
+    TaskParams mid;
+    mid.id = 2;
+    mid.arrival = UamSpec{1, 1, usec(500)};
+    mid.tuf = make_step_tuf(10.0, usec(500));
+    mid.exec_time = usec(380);
+    ts.tasks.push_back(std::move(mid));
+    ts.validate();
+
+    for (Time t = usec(30); t < msec(18); t += usec(500))
+      m_arrivals.push_back(t);
+  }
+
+  sim::SimReport run(const sched::Scheduler& sch) {
+    sim::SimConfig cfg;
+    cfg.mode = sim::ShareMode::kLockBased;
+    cfg.lock_access_time = usec(30);
+    cfg.horizon = msec(20);
+    sim::Simulator sim(ts, sch, cfg);
+    sim.set_arrivals(0, {0});
+    sim.set_arrivals(1, {usec(15)});
+    sim.set_arrivals(2, m_arrivals);
+    return sim.run();
+  }
+};
+
+TEST(EdfPip, PlainEdfSuffersUnboundedInversion) {
+  InversionWorld world;
+  const sched::EdfScheduler edf;
+  const auto rep = world.run(edf);
+  // H (task 1) misses: the middle stream keeps preempting L, which
+  // holds the lock H needs.
+  for (const Job& j : rep.jobs) {
+    if (j.task == 1) {
+      EXPECT_EQ(j.state, JobState::kAborted);
+    }
+  }
+}
+
+TEST(EdfPip, InheritanceBoundsTheInversion) {
+  InversionWorld world;
+  const EdfPipScheduler pip;
+  const auto rep = world.run(pip);
+  for (const Job& j : rep.jobs)
+    if (j.task == 1) {
+      EXPECT_EQ(j.state, JobState::kCompleted);
+      // Inversion bounded by L's critical section remainder: H finishes
+      // well inside its 400us critical time.
+      EXPECT_LE(j.sojourn(), usec(400));
+    }
+}
+
+TEST(EdfPip, LockFreeAvoidsTheProblemEntirely) {
+  // The paper's punchline: with lock-free sharing there is no lock to
+  // invert on; plain EDF suffices.
+  InversionWorld world;
+  const sched::EdfScheduler edf;
+  sim::SimConfig cfg;
+  cfg.mode = sim::ShareMode::kLockFree;
+  cfg.lockfree_access_time = usec(2);
+  cfg.horizon = msec(20);
+  sim::Simulator sim(world.ts, edf, cfg);
+  sim.set_arrivals(0, {0});
+  sim.set_arrivals(1, {usec(15)});
+  sim.set_arrivals(2, world.m_arrivals);
+  const auto rep = sim.run();
+  for (const Job& j : rep.jobs) {
+    if (j.task == 1) {
+      EXPECT_EQ(j.state, JobState::kCompleted);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lfrt

@@ -1,0 +1,135 @@
+// Tests for the exponential TUF and the UAM demand-bound feasibility
+// analysis, including a cross-check against the simulator: whenever the
+// analysis declares a task set feasible, adversarial-arrival simulation
+// under EDF meets every critical time.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+#include "sched/edf.hpp"
+#include "support/check.hpp"
+#include "sim/simulator.hpp"
+#include "uam/uam.hpp"
+#include "workload/workload.hpp"
+
+namespace lfrt {
+namespace {
+
+TEST(ExponentialTuf, ShapeAndContract) {
+  auto tuf = make_exponential_tuf(100.0, usec(100), 3.0);
+  EXPECT_DOUBLE_EQ(tuf->utility(0), 100.0);
+  EXPECT_NEAR(tuf->utility(usec(50)), 100.0 * std::exp(-1.5), 1e-9);
+  EXPECT_NEAR(tuf->utility(usec(100)), 100.0 * std::exp(-3.0), 1e-9);
+  EXPECT_DOUBLE_EQ(tuf->utility(usec(100) + 1), 0.0);
+  EXPECT_TRUE(tuf->non_increasing());
+  EXPECT_EQ(tuf->describe(), "exponential");
+  EXPECT_THROW(make_exponential_tuf(1.0, usec(10), 0.0),
+               InvariantViolation);
+}
+
+TaskSet set_with(std::vector<std::tuple<Time, Time, std::int64_t>> rows) {
+  // rows: {u_i, C_i (= W_i), a_i}
+  TaskSet ts;
+  ts.object_count = 0;
+  TaskId id = 0;
+  for (const auto& [u, c, a] : rows) {
+    TaskParams p;
+    p.id = id++;
+    p.exec_time = u;
+    p.tuf = make_step_tuf(10.0, c);
+    p.arrival = UamSpec{1, a, c};
+    ts.tasks.push_back(std::move(p));
+  }
+  ts.validate();
+  return ts;
+}
+
+TEST(UamDemand, HandComputed) {
+  const TaskSet ts = set_with({{usec(10), usec(100), 2}});
+  // delta < C: zero demand.
+  EXPECT_EQ(analysis::uam_demand(ts, 0, usec(99), 0), 0);
+  // delta = C: one straddle window of a=2 jobs.
+  EXPECT_EQ(analysis::uam_demand(ts, 0, usec(100), 0), usec(20));
+  // delta = C + W: two windows + straddle = ceil(100/100)+1 = 2... the
+  // formula gives a*(ceil((200-100)/100)+1)*u = 2*2*10us.
+  EXPECT_EQ(analysis::uam_demand(ts, 0, usec(200), 0), usec(40));
+  // Access time inflates c_i.
+  TaskSet ts2 = set_with({{usec(10), usec(100), 1}});
+  ts2.object_count = 1;
+  ts2.tasks[0].accesses = {{0, usec(5)}};
+  EXPECT_EQ(analysis::uam_demand(ts2, 0, usec(100), usec(4)), usec(14));
+}
+
+TEST(UamFeasible, ObviousCases) {
+  // One light task: feasible with slack.
+  Time slack = 0;
+  EXPECT_TRUE(analysis::uam_edf_feasible(
+      set_with({{usec(10), usec(100), 1}}), 0, &slack));
+  EXPECT_GT(slack, 0);
+  // Demand exactly fills the critical time: feasible with zero slack.
+  EXPECT_TRUE(analysis::uam_edf_feasible(
+      set_with({{usec(50), usec(100), 1}, {usec(50), usec(100), 1}}), 0,
+      &slack));
+  EXPECT_EQ(slack, 0);
+  // One more microsecond of work: infeasible.
+  EXPECT_FALSE(analysis::uam_edf_feasible(
+      set_with({{usec(51), usec(100), 1}, {usec(50), usec(100), 1}}), 0));
+  // Utilization over 1 from bursts alone.
+  EXPECT_FALSE(analysis::uam_edf_feasible(
+      set_with({{usec(60), usec(100), 2}}), 0));
+}
+
+TEST(UamFeasible, AccessTimeTipsTheBalance) {
+  TaskSet ts = set_with({{usec(45), usec(100), 1}, {usec(45), usec(100), 1}});
+  ts.object_count = 1;
+  ts.tasks[0].accesses = {{0, usec(5)}};
+  ts.tasks[1].accesses = {{0, usec(5)}};
+  EXPECT_TRUE(analysis::uam_edf_feasible(ts, usec(5)));   // 100us demand
+  EXPECT_FALSE(analysis::uam_edf_feasible(ts, usec(6)));  // 102us demand
+}
+
+/// Cross-check: analysis-feasible sets meet every critical time in the
+/// simulator under adversarial UAM arrivals, EDF, ideal objects.
+class FeasibilityCrossCheck
+    : public ::testing::TestWithParam<std::tuple<int, double, std::uint64_t>> {
+};
+
+TEST_P(FeasibilityCrossCheck, FeasibleImpliesNoMisses) {
+  const auto [tasks, load, seed] = GetParam();
+  workload::WorkloadSpec spec;
+  spec.task_count = tasks;
+  spec.object_count = 2;
+  spec.accesses_per_job = 1;
+  spec.load = load;
+  spec.max_per_window = 1 + static_cast<std::int32_t>(seed % 2);
+  spec.seed = seed;
+  const TaskSet ts = workload::make_task_set(spec);
+
+  if (!analysis::uam_edf_feasible(ts, 0)) {
+    GTEST_SKIP() << "analysis declares this set infeasible";
+  }
+  const sched::EdfScheduler edf;
+  sim::SimConfig cfg;
+  cfg.mode = sim::ShareMode::kIdeal;
+  Time max_window = 0;
+  for (const auto& t : ts.tasks)
+    max_window = std::max(max_window, t.arrival.window);
+  cfg.horizon = max_window * 50;
+  sim::Simulator sim(ts, edf, cfg);
+  for (const auto& t : ts.tasks)
+    sim.set_arrivals(t.id,
+                     arrivals::adversarial(t.arrival, 0, cfg.horizon));
+  const auto rep = sim.run();
+  EXPECT_DOUBLE_EQ(rep.cmr(), 1.0);
+  EXPECT_EQ(rep.aborted, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FeasibilityCrossCheck,
+    ::testing::Combine(::testing::Values(2, 4, 8),
+                       ::testing::Values(0.2, 0.35, 0.5),
+                       ::testing::Values(1u, 5u, 11u)));
+
+}  // namespace
+}  // namespace lfrt

@@ -1,0 +1,232 @@
+// Cross-module integration and failure-injection tests: long runs with
+// nonzero abort handlers under overload, horizon boundaries, analysis-
+// vs-simulator consistency sweeps, and end-to-end reproduction smoke
+// checks of the headline figure shapes.
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "sched/edf.hpp"
+#include "sched/rua.hpp"
+#include "sim/simulator.hpp"
+#include "workload/workload.hpp"
+
+namespace lfrt {
+namespace {
+
+using sim::ShareMode;
+using sim::SimConfig;
+using sim::Simulator;
+
+sim::SimReport run(const TaskSet& ts, ShareMode mode, Time horizon,
+                   std::uint64_t seed, Time r = usec(40),
+                   Time s = usec(1), double ns_per_op = 5.0,
+                   bool detect = false) {
+  const sched::RuaScheduler rua(mode == ShareMode::kLockBased
+                                    ? sched::Sharing::kLockBased
+                                    : sched::Sharing::kLockFree,
+                                detect);
+  SimConfig cfg;
+  cfg.mode = mode;
+  cfg.lock_access_time = r;
+  cfg.lockfree_access_time = s;
+  cfg.sched_ns_per_op = ns_per_op;
+  cfg.horizon = horizon;
+  Simulator sim(ts, rua, cfg);
+  sim.seed_arrivals(seed);
+  return sim.run();
+}
+
+TEST(Integration, OverloadWithCostlyAbortHandlers) {
+  // Failure injection: handlers consume real CPU time, so each abort
+  // steals capacity from survivors; the system must stay consistent
+  // (every counted job terminal, locks never leak).
+  workload::WorkloadSpec spec;
+  spec.task_count = 8;
+  spec.object_count = 4;
+  spec.accesses_per_job = 2;
+  spec.load = 1.6;  // deep overload -> many aborts
+  spec.abort_handler_time = usec(50);
+  spec.seed = 19;
+  const TaskSet ts = workload::make_task_set(spec);
+
+  for (const auto mode : {ShareMode::kLockFree, ShareMode::kLockBased}) {
+    const auto rep = run(ts, mode, msec(40), 3);
+    EXPECT_GT(rep.aborted, 0) << sim::to_string(mode);
+    EXPECT_EQ(rep.completed + rep.aborted, rep.counted_jobs);
+    // Handler execution is visible as sojourns: an aborted job's
+    // lifetime ends strictly after its critical time (handler runs
+    // past it), never before.
+    for (const Job& j : rep.jobs) {
+      if (j.state == JobState::kAborted) {
+        EXPECT_EQ(j.completion, -1);
+        EXPECT_EQ(j.held_object, kNoObject);
+        EXPECT_TRUE(j.held_stack.empty());
+      }
+    }
+  }
+}
+
+TEST(Integration, HandlerCostDegradesAurMonotonically) {
+  // The longer the abort handlers, the less utility survives.
+  double prev_aur = 1.1;
+  for (const Time handler : {usec(0), usec(100), usec(400)}) {
+    workload::WorkloadSpec spec;
+    spec.task_count = 8;
+    spec.object_count = 4;
+    spec.accesses_per_job = 2;
+    spec.load = 1.5;
+    spec.abort_handler_time = handler;
+    spec.seed = 4;
+    const TaskSet ts = workload::make_task_set(spec);
+    const auto rep = run(ts, ShareMode::kLockFree, msec(40), 9);
+    EXPECT_LT(rep.aur(), prev_aur + 1e-9)
+        << "handler " << to_usec(handler) << "us";
+    prev_aur = rep.aur();
+  }
+}
+
+TEST(Integration, WorstCaseSojournBoundsHoldWithoutOverhead) {
+  // Section 5's sojourn decomposition is a worst case: with overhead
+  // charging off, every *completed* job's sojourn must stay below the
+  // analytic worst-case for its sharing mode.
+  workload::WorkloadSpec spec;
+  spec.task_count = 5;
+  spec.object_count = 3;
+  spec.accesses_per_job = 2;
+  spec.load = 0.7;
+  spec.seed = 23;
+  const TaskSet ts = workload::make_task_set(spec);
+  const Time r = usec(20), s = usec(2);
+
+  const auto lf = run(ts, ShareMode::kLockFree, msec(60), 5, r, s, 0.0);
+  for (const Job& j : lf.jobs) {
+    if (j.state != JobState::kCompleted) continue;
+    EXPECT_LE(j.sojourn(), analysis::worst_sojourn_lockfree(ts, j.task, s))
+        << "task " << j.task;
+  }
+  const auto lb = run(ts, ShareMode::kLockBased, msec(60), 5, r, s, 0.0);
+  for (const Job& j : lb.jobs) {
+    if (j.state != JobState::kCompleted) continue;
+    EXPECT_LE(j.sojourn(),
+              analysis::worst_sojourn_lockbased(ts, j.task, r))
+        << "task " << j.task;
+  }
+}
+
+TEST(Integration, HorizonBoundaryCountsOnlyDecidableJobs) {
+  // Jobs whose critical time falls beyond the horizon are excluded from
+  // the metrics; everything counted is terminal.
+  TaskSet ts;
+  ts.object_count = 0;
+  TaskParams p;
+  p.id = 0;
+  p.arrival = UamSpec{1, 1, usec(100)};
+  p.tuf = make_step_tuf(10.0, usec(100));
+  p.exec_time = usec(10);
+  ts.tasks.push_back(std::move(p));
+  ts.validate();
+
+  const sched::EdfScheduler edf;
+  SimConfig cfg;
+  cfg.mode = ShareMode::kIdeal;
+  cfg.horizon = usec(250);
+  Simulator sim(ts, edf, cfg);
+  // Arrivals at 0, 100, 200: the third's critical time (300) is past
+  // the horizon -> only two are counted.
+  sim.set_arrivals(0, {0, usec(100), usec(200)});
+  const auto rep = sim.run();
+  EXPECT_EQ(rep.counted_jobs, 2);
+  EXPECT_EQ(rep.completed, 2);
+  EXPECT_EQ(rep.jobs.size(), 3u);
+}
+
+TEST(Integration, LongRunStability) {
+  // 2000+ windows: counters stay sane, no invariant trips, AUR within
+  // the Lemma-4 band (feasible regime, non-increasing TUFs).
+  workload::WorkloadSpec spec;
+  spec.task_count = 4;
+  spec.object_count = 2;
+  spec.accesses_per_job = 1;
+  spec.avg_exec = usec(100);
+  spec.load = 0.3;
+  spec.seed = 6;
+  const TaskSet ts = workload::make_task_set(spec);
+  Time max_window = 0;
+  for (const auto& t : ts.tasks)
+    max_window = std::max(max_window, t.arrival.window);
+
+  const Time s = usec(1);
+  const auto rep = run(ts, ShareMode::kLockFree, max_window * 2000, 12,
+                       usec(40), s, 0.0);
+  EXPECT_GT(rep.counted_jobs, 2000);
+  EXPECT_DOUBLE_EQ(rep.cmr(), 1.0);
+  const auto band = analysis::lockfree_aur_bounds(ts, s);
+  EXPECT_GE(rep.aur(), band.lower - 1e-9);
+  EXPECT_LE(rep.aur(), band.upper + 1e-9);
+}
+
+TEST(Integration, HeadlineShapeLockFreeBeatsLockBasedUnderContention) {
+  // The paper's core claim at miniature scale, as a guard against
+  // regressions in any module: heavy sharing + overload -> lock-free
+  // RUA accrues strictly more utility than lock-based RUA.
+  workload::WorkloadSpec spec;
+  spec.task_count = 10;
+  spec.object_count = 10;
+  spec.accesses_per_job = 10;
+  spec.load = 1.1;
+  spec.seed = 42;
+  const TaskSet ts = workload::make_task_set(spec);
+  const auto lf = run(ts, ShareMode::kLockFree, msec(200), 7, usec(800),
+                      nsec(500));
+  const auto lb = run(ts, ShareMode::kLockBased, msec(200), 7, usec(800),
+                      nsec(500));
+  EXPECT_GT(lf.aur(), lb.aur() + 0.2);
+  EXPECT_GT(lf.cmr(), lb.cmr() + 0.2);
+}
+
+TEST(Integration, IdealDominatesLockFreeDominatesLockBased) {
+  // Access costs only ever hurt: AUR(ideal) >= AUR(lock-free) >=
+  // AUR(lock-based) for the same seeds and r >> s.
+  workload::WorkloadSpec spec;
+  spec.task_count = 8;
+  spec.object_count = 6;
+  spec.accesses_per_job = 4;
+  spec.load = 1.0;
+  spec.seed = 17;
+  const TaskSet ts = workload::make_task_set(spec);
+  const auto ideal = run(ts, ShareMode::kIdeal, msec(100), 2, usec(300),
+                         usec(2));
+  const auto lf = run(ts, ShareMode::kLockFree, msec(100), 2, usec(300),
+                      usec(2));
+  const auto lb = run(ts, ShareMode::kLockBased, msec(100), 2, usec(300),
+                      usec(2));
+  EXPECT_GE(ideal.aur() + 0.02, lf.aur());
+  EXPECT_GE(lf.aur() + 0.02, lb.aur());
+}
+
+TEST(Integration, NestedWorkloadLongRunWithDetection) {
+  // Random nested workloads under sustained load: deadlocks arise and
+  // are resolved; the system never wedges and locks never leak.
+  workload::WorkloadSpec spec;
+  spec.task_count = 6;
+  spec.object_count = 4;
+  spec.nest_depth = 3;
+  spec.load = 0.9;
+  spec.seed = 9;
+  const TaskSet ts = workload::make_task_set(spec);
+  const auto rep = run(ts, ShareMode::kLockBased, msec(60), 11, usec(20),
+                       usec(1), 5.0, /*detect=*/true);
+  EXPECT_EQ(rep.completed + rep.aborted, rep.counted_jobs);
+  for (const Job& j : rep.jobs) {
+    // A job still mid-execution at the horizon may legitimately hold
+    // locks; every *terminal* job must have released everything.
+    if (!j.finished()) continue;
+    EXPECT_TRUE(j.held_stack.empty()) << "job " << j.id << " leaked";
+    EXPECT_EQ(j.held_object, kNoObject);
+  }
+  // Utility still flows despite cycles.
+  EXPECT_GT(rep.aur(), 0.5);
+}
+
+}  // namespace
+}  // namespace lfrt

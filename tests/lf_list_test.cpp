@@ -1,0 +1,185 @@
+// Tests for the lock-free sorted list (Valois/Harris style) and the NBW
+// single-writer/multi-reader buffer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "lockfree/lf_list.hpp"
+#include "lockfree/nbw_buffer.hpp"
+
+namespace lfrt::lockfree {
+namespace {
+
+TEST(MarkedRef, PackingRoundTrips) {
+  const auto r = MarkedRef::make(0xABCDu, 0x1234u, true);
+  EXPECT_EQ(r.index(), 0xABCDu);
+  EXPECT_EQ(r.tag(), 0x1234u);
+  EXPECT_TRUE(r.marked());
+  const auto u = MarkedRef::make(0xABCDu, 0x1234u, false);
+  EXPECT_FALSE(u.marked());
+  EXPECT_TRUE(MarkedRef::null().is_null());
+}
+
+TEST(MarkedRef, TagIs31Bits) {
+  const auto r = MarkedRef::make(1, 0xFFFFFFFFu, false);
+  EXPECT_EQ(r.tag(), 0x7FFFFFFFu);
+  EXPECT_FALSE(r.marked());  // tag overflow must not leak into the mark
+}
+
+TEST(LfList, InsertContainsRemoveSequential) {
+  LfList list(16);
+  EXPECT_FALSE(list.contains(5));
+  EXPECT_TRUE(list.insert(5));
+  EXPECT_TRUE(list.insert(1));
+  EXPECT_TRUE(list.insert(9));
+  EXPECT_FALSE(list.insert(5));  // duplicate
+  EXPECT_TRUE(list.contains(1));
+  EXPECT_TRUE(list.contains(5));
+  EXPECT_TRUE(list.contains(9));
+  EXPECT_FALSE(list.contains(4));
+  EXPECT_TRUE(list.remove(5));
+  EXPECT_FALSE(list.remove(5));
+  EXPECT_FALSE(list.contains(5));
+  EXPECT_EQ(list.keys(), (std::vector<std::int64_t>{1, 9}));
+}
+
+TEST(LfList, KeysAreSorted) {
+  LfList list(32);
+  for (int k : {7, 3, 11, 1, 9, 5}) EXPECT_TRUE(list.insert(k));
+  EXPECT_EQ(list.keys(), (std::vector<std::int64_t>{1, 3, 5, 7, 9, 11}));
+}
+
+TEST(LfList, PoolExhaustionAndReclaim) {
+  LfList list(3);
+  EXPECT_TRUE(list.insert(1));
+  EXPECT_TRUE(list.insert(2));
+  EXPECT_TRUE(list.insert(3));
+  EXPECT_FALSE(list.insert(4));  // pool exhausted
+  EXPECT_TRUE(list.remove(2));
+  // The removed node sits on the retired list until a quiescent
+  // reclaim; the pool is still exhausted.
+  EXPECT_FALSE(list.insert(4));
+  EXPECT_EQ(list.reclaim(), 1u);
+  EXPECT_TRUE(list.insert(4));
+  EXPECT_EQ(list.keys(), (std::vector<std::int64_t>{1, 3, 4}));
+}
+
+TEST(LfList, RemoveHeadMiddleTail) {
+  LfList list(8);
+  for (int k : {1, 2, 3, 4}) list.insert(k);
+  EXPECT_TRUE(list.remove(1));  // head
+  EXPECT_TRUE(list.remove(3));  // middle
+  EXPECT_TRUE(list.remove(4));  // tail
+  EXPECT_EQ(list.keys(), (std::vector<std::int64_t>{2}));
+  EXPECT_TRUE(list.remove(2));
+  EXPECT_TRUE(list.keys().empty());
+}
+
+TEST(LfList, NegativeAndExtremeKeys) {
+  LfList list(8);
+  EXPECT_TRUE(list.insert(-100));
+  EXPECT_TRUE(list.insert(0));
+  EXPECT_TRUE(list.insert(INT64_MAX));
+  EXPECT_TRUE(list.insert(INT64_MIN));
+  EXPECT_EQ(list.keys(), (std::vector<std::int64_t>{INT64_MIN, -100, 0,
+                                                    INT64_MAX}));
+}
+
+TEST(LfList, ConcurrentDisjointInserts) {
+  LfList list(4096);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&list, t] {
+      for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(list.insert(t * 1000 + i));
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto keys = list.keys();
+  ASSERT_EQ(keys.size(), 4000u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  for (int k = 0; k < 4000; ++k) EXPECT_TRUE(list.contains(k));
+}
+
+TEST(LfList, ConcurrentInsertRemoveChurn) {
+  LfList list(8192);
+  // Pre-populate even keys; threads remove evens and insert odds.
+  for (int k = 0; k < 2000; k += 2) ASSERT_TRUE(list.insert(k));
+  std::vector<std::thread> threads;
+  std::atomic<int> removed{0};
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = t; k < 2000; k += 3) {
+        if (k % 2 == 0) {
+          if (list.remove(k)) removed.fetch_add(1);
+        } else {
+          list.insert(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto keys = list.keys();
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  std::set<std::int64_t> unique(keys.begin(), keys.end());
+  EXPECT_EQ(unique.size(), keys.size());  // no duplicates
+  // Every even key in [0, 2000) is covered by exactly one thread
+  // (k mod 3 picks it), so all evens are removed exactly once and none
+  // survive.
+  for (std::int64_t k : keys) EXPECT_NE(k % 2, 0) << "even key " << k;
+  EXPECT_EQ(removed.load(), 1000);
+  const auto reclaimed = list.reclaim();
+  EXPECT_EQ(reclaimed, 1000u);
+}
+
+TEST(NbwBuffer, SingleThreadReadBack) {
+  struct Msg {
+    int a;
+    double b;
+  };
+  NbwBuffer<Msg> buf({1, 2.5});
+  const Msg m = buf.read();
+  EXPECT_EQ(m.a, 1);
+  EXPECT_DOUBLE_EQ(m.b, 2.5);
+  buf.write({7, -1.0});
+  EXPECT_EQ(buf.read().a, 7);
+  EXPECT_EQ(buf.version(), 2u);  // one write = +2, even when stable
+  EXPECT_EQ(buf.read_retries(), 0);
+}
+
+TEST(NbwBuffer, WriterIsWaitFreeReadersAreConsistent) {
+  // The message carries a redundant checksum; a torn read would break
+  // it.  One writer updates continuously; readers must never observe an
+  // inconsistent pair.
+  struct Msg {
+    std::int64_t value;
+    std::int64_t negated;
+  };
+  NbwBuffer<Msg> buf({0, 0});
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (std::int64_t i = 1; i <= 200000; ++i) buf.write({i, -i});
+    stop.store(true);
+  });
+  std::int64_t reads = 0;
+  while (!stop.load()) {
+    const Msg m = buf.read();
+    ASSERT_EQ(m.value, -m.negated) << "torn read";
+    ++reads;
+  }
+  writer.join();
+  // On a single CPU the reader may get few slots; consistency of every
+  // read it *did* make is the property under test (reads is only
+  // informational).
+  (void)reads;
+  EXPECT_EQ(buf.version(), 2u * 200000u);
+  const Msg last = buf.read();
+  EXPECT_EQ(last.value, 200000);
+}
+
+}  // namespace
+}  // namespace lfrt::lockfree

@@ -1,0 +1,74 @@
+// Tests for the lock-based substrate (mutex queue/stack with contention
+// accounting).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "lockbased/mutex_queue.hpp"
+
+namespace lfrt::lockbased {
+namespace {
+
+TEST(MutexQueue, FifoSequential) {
+  MutexQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 5; ++i) q.enqueue(i);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.dequeue().value(), i);
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(MutexQueue, AccountsAcquisitions) {
+  MutexQueue<int> q;
+  q.enqueue(1);
+  q.dequeue();
+  q.dequeue();
+  EXPECT_EQ(q.stats().acquisitions.load(), 3);
+  EXPECT_EQ(q.stats().contended.load(), 0);
+  EXPECT_DOUBLE_EQ(q.stats().contention_ratio(), 0.0);
+}
+
+TEST(MutexQueue, ConcurrentConservation) {
+  constexpr int kPerThread = 20000;
+  MutexQueue<int> q;
+  std::vector<std::thread> threads;
+  std::atomic<std::int64_t> count{0};
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        q.enqueue(i);
+        if (q.dequeue()) count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  while (q.dequeue()) count.fetch_add(1);
+  EXPECT_EQ(count.load(), 3LL * kPerThread);
+  EXPECT_GE(q.stats().acquisitions.load(), 3LL * kPerThread * 2);
+}
+
+TEST(MutexStack, LifoSequential) {
+  MutexStack<int> s;
+  for (int i = 0; i < 4; ++i) s.push(i);
+  for (int i = 3; i >= 0; --i) EXPECT_EQ(s.pop().value(), i);
+  EXPECT_FALSE(s.pop().has_value());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(MutexStack, StatsCountOperations) {
+  MutexStack<int> s;
+  s.push(1);
+  s.pop();
+  EXPECT_EQ(s.stats().acquisitions.load(), 2);
+}
+
+TEST(ContentionRatio, ZeroWhenUncontended) {
+  LockStats st;
+  EXPECT_DOUBLE_EQ(st.contention_ratio(), 0.0);
+  st.acquisitions.store(10);
+  st.contended.store(5);
+  EXPECT_DOUBLE_EQ(st.contention_ratio(), 0.5);
+}
+
+}  // namespace
+}  // namespace lfrt::lockbased

@@ -1,0 +1,290 @@
+// Tests for the lock-free substrate: tagged refs, node pool, Michael &
+// Scott queue, Treiber stack, SPSC ring — sequential semantics plus
+// concurrent stress with FIFO/LIFO and conservation checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "lockfree/msqueue.hpp"
+#include "lockfree/node_pool.hpp"
+#include "lockfree/spsc_ring.hpp"
+#include "lockfree/tagged.hpp"
+#include "lockfree/treiber_stack.hpp"
+
+namespace lfrt::lockfree {
+namespace {
+
+TEST(TaggedRef, PackingRoundTrips) {
+  const auto r = TaggedRef::make(0x12345678u, 0x9ABCDEF0u);
+  EXPECT_EQ(r.index(), 0x12345678u);
+  EXPECT_EQ(r.tag(), 0x9ABCDEF0u);
+  EXPECT_FALSE(r.is_null());
+}
+
+TEST(TaggedRef, NullAndBump) {
+  const auto n = TaggedRef::null(5);
+  EXPECT_TRUE(n.is_null());
+  EXPECT_EQ(n.tag(), 5u);
+  const auto b = n.bump(3);
+  EXPECT_EQ(b.index(), 3u);
+  EXPECT_EQ(b.tag(), 6u);
+}
+
+TEST(TaggedRef, TagWrapsWithoutUb) {
+  const auto r = TaggedRef::make(1, 0xFFFFFFFFu);
+  EXPECT_EQ(r.bump(1).tag(), 0u);
+}
+
+struct PoolNode {
+  int value = 0;
+  std::atomic<std::uint64_t> next{0};
+};
+
+TEST(NodePool, AllocateAllThenExhaust) {
+  NodePool<PoolNode> pool(4);
+  std::vector<std::uint32_t> got;
+  for (int i = 0; i < 4; ++i) {
+    const auto idx = pool.allocate();
+    ASSERT_NE(idx, TaggedRef::kNullIndex);
+    got.push_back(idx);
+  }
+  EXPECT_EQ(pool.allocate(), TaggedRef::kNullIndex);
+  // Indices must be distinct.
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(std::adjacent_find(got.begin(), got.end()), got.end());
+  pool.release(got[2]);
+  EXPECT_EQ(pool.allocate(), got[2]);
+}
+
+TEST(MsQueue, FifoOrderSequential) {
+  MsQueue<int> q(16);
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.enqueue(i));
+  EXPECT_FALSE(q.empty());
+  for (int i = 0; i < 10; ++i) {
+    const auto v = q.dequeue();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MsQueue, CapacityBoundRespected) {
+  MsQueue<int> q(3);
+  EXPECT_TRUE(q.enqueue(1));
+  EXPECT_TRUE(q.enqueue(2));
+  EXPECT_TRUE(q.enqueue(3));
+  EXPECT_FALSE(q.enqueue(4));  // pool exhausted
+  EXPECT_EQ(q.dequeue().value(), 1);
+  EXPECT_TRUE(q.enqueue(4));  // node recycled
+}
+
+TEST(MsQueue, InterleavedOperations) {
+  MsQueue<int> q(8);
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(q.enqueue(2 * round));
+    EXPECT_TRUE(q.enqueue(2 * round + 1));
+    EXPECT_EQ(q.dequeue().value(), 2 * round);
+    EXPECT_EQ(q.dequeue().value(), 2 * round + 1);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MsQueue, ConcurrentConservationAndFifoPerProducer) {
+  // 2 producers x 2 consumers; every element is delivered exactly once
+  // and per-producer order is preserved (MS queue linearizability
+  // corollary).
+  constexpr int kPerProducer = 5000;
+  MsQueue<int> q(1024);
+  std::atomic<bool> done{false};
+  std::vector<std::vector<int>> sunk(2);
+  std::vector<std::thread> threads;
+
+  for (int p = 0; p < 2; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int v = p * kPerProducer + i;
+        while (!q.enqueue(v)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&q, &done, &sunk, c] {
+      for (;;) {
+        const auto v = q.dequeue();
+        if (v) {
+          sunk[static_cast<std::size_t>(c)].push_back(*v);
+        } else if (done.load()) {
+          // All enqueues have completed; empty now means truly drained.
+          break;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  threads[0].join();
+  threads[1].join();
+  done.store(true);
+  threads[2].join();
+  threads[3].join();
+
+  std::vector<int> all;
+  for (const auto& s : sunk) all.insert(all.end(), s.begin(), s.end());
+  ASSERT_EQ(all.size(), 2u * kPerProducer);
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 2 * kPerProducer; ++i) EXPECT_EQ(all[i], i);
+  // Per-producer FIFO within each consumer's stream.
+  for (const auto& s : sunk) {
+    int last0 = -1, last1 = -1;
+    for (int v : s) {
+      if (v < kPerProducer) {
+        EXPECT_GT(v, last0);
+        last0 = v;
+      } else {
+        EXPECT_GT(v, last1);
+        last1 = v;
+      }
+    }
+  }
+}
+
+TEST(MsQueue, RetryCountersAccumulateUnderContention) {
+  MsQueue<int> q(256);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&q] {
+      for (int i = 0; i < 20000; ++i) {
+        q.enqueue(i);
+        q.dequeue();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Retries are workload-dependent; the counter API must at least be
+  // consistent (non-negative, readable after quiesce).
+  EXPECT_GE(q.stats().total(), 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(TreiberStack, LifoOrderSequential) {
+  TreiberStack<int> s(8);
+  EXPECT_TRUE(s.empty());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(s.push(i));
+  for (int i = 4; i >= 0; --i) EXPECT_EQ(s.pop().value(), i);
+  EXPECT_FALSE(s.pop().has_value());
+}
+
+TEST(TreiberStack, CapacityAndRecycling) {
+  TreiberStack<int> s(2);
+  EXPECT_TRUE(s.push(1));
+  EXPECT_TRUE(s.push(2));
+  EXPECT_FALSE(s.push(3));
+  EXPECT_EQ(s.pop().value(), 2);
+  EXPECT_TRUE(s.push(3));
+  EXPECT_EQ(s.pop().value(), 3);
+  EXPECT_EQ(s.pop().value(), 1);
+}
+
+TEST(TreiberStack, ConcurrentConservation) {
+  constexpr int kPerThread = 10000;
+  TreiberStack<int> s(512);
+  std::vector<std::thread> threads;
+  std::atomic<std::int64_t> popped_sum{0};
+  std::atomic<std::int64_t> popped_count{0};
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int v = t * kPerThread + i;
+        while (!s.push(v)) std::this_thread::yield();
+        const auto got = s.pop();
+        if (got) {
+          popped_sum.fetch_add(*got);
+          popped_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Drain what's left.
+  while (auto v = s.pop()) {
+    popped_sum.fetch_add(*v);
+    popped_count.fetch_add(1);
+  }
+  const std::int64_t n = 3LL * kPerThread;
+  EXPECT_EQ(popped_count.load(), n);
+  // Sum of 0..(n-1) with three disjoint ranges == sum of all pushed.
+  std::int64_t expect = 0;
+  for (int t = 0; t < 3; ++t)
+    for (int i = 0; i < kPerThread; ++i) expect += t * kPerThread + i;
+  EXPECT_EQ(popped_sum.load(), expect);
+}
+
+TEST(SpscRing, FifoAndBounds) {
+  SpscRing<int> r(3);
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.push(1));
+  EXPECT_TRUE(r.push(2));
+  EXPECT_TRUE(r.push(3));
+  EXPECT_FALSE(r.push(4));  // full
+  EXPECT_EQ(r.pop().value(), 1);
+  EXPECT_TRUE(r.push(4));
+  EXPECT_EQ(r.pop().value(), 2);
+  EXPECT_EQ(r.pop().value(), 3);
+  EXPECT_EQ(r.pop().value(), 4);
+  EXPECT_FALSE(r.pop().has_value());
+}
+
+TEST(SpscRing, WaitFreeProducerConsumer) {
+  constexpr int kCount = 200000;
+  SpscRing<int> r(64);
+  std::thread producer([&r] {
+    for (int i = 0; i < kCount; ++i)
+      while (!r.push(i)) std::this_thread::yield();
+  });
+  int expect = 0;
+  while (expect < kCount) {
+    if (const auto v = r.pop()) {
+      ASSERT_EQ(*v, expect);  // strict FIFO, no loss, no duplication
+      ++expect;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(r.empty());
+}
+
+/// Parameterized ABA hammer: tight push/pop cycles over a tiny pool from
+/// multiple threads maximize node recycling; the tag scheme must keep
+/// the structures consistent.
+class AbaHammerTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AbaHammerTest, QueueSurvivesRecyclingPressure) {
+  const int threads_n = GetParam();
+  MsQueue<int> q(static_cast<std::size_t>(threads_n));  // minimal pool
+  std::vector<std::thread> threads;
+  std::atomic<std::int64_t> delivered{0};
+  for (int t = 0; t < threads_n; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 30000; ++i) {
+        while (!q.enqueue(i)) std::this_thread::yield();
+        while (!q.dequeue()) std::this_thread::yield();
+        delivered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(delivered.load(), threads_n * 30000LL);
+  EXPECT_TRUE(q.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AbaHammerTest, ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace lfrt::lockfree

@@ -1,0 +1,279 @@
+// Nested critical sections end-to-end: span validation, multi-lock
+// execution, deadlock formation, detection, and resolution through the
+// abort-exception path (paper, Sections 3.3 and 3.5).
+#include <gtest/gtest.h>
+
+#include "sched/edf.hpp"
+#include "sched/rua.hpp"
+#include "sim/simulator.hpp"
+#include "support/check.hpp"
+
+namespace lfrt {
+namespace {
+
+using sim::ShareMode;
+using sim::SimConfig;
+using sim::Simulator;
+
+TaskParams nested_task(TaskId id, Time exec, Time critical,
+                       std::vector<LockSpan> spans, double height = 10.0) {
+  TaskParams p;
+  p.id = id;
+  p.exec_time = exec;
+  p.tuf = make_step_tuf(height, critical);
+  p.arrival = UamSpec{1, 1, critical};
+  p.spans = std::move(spans);
+  return p;
+}
+
+TEST(SpanValidation, AcceptsProperNesting) {
+  auto p = nested_task(0, usec(10), usec(100),
+                       {{0, usec(1), usec(9)}, {1, usec(3), usec(7)}});
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(SpanValidation, RejectsPartialOverlap) {
+  // Span 1 acquires inside span 0 but releases after it: not LIFO.
+  auto p = nested_task(0, usec(10), usec(100),
+                       {{0, usec(1), usec(5)}, {1, usec(3), usec(8)}});
+  EXPECT_THROW(p.validate(), InvariantViolation);
+}
+
+TEST(SpanValidation, RejectsReacquisitionOfHeldLock) {
+  auto p = nested_task(0, usec(10), usec(100),
+                       {{0, usec(1), usec(9)}, {0, usec(3), usec(7)}});
+  EXPECT_THROW(p.validate(), InvariantViolation);
+}
+
+TEST(SpanValidation, RejectsEmptyOrReversedSpan) {
+  auto a = nested_task(0, usec(10), usec(100), {{0, usec(5), usec(5)}});
+  EXPECT_THROW(a.validate(), InvariantViolation);
+  auto b = nested_task(0, usec(10), usec(100), {{0, usec(6), usec(4)}});
+  EXPECT_THROW(b.validate(), InvariantViolation);
+}
+
+TEST(SpanValidation, RejectsMixingFlatAndNested) {
+  auto p = nested_task(0, usec(10), usec(100), {{0, usec(1), usec(5)}});
+  p.accesses = {{1, usec(2)}};
+  EXPECT_THROW(p.validate(), InvariantViolation);
+}
+
+TEST(SpanValidation, SequentialSpansNeedNotNest) {
+  auto p = nested_task(0, usec(10), usec(100),
+                       {{0, usec(1), usec(3)}, {1, usec(5), usec(8)}});
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(NestedSim, RequiresLockBasedMode) {
+  TaskSet ts;
+  ts.object_count = 1;
+  ts.tasks.push_back(
+      nested_task(0, usec(10), usec(100), {{0, usec(1), usec(5)}}));
+  const sched::RuaScheduler rua(sched::Sharing::kLockFree);
+  SimConfig cfg;
+  cfg.mode = ShareMode::kLockFree;
+  EXPECT_THROW(Simulator(ts, rua, cfg), InvariantViolation);
+}
+
+TEST(NestedSim, SingleJobNestedTimingHandComputed) {
+  // u=10us, spans (O0, 2..9) and (O1, 4..7), r=3us.
+  // Timeline: compute 0-2, acquire O0 + access 3us, compute 2-4,
+  // acquire O1 + access 3us, compute 4-7, release O1, compute 7-9,
+  // release O0, compute 9-10.  Completion = 10 + 2*3 = 16us.
+  TaskSet ts;
+  ts.object_count = 2;
+  ts.tasks.push_back(nested_task(
+      0, usec(10), usec(100),
+      {{0, usec(2), usec(9)}, {1, usec(4), usec(7)}}));
+  const sched::RuaScheduler rua(sched::Sharing::kLockBased, true);
+  SimConfig cfg;
+  cfg.mode = ShareMode::kLockBased;
+  cfg.lock_access_time = usec(3);
+  cfg.horizon = msec(1);
+  Simulator sim(ts, rua, cfg);
+  sim.set_arrivals(0, {0});
+  const auto rep = sim.run();
+  ASSERT_EQ(rep.completed, 1);
+  EXPECT_EQ(rep.jobs[0].completion, usec(16));
+  EXPECT_EQ(rep.deadlocks_resolved, 0);
+  EXPECT_EQ(rep.jobs[0].blockings, 0);
+}
+
+/// Classic ABBA deadlock: T0 takes O0 then O1; T1 takes O1 then O0.
+/// T1 arrives first and takes its outer lock; T0 arrives later with the
+/// *earlier* absolute critical time, so RUA's ECF dispatch preempts T1
+/// with it and both end up holding one lock and requesting the other's.
+TaskSet abba_taskset() {
+  TaskSet ts;
+  ts.object_count = 2;
+  // T0: high utility, tight critical time — should survive resolution.
+  ts.tasks.push_back(nested_task(
+      0, usec(20), usec(300),
+      {{0, usec(2), usec(18)}, {1, usec(10), usec(16)}}, 100.0));
+  // T1: low utility — the likely victim.
+  ts.tasks.push_back(nested_task(
+      1, usec(20), usec(400),
+      {{1, usec(2), usec(18)}, {0, usec(10), usec(16)}}, 5.0));
+  ts.tasks[1].abort_handler_time = usec(2);
+  ts.validate();
+  return ts;
+}
+
+TEST(NestedSim, AbbaDeadlockDetectedAndResolved) {
+  const TaskSet ts = abba_taskset();
+  const sched::RuaScheduler rua(sched::Sharing::kLockBased,
+                                /*detect_deadlocks=*/true);
+  SimConfig cfg;
+  cfg.mode = ShareMode::kLockBased;
+  cfg.lock_access_time = usec(1);
+  cfg.record_trace = true;
+  cfg.horizon = msec(2);
+  Simulator sim(ts, rua, cfg);
+  // T1 arrives first and acquires O1 (its acquire offset is 2us, the
+  // access takes 1us, so it holds O1 from t=3); T0 arrives at t=4,
+  // preempts via its higher PUD, acquires O0, computes to its inner
+  // acquire, requests O1 -> blocked; T1 resumes, requests O0 -> cycle.
+  sim.set_arrivals(1, {0});
+  sim.set_arrivals(0, {usec(4)});
+  const auto rep = sim.run();
+
+  EXPECT_EQ(rep.deadlocks_resolved, 1);
+  // The low-utility job (T1, which arrived first, job id 0) is the
+  // victim; the high-utility T0 (job id 1) completes.
+  const Job& victim = rep.jobs[0];
+  const Job& survivor = rep.jobs[1];
+  EXPECT_EQ(victim.task, 1);
+  EXPECT_EQ(victim.state, JobState::kAborted);
+  EXPECT_EQ(survivor.task, 0);
+  EXPECT_EQ(survivor.state, JobState::kCompleted);
+  bool saw_victim_line = false;
+  for (const auto& line : rep.trace)
+    saw_victim_line |= line.find("deadlock victim") != std::string::npos;
+  EXPECT_TRUE(saw_victim_line);
+}
+
+TEST(NestedSim, DeadlockWithoutDetectionPinsUntilExpiry) {
+  // Under EDF (no detection), the ABBA cycle pins both jobs; the first
+  // critical-time expiry aborts its job, releasing the locks and
+  // unblocking the survivor.  T0 gets the earlier critical time so EDF
+  // preempts T1 with it (forming the cycle).
+  TaskSet ts;
+  ts.object_count = 2;
+  ts.tasks.push_back(nested_task(
+      0, usec(20), usec(300),
+      {{0, usec(2), usec(18)}, {1, usec(10), usec(16)}}, 100.0));
+  ts.tasks.push_back(nested_task(
+      1, usec(20), usec(400),
+      {{1, usec(2), usec(18)}, {0, usec(10), usec(16)}}, 5.0));
+  ts.validate();
+  const sched::EdfScheduler edf;
+  SimConfig cfg;
+  cfg.mode = ShareMode::kLockBased;
+  cfg.lock_access_time = usec(1);
+  cfg.horizon = msec(2);
+  Simulator sim(ts, edf, cfg);
+  sim.set_arrivals(1, {0});
+  sim.set_arrivals(0, {usec(4)});
+  const auto rep = sim.run();
+  EXPECT_EQ(rep.deadlocks_resolved, 0);
+  // T0 is pinned past its critical time and aborted; the release then
+  // lets T1 finish before its own critical time.
+  EXPECT_EQ(rep.aborted, 1);
+  EXPECT_EQ(rep.completed, 1);
+  for (const Job& j : rep.jobs) {
+    if (j.task == 0) {
+      EXPECT_EQ(j.state, JobState::kAborted);
+    }
+    if (j.task == 1) {
+      EXPECT_EQ(j.state, JobState::kCompleted);
+    }
+  }
+}
+
+TEST(NestedSim, VictimHandlerReleasesLocksAfterHandlerTime) {
+  const TaskSet ts = abba_taskset();  // T1's handler takes 2us
+  const sched::RuaScheduler rua(sched::Sharing::kLockBased, true);
+  SimConfig cfg;
+  cfg.mode = ShareMode::kLockBased;
+  cfg.lock_access_time = usec(1);
+  cfg.horizon = msec(2);
+  Simulator sim(ts, rua, cfg);
+  sim.set_arrivals(1, {0});
+  sim.set_arrivals(0, {usec(4)});
+  const auto rep = sim.run();
+  // Survivor still completes; victim went through kAborting (handler).
+  EXPECT_EQ(rep.deadlocks_resolved, 1);
+  EXPECT_EQ(rep.completed, 1);
+  EXPECT_EQ(rep.aborted, 1);
+}
+
+TEST(NestedSim, ContentionWithoutCycleJustBlocks) {
+  // Both tasks take O0 then O1 in the SAME order: no deadlock possible;
+  // the second requester blocks and proceeds after release.
+  TaskSet ts;
+  ts.object_count = 2;
+  ts.tasks.push_back(nested_task(
+      0, usec(20), usec(500),
+      {{0, usec(2), usec(18)}, {1, usec(10), usec(16)}}, 100.0));
+  // T1 has the earlier absolute critical time at its arrival, so it
+  // preempts T0 *after* T0 has taken O0 — and then blocks on O0.
+  ts.tasks.push_back(nested_task(
+      1, usec(20), usec(400),
+      {{0, usec(2), usec(18)}, {1, usec(10), usec(16)}}, 5.0));
+  ts.validate();
+  const sched::RuaScheduler rua(sched::Sharing::kLockBased, true);
+  SimConfig cfg;
+  cfg.mode = ShareMode::kLockBased;
+  cfg.lock_access_time = usec(1);
+  cfg.horizon = msec(2);
+  Simulator sim(ts, rua, cfg);
+  sim.set_arrivals(0, {0});
+  sim.set_arrivals(1, {usec(4)});
+  const auto rep = sim.run();
+  EXPECT_EQ(rep.deadlocks_resolved, 0);
+  EXPECT_EQ(rep.completed, 2);
+  EXPECT_GE(rep.total_blockings, 1);
+}
+
+TEST(NestedSim, ThreeWayCycleResolvedWithOneVictim) {
+  // T0: O0 then O1; T1: O1 then O2; T2: O2 then O0 — a 3-cycle.
+  TaskSet ts;
+  ts.object_count = 3;
+  // Ascending importance so each newcomer preempts the previous task
+  // after it has taken its outer lock, building the 3-cycle.
+  const double heights[] = {1.0, 50.0, 100.0};
+  for (TaskId i = 0; i < 3; ++i) {
+    // Descending critical times: each newcomer has the earliest
+    // absolute critical time, so ECF dispatch preempts the current
+    // holder after it took its outer lock.
+    ts.tasks.push_back(nested_task(
+        i, usec(30), usec(1000 - 200 * i),
+        {{i, usec(2), usec(28)},
+         {static_cast<ObjectId>((i + 1) % 3), usec(10), usec(26)}},
+        heights[i]));
+  }
+  ts.validate();
+  const sched::RuaScheduler rua(sched::Sharing::kLockBased, true);
+  SimConfig cfg;
+  cfg.mode = ShareMode::kLockBased;
+  cfg.lock_access_time = usec(1);
+  cfg.horizon = msec(5);
+  Simulator sim(ts, rua, cfg);
+  // Stagger past each outer acquire (offset 2us + 1us access).
+  sim.set_arrivals(0, {0});
+  sim.set_arrivals(1, {usec(4)});
+  sim.set_arrivals(2, {usec(8)});
+  const auto rep = sim.run();
+  // One victim breaks the cycle; the other two complete.
+  EXPECT_EQ(rep.deadlocks_resolved, 1);
+  EXPECT_EQ(rep.completed, 2);
+  EXPECT_EQ(rep.aborted, 1);
+  // The victim is the least-utility-density job (T0).
+  for (const Job& j : rep.jobs)
+    if (j.state == JobState::kAborted) {
+      EXPECT_EQ(j.task, 0);
+    }
+}
+
+}  // namespace
+}  // namespace lfrt

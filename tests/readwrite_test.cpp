@@ -1,0 +1,139 @@
+// Read/write access semantics under lock-free sharing: writes fail
+// concurrent attempts' CAS, reads never do — the multi-writer/
+// multi-reader distinction of the paper's conclusion.
+#include <gtest/gtest.h>
+
+#include "sched/edf.hpp"
+#include "sim/simulator.hpp"
+#include "workload/workload.hpp"
+
+namespace lfrt {
+namespace {
+
+using sim::ShareMode;
+using sim::SimConfig;
+using sim::Simulator;
+
+TaskParams rw_task(TaskId id, Time exec, Time critical, ObjectId obj,
+                   Time offset, bool write) {
+  TaskParams p;
+  p.id = id;
+  p.exec_time = exec;
+  p.tuf = make_step_tuf(10.0, critical);
+  p.arrival = UamSpec{1, 1, critical};
+  p.accesses = {{obj, offset, write}};
+  return p;
+}
+
+const Job& job_of_task(const sim::SimReport& rep, TaskId task) {
+  for (const Job& j : rep.jobs)
+    if (j.task == task) return j;
+  throw std::runtime_error("no such job");
+}
+
+sim::SimReport run_pair(bool t1_writes) {
+  // Same interleaving as the Section-4 hand-computed retry scenario:
+  // T0 is preempted mid-access by T1, which accesses the same object.
+  TaskSet ts;
+  ts.object_count = 1;
+  ts.tasks.push_back(rw_task(0, usec(10), usec(200), 0, usec(5), true));
+  ts.tasks.push_back(
+      rw_task(1, usec(10), usec(100), 0, usec(5), t1_writes));
+  const sched::EdfScheduler edf;
+  SimConfig cfg;
+  cfg.mode = ShareMode::kLockFree;
+  cfg.lockfree_access_time = usec(10);
+  cfg.horizon = msec(1);
+  Simulator sim(ts, edf, cfg);
+  sim.set_arrivals(0, {0});
+  sim.set_arrivals(1, {usec(8)});
+  return sim.run();
+}
+
+TEST(ReadWrite, InterferingWriteForcesRetry) {
+  const auto rep = run_pair(/*t1_writes=*/true);
+  EXPECT_EQ(job_of_task(rep, 0).retries, 1);
+  EXPECT_EQ(job_of_task(rep, 0).completion, usec(50));
+}
+
+TEST(ReadWrite, InterferingReadIsHarmless) {
+  const auto rep = run_pair(/*t1_writes=*/false);
+  // T1's read completes inside T0's attempt window but does not
+  // invalidate it: T0's CAS succeeds on resume, no retry.
+  EXPECT_EQ(job_of_task(rep, 0).retries, 0);
+  // T0: attempt 5..8 + resume 28..35, compute 35..40.
+  EXPECT_EQ(job_of_task(rep, 0).completion, usec(40));
+  EXPECT_EQ(rep.total_retries, 0);
+}
+
+TEST(ReadWrite, ReaderRetriesOnConcurrentWrite) {
+  // Roles swapped: the preempted job is a reader, the interferer a
+  // writer — the reader must retry (its snapshot went stale).
+  TaskSet ts;
+  ts.object_count = 1;
+  ts.tasks.push_back(rw_task(0, usec(10), usec(200), 0, usec(5), false));
+  ts.tasks.push_back(rw_task(1, usec(10), usec(100), 0, usec(5), true));
+  const sched::EdfScheduler edf;
+  SimConfig cfg;
+  cfg.mode = ShareMode::kLockFree;
+  cfg.lockfree_access_time = usec(10);
+  cfg.horizon = msec(1);
+  Simulator sim(ts, edf, cfg);
+  sim.set_arrivals(0, {0});
+  sim.set_arrivals(1, {usec(8)});
+  const auto rep = sim.run();
+  EXPECT_EQ(job_of_task(rep, 0).retries, 1);
+}
+
+TEST(ReadWrite, AllReadWorkloadNeverRetries) {
+  workload::WorkloadSpec spec;
+  spec.task_count = 8;
+  spec.object_count = 2;
+  spec.accesses_per_job = 4;
+  spec.read_fraction = 1.0;
+  spec.load = 1.0;
+  spec.seed = 33;
+  const TaskSet ts = workload::make_task_set(spec);
+  for (const auto& t : ts.tasks)
+    for (const auto& a : t.accesses) EXPECT_FALSE(a.write);
+
+  const sched::EdfScheduler edf;
+  SimConfig cfg;
+  cfg.mode = ShareMode::kLockFree;
+  cfg.lockfree_access_time = usec(5);
+  cfg.horizon = msec(40);
+  Simulator sim(ts, edf, cfg);
+  sim.seed_arrivals(3);
+  const auto rep = sim.run();
+  EXPECT_EQ(rep.total_retries, 0);
+}
+
+TEST(ReadWrite, ReadFractionReducesRetriesMonotonically) {
+  auto retries_at = [](double read_fraction) {
+    workload::WorkloadSpec spec;
+    spec.task_count = 8;
+    spec.object_count = 1;  // one hot object
+    spec.accesses_per_job = 4;
+    spec.read_fraction = read_fraction;
+    spec.load = 1.0;
+    spec.seed = 33;
+    const TaskSet ts = workload::make_task_set(spec);
+    const sched::EdfScheduler edf;
+    SimConfig cfg;
+    cfg.mode = ShareMode::kLockFree;
+    cfg.lockfree_access_time = usec(20);
+    cfg.horizon = msec(60);
+    Simulator sim(ts, edf, cfg);
+    sim.seed_arrivals(3);
+    return sim.run().total_retries;
+  };
+  const auto all_writes = retries_at(0.0);
+  const auto half = retries_at(0.5);
+  const auto all_reads = retries_at(1.0);
+  EXPECT_GE(all_writes, half);
+  EXPECT_GE(half, all_reads);
+  EXPECT_EQ(all_reads, 0);
+}
+
+}  // namespace
+}  // namespace lfrt

@@ -1,0 +1,403 @@
+// Unit tests for the RUA scheduler (lock-based and lock-free) and the
+// EDF baseline, including the paper's worked examples (Figures 3-5).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sched/edf.hpp"
+#include "sched/rua.hpp"
+#include "support/check.hpp"
+#include "tuf/tuf.hpp"
+
+namespace lfrt {
+namespace {
+
+using sched::RuaScheduler;
+using sched::SchedJob;
+using sched::ScheduleResult;
+using sched::Sharing;
+
+/// Test fixture holding TUFs alive for the SchedJob views.
+class SchedTest : public ::testing::Test {
+ protected:
+  /// Make a job with a step TUF of the given height/critical time.
+  SchedJob job(JobId id, double height, Time critical, Time remaining,
+               JobId waits_on = kNoJob, Time arrival = 0) {
+    tufs_.push_back(make_step_tuf(height, critical));
+    SchedJob j;
+    j.id = id;
+    j.arrival = arrival;
+    j.critical = arrival + critical;
+    j.remaining = remaining;
+    j.tuf = tufs_.back().get();
+    j.waits_on = waits_on;
+    return j;
+  }
+
+  std::vector<std::unique_ptr<Tuf>> tufs_;
+};
+
+TEST_F(SchedTest, EmptyJobListYieldsIdle) {
+  const RuaScheduler rua(Sharing::kLockFree);
+  const auto res = rua.build({}, 0);
+  EXPECT_TRUE(res.schedule.empty());
+  EXPECT_EQ(res.dispatch, kNoJob);
+  EXPECT_TRUE(res.rejected.empty());
+}
+
+TEST_F(SchedTest, SingleJobDispatched) {
+  const RuaScheduler rua(Sharing::kLockFree);
+  const auto res = rua.build({job(7, 10.0, usec(100), usec(10))}, 0);
+  ASSERT_EQ(res.schedule.size(), 1u);
+  EXPECT_EQ(res.schedule[0], 7);
+  EXPECT_EQ(res.dispatch, 7);
+}
+
+TEST_F(SchedTest, UnderloadStepTufsProducesEcfOrder) {
+  // Paper, Section 3.4: during underloads with step TUFs and no sharing,
+  // RUA's output is an ECF (EDF) schedule and nothing is rejected.
+  const RuaScheduler rua(Sharing::kLockFree);
+  std::vector<SchedJob> jobs;
+  jobs.push_back(job(0, 5.0, usec(300), usec(10)));
+  jobs.push_back(job(1, 50.0, usec(100), usec(10)));
+  jobs.push_back(job(2, 20.0, usec(200), usec(10)));
+  const auto res = rua.build(jobs, 0);
+  ASSERT_EQ(res.schedule.size(), 3u);
+  EXPECT_EQ(res.schedule[0], 1);
+  EXPECT_EQ(res.schedule[1], 2);
+  EXPECT_EQ(res.schedule[2], 0);
+  EXPECT_TRUE(res.rejected.empty());
+  EXPECT_EQ(res.dispatch, 1);
+}
+
+TEST_F(SchedTest, RuaMatchesEdfDuringUnderload) {
+  const RuaScheduler rua(Sharing::kLockFree);
+  const sched::EdfScheduler edf;
+  std::vector<SchedJob> jobs;
+  for (int i = 0; i < 8; ++i)
+    jobs.push_back(job(i, 10.0 + i, usec(100 + 37 * i), usec(3)));
+  const auto r1 = rua.build(jobs, 0);
+  const auto r2 = edf.build(jobs, 0);
+  EXPECT_EQ(r1.schedule, r2.schedule);
+  EXPECT_EQ(r1.dispatch, r2.dispatch);
+}
+
+TEST_F(SchedTest, OverloadRejectsLowestPud) {
+  // Two jobs, only one can meet its critical time; the lower-PUD job is
+  // rejected and the head maximizes utility density.
+  const RuaScheduler rua(Sharing::kLockFree);
+  std::vector<SchedJob> jobs;
+  jobs.push_back(job(0, 100.0, usec(10), usec(9)));  // PUD 100/9
+  jobs.push_back(job(1, 10.0, usec(10), usec(9)));   // PUD 10/9
+  const auto res = rua.build(jobs, 0);
+  ASSERT_EQ(res.schedule.size(), 1u);
+  EXPECT_EQ(res.schedule[0], 0);
+  ASSERT_EQ(res.rejected.size(), 1u);
+  EXPECT_EQ(res.rejected[0], 1);
+}
+
+TEST_F(SchedTest, OverloadPrefersImportanceOverUrgency) {
+  // The more urgent job is less important: UA scheduling favors the
+  // important one during overload (the paper's core motivation).
+  const RuaScheduler rua(Sharing::kLockFree);
+  std::vector<SchedJob> jobs;
+  jobs.push_back(job(0, 1.0, usec(10), usec(8)));    // urgent, unimportant
+  jobs.push_back(job(1, 100.0, usec(12), usec(8)));  // later, important
+  const auto res = rua.build(jobs, 0);
+  ASSERT_EQ(res.schedule.size(), 1u);
+  EXPECT_EQ(res.schedule[0], 1);
+  EXPECT_EQ(res.dispatch, 1);
+}
+
+TEST_F(SchedTest, DependencyOrdersHolderFirst) {
+  // T1 waits on T2: the schedule must run T2 before T1 and dispatch T2.
+  const RuaScheduler rua(Sharing::kLockBased);
+  std::vector<SchedJob> jobs;
+  jobs.push_back(job(1, 50.0, usec(100), usec(10), /*waits_on=*/2));
+  jobs.push_back(job(2, 5.0, usec(200), usec(10)));
+  const auto res = rua.build(jobs, 0);
+  ASSERT_EQ(res.schedule.size(), 2u);
+  EXPECT_EQ(res.schedule[0], 2);
+  EXPECT_EQ(res.schedule[1], 1);
+  EXPECT_EQ(res.dispatch, 2);
+}
+
+TEST_F(SchedTest, TransitiveChainFullyOrdered) {
+  // Figure 3: T1 -> T2 -> T3; schedule must be T3, T2, T1.
+  const RuaScheduler rua(Sharing::kLockBased);
+  std::vector<SchedJob> jobs;
+  jobs.push_back(job(1, 90.0, usec(100), usec(10), 2));
+  jobs.push_back(job(2, 5.0, usec(300), usec(10), 3));
+  jobs.push_back(job(3, 1.0, usec(200), usec(10)));
+  const auto res = rua.build(jobs, 0);
+  ASSERT_EQ(res.schedule.size(), 3u);
+  EXPECT_EQ(res.schedule[0], 3);
+  EXPECT_EQ(res.schedule[1], 2);
+  EXPECT_EQ(res.schedule[2], 1);
+  EXPECT_EQ(res.dispatch, 3);
+}
+
+TEST_F(SchedTest, Figure4CriticalTimeClamping) {
+  // T1's chain is <T2, T1> with C2 > C1: T2 must still precede T1, with
+  // its effective critical time clamped to C1 for the feasibility test.
+  const RuaScheduler rua(Sharing::kLockBased);
+  std::vector<SchedJob> jobs;
+  jobs.push_back(job(1, 50.0, usec(50), usec(10), 2));
+  jobs.push_back(job(2, 5.0, usec(500), usec(45)));
+  // Without clamping, T2 (C=500) would pass feasibility anywhere; with
+  // clamping, T2 must finish by C1=50us: 45+10 = 55 > 50 -> the
+  // aggregate is infeasible and T1 is rejected; T2 alone survives via
+  // its own PUD-order examination.
+  const auto res = rua.build(jobs, 0);
+  ASSERT_EQ(res.rejected.size(), 1u);
+  EXPECT_EQ(res.rejected[0], 1);
+  ASSERT_EQ(res.schedule.size(), 1u);
+  EXPECT_EQ(res.schedule[0], 2);
+}
+
+TEST_F(SchedTest, Figure5RemovalAndReinsertion) {
+  // The paper's worked example: chains <T1>, <T1,T2>, <T1,T3>, PUD order
+  // T2, T1, T3, and C3 < C1 < C2.  T1 is first inserted before T2; when
+  // T3's aggregate is inserted, T1 must be removed and reinserted before
+  // T3.  Final schedule: <T1, T3, T2>.
+  const RuaScheduler rua(Sharing::kLockBased);
+  std::vector<SchedJob> jobs;
+  // heights: h1=20, h2=30, h3=5; remaining 10us each.
+  // PUD: T2 = (20+30)/20 = 2.5, T1 = 20/10 = 2.0, T3 = (20+5)/20 = 1.25.
+  jobs.push_back(job(1, 20.0, usec(80), usec(10)));
+  jobs.push_back(job(2, 30.0, usec(100), usec(10), 1));
+  jobs.push_back(job(3, 5.0, usec(50), usec(10), 1));
+  const auto res = rua.build(jobs, 0);
+  ASSERT_EQ(res.schedule.size(), 3u);
+  EXPECT_EQ(res.schedule[0], 1);
+  EXPECT_EQ(res.schedule[1], 3);
+  EXPECT_EQ(res.schedule[2], 2);
+  EXPECT_TRUE(res.rejected.empty());
+  EXPECT_EQ(res.dispatch, 1);
+}
+
+TEST_F(SchedTest, InfeasibleTentativeKeepsPreviousSchedule) {
+  // A feasible high-PUD job is committed; a later aggregate that breaks
+  // feasibility is discarded without disturbing the committed schedule.
+  const RuaScheduler rua(Sharing::kLockFree);
+  std::vector<SchedJob> jobs;
+  jobs.push_back(job(0, 100.0, usec(20), usec(15)));
+  jobs.push_back(job(1, 10.0, usec(25), usec(15)));  // 15+15 > 25
+  jobs.push_back(job(2, 1.0, usec(400), usec(10)));  // fits after 0
+  const auto res = rua.build(jobs, 0);
+  ASSERT_EQ(res.schedule.size(), 2u);
+  EXPECT_EQ(res.schedule[0], 0);
+  EXPECT_EQ(res.schedule[1], 2);
+  ASSERT_EQ(res.rejected.size(), 1u);
+  EXPECT_EQ(res.rejected[0], 1);
+}
+
+TEST_F(SchedTest, DispatchSkipsBlockedHead) {
+  // If the holder is rejected (infeasible) but the blocked requester is
+  // accepted, the dispatch must skip the blocked job.
+  const RuaScheduler rua(Sharing::kLockBased);
+  std::vector<SchedJob> jobs;
+  // Holder: hopeless (remaining exceeds its critical time).
+  jobs.push_back(job(1, 1.0, usec(10), usec(50)));
+  // Requester blocked on 1; generous critical time, low utility makes
+  // the aggregate with 1 infeasible but... the aggregate includes the
+  // holder, so the requester is rejected too.  An independent ready job
+  // must then be dispatched.
+  jobs.push_back(job(2, 50.0, usec(1000), usec(10), 1));
+  jobs.push_back(job(3, 5.0, usec(1000), usec(10)));
+  const auto res = rua.build(jobs, 0);
+  EXPECT_EQ(res.dispatch, 3);
+}
+
+TEST_F(SchedTest, DeadlockDetectionAbortsLeastDensity) {
+  // Cycle 1 <-> 2 with job 2 the lower utility density: 2 is the victim;
+  // 1 is then scheduled normally (its chain severed at the victim).
+  const RuaScheduler rua(Sharing::kLockBased, /*detect_deadlocks=*/true);
+  std::vector<SchedJob> jobs;
+  jobs.push_back(job(1, 90.0, usec(100), usec(10), 2));
+  jobs.push_back(job(2, 5.0, usec(100), usec(10), 1));
+  const auto res = rua.build(jobs, 0);
+  ASSERT_EQ(res.deadlock_victims.size(), 1u);
+  EXPECT_EQ(res.deadlock_victims[0], 2);
+  ASSERT_EQ(res.schedule.size(), 1u);
+  EXPECT_EQ(res.schedule[0], 1);
+}
+
+TEST_F(SchedTest, DeadlockWithDetectionOffViolatesInvariant) {
+  // The apples-to-apples configuration excludes nested sections, where
+  // cycles cannot arise; feeding one anyway is a contract violation.
+  const RuaScheduler rua(Sharing::kLockBased, /*detect_deadlocks=*/false);
+  std::vector<SchedJob> jobs;
+  jobs.push_back(job(1, 9.0, usec(100), usec(10), 2));
+  jobs.push_back(job(2, 5.0, usec(100), usec(10), 1));
+  EXPECT_THROW(rua.build(jobs, 0), InvariantViolation);
+}
+
+TEST_F(SchedTest, ThreeCycleVictimSeversChain) {
+  const RuaScheduler rua(Sharing::kLockBased, true);
+  std::vector<SchedJob> jobs;
+  jobs.push_back(job(1, 90.0, usec(100), usec(10), 2));
+  jobs.push_back(job(2, 50.0, usec(100), usec(10), 3));
+  jobs.push_back(job(3, 1.0, usec(100), usec(10), 1));
+  const auto res = rua.build(jobs, 0);
+  ASSERT_EQ(res.deadlock_victims.size(), 1u);
+  EXPECT_EQ(res.deadlock_victims[0], 3);
+  // 1 waits on 2, 2's chain severed at the victim 3: order <2, 1>.
+  ASSERT_EQ(res.schedule.size(), 2u);
+  EXPECT_EQ(res.schedule[0], 2);
+  EXPECT_EQ(res.schedule[1], 1);
+}
+
+TEST_F(SchedTest, LockFreeModeRejectsBlockedJobs) {
+  const RuaScheduler rua(Sharing::kLockFree);
+  std::vector<SchedJob> jobs;
+  jobs.push_back(job(1, 9.0, usec(100), usec(10), 2));
+  jobs.push_back(job(2, 5.0, usec(100), usec(10)));
+  EXPECT_THROW(rua.build(jobs, 0), InvariantViolation);
+}
+
+TEST_F(SchedTest, DepartedHolderLeavesNoDependency) {
+  // waits_on referencing a job no longer pending: no dependency to
+  // respect in chain building (the simulator clears waits_on on release,
+  // but the scheduler must tolerate a stale view).
+  const RuaScheduler rua(Sharing::kLockBased);
+  std::vector<SchedJob> jobs;
+  jobs.push_back(job(1, 9.0, usec(100), usec(10), /*waits_on=*/777));
+  jobs.push_back(job(2, 5.0, usec(200), usec(10)));
+  const auto res = rua.build(jobs, 0);
+  EXPECT_EQ(res.schedule.size(), 2u);
+  // Job 1 is still not *runnable* (its waits_on is set), so dispatch
+  // falls to job 2.
+  EXPECT_EQ(res.dispatch, 2);
+}
+
+TEST_F(SchedTest, SharedDependentAcrossAggregates) {
+  // Two requesters blocked on one holder: the holder must precede both,
+  // and is inserted only once.
+  const RuaScheduler rua(Sharing::kLockBased);
+  std::vector<SchedJob> jobs;
+  jobs.push_back(job(1, 50.0, usec(100), usec(5)));      // holder
+  jobs.push_back(job(2, 40.0, usec(200), usec(5), 1));
+  jobs.push_back(job(3, 30.0, usec(300), usec(5), 1));
+  const auto res = rua.build(jobs, 0);
+  ASSERT_EQ(res.schedule.size(), 3u);
+  EXPECT_EQ(res.schedule[0], 1);
+  const auto pos2 = std::find(res.schedule.begin(), res.schedule.end(), 2);
+  const auto pos3 = std::find(res.schedule.begin(), res.schedule.end(), 3);
+  ASSERT_NE(pos2, res.schedule.end());
+  ASSERT_NE(pos3, res.schedule.end());
+}
+
+TEST_F(SchedTest, LockFreeCostsFewerOpsThanLockBasedWithChains) {
+  // The cross-cutting claim of Section 3.6/5: dependencies make the
+  // lock-based aggregates expensive; lock-free reduces every aggregate
+  // to a single job.
+  const RuaScheduler lb(Sharing::kLockBased);
+  const RuaScheduler lf(Sharing::kLockFree);
+  std::vector<SchedJob> chained, independent;
+  const int n = 24;
+  for (int i = 0; i < n; ++i) {
+    chained.push_back(job(i, 10.0 + i, msec(10) + usec(i), usec(10),
+                          i + 1 < n ? i + 1 : kNoJob));
+    independent.push_back(job(i, 10.0 + i, msec(10) + usec(i), usec(10)));
+  }
+  const auto r_lb = lb.build(chained, 0);
+  const auto r_lf = lf.build(independent, 0);
+  EXPECT_GT(r_lb.ops, r_lf.ops);
+}
+
+TEST_F(SchedTest, OpsScaleRoughlyQuadraticallyLockFree) {
+  const RuaScheduler lf(Sharing::kLockFree);
+  auto make = [&](int n) {
+    std::vector<SchedJob> jobs;
+    for (int i = 0; i < n; ++i)
+      jobs.push_back(job(i, 10.0, msec(100) + usec(i), usec(1)));
+    return jobs;
+  };
+  const auto small = lf.build(make(16), 0);
+  tufs_.clear();
+  const auto big = lf.build(make(64), 0);
+  const double ratio = static_cast<double>(big.ops) /
+                       static_cast<double>(small.ops);
+  // 4x jobs -> ~16x ops for an O(n^2) algorithm; allow generous slack
+  // for lower-order terms.
+  EXPECT_GT(ratio, 8.0);
+}
+
+TEST_F(SchedTest, EdfOrdersByCriticalAndSkipsBlocked) {
+  const sched::EdfScheduler edf;
+  std::vector<SchedJob> jobs;
+  jobs.push_back(job(0, 1.0, usec(300), usec(10)));
+  jobs.push_back(job(1, 1.0, usec(100), usec(10), /*waits_on=*/0));
+  jobs.push_back(job(2, 1.0, usec(200), usec(10)));
+  const auto res = edf.build(jobs, 0);
+  ASSERT_EQ(res.schedule.size(), 3u);
+  EXPECT_EQ(res.schedule[0], 1);  // earliest critical, though blocked
+  EXPECT_EQ(res.schedule[1], 2);
+  EXPECT_EQ(res.schedule[2], 0);
+  EXPECT_EQ(res.dispatch, 2);  // first runnable
+}
+
+TEST_F(SchedTest, EdfNeverRejects) {
+  const sched::EdfScheduler edf;
+  std::vector<SchedJob> jobs;
+  jobs.push_back(job(0, 1.0, usec(10), usec(50)));  // hopeless
+  jobs.push_back(job(1, 1.0, usec(20), usec(50)));
+  const auto res = edf.build(jobs, 0);
+  EXPECT_EQ(res.schedule.size(), 2u);
+  EXPECT_TRUE(res.rejected.empty());
+}
+
+/// Property: for arbitrary dependency forests, the lock-based schedule
+/// always places every holder before every job that (transitively)
+/// waits on it.
+class DependencyOrderTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DependencyOrderTest, HoldersPrecedeWaiters) {
+  Rng rng(GetParam());
+  const RuaScheduler rua(Sharing::kLockBased);
+  std::vector<std::unique_ptr<Tuf>> tufs;
+  std::vector<SchedJob> jobs;
+  const int n = 12;
+  for (int i = 0; i < n; ++i) {
+    tufs.push_back(make_step_tuf(1.0 + static_cast<double>(rng.uniform(1, 99)),
+                                 msec(1) + usec(rng.uniform(0, 900))));
+    SchedJob j;
+    j.id = i;
+    j.arrival = 0;
+    j.critical = tufs.back()->critical_time();
+    j.remaining = usec(rng.uniform(1, 30));
+    j.tuf = tufs.back().get();
+    // Forest structure: wait only on higher ids (no cycles).
+    j.waits_on = (i + 1 < n && rng.chance(0.5)) ? rng.uniform(i + 1, n - 1)
+                                                : kNoJob;
+    jobs.push_back(j);
+  }
+  const auto res = rua.build(jobs, 0);
+
+  auto pos = [&](JobId id) {
+    const auto it = std::find(res.schedule.begin(), res.schedule.end(), id);
+    return it == res.schedule.end()
+               ? static_cast<std::ptrdiff_t>(-1)
+               : it - res.schedule.begin();
+  };
+  for (const auto& j : jobs) {
+    if (j.waits_on == kNoJob) continue;
+    const auto pj = pos(j.id);
+    const auto ph = pos(j.waits_on);
+    if (pj >= 0) {
+      // An accepted waiter requires its holder accepted and earlier.
+      ASSERT_GE(ph, 0) << "waiter " << j.id << " accepted without holder";
+      EXPECT_LT(ph, pj) << "holder " << j.waits_on << " after waiter "
+                        << j.id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DependencyOrderTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u));
+
+}  // namespace
+}  // namespace lfrt

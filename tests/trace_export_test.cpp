@@ -1,0 +1,88 @@
+// Tests for the Chrome-tracing exporter.
+#include "sim/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sched/edf.hpp"
+#include "sim/simulator.hpp"
+
+namespace lfrt {
+namespace {
+
+std::pair<TaskSet, sim::SimReport> run_small() {
+  TaskSet ts;
+  ts.object_count = 0;
+  for (TaskId i = 0; i < 2; ++i) {
+    TaskParams p;
+    p.id = i;
+    p.arrival = UamSpec{1, 1, usec(100)};
+    p.tuf = make_step_tuf(10.0, usec(100));
+    p.exec_time = usec(10);
+    ts.tasks.push_back(std::move(p));
+  }
+  ts.validate();
+  const sched::EdfScheduler edf;
+  sim::SimConfig cfg;
+  cfg.mode = sim::ShareMode::kIdeal;
+  cfg.record_slices = true;
+  cfg.horizon = usec(300);
+  sim::Simulator s(ts, edf, cfg);
+  s.set_arrivals(0, {0});
+  s.set_arrivals(1, {usec(2)});
+  return {ts, s.run()};
+}
+
+TEST(TraceExport, EmitsWellFormedEventArray) {
+  const auto [ts, rep] = run_small();
+  const std::string json = sim::to_chrome_trace(ts, rep);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  // One metadata record per task, one complete event per slice.
+  EXPECT_NE(json.find(R"("ph":"M")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"X")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"job 0")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"job 1")"), std::string::npos);
+  // Balanced braces (cheap well-formedness proxy).
+  std::int64_t depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  // Durations in microseconds: job 0 ran 10us.
+  EXPECT_NE(json.find(R"("dur":10)"), std::string::npos);
+}
+
+TEST(TraceExport, WritesFile) {
+  const auto [ts, rep] = run_small();
+  const std::string path = "/tmp/lfrt_trace_test.json";
+  ASSERT_TRUE(sim::write_chrome_trace(ts, rep, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "[");
+  std::remove(path.c_str());
+}
+
+TEST(TraceExport, FailsCleanlyOnBadPath) {
+  const auto [ts, rep] = run_small();
+  EXPECT_FALSE(
+      sim::write_chrome_trace(ts, rep, "/nonexistent/dir/x.json"));
+}
+
+TEST(TraceExport, EmptySlicesStillValid) {
+  const auto [ts, rep_full] = run_small();
+  sim::SimReport empty;
+  const std::string json = sim::to_chrome_trace(ts, empty);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find(R"("ph":"M")"), std::string::npos);
+  EXPECT_EQ(json.find(R"("ph":"X")"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lfrt

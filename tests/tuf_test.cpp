@@ -1,0 +1,150 @@
+// Unit tests for the TUF library.
+#include "tuf/tuf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace lfrt {
+namespace {
+
+TEST(StepTuf, ConstantUntilCriticalThenZero) {
+  auto tuf = make_step_tuf(10.0, usec(100));
+  EXPECT_DOUBLE_EQ(tuf->utility(0), 10.0);
+  EXPECT_DOUBLE_EQ(tuf->utility(usec(50)), 10.0);
+  EXPECT_DOUBLE_EQ(tuf->utility(usec(100)), 10.0);  // at C still accrues
+  EXPECT_DOUBLE_EQ(tuf->utility(usec(100) + 1), 0.0);
+  EXPECT_EQ(tuf->critical_time(), usec(100));
+  EXPECT_TRUE(tuf->non_increasing());
+}
+
+TEST(StepTuf, NegativeTimeTreatedAsZero) {
+  auto tuf = make_step_tuf(5.0, usec(10));
+  EXPECT_DOUBLE_EQ(tuf->utility(-5), 5.0);
+}
+
+TEST(StepTuf, RejectsBadParameters) {
+  EXPECT_THROW(make_step_tuf(0.0, usec(10)), InvariantViolation);
+  EXPECT_THROW(make_step_tuf(-1.0, usec(10)), InvariantViolation);
+  EXPECT_THROW(make_step_tuf(1.0, 0), InvariantViolation);
+}
+
+TEST(LinearTuf, DecaysLinearly) {
+  auto tuf = make_linear_tuf(100.0, usec(100));
+  EXPECT_DOUBLE_EQ(tuf->utility(0), 100.0);
+  EXPECT_DOUBLE_EQ(tuf->utility(usec(50)), 50.0);
+  EXPECT_DOUBLE_EQ(tuf->utility(usec(100)), 0.0);
+  EXPECT_DOUBLE_EQ(tuf->utility(usec(200)), 0.0);
+  EXPECT_TRUE(tuf->non_increasing());
+}
+
+TEST(ParabolicTuf, QuadraticDecay) {
+  auto tuf = make_parabolic_tuf(100.0, usec(100));
+  EXPECT_DOUBLE_EQ(tuf->utility(0), 100.0);
+  EXPECT_DOUBLE_EQ(tuf->utility(usec(50)), 75.0);  // 100 * (1 - 0.25)
+  EXPECT_DOUBLE_EQ(tuf->utility(usec(100)), 0.0);
+  EXPECT_TRUE(tuf->non_increasing());
+}
+
+TEST(ParabolicTuf, DominatesLinearBeforeCritical) {
+  // The parabola is concave: it stays above the chord (the linear TUF)
+  // strictly inside (0, C).
+  auto par = make_parabolic_tuf(100.0, usec(100));
+  auto lin = make_linear_tuf(100.0, usec(100));
+  for (Time t = usec(1); t < usec(100); t += usec(7))
+    EXPECT_GT(par->utility(t), lin->utility(t)) << "at t=" << t;
+}
+
+TEST(RampTuf, IncreasingShape) {
+  auto tuf = make_ramp_tuf(100.0, usec(100));
+  EXPECT_DOUBLE_EQ(tuf->utility(0), 0.0);
+  EXPECT_DOUBLE_EQ(tuf->utility(usec(100)), 100.0);
+  EXPECT_DOUBLE_EQ(tuf->utility(usec(100) + 1), 0.0);
+  EXPECT_FALSE(tuf->non_increasing());
+}
+
+TEST(PiecewiseTuf, InterpolatesBetweenBreakpoints) {
+  // AWACS-like plateau-then-decay shape.
+  auto tuf = make_piecewise_tuf(
+      {{0, 80.0}, {usec(40), 80.0}, {usec(100), 0.0}});
+  EXPECT_DOUBLE_EQ(tuf->utility(0), 80.0);
+  EXPECT_DOUBLE_EQ(tuf->utility(usec(40)), 80.0);
+  EXPECT_DOUBLE_EQ(tuf->utility(usec(70)), 40.0);
+  EXPECT_DOUBLE_EQ(tuf->utility(usec(100)), 0.0);
+  EXPECT_DOUBLE_EQ(tuf->utility(usec(101)), 0.0);
+  EXPECT_EQ(tuf->critical_time(), usec(100));
+  EXPECT_TRUE(tuf->non_increasing());
+  EXPECT_DOUBLE_EQ(tuf->max_utility(), 80.0);
+}
+
+TEST(PiecewiseTuf, NonMonotonicShapeDetected) {
+  auto tuf = make_piecewise_tuf(
+      {{0, 10.0}, {usec(50), 90.0}, {usec(100), 0.0}});
+  EXPECT_FALSE(tuf->non_increasing());
+  EXPECT_DOUBLE_EQ(tuf->max_utility(), 90.0);
+}
+
+TEST(PiecewiseTuf, RejectsMalformedBreakpoints) {
+  // Fewer than two points.
+  EXPECT_THROW(make_piecewise_tuf({{0, 1.0}}), InvariantViolation);
+  // Must start at t = 0.
+  EXPECT_THROW(make_piecewise_tuf({{usec(1), 1.0}, {usec(2), 0.0}}),
+               InvariantViolation);
+  // Times must strictly increase.
+  EXPECT_THROW(
+      make_piecewise_tuf({{0, 1.0}, {usec(5), 2.0}, {usec(5), 0.0}}),
+      InvariantViolation);
+  // Utility must end at zero.
+  EXPECT_THROW(make_piecewise_tuf({{0, 1.0}, {usec(5), 2.0}}),
+               InvariantViolation);
+  // No negative utilities.
+  EXPECT_THROW(make_piecewise_tuf({{0, -1.0}, {usec(5), 0.0}}),
+               InvariantViolation);
+  // Must attain positive utility somewhere.
+  EXPECT_THROW(make_piecewise_tuf({{0, 0.0}, {usec(5), 0.0}}),
+               InvariantViolation);
+}
+
+TEST(Tuf, CloneIsDeepAndEquivalent) {
+  auto tuf = make_linear_tuf(42.0, usec(77));
+  auto copy = tuf->clone();
+  tuf.reset();
+  EXPECT_DOUBLE_EQ(copy->utility(0), 42.0);
+  EXPECT_EQ(copy->critical_time(), usec(77));
+  EXPECT_EQ(copy->describe(), "linear");
+}
+
+/// Property sweep: every factory shape obeys the TUF contract —
+/// non-negative everywhere and exactly zero after the critical time.
+class TufContractTest
+    : public ::testing::TestWithParam<std::tuple<int, Time>> {};
+
+TEST_P(TufContractTest, NonNegativeAndZeroAfterCritical) {
+  const auto [shape, critical] = GetParam();
+  std::unique_ptr<Tuf> tuf;
+  switch (shape) {
+    case 0: tuf = make_step_tuf(50.0, critical); break;
+    case 1: tuf = make_linear_tuf(50.0, critical); break;
+    case 2: tuf = make_parabolic_tuf(50.0, critical); break;
+    case 3: tuf = make_ramp_tuf(50.0, critical); break;
+    default:
+      tuf = make_piecewise_tuf({{0, 50.0}, {critical / 2, 20.0},
+                                {critical, 0.0}});
+  }
+  for (Time t = 0; t <= 2 * critical; t += std::max<Time>(1, critical / 13)) {
+    EXPECT_GE(tuf->utility(t), 0.0) << tuf->describe() << " at t=" << t;
+    if (t > critical) {
+      EXPECT_DOUBLE_EQ(tuf->utility(t), 0.0)
+          << tuf->describe() << " at t=" << t;
+    }
+    EXPECT_LE(tuf->utility(t), tuf->max_utility() + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, TufContractTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(usec(10), usec(100), msec(5))));
+
+}  // namespace
+}  // namespace lfrt

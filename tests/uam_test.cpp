@@ -1,0 +1,231 @@
+// Unit and property tests for the UAM arrival model.
+#include "uam/uam.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace lfrt {
+namespace {
+
+TEST(UamSpec, ValidationRejectsBadTuples) {
+  EXPECT_THROW((UamSpec{1, 1, 0}).validate(), InvariantViolation);
+  EXPECT_THROW((UamSpec{1, 0, usec(10)}).validate(), InvariantViolation);
+  EXPECT_THROW((UamSpec{-1, 2, usec(10)}).validate(), InvariantViolation);
+  EXPECT_THROW((UamSpec{3, 2, usec(10)}).validate(), InvariantViolation);
+  EXPECT_NO_THROW((UamSpec{0, 2, usec(10)}).validate());
+  EXPECT_NO_THROW(UamSpec::periodic(usec(10)).validate());
+}
+
+TEST(UamMath, MaxArrivalsMatchesPaperFormula) {
+  // a * (ceil(interval / W) + 1)
+  const UamSpec spec{1, 3, usec(100)};
+  EXPECT_EQ(uam_max_arrivals(spec, usec(100)), 3 * (1 + 1));
+  EXPECT_EQ(uam_max_arrivals(spec, usec(250)), 3 * (3 + 1));
+  EXPECT_EQ(uam_max_arrivals(spec, usec(300)), 3 * (3 + 1));
+  EXPECT_EQ(uam_max_arrivals(spec, usec(301)), 3 * (4 + 1));
+}
+
+TEST(UamMath, MaxArrivalsShortIntervalIsTwoWindows) {
+  // When W > interval, ceil(interval/W) + 1 == 2 (the straddle case the
+  // Theorem 2 proof calls out explicitly).
+  const UamSpec spec{1, 5, msec(10)};
+  EXPECT_EQ(uam_max_arrivals(spec, usec(1)), 10);
+  EXPECT_EQ(uam_max_arrivals(spec, msec(10)), 10);
+}
+
+TEST(UamMath, MinArrivalsFloors) {
+  const UamSpec spec{2, 4, usec(100)};
+  EXPECT_EQ(uam_min_arrivals(spec, usec(99)), 0);
+  EXPECT_EQ(uam_min_arrivals(spec, usec(100)), 2);
+  EXPECT_EQ(uam_min_arrivals(spec, usec(350)), 6);
+}
+
+TEST(UamConformance, DetectsWindowViolation) {
+  const UamSpec spec{1, 2, usec(100)};
+  EXPECT_TRUE(uam_conforms_max(spec, {0, usec(50), usec(100)}));
+  // Three arrivals inside [50, 150): violation.
+  EXPECT_FALSE(uam_conforms_max(spec, {0, usec(50), usec(60), usec(100)}));
+}
+
+TEST(UamConformance, SimultaneousArrivalsAllowedUpToA) {
+  const UamSpec spec{1, 3, usec(100)};
+  EXPECT_TRUE(uam_conforms_max(spec, {0, 0, 0}));
+  EXPECT_FALSE(uam_conforms_max(spec, {0, 0, 0, 0}));
+}
+
+TEST(UamConformance, HalfOpenWindowBoundary) {
+  // Arrivals exactly W apart never share a window.
+  const UamSpec spec{1, 1, usec(100)};
+  EXPECT_TRUE(uam_conforms_max(spec, {0, usec(100), usec(200)}));
+  EXPECT_FALSE(uam_conforms_max(spec, {0, usec(100) - 1}));
+}
+
+TEST(UamConformance, EmptyTraceConforms) {
+  EXPECT_TRUE(uam_conforms_max(UamSpec{1, 1, usec(10)}, {}));
+}
+
+TEST(UamConformance, MinSideDetectsStarvedWindow) {
+  const UamSpec spec{1, 4, usec(100)};
+  // A gap of more than W with no arrivals violates l = 1.
+  EXPECT_FALSE(
+      uam_conforms_min(spec, {0, usec(250)}, 0, usec(300)));
+  EXPECT_TRUE(
+      uam_conforms_min(spec, {0, usec(90), usec(180), usec(270)}, 0,
+                       usec(300)));
+}
+
+TEST(UamConformance, MinSideShortSpanIsVacuouslyTrue) {
+  const UamSpec spec{1, 1, usec(100)};
+  EXPECT_TRUE(uam_conforms_min(spec, {}, 0, usec(99)));
+}
+
+TEST(UamWindowCount, ReportsEmpiricalMaximum) {
+  EXPECT_EQ(uam_max_window_count(usec(100), {}), 0);
+  EXPECT_EQ(uam_max_window_count(usec(100), {0}), 1);
+  EXPECT_EQ(uam_max_window_count(usec(100),
+                                 {0, usec(10), usec(99), usec(100)}),
+            3);
+}
+
+TEST(UamMinWindowCount, EmpiricalMinimum) {
+  EXPECT_EQ(uam_min_window_count(usec(100), {}, 0, usec(50)), 0);
+  EXPECT_EQ(uam_min_window_count(usec(100), {0, usec(90), usec(180)}, 0,
+                                 usec(200)),
+            1);
+  // A starved window drives the minimum to zero.
+  EXPECT_EQ(uam_min_window_count(usec(100), {0, usec(250)}, 0, usec(300)),
+            0);
+}
+
+TEST(UamFit, RecoversGeneratorContracts) {
+  const UamSpec truth{1, 3, usec(100)};
+  const auto trace = arrivals::bursty(truth, msec(5));
+  const UamSpec fitted = uam_fit(usec(100), trace, 0, msec(5));
+  EXPECT_EQ(fitted.max_per_window, 3);
+  EXPECT_TRUE(uam_conforms_max(fitted, trace));
+  // The fit is tight: one less on the a-side must fail.
+  UamSpec tighter = fitted;
+  tighter.max_per_window -= 1;
+  tighter.min_per_window = std::min(tighter.min_per_window,
+                                    tighter.max_per_window);
+  EXPECT_FALSE(uam_conforms_max(tighter, trace));
+}
+
+TEST(UamFit, PeriodicTraceFitsAsPeriodic) {
+  const auto trace = arrivals::periodic(UamSpec::periodic(usec(100)),
+                                        msec(2));
+  const UamSpec fitted = uam_fit(usec(100), trace, 0, msec(2));
+  EXPECT_EQ(fitted.max_per_window, 1);
+  EXPECT_EQ(fitted.min_per_window, 1);
+}
+
+TEST(UamFit, EmptyTraceYieldsDegenerateContract) {
+  const UamSpec fitted = uam_fit(usec(100), {}, 0, msec(1));
+  EXPECT_EQ(fitted.max_per_window, 1);  // vacuous upper bound, valid spec
+  EXPECT_EQ(fitted.min_per_window, 0);
+}
+
+TEST(ArrivalGen, PeriodicIsOnePerWindow) {
+  const UamSpec spec = UamSpec::periodic(usec(100));
+  const auto trace = arrivals::periodic(spec, usec(1000));
+  EXPECT_EQ(trace.size(), 11u);
+  EXPECT_TRUE(uam_conforms_max(spec, trace));
+  EXPECT_TRUE(uam_conforms_min(spec, trace, 0, usec(1000)));
+}
+
+TEST(ArrivalGen, BurstyHitsTheCap) {
+  const UamSpec spec{1, 4, usec(100)};
+  const auto trace = arrivals::bursty(spec, usec(500));
+  EXPECT_TRUE(uam_conforms_max(spec, trace));
+  EXPECT_EQ(uam_max_window_count(spec.window, trace), 4);
+}
+
+TEST(ArrivalGen, AdversarialAchievesStraddleBound) {
+  // Clusters exactly W apart: an interval of length k*W anchored at a
+  // cluster sees (k+1) clusters = a*(ceil(kW/W)+1) arrivals... minus the
+  // straddle slack; verify the count equals a*(C/W + 1) for aligned C.
+  const UamSpec spec{1, 2, usec(100)};
+  const auto trace = arrivals::adversarial(spec, 0, usec(1000));
+  EXPECT_TRUE(uam_conforms_max(spec, trace));
+  // Closed interval [0, 300] contains clusters at 0, 100, 200, 300.
+  std::int64_t in_interval = 0;
+  for (Time t : trace)
+    if (t >= 0 && t <= usec(300)) ++in_interval;
+  EXPECT_EQ(in_interval, 2 * 4);
+  EXPECT_LE(in_interval, uam_max_arrivals(spec, usec(300)));
+}
+
+TEST(UamGate, AdmitsUpToAPerSlidingWindow) {
+  UamGate gate(UamSpec{1, 2, usec(100)});
+  EXPECT_TRUE(gate.offer(0));
+  EXPECT_TRUE(gate.offer(usec(10)));
+  EXPECT_FALSE(gate.offer(usec(20)));   // third within [0, 100)
+  EXPECT_FALSE(gate.offer(usec(99)));   // still within
+  EXPECT_TRUE(gate.offer(usec(100)));   // arrival at 0 has left (t-W=0)
+  EXPECT_EQ(gate.admitted(), 3);
+  EXPECT_EQ(gate.rejected(), 2);
+}
+
+TEST(UamGate, RejectsOutOfOrderOffers) {
+  UamGate gate(UamSpec{1, 1, usec(100)});
+  EXPECT_TRUE(gate.offer(usec(50)));
+  EXPECT_THROW(gate.offer(usec(40)), InvariantViolation);
+}
+
+/// Property sweep: the random generator always produces max-conformant
+/// traces that respect the empirical window bound, across UAM shapes.
+class RandomConformantTest
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {
+};
+
+TEST_P(RandomConformantTest, AlwaysConformant) {
+  const auto [l, a, seed] = GetParam();
+  if (l > a) GTEST_SKIP() << "UAM requires l <= a";
+  const UamSpec spec{l, a, usec(100)};
+  Rng rng(seed);
+  const auto trace =
+      arrivals::random_conformant(spec, msec(10), rng);
+  ASSERT_TRUE(std::is_sorted(trace.begin(), trace.end()));
+  EXPECT_TRUE(uam_conforms_max(spec, trace));
+  EXPECT_LE(uam_max_window_count(spec.window, trace), a);
+  // The trace must not be degenerate: at least one arrival per l>0.
+  if (l > 0) {
+    EXPECT_GE(trace.size(), 50u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomConformantTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1, 2, 5),
+                       ::testing::Values(1u, 7u, 42u, 1234u)));
+
+/// Property: uam_max_arrivals is an upper bound for every generator.
+class MaxArrivalBoundTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxArrivalBoundTest, GeneratorsNeverExceedIntervalBound) {
+  const int a = GetParam();
+  const UamSpec spec{1, a, usec(100)};
+  Rng rng(99);
+  for (const auto& trace :
+       {arrivals::periodic(spec, msec(5)), arrivals::bursty(spec, msec(5)),
+        arrivals::adversarial(spec, usec(37), msec(5)),
+        arrivals::random_conformant(spec, msec(5), rng)}) {
+    for (const Time c : {usec(50), usec(100), usec(333)}) {
+      const std::int64_t bound = uam_max_arrivals(spec, c);
+      for (Time anchor : trace) {
+        std::int64_t count = 0;
+        for (Time t : trace)
+          if (t >= anchor && t <= anchor + c) ++count;
+        EXPECT_LE(count, bound) << "a=" << a << " C=" << c;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MaxArrivalBoundTest,
+                         ::testing::Values(1, 2, 3, 8));
+
+}  // namespace
+}  // namespace lfrt

@@ -1,0 +1,173 @@
+// Tests for the workload generator.
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace lfrt {
+namespace {
+
+TEST(Workload, HitsTargetLoad) {
+  workload::WorkloadSpec spec;
+  spec.task_count = 10;
+  spec.load = 0.4;
+  spec.seed = 1;
+  const TaskSet ts = workload::make_task_set(spec);
+  EXPECT_EQ(ts.tasks.size(), 10u);
+  // Rounding C_i to integer ns perturbs the load only marginally.
+  EXPECT_NEAR(ts.approximate_load(), 0.4, 0.01);
+}
+
+TEST(Workload, OverloadSpecsWork) {
+  workload::WorkloadSpec spec;
+  spec.load = 1.1;
+  spec.seed = 2;
+  const TaskSet ts = workload::make_task_set(spec);
+  EXPECT_NEAR(ts.approximate_load(), 1.1, 0.02);
+}
+
+TEST(Workload, DeterministicForSeed) {
+  workload::WorkloadSpec spec;
+  spec.seed = 99;
+  const TaskSet a = workload::make_task_set(spec);
+  const TaskSet b = workload::make_task_set(spec);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].exec_time, b.tasks[i].exec_time);
+    EXPECT_EQ(a.tasks[i].critical_time(), b.tasks[i].critical_time());
+  }
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  workload::WorkloadSpec spec;
+  spec.seed = 1;
+  const TaskSet a = workload::make_task_set(spec);
+  spec.seed = 2;
+  const TaskSet b = workload::make_task_set(spec);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.tasks.size(); ++i)
+    any_diff |= a.tasks[i].exec_time != b.tasks[i].exec_time;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Workload, HeterogeneousClassMixesShapes) {
+  workload::WorkloadSpec spec;
+  spec.tuf_class = workload::TufClass::kHeterogeneous;
+  spec.task_count = 9;
+  const TaskSet ts = workload::make_task_set(spec);
+  int step = 0, linear = 0, parabolic = 0;
+  for (const auto& t : ts.tasks) {
+    const auto d = t.tuf->describe();
+    step += d == "step";
+    linear += d == "linear";
+    parabolic += d == "parabolic";
+  }
+  EXPECT_EQ(step, 3);
+  EXPECT_EQ(linear, 3);
+  EXPECT_EQ(parabolic, 3);
+}
+
+TEST(Workload, StepClassIsAllSteps) {
+  workload::WorkloadSpec spec;
+  spec.tuf_class = workload::TufClass::kStep;
+  const TaskSet ts = workload::make_task_set(spec);
+  for (const auto& t : ts.tasks) EXPECT_EQ(t.tuf->describe(), "step");
+}
+
+TEST(Workload, AccessesSortedAndWithinUniverse) {
+  workload::WorkloadSpec spec;
+  spec.accesses_per_job = 5;
+  spec.object_count = 3;
+  spec.seed = 7;
+  const TaskSet ts = workload::make_task_set(spec);
+  for (const auto& t : ts.tasks) {
+    ASSERT_EQ(t.accesses.size(), 5u);
+    Time prev = 0;
+    for (const auto& a : t.accesses) {
+      EXPECT_GE(a.offset, prev);
+      prev = a.offset;
+      EXPECT_GE(a.object, 0);
+      EXPECT_LT(a.object, 3);
+    }
+  }
+}
+
+TEST(Workload, UamWindowEqualsCriticalTime) {
+  const TaskSet ts = workload::make_task_set({});
+  for (const auto& t : ts.tasks)
+    EXPECT_EQ(t.arrival.window, t.critical_time());
+}
+
+TEST(Workload, CriticalFractionStretchesWindow) {
+  workload::WorkloadSpec spec;
+  spec.critical_fraction = 0.5;
+  spec.seed = 3;
+  const TaskSet ts = workload::make_task_set(spec);
+  for (const auto& t : ts.tasks) {
+    EXPECT_EQ(t.arrival.window, 2 * t.critical_time());
+    EXPECT_LE(t.critical_time(), t.arrival.window);
+  }
+  // AL is defined over critical times and must be unaffected.
+  EXPECT_NEAR(ts.approximate_load(), spec.load, 0.01);
+}
+
+TEST(Workload, NestedSpansGenerated) {
+  workload::WorkloadSpec spec;
+  spec.nest_depth = 3;
+  spec.object_count = 4;
+  spec.seed = 5;
+  const TaskSet ts = workload::make_task_set(spec);
+  for (const auto& t : ts.tasks) {
+    ASSERT_EQ(t.spans.size(), 3u);
+    EXPECT_TRUE(t.accesses.empty());
+    EXPECT_EQ(t.access_count(), 3);
+    // Distinct objects within a nest.
+    EXPECT_NE(t.spans[0].object, t.spans[1].object);
+    EXPECT_NE(t.spans[1].object, t.spans[2].object);
+    EXPECT_NE(t.spans[0].object, t.spans[2].object);
+  }
+}
+
+TEST(Workload, NestDepthBeyondObjectsRejected) {
+  workload::WorkloadSpec spec;
+  spec.nest_depth = 5;
+  spec.object_count = 4;
+  EXPECT_THROW(workload::make_task_set(spec), InvariantViolation);
+}
+
+TEST(Workload, InvalidCriticalFractionRejected) {
+  workload::WorkloadSpec spec;
+  spec.critical_fraction = 0.0;
+  EXPECT_THROW(workload::make_task_set(spec), InvariantViolation);
+  spec.critical_fraction = 1.5;
+  EXPECT_THROW(workload::make_task_set(spec), InvariantViolation);
+}
+
+TEST(Workload, RejectsInvalidSpecs) {
+  workload::WorkloadSpec spec;
+  spec.load = 0.0;
+  EXPECT_THROW(workload::make_task_set(spec), InvariantViolation);
+  spec = {};
+  spec.load = 20.0;  // per-task share above 1 for 10 tasks
+  EXPECT_THROW(workload::make_task_set(spec), InvariantViolation);
+  spec = {};
+  spec.task_count = 0;
+  EXPECT_THROW(workload::make_task_set(spec), InvariantViolation);
+  spec = {};
+  spec.exec_jitter = 1.0;
+  EXPECT_THROW(workload::make_task_set(spec), InvariantViolation);
+}
+
+TEST(Workload, MaxPerWindowPropagates) {
+  workload::WorkloadSpec spec;
+  spec.max_per_window = 3;
+  const TaskSet ts = workload::make_task_set(spec);
+  for (const auto& t : ts.tasks) {
+    EXPECT_EQ(t.arrival.max_per_window, 3);
+    EXPECT_EQ(t.arrival.min_per_window, 1);
+  }
+}
+
+}  // namespace
+}  // namespace lfrt
