@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_burstiness"
+  "../bench/ablation_burstiness.pdb"
+  "CMakeFiles/ablation_burstiness.dir/ablation_burstiness.cpp.o"
+  "CMakeFiles/ablation_burstiness.dir/ablation_burstiness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dep_chains"
+  "../bench/ablation_dep_chains.pdb"
+  "CMakeFiles/ablation_dep_chains.dir/ablation_dep_chains.cpp.o"
+  "CMakeFiles/ablation_dep_chains.dir/ablation_dep_chains.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dep_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_overrun"
+  "../bench/ablation_overrun.pdb"
+  "CMakeFiles/ablation_overrun.dir/ablation_overrun.cpp.o"
+  "CMakeFiles/ablation_overrun.dir/ablation_overrun.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

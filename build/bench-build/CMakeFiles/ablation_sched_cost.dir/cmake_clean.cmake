@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sched_cost"
+  "../bench/ablation_sched_cost.pdb"
+  "CMakeFiles/ablation_sched_cost.dir/ablation_sched_cost.cpp.o"
+  "CMakeFiles/ablation_sched_cost.dir/ablation_sched_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sched_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

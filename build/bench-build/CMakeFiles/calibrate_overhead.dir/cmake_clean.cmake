@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/calibrate_overhead"
+  "../bench/calibrate_overhead.pdb"
+  "CMakeFiles/calibrate_overhead.dir/calibrate_overhead.cpp.o"
+  "CMakeFiles/calibrate_overhead.dir/calibrate_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

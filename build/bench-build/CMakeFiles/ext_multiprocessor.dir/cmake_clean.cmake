@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_multiprocessor"
+  "../bench/ext_multiprocessor.pdb"
+  "CMakeFiles/ext_multiprocessor.dir/ext_multiprocessor.cpp.o"
+  "CMakeFiles/ext_multiprocessor.dir/ext_multiprocessor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multiprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_waitfree"
+  "../bench/ext_waitfree.pdb"
+  "CMakeFiles/ext_waitfree.dir/ext_waitfree.cpp.o"
+  "CMakeFiles/ext_waitfree.dir/ext_waitfree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_waitfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

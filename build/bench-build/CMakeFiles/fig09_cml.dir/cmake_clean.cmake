@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_cml"
+  "../bench/fig09_cml.pdb"
+  "CMakeFiles/fig09_cml.dir/fig09_cml.cpp.o"
+  "CMakeFiles/fig09_cml.dir/fig09_cml.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

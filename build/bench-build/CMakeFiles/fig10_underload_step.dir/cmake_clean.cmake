@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_underload_step"
+  "../bench/fig10_underload_step.pdb"
+  "CMakeFiles/fig10_underload_step.dir/fig10_underload_step.cpp.o"
+  "CMakeFiles/fig10_underload_step.dir/fig10_underload_step.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_underload_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_underload_step.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_underload_hetero"
+  "../bench/fig11_underload_hetero.pdb"
+  "CMakeFiles/fig11_underload_hetero.dir/fig11_underload_hetero.cpp.o"
+  "CMakeFiles/fig11_underload_hetero.dir/fig11_underload_hetero.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_underload_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

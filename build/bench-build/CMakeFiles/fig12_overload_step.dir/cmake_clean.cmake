@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_overload_step"
+  "../bench/fig12_overload_step.pdb"
+  "CMakeFiles/fig12_overload_step.dir/fig12_overload_step.cpp.o"
+  "CMakeFiles/fig12_overload_step.dir/fig12_overload_step.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_overload_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_overload_hetero"
+  "../bench/fig13_overload_hetero.pdb"
+  "CMakeFiles/fig13_overload_hetero.dir/fig13_overload_hetero.cpp.o"
+  "CMakeFiles/fig13_overload_hetero.dir/fig13_overload_hetero.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_overload_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_readers"
+  "../bench/fig14_readers.pdb"
+  "CMakeFiles/fig14_readers.dir/fig14_readers.cpp.o"
+  "CMakeFiles/fig14_readers.dir/fig14_readers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_readers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lemma45_aur_bounds"
+  "../bench/lemma45_aur_bounds.pdb"
+  "CMakeFiles/lemma45_aur_bounds.dir/lemma45_aur_bounds.cpp.o"
+  "CMakeFiles/lemma45_aur_bounds.dir/lemma45_aur_bounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma45_aur_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

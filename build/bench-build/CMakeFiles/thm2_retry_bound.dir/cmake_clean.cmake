@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/thm2_retry_bound"
+  "../bench/thm2_retry_bound.pdb"
+  "CMakeFiles/thm2_retry_bound.dir/thm2_retry_bound.cpp.o"
+  "CMakeFiles/thm2_retry_bound.dir/thm2_retry_bound.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm2_retry_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/thm3_sojourn"
+  "../bench/thm3_sojourn.pdb"
+  "CMakeFiles/thm3_sojourn.dir/thm3_sojourn.cpp.o"
+  "CMakeFiles/thm3_sojourn.dir/thm3_sojourn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm3_sojourn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airborne_tracker.dir/airborne_tracker.cpp.o"
+  "CMakeFiles/airborne_tracker.dir/airborne_tracker.cpp.o.d"
+  "airborne_tracker"
+  "airborne_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airborne_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockfree_queue_demo.dir/lockfree_queue_demo.cpp.o"
+  "CMakeFiles/lockfree_queue_demo.dir/lockfree_queue_demo.cpp.o.d"
+  "lockfree_queue_demo"
+  "lockfree_queue_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockfree_queue_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_demo.dir/middleware_demo.cpp.o"
+  "CMakeFiles/middleware_demo.dir/middleware_demo.cpp.o.d"
+  "middleware_demo"
+  "middleware_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutual_preemption.dir/mutual_preemption.cpp.o"
+  "CMakeFiles/mutual_preemption.dir/mutual_preemption.cpp.o.d"
+  "mutual_preemption"
+  "mutual_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutual_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rover_overload.dir/rover_overload.cpp.o"
+  "CMakeFiles/rover_overload.dir/rover_overload.cpp.o.d"
+  "rover_overload"
+  "rover_overload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rover_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfrt_analysis.dir/bounds.cpp.o"
+  "CMakeFiles/lfrt_analysis.dir/bounds.cpp.o.d"
+  "liblfrt_analysis.a"
+  "liblfrt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfrt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/access_time.cpp" "src/rt/CMakeFiles/lfrt_rt.dir/access_time.cpp.o" "gcc" "src/rt/CMakeFiles/lfrt_rt.dir/access_time.cpp.o.d"
+  "/root/repo/src/rt/executor.cpp" "src/rt/CMakeFiles/lfrt_rt.dir/executor.cpp.o" "gcc" "src/rt/CMakeFiles/lfrt_rt.dir/executor.cpp.o.d"
+  "/root/repo/src/rt/priority.cpp" "src/rt/CMakeFiles/lfrt_rt.dir/priority.cpp.o" "gcc" "src/rt/CMakeFiles/lfrt_rt.dir/priority.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/lfrt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/lfrt_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuf/CMakeFiles/lfrt_tuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/uam/CMakeFiles/lfrt_uam.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

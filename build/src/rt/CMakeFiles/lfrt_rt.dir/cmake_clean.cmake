@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfrt_rt.dir/access_time.cpp.o"
+  "CMakeFiles/lfrt_rt.dir/access_time.cpp.o.d"
+  "CMakeFiles/lfrt_rt.dir/executor.cpp.o"
+  "CMakeFiles/lfrt_rt.dir/executor.cpp.o.d"
+  "CMakeFiles/lfrt_rt.dir/priority.cpp.o"
+  "CMakeFiles/lfrt_rt.dir/priority.cpp.o.d"
+  "liblfrt_rt.a"
+  "liblfrt_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfrt_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/edf.cpp" "src/sched/CMakeFiles/lfrt_sched.dir/edf.cpp.o" "gcc" "src/sched/CMakeFiles/lfrt_sched.dir/edf.cpp.o.d"
+  "/root/repo/src/sched/edf_pip.cpp" "src/sched/CMakeFiles/lfrt_sched.dir/edf_pip.cpp.o" "gcc" "src/sched/CMakeFiles/lfrt_sched.dir/edf_pip.cpp.o.d"
+  "/root/repo/src/sched/llf.cpp" "src/sched/CMakeFiles/lfrt_sched.dir/llf.cpp.o" "gcc" "src/sched/CMakeFiles/lfrt_sched.dir/llf.cpp.o.d"
+  "/root/repo/src/sched/rua.cpp" "src/sched/CMakeFiles/lfrt_sched.dir/rua.cpp.o" "gcc" "src/sched/CMakeFiles/lfrt_sched.dir/rua.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/task/CMakeFiles/lfrt_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuf/CMakeFiles/lfrt_tuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/uam/CMakeFiles/lfrt_uam.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

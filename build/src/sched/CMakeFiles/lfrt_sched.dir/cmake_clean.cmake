@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfrt_sched.dir/edf.cpp.o"
+  "CMakeFiles/lfrt_sched.dir/edf.cpp.o.d"
+  "CMakeFiles/lfrt_sched.dir/edf_pip.cpp.o"
+  "CMakeFiles/lfrt_sched.dir/edf_pip.cpp.o.d"
+  "CMakeFiles/lfrt_sched.dir/llf.cpp.o"
+  "CMakeFiles/lfrt_sched.dir/llf.cpp.o.d"
+  "CMakeFiles/lfrt_sched.dir/rua.cpp.o"
+  "CMakeFiles/lfrt_sched.dir/rua.cpp.o.d"
+  "liblfrt_sched.a"
+  "liblfrt_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfrt_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/gantt.cpp" "src/sim/CMakeFiles/lfrt_sim.dir/gantt.cpp.o" "gcc" "src/sim/CMakeFiles/lfrt_sim.dir/gantt.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/lfrt_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/lfrt_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace_export.cpp" "src/sim/CMakeFiles/lfrt_sim.dir/trace_export.cpp.o" "gcc" "src/sim/CMakeFiles/lfrt_sim.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/task/CMakeFiles/lfrt_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lfrt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/uam/CMakeFiles/lfrt_uam.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuf/CMakeFiles/lfrt_tuf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

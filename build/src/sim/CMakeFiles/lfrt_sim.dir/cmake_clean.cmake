@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfrt_sim.dir/gantt.cpp.o"
+  "CMakeFiles/lfrt_sim.dir/gantt.cpp.o.d"
+  "CMakeFiles/lfrt_sim.dir/simulator.cpp.o"
+  "CMakeFiles/lfrt_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/lfrt_sim.dir/trace_export.cpp.o"
+  "CMakeFiles/lfrt_sim.dir/trace_export.cpp.o.d"
+  "liblfrt_sim.a"
+  "liblfrt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfrt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfrt_task.dir/task.cpp.o"
+  "CMakeFiles/lfrt_task.dir/task.cpp.o.d"
+  "liblfrt_task.a"
+  "liblfrt_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfrt_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

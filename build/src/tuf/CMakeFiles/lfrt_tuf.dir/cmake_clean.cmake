@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfrt_tuf.dir/tuf.cpp.o"
+  "CMakeFiles/lfrt_tuf.dir/tuf.cpp.o.d"
+  "liblfrt_tuf.a"
+  "liblfrt_tuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfrt_tuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

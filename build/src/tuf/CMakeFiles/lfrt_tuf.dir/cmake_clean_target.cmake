@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblfrt_tuf.a"
+)

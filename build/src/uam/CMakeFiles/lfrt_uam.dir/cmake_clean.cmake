@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfrt_uam.dir/uam.cpp.o"
+  "CMakeFiles/lfrt_uam.dir/uam.cpp.o.d"
+  "liblfrt_uam.a"
+  "liblfrt_uam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfrt_uam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfrt_workload.dir/workload.cpp.o"
+  "CMakeFiles/lfrt_workload.dir/workload.cpp.o.d"
+  "liblfrt_workload.a"
+  "liblfrt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfrt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edf_pip_test.dir/edf_pip_test.cpp.o"
+  "CMakeFiles/edf_pip_test.dir/edf_pip_test.cpp.o.d"
+  "edf_pip_test"
+  "edf_pip_test.pdb"
+  "edf_pip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edf_pip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/four_slot_test.dir/four_slot_test.cpp.o"
+  "CMakeFiles/four_slot_test.dir/four_slot_test.cpp.o.d"
+  "four_slot_test"
+  "four_slot_test.pdb"
+  "four_slot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/four_slot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

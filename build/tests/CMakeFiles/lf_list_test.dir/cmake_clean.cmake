@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lf_list_test.dir/lf_list_test.cpp.o"
+  "CMakeFiles/lf_list_test.dir/lf_list_test.cpp.o.d"
+  "lf_list_test"
+  "lf_list_test.pdb"
+  "lf_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lf_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

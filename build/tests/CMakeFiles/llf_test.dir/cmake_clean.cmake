@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llf_test.dir/llf_test.cpp.o"
+  "CMakeFiles/llf_test.dir/llf_test.cpp.o.d"
+  "llf_test"
+  "llf_test.pdb"
+  "llf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

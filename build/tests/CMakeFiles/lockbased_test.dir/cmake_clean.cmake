@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockbased_test.dir/lockbased_test.cpp.o"
+  "CMakeFiles/lockbased_test.dir/lockbased_test.cpp.o.d"
+  "lockbased_test"
+  "lockbased_test.pdb"
+  "lockbased_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockbased_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

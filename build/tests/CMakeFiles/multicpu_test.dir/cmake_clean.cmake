@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicpu_test.dir/multicpu_test.cpp.o"
+  "CMakeFiles/multicpu_test.dir/multicpu_test.cpp.o.d"
+  "multicpu_test"
+  "multicpu_test.pdb"
+  "multicpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiunit_test.dir/multiunit_test.cpp.o"
+  "CMakeFiles/multiunit_test.dir/multiunit_test.cpp.o.d"
+  "multiunit_test"
+  "multiunit_test.pdb"
+  "multiunit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiunit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

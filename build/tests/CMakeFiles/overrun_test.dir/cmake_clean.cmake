@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overrun_test.dir/overrun_test.cpp.o"
+  "CMakeFiles/overrun_test.dir/overrun_test.cpp.o.d"
+  "overrun_test"
+  "overrun_test.pdb"
+  "overrun_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overrun_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

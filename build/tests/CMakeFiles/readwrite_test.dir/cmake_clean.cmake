@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readwrite_test.dir/readwrite_test.cpp.o"
+  "CMakeFiles/readwrite_test.dir/readwrite_test.cpp.o.d"
+  "readwrite_test"
+  "readwrite_test.pdb"
+  "readwrite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readwrite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

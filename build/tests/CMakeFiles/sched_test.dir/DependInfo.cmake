@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched_test.cpp" "tests/CMakeFiles/sched_test.dir/sched_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/lfrt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/lfrt_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuf/CMakeFiles/lfrt_tuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/uam/CMakeFiles/lfrt_uam.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

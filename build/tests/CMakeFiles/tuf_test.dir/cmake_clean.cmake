@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuf_test.dir/tuf_test.cpp.o"
+  "CMakeFiles/tuf_test.dir/tuf_test.cpp.o.d"
+  "tuf_test"
+  "tuf_test.pdb"
+  "tuf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uam_test.dir/uam_test.cpp.o"
+  "CMakeFiles/uam_test.dir/uam_test.cpp.o.d"
+  "uam_test"
+  "uam_test.pdb"
+  "uam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tuf_test[1]_include.cmake")
+include("/root/repo/build/tests/uam_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/lockfree_test[1]_include.cmake")
+include("/root/repo/build/tests/lockbased_test[1]_include.cmake")
+include("/root/repo/build/tests/task_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/lf_list_test[1]_include.cmake")
+include("/root/repo/build/tests/llf_test[1]_include.cmake")
+include("/root/repo/build/tests/nested_test[1]_include.cmake")
+include("/root/repo/build/tests/multicpu_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/edf_pip_test[1]_include.cmake")
+include("/root/repo/build/tests/four_slot_test[1]_include.cmake")
+include("/root/repo/build/tests/gantt_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/feasibility_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_property_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/multiunit_test[1]_include.cmake")
+include("/root/repo/build/tests/readwrite_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_export_test[1]_include.cmake")
+include("/root/repo/build/tests/overrun_test[1]_include.cmake")
