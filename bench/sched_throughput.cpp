@@ -1,0 +1,194 @@
+// Scheduler throughput baseline (ISSUE: zero-allocation RUA hot path).
+//
+// Sweeps the pending-job count n over {8, 16, 32, 64, 128, 256, 512}
+// and, for each n, times a full RuaScheduler::build_into rebuild in the
+// two regimes the paper compares:
+//   * lock-free RUA over an independent job set (no dependencies), and
+//   * lock-based RUA over one long dependency chain (the O(n^2 log n)
+//     worst case of Section 3.6),
+// for both the optimized scheduler (caller-owned RuaWorkspace, in-place
+// undo-log schedule edits, prefix-sum feasibility) and the frozen naive
+// reference (rua_reference.hpp).  Reports ns/rebuild and rebuilds/sec
+// on stdout and emits BENCH_sched.json for tooling.
+//
+// Usage: sched_throughput [--tiny] [--out FILE]
+//   --tiny   smoke mode: n in {8, 32}, few repetitions (for check.sh)
+//   --out    JSON output path (default BENCH_sched.json in the cwd)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/rua.hpp"
+#include "sched/rua_reference.hpp"
+#include "tuf/tuf.hpp"
+
+namespace {
+
+using namespace lfrt;
+using Clock = std::chrono::steady_clock;
+
+struct View {
+  std::vector<std::unique_ptr<Tuf>> tufs;
+  std::vector<sched::SchedJob> jobs;
+};
+
+/// n pending jobs; `chained` links each job to the next in one long
+/// dependency chain (the lock-based worst case the paper analyzes).
+View make_view(int n, bool chained) {
+  View v;
+  for (int i = 0; i < n; ++i) {
+    v.tufs.push_back(make_step_tuf(10.0 + i % 7, msec(100) + usec(13 * i)));
+    sched::SchedJob j;
+    j.id = i;
+    j.arrival = 0;
+    j.critical = v.tufs.back()->critical_time();
+    j.remaining = usec(50);
+    j.tuf = v.tufs.back().get();
+    j.waits_on = chained && i + 1 < n ? i + 1 : kNoJob;
+    v.jobs.push_back(j);
+  }
+  return v;
+}
+
+/// Median-of-runs wall clock for one rebuild, reusing `ws` and `out`
+/// across iterations exactly the way the simulator's hot path does.
+double time_rebuild(const sched::Scheduler& sch, const View& v,
+                    sched::Scheduler::Workspace* ws, int reps,
+                    std::int64_t* ops_out) {
+  sched::ScheduleResult out;
+  // Warm-up: grows every workspace buffer to its high-water mark so the
+  // timed region exercises the steady (allocation-free) state.
+  sch.build_into(v.jobs, 0, ws, out);
+  *ops_out = out.ops;
+
+  std::vector<double> samples;
+  samples.reserve(5);
+  for (int s = 0; s < 5; ++s) {
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) {
+      sch.build_into(v.jobs, 0, ws, out);
+      // The dispatch read keeps the optimizer from eliding the build.
+      if (out.dispatch == kNoJob && out.schedule.size() > v.jobs.size())
+        std::abort();
+    }
+    const auto t1 = Clock::now();
+    samples.push_back(
+        std::chrono::duration_cast<std::chrono::duration<double, std::nano>>(
+            t1 - t0)
+            .count() /
+        reps);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+struct Row {
+  int n = 0;
+  const char* regime = "";     // "lock-free" | "lock-based-chained"
+  double ref_ns = 0;           // naive reference, ns/rebuild
+  double opt_ns = 0;           // optimized workspace path, ns/rebuild
+  std::int64_t ops = 0;        // modelled ops (identical for both)
+};
+
+bool emit_json(const std::vector<Row>& rows, const std::string& path) {
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"sched_throughput\",\n  \"unit\": \"ns/rebuild\",\n"
+     << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"n\": " << r.n << ", \"regime\": \"" << r.regime
+       << "\", \"ref_ns\": " << r.ref_ns << ", \"opt_ns\": " << r.opt_ns
+       << ", \"rebuilds_per_sec\": " << (r.opt_ns > 0 ? 1e9 / r.opt_ns : 0)
+       << ", \"speedup\": " << (r.opt_ns > 0 ? r.ref_ns / r.opt_ns : 0)
+       << ", \"ops\": " << r.ops << "}" << (i + 1 < rows.size() ? "," : "")
+       << "\n";
+  }
+  os << "  ]\n}\n";
+  return static_cast<bool>(os);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool tiny = false;
+  std::string out_path = "BENCH_sched.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) {
+      tiny = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: sched_throughput [--tiny] [--out FILE]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<int> sweep =
+      tiny ? std::vector<int>{8, 32}
+           : std::vector<int>{8, 16, 32, 64, 128, 256, 512};
+
+  const sched::RuaScheduler opt_lf(sched::Sharing::kLockFree);
+  const sched::RuaScheduler opt_lb(sched::Sharing::kLockBased);
+  const sched::RuaReferenceScheduler ref_lf(sched::Sharing::kLockFree);
+  const sched::RuaReferenceScheduler ref_lb(sched::Sharing::kLockBased);
+  const auto ws_lf = opt_lf.make_workspace();
+  const auto ws_lb = opt_lb.make_workspace();
+
+  std::vector<Row> rows;
+  std::cout << "  n  regime              ref ns/rebuild  opt ns/rebuild"
+            << "  rebuilds/s   speedup\n";
+  for (int n : sweep) {
+    // Repetition count scaled so each sample stays ~fast even at n=512
+    // where the chained reference is tens of milliseconds per rebuild.
+    const int reps = tiny ? 3 : std::max(3, 4096 / n);
+
+    const View flat = make_view(n, /*chained=*/false);
+    const View chain = make_view(n, /*chained=*/true);
+
+    Row lf;
+    lf.n = n;
+    lf.regime = "lock-free";
+    std::int64_t ops_ref = 0;
+    lf.ref_ns = time_rebuild(ref_lf, flat, nullptr, reps, &ops_ref);
+    lf.opt_ns = time_rebuild(opt_lf, flat, ws_lf.get(), reps, &lf.ops);
+    if (lf.ops != ops_ref) {
+      std::cerr << "ops mismatch (lock-free, n=" << n << "): ref=" << ops_ref
+                << " opt=" << lf.ops << "\n";
+      return 1;
+    }
+    rows.push_back(lf);
+
+    Row lb;
+    lb.n = n;
+    lb.regime = "lock-based-chained";
+    lb.ref_ns = time_rebuild(ref_lb, chain, nullptr, reps, &ops_ref);
+    lb.opt_ns = time_rebuild(opt_lb, chain, ws_lb.get(), reps, &lb.ops);
+    if (lb.ops != ops_ref) {
+      std::cerr << "ops mismatch (lock-based, n=" << n << "): ref=" << ops_ref
+                << " opt=" << lb.ops << "\n";
+      return 1;
+    }
+    rows.push_back(lb);
+
+    for (const Row* r : {&lf, &lb}) {
+      std::printf("%4d  %-18s %15.0f %15.0f %11.0f %8.2fx\n", r->n,
+                  r->regime, r->ref_ns, r->opt_ns,
+                  r->opt_ns > 0 ? 1e9 / r->opt_ns : 0,
+                  r->opt_ns > 0 ? r->ref_ns / r->opt_ns : 0);
+    }
+  }
+
+  if (!emit_json(rows, out_path)) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full correctness + smoke gate:
+#   1. ASan+UBSan build of the whole tree, tier-1 suite under the
+#      sanitizers (catches lifetime bugs in the in-place RUA schedule
+#      editing that plain tests cannot see),
+#   2. -O2 build, tier-1 suite, and a tiny sched_throughput sweep as a
+#      bench smoke test (also re-checks the optimized-vs-reference ops
+#      cross-validation built into the benchmark).
+#
+# Usage: scripts/check.sh [jobs]      (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "==> [1/2] sanitizer build + tests (build-asan/)"
+cmake -B build-asan -S . -DLFRT_SANITIZE=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "==> [2/2] optimized build + tests + bench smoke (build-o2/)"
+cmake -B build-o2 -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-o2 -j "$JOBS"
+ctest --test-dir build-o2 --output-on-failure -j "$JOBS"
+./build-o2/bench/sched_throughput --tiny --out build-o2/BENCH_sched_smoke.json
+echo "OK: sanitizers clean, tier-1 green twice, bench smoke passed"

@@ -150,6 +150,11 @@ struct Executor::Impl {
 
   void scheduler_loop() {
     std::unique_lock<std::mutex> lock(mu);
+    // Reused across scheduling passes so the loop's steady state stays
+    // off the allocator (same contract as the simulator's hot path).
+    const auto ws = scheduler->make_workspace();
+    sched::ScheduleResult res;
+    std::vector<sched::SchedJob> view;
     while (true) {
       const Time t = now();
 
@@ -164,7 +169,7 @@ struct Executor::Impl {
       }
 
       // Build the scheduler view over pending jobs.
-      std::vector<sched::SchedJob> view;
+      view.clear();
       for (auto& [id, r] : jobs) {
         if (terminal(r->state) || r->state == RtState::kAborting) continue;
         sched::SchedJob sj;
@@ -180,7 +185,7 @@ struct Executor::Impl {
 
       if (stopping && view.empty()) return;
 
-      const auto res = scheduler->build(view, t);
+      scheduler->build_into(view, t, ws.get(), res);
       if (res.dispatch != dispatched) {
         // Account the descheduled job's stint.
         if (dispatched != kNoJob) {

@@ -2,12 +2,24 @@
 
 #include <algorithm>
 
+#include "support/check.hpp"
+
 namespace lfrt::sched {
 
-ScheduleResult EdfScheduler::build(const std::vector<SchedJob>& jobs,
-                                   Time /*now*/) const {
-  ScheduleResult out;
-  std::vector<std::size_t> order(jobs.size());
+std::unique_ptr<Scheduler::Workspace> EdfScheduler::make_workspace() const {
+  return std::make_unique<OrderWorkspace>();
+}
+
+void EdfScheduler::build_into(const std::vector<SchedJob>& jobs,
+                              Time /*now*/, Workspace* ws,
+                              ScheduleResult& out) const {
+  out.clear();
+  OrderWorkspace transient;
+  auto* w = ws ? dynamic_cast<OrderWorkspace*>(ws) : &transient;
+  LFRT_CHECK_MSG(w != nullptr,
+                 "EdfScheduler::build_into given a foreign workspace");
+  auto& order = w->order;
+  order.resize(jobs.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     if (jobs[a].critical != jobs[b].critical)
@@ -26,7 +38,6 @@ ScheduleResult EdfScheduler::build(const std::vector<SchedJob>& jobs,
       break;
     }
   }
-  return out;
 }
 
 }  // namespace lfrt::sched

@@ -10,12 +10,22 @@
 
 namespace lfrt::sched {
 
+/// Scratch for the order-based baselines (EDF, LLF): one index buffer
+/// reused across calls, making their steady-state hot path
+/// allocation-free like RUA's.
+class OrderWorkspace final : public Scheduler::Workspace {
+ public:
+  std::vector<std::size_t> order;
+};
+
 /// EDF with critical times as deadlines.  Never rejects a job; dispatch
 /// is the earliest-critical runnable job.
 class EdfScheduler final : public Scheduler {
  public:
-  ScheduleResult build(const std::vector<SchedJob>& jobs,
-                       Time now) const override;
+  std::unique_ptr<Workspace> make_workspace() const override;
+
+  void build_into(const std::vector<SchedJob>& jobs, Time now,
+                  Workspace* ws, ScheduleResult& out) const override;
 
   std::string name() const override { return "EDF"; }
 };

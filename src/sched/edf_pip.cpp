@@ -1,24 +1,67 @@
 #include "sched/edf_pip.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "support/check.hpp"
 
 namespace lfrt::sched {
+namespace {
 
-ScheduleResult EdfPipScheduler::build(const std::vector<SchedJob>& jobs,
-                                      Time /*now*/) const {
-  ScheduleResult out;
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+std::uint64_t hash_id(JobId id) {
+  auto z = static_cast<std::uint64_t>(id) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::unique_ptr<Scheduler::Workspace> EdfPipScheduler::make_workspace()
+    const {
+  return std::make_unique<EdfPipWorkspace>();
+}
+
+void EdfPipScheduler::build_into(const std::vector<SchedJob>& jobs,
+                                 Time /*now*/, Workspace* ws,
+                                 ScheduleResult& out) const {
+  out.clear();
   const std::size_t n = jobs.size();
-  if (n == 0) return out;
+  if (n == 0) return;
 
-  std::unordered_map<JobId, std::size_t> index;
-  index.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) index.emplace(jobs[i].id, i);
+  EdfPipWorkspace transient;
+  auto* w = ws ? dynamic_cast<EdfPipWorkspace*>(ws) : &transient;
+  LFRT_CHECK_MSG(w != nullptr,
+                 "EdfPipScheduler::build_into given a foreign workspace");
+
+  std::size_t cap = 8;
+  while (cap < 2 * n) cap <<= 1;
+  const std::size_t mask = cap - 1;
+  w->map_keys.assign(cap, kNoJob);
+  w->map_vals.resize(cap);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t slot = static_cast<std::size_t>(hash_id(jobs[i].id)) & mask;
+    while (w->map_keys[slot] != kNoJob && w->map_keys[slot] != jobs[i].id)
+      slot = (slot + 1) & mask;
+    if (w->map_keys[slot] == kNoJob) {
+      w->map_keys[slot] = jobs[i].id;
+      w->map_vals[slot] = i;
+    }
+  }
   out.ops += static_cast<std::int64_t>(n);
 
-  std::vector<std::size_t> order(n);
+  auto lookup = [&](JobId id) -> std::size_t {
+    std::size_t slot = static_cast<std::size_t>(hash_id(id)) & mask;
+    while (w->map_keys[slot] != kNoJob) {
+      if (w->map_keys[slot] == id) return w->map_vals[slot];
+      slot = (slot + 1) & mask;
+    }
+    return kNpos;
+  };
+
+  auto& order = w->order;
+  order.resize(n);
   for (std::size_t i = 0; i < n; ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     if (jobs[a].critical != jobs[b].critical)
@@ -38,9 +81,9 @@ ScheduleResult EdfPipScheduler::build(const std::vector<SchedJob>& jobs,
     std::size_t cur = i;
     std::size_t steps = 0;
     while (jobs[cur].waits_on != kNoJob) {
-      const auto it = index.find(jobs[cur].waits_on);
-      if (it == index.end()) break;  // holder departed: no dependency
-      cur = it->second;
+      const std::size_t next = lookup(jobs[cur].waits_on);
+      if (next == kNpos) break;  // holder departed: no dependency
+      cur = next;
       out.ops += 1;
       LFRT_CHECK_MSG(++steps <= n,
                      "dependency cycle under EDF+PIP — nested critical "
@@ -53,7 +96,6 @@ ScheduleResult EdfPipScheduler::build(const std::vector<SchedJob>& jobs,
     // The chain ended at a blocked job whose holder departed (its wake
     // is in flight); inherit on behalf of the next pending job instead.
   }
-  return out;
 }
 
 }  // namespace lfrt::sched

@@ -19,11 +19,22 @@
 
 namespace lfrt::sched {
 
+/// Scratch for EdfPipScheduler: the sort-order buffer plus the
+/// open-addressed JobId -> index map used for inheritance-chain walks.
+class EdfPipWorkspace final : public Scheduler::Workspace {
+ public:
+  std::vector<std::size_t> order;
+  std::vector<JobId> map_keys;
+  std::vector<std::size_t> map_vals;
+};
+
 /// EDF + priority inheritance.  Never rejects a job.
 class EdfPipScheduler final : public Scheduler {
  public:
-  ScheduleResult build(const std::vector<SchedJob>& jobs,
-                       Time now) const override;
+  std::unique_ptr<Workspace> make_workspace() const override;
+
+  void build_into(const std::vector<SchedJob>& jobs, Time now,
+                  Workspace* ws, ScheduleResult& out) const override;
 
   std::string name() const override { return "EDF+PIP"; }
 };

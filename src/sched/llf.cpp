@@ -2,12 +2,23 @@
 
 #include <algorithm>
 
+#include "support/check.hpp"
+
 namespace lfrt::sched {
 
-ScheduleResult LlfScheduler::build(const std::vector<SchedJob>& jobs,
-                                   Time now) const {
-  ScheduleResult out;
-  std::vector<std::size_t> order(jobs.size());
+std::unique_ptr<Scheduler::Workspace> LlfScheduler::make_workspace() const {
+  return std::make_unique<OrderWorkspace>();
+}
+
+void LlfScheduler::build_into(const std::vector<SchedJob>& jobs, Time now,
+                              Workspace* ws, ScheduleResult& out) const {
+  out.clear();
+  OrderWorkspace transient;
+  auto* w = ws ? dynamic_cast<OrderWorkspace*>(ws) : &transient;
+  LFRT_CHECK_MSG(w != nullptr,
+                 "LlfScheduler::build_into given a foreign workspace");
+  auto& order = w->order;
+  order.resize(jobs.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   auto laxity = [&](std::size_t i) {
     return jobs[i].critical - now - jobs[i].remaining;
@@ -28,7 +39,6 @@ ScheduleResult LlfScheduler::build(const std::vector<SchedJob>& jobs,
       break;
     }
   }
-  return out;
 }
 
 }  // namespace lfrt::sched

@@ -10,6 +10,7 @@
 // one).
 #pragma once
 
+#include "sched/edf.hpp"  // OrderWorkspace
 #include "sched/scheduler.hpp"
 
 namespace lfrt::sched {
@@ -19,8 +20,10 @@ namespace lfrt::sched {
 /// (critical - now - remaining).
 class LlfScheduler final : public Scheduler {
  public:
-  ScheduleResult build(const std::vector<SchedJob>& jobs,
-                       Time now) const override;
+  std::unique_ptr<Workspace> make_workspace() const override;
+
+  void build_into(const std::vector<SchedJob>& jobs, Time now,
+                  Workspace* ws, ScheduleResult& out) const override;
 
   std::string name() const override { return "LLF"; }
 };

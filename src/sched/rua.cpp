@@ -1,9 +1,24 @@
+// Allocation-free RUA hot path.  Semantics and modelled `ops` are
+// bit-for-bit identical to the naive reference (rua_reference.cpp);
+// tests/rua_equivalence_test.cpp holds the two implementations equal on
+// randomized workloads.  The differences are purely mechanical:
+//
+//   * all scratch lives in a RuaWorkspace and retains capacity,
+//   * the JobId -> index map is open-addressed instead of node-based,
+//   * dependency chains are stored in one flat CSR buffer,
+//   * the tentative schedule is the committed schedule edited in place,
+//     with an undo log replayed backwards on infeasibility (replacing
+//     the full per-aggregate copy),
+//   * entry lookups read a maintained position index (replacing the
+//     linear find_entry scan), and
+//   * the feasibility pass resumes from a prefix-sum watermark at the
+//     first position the aggregate touched (entries before it belong to
+//     a previously committed — hence feasible — prefix).
 #include "sched/rua.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 
 #include "support/check.hpp"
 
@@ -24,17 +39,9 @@ std::int64_t ordered_op_cost(std::size_t len) {
   return c;
 }
 
-/// One entry of the (tentative) schedule: a job plus its *effective*
-/// critical time, which dependency clamping (Figure 4) may have lowered
-/// below the job's own critical time.
-struct Entry {
-  std::size_t job = kNpos;  // index into the jobs vector
-  Time eff_critical = 0;
-};
-
 /// First position whose effective critical time exceeds `eff` — the ECF
 /// insertion point (stable: equal keys keep earlier entries first).
-std::size_t ecf_index(const std::vector<Entry>& sched, Time eff) {
+std::size_t ecf_index(const std::vector<RuaEntry>& sched, Time eff) {
   std::size_t lo = 0, hi = sched.size();
   while (lo < hi) {
     const std::size_t mid = (lo + hi) / 2;
@@ -46,10 +53,11 @@ std::size_t ecf_index(const std::vector<Entry>& sched, Time eff) {
   return lo;
 }
 
-std::size_t find_entry(const std::vector<Entry>& sched, std::size_t job) {
-  for (std::size_t i = 0; i < sched.size(); ++i)
-    if (sched[i].job == job) return i;
-  return kNpos;
+std::uint64_t hash_id(JobId id) {
+  auto z = static_cast<std::uint64_t>(id) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
 }
 
 }  // namespace
@@ -61,62 +69,99 @@ std::string RuaScheduler::name() const {
   return sharing_ == Sharing::kLockFree ? "RUA/lock-free" : "RUA/lock-based";
 }
 
-ScheduleResult RuaScheduler::build(const std::vector<SchedJob>& jobs,
-                                   Time now) const {
-  ScheduleResult out;
-  const std::size_t n = jobs.size();
-  if (n == 0) return out;
+std::unique_ptr<Scheduler::Workspace> RuaScheduler::make_workspace() const {
+  return std::make_unique<RuaWorkspace>();
+}
 
-  std::unordered_map<JobId, std::size_t> index;
-  index.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) index.emplace(jobs[i].id, i);
+void RuaScheduler::build_into(const std::vector<SchedJob>& jobs, Time now,
+                              Workspace* ws, ScheduleResult& out) const {
+  if (ws == nullptr) {
+    RuaWorkspace transient;
+    run(jobs, now, transient, out);
+    return;
+  }
+  auto* rws = dynamic_cast<RuaWorkspace*>(ws);
+  LFRT_CHECK_MSG(rws != nullptr,
+                 "RuaScheduler::build_into given a foreign workspace");
+  run(jobs, now, *rws, out);
+}
+
+void RuaScheduler::run(const std::vector<SchedJob>& jobs, Time now,
+                       RuaWorkspace& ws, ScheduleResult& out) const {
+  out.clear();
+  const std::size_t n = jobs.size();
+  if (n == 0) return;
+
+  // ---- id -> index map (open-addressed; first insertion wins, like
+  // unordered_map::emplace) ---------------------------------------------
+  std::size_t cap = 8;
+  while (cap < 2 * n) cap <<= 1;
+  const std::size_t mask = cap - 1;
+  ws.map_keys.assign(cap, kNoJob);
+  ws.map_vals.resize(cap);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t slot = static_cast<std::size_t>(hash_id(jobs[i].id)) & mask;
+    while (ws.map_keys[slot] != kNoJob && ws.map_keys[slot] != jobs[i].id)
+      slot = (slot + 1) & mask;
+    if (ws.map_keys[slot] == kNoJob) {
+      ws.map_keys[slot] = jobs[i].id;
+      ws.map_vals[slot] = i;
+    }
+  }
   out.ops += static_cast<std::int64_t>(n);
 
-  // ---- Step 1: dependency chains (lock-based only) -------------------
-  //
-  // chains[i] runs from the job itself (tail) toward the deepest
-  // dependency (head); under the single-unit resource model each job
-  // waits on at most one holder, so the chain is a simple path unless a
-  // cycle (deadlock) exists.
-  std::vector<char> dead(n, 0);  // deadlock victims, excluded below
-  std::vector<std::vector<std::size_t>> chains(n);
+  auto lookup = [&](JobId id) -> std::size_t {
+    std::size_t slot = static_cast<std::size_t>(hash_id(id)) & mask;
+    while (ws.map_keys[slot] != kNoJob) {
+      if (ws.map_keys[slot] == id) return ws.map_vals[slot];
+      slot = (slot + 1) & mask;
+    }
+    return kNpos;
+  };
 
+  /// Index of the job `from` waits on (kNpos if unblocked or the holder
+  /// already departed).
   auto follow = [&](std::size_t from) -> std::size_t {
     const JobId w = jobs[from].waits_on;
     if (w == kNoJob) return kNpos;
-    const auto it = index.find(w);
-    // A holder that already departed leaves no dependency to respect.
-    return it == index.end() ? kNpos : it->second;
+    return lookup(w);
   };
 
+  // ---- Step 1: dependency chains (lock-based only) -------------------
+  //
+  // Chain i runs from the job itself (tail) toward the deepest
+  // dependency (head); under the single-unit resource model each job
+  // waits on at most one holder, so the chain is a simple path unless a
+  // cycle (deadlock) exists.  Lock-free chains are the singleton {i}
+  // and are not materialized.
+  ws.dead.assign(n, 0);
+
   if (sharing_ == Sharing::kLockFree) {
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = 0; i < n; ++i)
       LFRT_CHECK_MSG(jobs[i].waits_on == kNoJob,
                      "lock-free RUA saw a blocked job");
-      chains[i] = {i};
-    }
   } else {
     // ---- Step 3 pre-pass: cycle detection & resolution ---------------
     if (detect_deadlocks_) {
-      std::vector<char> visited(n, 0);
+      ws.visited.assign(n, 0);
+      ws.on_path.assign(n, 0);
       for (std::size_t i = 0; i < n; ++i) {
-        if (visited[i]) continue;
-        std::vector<std::size_t> path;
-        std::vector<char> on_path(n, 0);
+        if (ws.visited[i]) continue;
+        ws.path.clear();
         std::size_t cur = i;
-        while (cur != kNpos && !visited[cur] && !on_path[cur]) {
-          on_path[cur] = 1;
-          path.push_back(cur);
+        while (cur != kNpos && !ws.visited[cur] && !ws.on_path[cur]) {
+          ws.on_path[cur] = 1;
+          ws.path.push_back(cur);
           cur = follow(cur);
           out.ops += 1;
         }
-        if (cur != kNpos && on_path[cur]) {
+        if (cur != kNpos && ws.on_path[cur]) {
           // Found a cycle starting at `cur`: abort the member that
           // would contribute the least utility per remaining time.
           std::size_t victim = kNpos;
           double worst = std::numeric_limits<double>::infinity();
-          for (auto it = std::find(path.begin(), path.end(), cur);
-               it != path.end(); ++it) {
+          for (auto it = std::find(ws.path.begin(), ws.path.end(), cur);
+               it != ws.path.end(); ++it) {
             const auto& j = jobs[*it];
             const double density =
                 j.remaining > 0
@@ -129,159 +174,276 @@ ScheduleResult RuaScheduler::build(const std::vector<SchedJob>& jobs,
             }
             out.ops += 1;
           }
-          dead[victim] = 1;
+          ws.dead[victim] = 1;
           out.deadlock_victims.push_back(jobs[victim].id);
         }
-        for (std::size_t p : path) visited[p] = 1;
+        for (std::size_t p : ws.path) {
+          ws.visited[p] = 1;
+          ws.on_path[p] = 0;  // the reference's fresh per-walk vector
+        }
       }
     }
 
+    ws.chain_off.assign(n, 0);
+    ws.chain_len.assign(n, 0);
+    ws.chain_data.clear();
+    // Stamp array replacing the reference's std::find over the growing
+    // chain (O(len) per follow step): chain_mark[k] == i + 1 iff k is
+    // already a member of chain i.  No modelled ops are charged for the
+    // membership check, so the counts stay identical.
+    ws.chain_mark.assign(n, 0);
     for (std::size_t i = 0; i < n; ++i) {
-      if (dead[i]) continue;
-      auto& chain = chains[i];
-      chain.push_back(i);
+      if (ws.dead[i]) continue;
+      const std::size_t off = ws.chain_data.size();
+      ws.chain_off[i] = off;
+      ws.chain_data.push_back(i);
+      ws.chain_mark[i] = i + 1;
       std::size_t cur = i;
       for (;;) {
         const std::size_t next = follow(cur);
         out.ops += 1;
         if (next == kNpos) break;
         // A victim releases its objects on abort: sever the chain there.
-        if (dead[next]) break;
-        if (std::find(chain.begin(), chain.end(), next) != chain.end()) {
+        if (ws.dead[next]) break;
+        if (ws.chain_mark[next] == i + 1) {
           LFRT_CHECK_MSG(detect_deadlocks_,
                          "dependency cycle with deadlock detection off — "
                          "nested critical sections are excluded from this "
                          "configuration");
           break;  // unreachable: victims sever every cycle
         }
-        chain.push_back(next);
+        ws.chain_data.push_back(next);
+        ws.chain_mark[next] = i + 1;
         cur = next;
       }
+      ws.chain_len[i] = ws.chain_data.size() - off;
     }
   }
+
+  /// Chain of job i as a [first, last) range (singleton {i} lock-free).
+  const bool lock_free = sharing_ == Sharing::kLockFree;
+  std::size_t self_holder = 0;  // backing store for lock-free singletons
+  auto chain_of = [&](std::size_t i)
+      -> std::pair<const std::size_t*, const std::size_t*> {
+    if (lock_free) {
+      self_holder = i;
+      return {&self_holder, &self_holder + 1};
+    }
+    const std::size_t* first = ws.chain_data.data() + ws.chain_off[i];
+    return {first, first + ws.chain_len[i]};
+  };
 
   // ---- Step 2: potential utility densities ---------------------------
   //
   // PUD_i = (U_i(t_f) + sum_dep U_j(t_j)) / (t_f - now): the aggregate's
   // "return on investment", with completion estimates accumulated
   // deepest-dependency-first.
-  std::vector<double> pud(n, 0.0);
+  ws.pud.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    if (dead[i]) continue;
+    if (ws.dead[i]) continue;
     Time cum = 0;
     double util = 0.0;
-    for (auto it = chains[i].rbegin(); it != chains[i].rend(); ++it) {
-      const auto& j = jobs[*it];
+    const auto [first, last] = chain_of(i);
+    for (const std::size_t* it = last; it != first;) {
+      const auto& j = jobs[*--it];
       cum += j.remaining;
       util += j.tuf->utility(now + cum - j.arrival);
       out.ops += 1;
     }
-    pud[i] = cum > 0 ? util / static_cast<double>(cum)
-                     : std::numeric_limits<double>::infinity();
+    ws.pud[i] = cum > 0 ? util / static_cast<double>(cum)
+                        : std::numeric_limits<double>::infinity();
   }
 
   // ---- Step 4: sort by non-increasing PUD ----------------------------
-  std::vector<std::size_t> order;
-  order.reserve(n);
+  ws.order.clear();
   for (std::size_t i = 0; i < n; ++i)
-    if (!dead[i]) order.push_back(i);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (pud[a] != pud[b]) return pud[a] > pud[b];
-    if (jobs[a].critical != jobs[b].critical)
-      return jobs[a].critical < jobs[b].critical;
-    return jobs[a].id < jobs[b].id;
-  });
-  out.ops += static_cast<std::int64_t>(order.size()) *
-             ordered_op_cost(order.size());
+    if (!ws.dead[i]) ws.order.push_back(i);
+  std::sort(ws.order.begin(), ws.order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (ws.pud[a] != ws.pud[b]) return ws.pud[a] > ws.pud[b];
+              if (jobs[a].critical != jobs[b].critical)
+                return jobs[a].critical < jobs[b].critical;
+              return jobs[a].id < jobs[b].id;
+            });
+  out.ops += static_cast<std::int64_t>(ws.order.size()) *
+             ordered_op_cost(ws.order.size());
 
   // ---- Step 5: greedy aggregate insertion with feasibility tests -----
-  std::vector<Entry> schedule;
-  std::vector<char> in_schedule(n, 0);
+  //
+  // The committed schedule is edited in place; each aggregate's edits
+  // are logged and rolled back (LIFO) if the result is infeasible.
+  // pos_of[k] != kNpos doubles as the reference's in_schedule flag: the
+  // log restores it exactly on rollback.
+  auto& schedule = ws.schedule;
+  schedule.clear();
+  ws.pos_of.assign(n, kNpos);
+  ws.prefix.resize(n);
+  std::size_t watermark = 0;  // prefix[p] valid for p < watermark
 
-  for (std::size_t i : order) {
-    if (in_schedule[i]) continue;  // inserted earlier as a dependent
+  /// Insert `e` at `idx`, shifting the tail and keeping pos_of current.
+  auto insert_at = [&](std::size_t idx, const RuaEntry& e) {
+    schedule.insert(schedule.begin() + static_cast<std::ptrdiff_t>(idx),
+                    e);
+    for (std::size_t p = idx; p < schedule.size(); ++p)
+      ws.pos_of[schedule[p].job] = p;
+  };
 
-    std::vector<Entry> tentative = schedule;
-    out.ops += static_cast<std::int64_t>(schedule.size());  // the copy
+  /// Remove the entry at `pos`, shifting the tail and keeping pos_of
+  /// current (the removed job's position becomes kNpos).
+  auto erase_at = [&](std::size_t pos) {
+    ws.pos_of[schedule[pos].job] = kNpos;
+    schedule.erase(schedule.begin() + static_cast<std::ptrdiff_t>(pos));
+    for (std::size_t p = pos; p < schedule.size(); ++p)
+      ws.pos_of[schedule[p].job] = p;
+  };
+
+  /// Move the entry at `pos` down to `idx` (idx <= pos), replacing it
+  /// with `e` (its clamped form).  Only positions in [idx, pos] shift,
+  /// so the memmove and the pos_of fixup both stay local to that range
+  /// — a move must NOT be expressed as erase_at + insert_at, whose
+  /// fixups each run to the end of the schedule.
+  auto move_down = [&](std::size_t pos, std::size_t idx,
+                       const RuaEntry& e) {
+    // copy_backward lowers to one memmove (std::rotate would walk the
+    // range element by element).
+    std::copy_backward(schedule.begin() + static_cast<std::ptrdiff_t>(idx),
+                       schedule.begin() + static_cast<std::ptrdiff_t>(pos),
+                       schedule.begin() + static_cast<std::ptrdiff_t>(pos) +
+                           1);
+    schedule[idx] = e;
+    for (std::size_t p = idx; p <= pos; ++p)
+      ws.pos_of[schedule[p].job] = p;
+  };
+
+  /// ecf_index over the schedule as it would look with position `pos`
+  /// erased: the same binary search the reference runs after its
+  /// tentative.erase(), probe for probe, without performing the erase.
+  auto ecf_index_skipping = [&](Time eff, std::size_t pos) {
+    std::size_t lo = 0, hi = schedule.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      const RuaEntry& m = schedule[mid < pos ? mid : mid + 1];
+      if (m.eff_critical <= eff)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  };
+
+  for (std::size_t i : ws.order) {
+    if (ws.pos_of[i] != kNpos) continue;  // inserted as a dependent
+
+    // The reference copies the whole tentative schedule here; the copy
+    // is part of the modelled cost even though no copy happens anymore.
+    out.ops += static_cast<std::int64_t>(schedule.size());
+
+    ws.undo.clear();
+    std::size_t first_changed = schedule.size();
 
     // Insert the chain from tail (the job) toward head (deepest
     // dependency).  `dep_pos`/`dep_eff` track the previously inserted
     // chain member, which the current one must precede.
     std::size_t dep_pos = kNpos;
     Time dep_eff = kTimeNever;
-    std::vector<std::size_t> newly;
 
-    for (std::size_t k : chains[i]) {
-      const std::size_t pos = find_entry(tentative, k);
-      out.ops += ordered_op_cost(tentative.size());  // modelled lookup
+    const auto [first, last] = chain_of(i);
+    for (const std::size_t* it = first; it != last; ++it) {
+      const std::size_t k = *it;
+      const std::size_t pos = ws.pos_of[k];
+      out.ops += ordered_op_cost(schedule.size());  // modelled lookup
 
       if (pos != kNpos) {
         if (dep_pos != kNpos && pos > dep_pos) {
           // Figure 5, Case 2: the already-present dependent sits after
           // the job that must follow it — remove, clamp, reinsert.
-          Entry e = tentative[pos];
-          tentative.erase(tentative.begin() +
-                          static_cast<std::ptrdiff_t>(pos));
+          const RuaEntry saved = schedule[pos];
+          RuaEntry e = saved;
           e.eff_critical = std::min(e.eff_critical, dep_eff);
-          std::size_t idx = std::min(ecf_index(tentative, e.eff_critical),
-                                     dep_pos);
-          tentative.insert(tentative.begin() +
-                               static_cast<std::ptrdiff_t>(idx),
-                           e);
-          out.ops += 2 * ordered_op_cost(tentative.size());
+          const std::size_t idx = std::min(
+              ecf_index_skipping(e.eff_critical, pos), dep_pos);
+          move_down(pos, idx, e);
+          out.ops += 2 * ordered_op_cost(schedule.size());
+          ws.undo.push_back({RuaWorkspace::Undo::Kind::kMove, pos, idx,
+                             saved});
+          first_changed = std::min(first_changed, idx);  // idx <= pos
           dep_pos = idx;
           dep_eff = e.eff_critical;
         } else {
           dep_pos = pos;
-          dep_eff = tentative[pos].eff_critical;
+          dep_eff = schedule[pos].eff_critical;
         }
       } else {
         // Figure 4: clamp the dependent's critical time so the ECF order
         // stays consistent with the dependency order.
-        Entry e{k, std::min(jobs[k].critical, dep_eff)};
-        std::size_t idx = ecf_index(tentative, e.eff_critical);
+        const RuaEntry e{k, std::min(jobs[k].critical, dep_eff)};
+        std::size_t idx = ecf_index(schedule, e.eff_critical);
         if (dep_pos != kNpos) idx = std::min(idx, dep_pos);
-        tentative.insert(tentative.begin() +
-                             static_cast<std::ptrdiff_t>(idx),
-                         e);
-        out.ops += ordered_op_cost(tentative.size());
+        insert_at(idx, e);
+        out.ops += ordered_op_cost(schedule.size());
+        ws.undo.push_back({RuaWorkspace::Undo::Kind::kInsert, idx, 0,
+                           RuaEntry{}});
+        first_changed = std::min(first_changed, idx);
         dep_pos = idx;
         dep_eff = e.eff_critical;
-        newly.push_back(k);
       }
     }
 
     // Feasibility: every entry must finish by its effective critical
     // time when the tentative schedule is executed in order from `now`.
-    bool feasible = true;
-    Time finish = now;
-    for (const Entry& e : tentative) {
-      finish += jobs[e.job].remaining;
-      out.ops += 1;
-      if (finish > e.eff_critical) {
-        feasible = false;
+    // Positions below min(first_changed, watermark) belong to a
+    // previously committed prefix: unchanged, already feasible, and
+    // with valid prefix sums — so the scan resumes there.  The modelled
+    // cost still charges the reference's full head-to-violation walk.
+    const std::size_t len = schedule.size();
+    const std::size_t start = std::min(first_changed, watermark);
+    Time finish = start > 0 ? ws.prefix[start - 1] : now;
+    std::size_t violation = kNpos;
+    for (std::size_t p = start; p < len; ++p) {
+      finish += jobs[schedule[p].job].remaining;
+      ws.prefix[p] = finish;
+      if (finish > schedule[p].eff_critical) {
+        violation = p;
         break;
       }
     }
 
-    if (feasible) {
-      schedule = std::move(tentative);
-      for (std::size_t k : newly) in_schedule[k] = 1;
+    if (violation == kNpos) {
+      out.ops += static_cast<std::int64_t>(len);
+      watermark = len;  // commit: prefix now valid end-to-end
     } else {
+      out.ops += static_cast<std::int64_t>(violation) + 1;
+      // Roll the aggregate's edits back in LIFO order; each undo step
+      // sees the schedule exactly as it was right after its edit.
+      for (auto u = ws.undo.rbegin(); u != ws.undo.rend(); ++u) {
+        if (u->kind == RuaWorkspace::Undo::Kind::kInsert) {
+          erase_at(u->a);
+        } else {
+          // The entry moved down from a to b; shift it back up and
+          // restore its pre-clamp form.  Fixup is again local to
+          // [b, a].
+          std::copy(schedule.begin() + static_cast<std::ptrdiff_t>(u->b) + 1,
+                    schedule.begin() + static_cast<std::ptrdiff_t>(u->a) + 1,
+                    schedule.begin() + static_cast<std::ptrdiff_t>(u->b));
+          schedule[u->a] = u->saved;
+          for (std::size_t p = u->b; p <= u->a; ++p)
+            ws.pos_of[schedule[p].job] = p;
+        }
+      }
+      watermark = std::min(watermark, start);  // prefix beyond: stale
       out.rejected.push_back(jobs[i].id);
     }
   }
 
   out.schedule.reserve(schedule.size());
-  for (const Entry& e : schedule) out.schedule.push_back(jobs[e.job].id);
+  for (const RuaEntry& e : schedule) out.schedule.push_back(jobs[e.job].id);
 
-  for (const Entry& e : schedule) {
+  for (const RuaEntry& e : schedule) {
     if (jobs[e.job].runnable()) {
       out.dispatch = jobs[e.job].id;
       break;
     }
   }
-  return out;
 }
 
 }  // namespace lfrt::sched

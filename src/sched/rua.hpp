@@ -19,8 +19,20 @@
 // Lock-free RUA is the same algorithm with dependency chains reduced to
 // the job itself: steps 1 and 3 vanish, 2 becomes O(n), 5 becomes
 // O(n^2); the whole algorithm costs O(n^2).
+//
+// This implementation keeps the *hot path allocation-free in steady
+// state*: all scratch lives in a caller-owned RuaWorkspace whose
+// buffers retain capacity across build_into calls, the tentative
+// schedule is edited in place with an undo log instead of being copied
+// per aggregate, membership lookups go through a maintained
+// position index instead of a linear scan, and the feasibility pass
+// restarts from a maintained prefix-sum watermark instead of the head
+// of the schedule.  The modelled `ops` counts are bit-for-bit identical
+// to the naive algorithm (rua_reference.hpp), so every paper figure is
+// unchanged; only the wall-clock cost per invocation drops.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "sched/scheduler.hpp"
@@ -31,6 +43,78 @@ namespace lfrt::sched {
 enum class Sharing {
   kLockBased,  ///< mutual exclusion; dependency chains and blocking exist
   kLockFree,   ///< retry-based; dependencies never arise
+};
+
+/// One entry of the (tentative) schedule: a job plus its *effective*
+/// critical time, which dependency clamping (Figure 4) may have lowered
+/// below the job's own critical time.
+struct RuaEntry {
+  std::size_t job = static_cast<std::size_t>(-1);  // index into jobs
+  Time eff_critical = 0;
+};
+
+/// Scratch arena for RuaScheduler::build_into.
+///
+/// Contract: a workspace belongs to one caller and must not be used by
+/// two threads at once.  Between calls every buffer keeps its capacity,
+/// so after the first call at a given job-count high-water mark,
+/// build_into performs **zero heap allocations** (the caller's
+/// ScheduleResult buffers likewise retain capacity when reused; see
+/// tests/rua_alloc_test.cpp for the enforcing hook).  No state carries
+/// *semantic* meaning across calls — only capacity — so a workspace may
+/// be shared sequentially between schedulers and job sets of any size.
+class RuaWorkspace final : public Scheduler::Workspace {
+ public:
+  RuaWorkspace() = default;
+
+ private:
+  friend class RuaScheduler;
+
+  // Open-addressed JobId -> job-index map (linear probing, power-of-two
+  // capacity, kNoJob = empty slot) replacing the per-call
+  // std::unordered_map.
+  std::vector<JobId> map_keys;
+  std::vector<std::size_t> map_vals;
+
+  // Cycle detection scratch (lock-based step 3).
+  std::vector<char> dead;
+  std::vector<char> visited;
+  std::vector<char> on_path;
+  std::vector<std::size_t> path;
+
+  // Dependency chains in CSR layout: chain i occupies
+  // chain_data[chain_off[i] .. chain_off[i] + chain_len[i]).
+  std::vector<std::size_t> chain_off;
+  std::vector<std::size_t> chain_len;
+  std::vector<std::size_t> chain_data;
+  // chain_mark[k] == i + 1 iff k already belongs to the chain being
+  // built for job i (O(1) membership, replacing a scan of the chain).
+  std::vector<std::size_t> chain_mark;
+
+  std::vector<double> pud;
+  std::vector<std::size_t> order;
+
+  // The committed schedule, edited in place; pos_of maps job index ->
+  // current schedule position (replacing the linear find_entry scan).
+  std::vector<RuaEntry> schedule;
+  std::vector<std::size_t> pos_of;
+
+  // Feasibility prefix sums: prefix[p] = finish time of entry p when
+  // the schedule runs back-to-back from `now`; valid for p < watermark
+  // (the watermark is maintained across aggregate insertions so each
+  // feasibility pass restarts at the first modified position).
+  std::vector<Time> prefix;
+
+  // Undo log of one aggregate's in-place edits, rolled back in LIFO
+  // order when the tentative schedule turns out infeasible.
+  struct Undo {
+    enum class Kind : std::uint8_t { kInsert, kMove };
+    Kind kind = Kind::kInsert;
+    std::size_t a = 0;  // insert position / move source position
+    std::size_t b = 0;  // move destination position
+    RuaEntry saved;     // move: original entry (pre-clamp)
+  };
+  std::vector<Undo> undo;
 };
 
 /// RUA scheduler.  Construct with Sharing::kLockFree for lock-free RUA.
@@ -44,14 +128,21 @@ class RuaScheduler final : public Scheduler {
  public:
   explicit RuaScheduler(Sharing sharing, bool detect_deadlocks = false);
 
-  ScheduleResult build(const std::vector<SchedJob>& jobs,
-                       Time now) const override;
+  std::unique_ptr<Workspace> make_workspace() const override;
+
+  /// `ws` must come from make_workspace (or be nullptr, in which case a
+  /// transient workspace is used and the call allocates).
+  void build_into(const std::vector<SchedJob>& jobs, Time now,
+                  Workspace* ws, ScheduleResult& out) const override;
 
   std::string name() const override;
 
   Sharing sharing() const { return sharing_; }
 
  private:
+  void run(const std::vector<SchedJob>& jobs, Time now, RuaWorkspace& ws,
+           ScheduleResult& out) const;
+
   Sharing sharing_;
   bool detect_deadlocks_;
 };

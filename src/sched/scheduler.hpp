@@ -12,6 +12,7 @@
 // Sections 3.6/5 manifests in the CML experiment (Figure 9).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -55,16 +56,60 @@ struct ScheduleResult {
 
   /// Elementary operations performed (the overhead model's input).
   std::int64_t ops = 0;
+
+  /// Reset to the empty result while keeping vector capacity, so a
+  /// caller-owned result can be refilled by repeated `build_into` calls
+  /// without reallocating.
+  void clear() {
+    schedule.clear();
+    rejected.clear();
+    deadlock_victims.clear();
+    dispatch = kNoJob;
+    ops = 0;
+  }
 };
 
 /// Abstract scheduling policy.
+///
+/// Two entry points exist.  `build` is the convenience form: it returns
+/// a fresh ScheduleResult and allocates whatever scratch the policy
+/// needs.  `build_into` is the hot-path form: the caller owns both the
+/// result and an optional policy-specific Workspace (obtained once from
+/// `make_workspace`), and repeated invocations reuse their capacity —
+/// in steady state no heap allocation occurs.  The schedule produced and
+/// the `ops` charged are identical either way.
 class Scheduler {
  public:
+  /// Opaque per-caller scratch arena.  Policies that need scratch
+  /// return a concrete subtype from `make_workspace`; the same object
+  /// must not be used from two threads at once, but may be reused
+  /// across any number of `build_into` calls (that reuse is the point).
+  class Workspace {
+   public:
+    virtual ~Workspace() = default;
+  };
+
   virtual ~Scheduler() = default;
 
-  /// Construct a schedule over `jobs` at time `now`.
-  virtual ScheduleResult build(const std::vector<SchedJob>& jobs,
-                               Time now) const = 0;
+  /// A fresh workspace for this policy (nullptr when the policy keeps
+  /// no scratch beyond the result buffers).
+  virtual std::unique_ptr<Workspace> make_workspace() const {
+    return nullptr;
+  }
+
+  /// Construct a schedule over `jobs` at time `now` into `out`
+  /// (cleared first; capacity kept).  `ws` must be a workspace from
+  /// this policy's `make_workspace` or nullptr (the policy then falls
+  /// back to transient scratch).
+  virtual void build_into(const std::vector<SchedJob>& jobs, Time now,
+                          Workspace* ws, ScheduleResult& out) const = 0;
+
+  /// Convenience form of `build_into` with transient result/scratch.
+  ScheduleResult build(const std::vector<SchedJob>& jobs, Time now) const {
+    ScheduleResult out;
+    build_into(jobs, now, nullptr, out);
+    return out;
+  }
 
   virtual std::string name() const = 0;
 };

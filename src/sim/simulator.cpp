@@ -106,6 +106,22 @@ struct Simulator::Impl {
   std::priority_queue<Event, std::vector<Event>, EventLater> q;
   SimReport report;
 
+  // ---- per-event scratch ----
+  //
+  // The scheduler invocation path runs at every arrival, departure, and
+  // (lock-based) lock/unlock request; these buffers are reused across
+  // events so the steady-state path performs no heap allocation (the
+  // scheduler side reuses `sched_ws` the same way).  reschedule() may
+  // recurse once after deadlock resolution — safe, because the recursive
+  // call's caller returns immediately without touching the scratch.
+  std::unique_ptr<sched::Scheduler::Workspace> sched_ws;
+  sched::ScheduleResult sched_result;
+  std::vector<sched::SchedJob> view_scratch;
+  std::vector<JobId> aborting_scratch;
+  std::vector<JobId> targets_scratch;
+  std::vector<JobId> next_scratch;
+  std::vector<JobId> newcomers_scratch;
+
   Impl(TaskSet ts, const sched::Scheduler& sch, SimConfig c)
       : tasks(std::move(ts)), scheduler(&sch), cfg(c) {
     tasks.validate();
@@ -125,6 +141,7 @@ struct Simulator::Impl {
     exec_rng = Rng(cfg.exec_seed);
     last_obj_write.assign(static_cast<std::size_t>(tasks.object_count),
                           -1);
+    sched_ws = scheduler->make_workspace();
   }
 
   const TaskParams& params_of(const Job& j) const {
@@ -151,12 +168,16 @@ struct Simulator::Impl {
     return 0;
   }
 
-  void trace(const std::string& line) {
-    if (cfg.record_trace) {
-      std::ostringstream os;
-      os << "[" << now << "] " << line;
-      report.trace.push_back(os.str());
-    }
+  /// Append one trace line from streamable parts.  The parts are only
+  /// formatted when tracing is on, so the (hot) call sites pay nothing
+  /// for it in a plain run — no string building, no allocation.
+  template <typename... Parts>
+  void trace(Parts&&... parts) {
+    if (!cfg.record_trace) return;
+    std::ostringstream os;
+    os << "[" << now << "] ";
+    (os << ... << parts);
+    report.trace.push_back(os.str());
   }
 
   void record_slice(JobId id, TaskId task, int cpu, Time begin, Time end) {
@@ -287,9 +308,11 @@ struct Simulator::Impl {
   /// event: arrivals, departures (completion/abort), and — lock-based
   /// only — lock and unlock requests.
   void reschedule() {
-    std::vector<sched::SchedJob> view;
+    auto& view = view_scratch;
+    view.clear();
     view.reserve(alive.size());
-    std::vector<JobId> aborting;
+    auto& aborting = aborting_scratch;
+    aborting.clear();
     for (JobId id : alive) {
       const Job& j = jobs.at(id);
       if (j.state == JobState::kAborting) {
@@ -308,7 +331,8 @@ struct Simulator::Impl {
       view.push_back(sj);
     }
 
-    const sched::ScheduleResult res = scheduler->build(view, now);
+    scheduler->build_into(view, now, sched_ws.get(), sched_result);
+    const sched::ScheduleResult& res = sched_result;
     ++report.sched_invocations;
     report.sched_ops += res.ops;
     const Time overhead = static_cast<Time>(
@@ -323,7 +347,7 @@ struct Simulator::Impl {
       if (it == jobs.end() || it->second.finished() ||
           it->second.state == JobState::kAborting)
         continue;
-      trace("deadlock victim job=" + std::to_string(victim));
+      trace("deadlock victim job=", victim);
       ++report.deadlocks_resolved;
       raise_abort(it->second);
       resolved_any = true;
@@ -342,7 +366,8 @@ struct Simulator::Impl {
     // runnable schedule entry — e.g. EDF+PIP dispatches a lock *holder*
     // on behalf of the blocked head), then the schedule's runnable jobs
     // in order.
-    std::vector<JobId> targets;
+    auto& targets = targets_scratch;
+    targets.clear();
     for (JobId id : aborting) {
       if (static_cast<int>(targets.size()) >= cfg.cpu_count) break;
       targets.push_back(id);
@@ -372,9 +397,10 @@ struct Simulator::Impl {
   void dispatch(const std::vector<JobId>& targets, Time overhead) {
     // Sticky assignment: keep selected jobs on their current CPUs, fill
     // newcomers into the freed ones.
-    std::vector<JobId> next(static_cast<std::size_t>(cfg.cpu_count),
-                            kNoJob);
-    std::vector<JobId> newcomers;
+    auto& next = next_scratch;
+    next.assign(static_cast<std::size_t>(cfg.cpu_count), kNoJob);
+    auto& newcomers = newcomers_scratch;
+    newcomers.clear();
     for (JobId id : targets) {
       const int c = cpu_of(id);
       if (c >= 0)
@@ -433,8 +459,7 @@ struct Simulator::Impl {
       j.exec_actual = std::max<Time>(
           1, static_cast<Time>(static_cast<double>(p.exec_time) * f));
     }
-    trace("arrival task=" + std::to_string(task_id) +
-          " job=" + std::to_string(j.id));
+    trace("arrival task=", task_id, " job=", j.id);
     q.push(Event{j.critical_abs, 1, next_seq++, EvKind::kExpiry, j.id, -1,
                  0, MsKind::kCompletion});
     alive.push_back(j.id);
@@ -492,7 +517,7 @@ struct Simulator::Impl {
   /// Raise an abort-exception on a job (critical-time expiry or
   /// deadlock resolution).  Does not invoke the scheduler; callers do.
   void raise_abort(Job& j) {
-    trace("abort-exception job=" + std::to_string(j.id));
+    trace("abort-exception job=", j.id);
     const TaskParams& p = params_of(j);
     // The abandoned access (if any) is rolled back by the handler.
     j.in_access = false;
@@ -553,8 +578,7 @@ struct Simulator::Impl {
           j.in_access = true;
           j.access_progress = 0;
           j.access_object = obj;
-          trace("lock acquired job=" + std::to_string(j.id) +
-                " obj=" + std::to_string(obj));
+          trace("lock acquired job=", j.id, " obj=", obj);
         } else {
           // Block on the earliest holder: the dependency chain's target.
           j.state = JobState::kBlocked;
@@ -564,9 +588,7 @@ struct Simulator::Impl {
           ++report.total_blockings;
           const int c = cpu_of(j.id);
           running_on[static_cast<std::size_t>(c)] = kNoJob;
-          trace("blocked job=" + std::to_string(j.id) + " on=" +
-                std::to_string(hs.front()) + " obj=" +
-                std::to_string(obj));
+          trace("blocked job=", j.id, " on=", hs.front(), " obj=", obj);
         }
         reschedule();
         return;
@@ -588,8 +610,7 @@ struct Simulator::Impl {
             ++report.total_retries;
             j.access_progress = 0;
             j.access_attempt_start = now;
-            trace("retry job=" + std::to_string(j.id) +
-                  " obj=" + std::to_string(j.access_object));
+            trace("retry job=", j.id, " obj=", j.access_object);
             continue_running();
             return;
           }
@@ -612,7 +633,7 @@ struct Simulator::Impl {
         }
         ++j.next_access;
         release_lock(j);  // unlock request — a scheduling event
-        trace("lock released job=" + std::to_string(j.id));
+        trace("lock released job=", j.id);
         reschedule();
         return;
       }
@@ -631,9 +652,8 @@ struct Simulator::Impl {
           j.in_access = true;
           j.access_progress = 0;
           j.access_object = obj;
-          trace("span acquired job=" + std::to_string(j.id) +
-                " obj=" + std::to_string(obj) + " depth=" +
-                std::to_string(j.held_stack.size()));
+          trace("span acquired job=", j.id, " obj=", obj,
+                " depth=", j.held_stack.size());
         } else {
           j.state = JobState::kBlocked;
           j.waits_on = hs.front();
@@ -642,9 +662,7 @@ struct Simulator::Impl {
           ++report.total_blockings;
           const int c = cpu_of(j.id);
           running_on[static_cast<std::size_t>(c)] = kNoJob;
-          trace("blocked job=" + std::to_string(j.id) + " on=" +
-                std::to_string(hs.front()) + " obj=" +
-                std::to_string(obj));
+          trace("blocked job=", j.id, " on=", hs.front(), " obj=", obj);
         }
         reschedule();  // lock request — a scheduling event either way
         return;
@@ -659,8 +677,7 @@ struct Simulator::Impl {
         j.open_spans.pop_back();
         j.held_stack.pop_back();
         release_object(j, obj);
-        trace("span released job=" + std::to_string(j.id) +
-              " obj=" + std::to_string(obj));
+        trace("span released job=", j.id, " obj=", obj);
         reschedule();  // unlock request — a scheduling event
         return;
       }
@@ -673,7 +690,7 @@ struct Simulator::Impl {
         LFRT_CHECK(j.held_stack.empty() && j.open_spans.empty());
         j.state = JobState::kCompleted;
         j.completion = now;
-        trace("completion job=" + std::to_string(j.id));
+        trace("completion job=", j.id);
         retire(j.id);
         reschedule();  // a departure — a scheduling event
         return;
@@ -683,7 +700,7 @@ struct Simulator::Impl {
         LFRT_CHECK(j.handler_done == p.abort_handler_time);
         release_all_locks(j);
         j.state = JobState::kAborted;
-        trace("aborted job=" + std::to_string(j.id));
+        trace("aborted job=", j.id);
         retire(j.id);
         reschedule();
         return;

@@ -1,0 +1,137 @@
+// Enforces the zero-allocation contract of the RUA hot path: once a
+// RuaWorkspace and a ScheduleResult have been through one warm-up call
+// at a given job-count high-water mark, further build_into calls must
+// perform no heap allocations at all (RuaWorkspace documents the
+// contract; this test is the hook that keeps it honest).
+//
+// The counting operator new/delete overrides are process-global, which
+// is safe here because the binary runs single-threaded and gtest's own
+// allocations happen outside the counted windows.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "sched/rua.hpp"
+#include "tuf/tuf.hpp"
+
+namespace {
+
+std::atomic<long long> g_allocs{0};
+std::atomic<long long> g_frees{0};
+std::atomic<bool> g_counting{false};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept {
+  if (p == nullptr) return;
+  if (g_counting.load(std::memory_order_relaxed))
+    g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+
+void operator delete[](void* p, std::size_t) noexcept {
+  ::operator delete(p);
+}
+
+namespace lfrt {
+namespace {
+
+using sched::RuaScheduler;
+using sched::SchedJob;
+using sched::ScheduleResult;
+using sched::Sharing;
+
+struct View {
+  std::vector<std::unique_ptr<Tuf>> tufs;
+  std::vector<SchedJob> jobs;
+};
+
+View make_view(int n, bool chained) {
+  View v;
+  for (int i = 0; i < n; ++i) {
+    v.tufs.push_back(make_step_tuf(10.0 + i % 7, msec(100) + usec(13 * i)));
+    SchedJob j;
+    j.id = i;
+    j.arrival = 0;
+    j.critical = v.tufs.back()->critical_time();
+    j.remaining = usec(50);
+    j.tuf = v.tufs.back().get();
+    j.waits_on = chained && i + 1 < n ? i + 1 : kNoJob;
+    v.jobs.push_back(j);
+  }
+  return v;
+}
+
+/// Allocations observed across `calls` steady-state rebuilds.
+long long count_steady_state(const RuaScheduler& rua, const View& v,
+                             int calls) {
+  const auto ws = rua.make_workspace();
+  ScheduleResult out;
+  rua.build_into(v.jobs, 0, ws.get(), out);  // warm-up: buffers grow here
+
+  g_allocs.store(0);
+  g_frees.store(0);
+  g_counting.store(true);
+  for (int c = 0; c < calls; ++c) rua.build_into(v.jobs, 0, ws.get(), out);
+  g_counting.store(false);
+  EXPECT_EQ(g_frees.load(), 0) << "steady-state build_into freed memory";
+  return g_allocs.load();
+}
+
+TEST(RuaAllocTest, LockFreeSteadyStateAllocatesNothing) {
+  const RuaScheduler rua(Sharing::kLockFree);
+  const View v = make_view(64, /*chained=*/false);
+  EXPECT_EQ(count_steady_state(rua, v, 10), 0);
+}
+
+TEST(RuaAllocTest, LockBasedChainedSteadyStateAllocatesNothing) {
+  const RuaScheduler rua(Sharing::kLockBased);
+  const View v = make_view(64, /*chained=*/true);
+  EXPECT_EQ(count_steady_state(rua, v, 10), 0);
+}
+
+TEST(RuaAllocTest, DeadlockDetectionSteadyStateAllocatesNothing) {
+  // Cycles make the detector walk its scratch and record victims; the
+  // victim list lives in the (reused) ScheduleResult, so even this path
+  // is allocation-free after warm-up.
+  const RuaScheduler rua(Sharing::kLockBased, /*detect_deadlocks=*/true);
+  View v = make_view(16, /*chained=*/true);
+  v.jobs.back().waits_on = 0;  // close the chain into one big cycle
+  EXPECT_EQ(count_steady_state(rua, v, 10), 0);
+}
+
+TEST(RuaAllocTest, ShrinkingJobCountStaysAllocationFree) {
+  // After warming at n=64, smaller views must reuse the same capacity.
+  const RuaScheduler rua(Sharing::kLockFree);
+  const View big = make_view(64, false);
+  const View small = make_view(9, false);
+  const auto ws = rua.make_workspace();
+  ScheduleResult out;
+  rua.build_into(big.jobs, 0, ws.get(), out);
+
+  g_allocs.store(0);
+  g_counting.store(true);
+  for (int c = 0; c < 10; ++c) rua.build_into(small.jobs, 0, ws.get(), out);
+  g_counting.store(false);
+  EXPECT_EQ(g_allocs.load(), 0);
+}
+
+}  // namespace
+}  // namespace lfrt

@@ -324,6 +324,41 @@ TEST_F(SchedTest, OpsScaleRoughlyQuadraticallyLockFree) {
   EXPECT_GT(ratio, 8.0);
 }
 
+TEST_F(SchedTest, EcfTieKeepsEarlierEntriesFirst) {
+  // Regression for the ECF insertion point on equal keys: ecf_index
+  // returns the first position whose effective critical time *exceeds*
+  // the new key, so an entry inserted later with an equal key lands
+  // after the ones already present.  With one shared critical time the
+  // schedule must therefore come out in PUD order (insertion order),
+  // not reversed.
+  const RuaScheduler rua(Sharing::kLockFree);
+  std::vector<SchedJob> jobs;
+  jobs.push_back(job(0, 10.0, usec(100), usec(5)));  // PUD 2.0
+  jobs.push_back(job(1, 40.0, usec(100), usec(5)));  // PUD 8.0
+  jobs.push_back(job(2, 20.0, usec(100), usec(5)));  // PUD 4.0
+  const auto res = rua.build(jobs, 0);
+  ASSERT_EQ(res.schedule.size(), 3u);
+  EXPECT_EQ(res.schedule[0], 1);
+  EXPECT_EQ(res.schedule[1], 2);
+  EXPECT_EQ(res.schedule[2], 0);
+}
+
+TEST_F(SchedTest, EcfTieBreaksFullTiesById) {
+  // Jobs identical in PUD and critical time: the PUD sort's final
+  // tie-break is the job id, and equal-key ECF insertion preserves that
+  // order in the schedule.
+  const RuaScheduler rua(Sharing::kLockFree);
+  std::vector<SchedJob> jobs;
+  jobs.push_back(job(5, 10.0, usec(100), usec(5)));
+  jobs.push_back(job(3, 10.0, usec(100), usec(5)));
+  jobs.push_back(job(9, 10.0, usec(100), usec(5)));
+  const auto res = rua.build(jobs, 0);
+  ASSERT_EQ(res.schedule.size(), 3u);
+  EXPECT_EQ(res.schedule[0], 3);
+  EXPECT_EQ(res.schedule[1], 5);
+  EXPECT_EQ(res.schedule[2], 9);
+}
+
 TEST_F(SchedTest, EdfOrdersByCriticalAndSkipsBlocked) {
   const sched::EdfScheduler edf;
   std::vector<SchedJob> jobs;
