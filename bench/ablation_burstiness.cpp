@@ -11,8 +11,9 @@
 #include "analysis/bounds.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lfrt;
+  bench::init(argc, argv);
   bench::print_header("Ablation",
                       "UAM burstiness a_i at fixed long-run load");
   std::cout << "tasks=6  objects=4  accesses/job=3  rate-normalized load="
@@ -22,6 +23,8 @@ int main() {
   Table table({"a_i", "AUR lock-based", "AUR lock-free", "CMR lock-based",
                "CMR lock-free", "retry bound (T2)"});
 
+  std::vector<bench::SeriesSpec> series;
+  std::vector<TaskSet> task_sets;
   for (const std::int64_t a : {1, 2, 3, 4, 6}) {
     workload::WorkloadSpec spec;
     spec.task_count = 6;
@@ -40,13 +43,22 @@ int main() {
     bench::RunParams rp;
     rp.windows_per_run = 80;
     rp.mode = sim::ShareMode::kLockBased;
-    const auto lb = bench::run_series(ts, rp);
+    series.push_back({ts, rp});
     rp.mode = sim::ShareMode::kLockFree;
-    const auto lf = bench::run_series(ts, rp);
+    series.push_back({ts, rp});
+    task_sets.push_back(ts);
+  }
+  const auto points = bench::run_series_batch(bench::pool(), series);
+
+  std::size_t row = 0;
+  for (const std::int64_t a : {1, 2, 3, 4, 6}) {
+    const auto& lb = points[row * 2];
+    const auto& lf = points[row * 2 + 1];
 
     // Representative Theorem-2 bound (task 0) for context: the bound
     // grows linearly in a.
-    const auto bound = analysis::retry_bound(ts, 0);
+    const auto bound = analysis::retry_bound(task_sets[row], 0);
+    ++row;
 
     table.add_row(
         {std::to_string(a),

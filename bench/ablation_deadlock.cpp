@@ -15,8 +15,9 @@
 #include "common.hpp"
 #include "sched/edf.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lfrt;
+  bench::init(argc, argv);
   bench::print_header("Ablation", "nesting depth, deadlock detection "
                                   "on/off vs lock-free");
   std::cout << "tasks=6  objects=4  AL=0.8  r=" << to_usec(usec(20))
@@ -27,7 +28,19 @@ int main() {
   const sched::EdfScheduler edf;
   const sched::RuaScheduler rua_lf(sched::Sharing::kLockFree);
 
-  for (const int depth : {1, 2, 3}) {
+  struct Config {
+    const char* name;
+    const TaskSet* ts;
+    const sched::Scheduler* sch;
+    sim::ShareMode mode;
+  };
+  constexpr int kReps = 5;
+  const std::vector<int> depths = {1, 2, 3};
+
+  // Task sets first (two per depth: nested + equivalent flat), so the
+  // cell lambda only reads shared immutable state.
+  std::vector<TaskSet> nested_sets, flat_sets;
+  for (const int depth : depths) {
     workload::WorkloadSpec spec;
     spec.task_count = 6;
     spec.object_count = 4;
@@ -35,29 +48,27 @@ int main() {
     spec.load = 0.8;
     spec.seed = 9;
     spec.nest_depth = depth;
-    const TaskSet nested_ts = workload::make_task_set(spec);
+    nested_sets.push_back(workload::make_task_set(spec));
     spec.nest_depth = 0;
     spec.accesses_per_job = depth;  // same per-job access count, flat
-    const TaskSet flat_ts = workload::make_task_set(spec);
+    flat_sets.push_back(workload::make_task_set(spec));
+  }
+  std::vector<Config> configs;
+  for (std::size_t d = 0; d < depths.size(); ++d) {
+    configs.push_back({"RUA + detection", &nested_sets[d], &rua_detect,
+                       sim::ShareMode::kLockBased});
+    configs.push_back({"EDF, no detection", &nested_sets[d], &edf,
+                       sim::ShareMode::kLockBased});
+    configs.push_back({"lock-free (flat)", &flat_sets[d], &rua_lf,
+                       sim::ShareMode::kLockFree});
+  }
 
-    struct Config {
-      const char* name;
-      const TaskSet* ts;
-      const sched::Scheduler* sch;
-      sim::ShareMode mode;
-    };
-    const Config configs[] = {
-        {"RUA + detection", &nested_ts, &rua_detect,
-         sim::ShareMode::kLockBased},
-        {"EDF, no detection", &nested_ts, &edf,
-         sim::ShareMode::kLockBased},
-        {"lock-free (flat)", &flat_ts, &rua_lf, sim::ShareMode::kLockFree},
-    };
-
-    for (const Config& c : configs) {
-      RunningStats aur, cmr;
-      std::int64_t deadlocks = 0, aborted = 0;
-      for (int rep = 0; rep < 5; ++rep) {
+  // Flat cell order: (depth, config, rep).
+  const auto cells = static_cast<std::int64_t>(configs.size()) * kReps;
+  const auto reports =
+      exp::parallel_map(bench::pool(), cells, [&](std::int64_t cell) {
+        const Config& c = configs[static_cast<std::size_t>(cell / kReps)];
+        const auto rep = static_cast<std::uint64_t>(cell % kReps);
         sim::SimConfig cfg;
         cfg.mode = c.mode;
         cfg.lock_access_time = usec(20);
@@ -68,14 +79,24 @@ int main() {
           max_window = std::max(max_window, t.arrival.window);
         cfg.horizon = max_window * 80;
         sim::Simulator s(*c.ts, *c.sch, cfg);
-        s.seed_arrivals(100 + static_cast<std::uint64_t>(rep));
-        const auto out = s.run();
+        s.seed_arrivals(100 + rep);
+        return s.run();
+      });
+
+  std::size_t at = 0;
+  for (std::size_t d = 0; d < depths.size(); ++d) {
+    for (int ci = 0; ci < 3; ++ci) {
+      const Config& c = configs[d * 3 + static_cast<std::size_t>(ci)];
+      RunningStats aur, cmr;
+      std::int64_t deadlocks = 0, aborted = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        const sim::SimReport& out = reports[at++];
         aur.add(out.aur());
         cmr.add(out.cmr());
         deadlocks += out.deadlocks_resolved;
         aborted += out.aborted;
       }
-      table.add_row({std::to_string(depth), c.name,
+      table.add_row({std::to_string(depths[d]), c.name,
                      Table::num(aur.mean(), 3), Table::num(cmr.mean(), 3),
                      std::to_string(deadlocks), std::to_string(aborted)});
     }

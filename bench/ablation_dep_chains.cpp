@@ -8,8 +8,9 @@
 // computation and the lock/unlock scheduling events.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lfrt;
+  bench::init(argc, argv);
   bench::print_header("Ablation", "dependency-chain cost, lock-based vs "
                                   "lock-free RUA");
   std::cout << "tasks=8  objects=2  AL=1.0  r=" << to_usec(bench::kDefaultR)
@@ -18,7 +19,12 @@ int main() {
   Table table({"accesses/job", "mode", "sched invocations", "ops/invocation",
                "overhead (us)", "blk or rty /job"});
 
-  for (const int m : {1, 2, 4, 8}) {
+  const std::vector<int> access_counts = {1, 2, 4, 8};
+  const sim::ShareMode modes[] = {sim::ShareMode::kLockBased,
+                                  sim::ShareMode::kLockFree};
+
+  std::vector<TaskSet> task_sets;
+  for (const int m : access_counts) {
     workload::WorkloadSpec spec;
     spec.task_count = 8;
     spec.object_count = 2;  // few objects -> heavy contention
@@ -26,23 +32,33 @@ int main() {
     spec.avg_exec = usec(400);
     spec.load = 1.0;
     spec.seed = 5;
-    const TaskSet ts = workload::make_task_set(spec);
+    task_sets.push_back(workload::make_task_set(spec));
+  }
 
-    for (const auto mode :
-         {sim::ShareMode::kLockBased, sim::ShareMode::kLockFree}) {
-      sim::SimConfig cfg;
-      cfg.mode = mode;
-      cfg.lock_access_time = bench::kDefaultR;
-      cfg.lockfree_access_time = bench::kDefaultS;
-      cfg.sched_ns_per_op = bench::kDefaultNsPerOp;
-      Time max_window = 0;
-      for (const auto& t : ts.tasks)
-        max_window = std::max(max_window, t.arrival.window);
-      cfg.horizon = max_window * 120;
-      sim::Simulator s(ts, bench::scheduler_for(mode), cfg);
-      s.seed_arrivals(77);
-      const auto rep = s.run();
+  // One cell per (m, mode) pair, fanned out over the bench pool.
+  const auto cells = static_cast<std::int64_t>(access_counts.size()) * 2;
+  const auto reports =
+      exp::parallel_map(bench::pool(), cells, [&](std::int64_t cell) {
+        const TaskSet& ts = task_sets[static_cast<std::size_t>(cell / 2)];
+        const sim::ShareMode mode = modes[cell % 2];
+        sim::SimConfig cfg;
+        cfg.mode = mode;
+        cfg.lock_access_time = bench::kDefaultR;
+        cfg.lockfree_access_time = bench::kDefaultS;
+        cfg.sched_ns_per_op = bench::kDefaultNsPerOp;
+        Time max_window = 0;
+        for (const auto& t : ts.tasks)
+          max_window = std::max(max_window, t.arrival.window);
+        cfg.horizon = max_window * 120;
+        sim::Simulator s(ts, bench::scheduler_for(mode), cfg);
+        s.seed_arrivals(77);
+        return s.run();
+      });
 
+  std::size_t at = 0;
+  for (const int m : access_counts) {
+    for (const sim::ShareMode mode : modes) {
+      const sim::SimReport& rep = reports[at++];
       const double per_inv =
           rep.sched_invocations
               ? static_cast<double>(rep.sched_ops) /

@@ -10,8 +10,9 @@
 #include "common.hpp"
 #include "uam/uam.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lfrt;
+  bench::init(argc, argv);
   bench::print_header("Ablation", "execution-time uncertainty (estimate "
                                   "vs actual)");
   std::cout << "tasks=8  objects=4  accesses/job=2  nominal AL=1.02  r="
@@ -20,7 +21,13 @@ int main() {
 
   Table table({"variation", "mode", "AUR", "CMR", "aborted/1k jobs"});
 
-  for (const double variation : {0.0, 0.2, 0.4, 0.6}) {
+  const std::vector<double> variations = {0.0, 0.2, 0.4, 0.6};
+  const sim::ShareMode modes[] = {sim::ShareMode::kLockFree,
+                                  sim::ShareMode::kLockBased};
+  constexpr int kReps = 5;
+
+  std::vector<TaskSet> task_sets;
+  for (const double variation : variations) {
     workload::WorkloadSpec spec;
     spec.task_count = 8;
     spec.object_count = 4;
@@ -30,18 +37,25 @@ int main() {
     spec.seed = 3;
     TaskSet ts = workload::make_task_set(spec);
     for (auto& t : ts.tasks) t.exec_variation = variation;
+    task_sets.push_back(std::move(ts));
+  }
 
-    for (const auto mode :
-         {sim::ShareMode::kLockFree, sim::ShareMode::kLockBased}) {
-      RunningStats aur, cmr;
-      std::int64_t aborted = 0, jobs = 0;
-      for (int rep = 0; rep < 5; ++rep) {
+  // Flat cell order: (variation, mode, rep) — rows reduce in that order.
+  const auto cells =
+      static_cast<std::int64_t>(variations.size()) * 2 * kReps;
+  const auto reports =
+      exp::parallel_map(bench::pool(), cells, [&](std::int64_t cell) {
+        const TaskSet& ts =
+            task_sets[static_cast<std::size_t>(cell / (2 * kReps))];
+        const sim::ShareMode mode = modes[(cell / kReps) % 2];
+        const auto rep = static_cast<std::uint64_t>(cell % kReps);
+
         sim::SimConfig cfg;
         cfg.mode = mode;
         cfg.lock_access_time = bench::kDefaultR;
         cfg.lockfree_access_time = bench::kDefaultS;
         cfg.sched_ns_per_op = bench::kDefaultNsPerOp;
-        cfg.exec_seed = 100 + static_cast<std::uint64_t>(rep);
+        cfg.exec_seed = 100 + rep;
         Time max_window = 0;
         for (const auto& t : ts.tasks)
           max_window = std::max(max_window, t.arrival.window);
@@ -50,12 +64,20 @@ int main() {
         // Exact-rate periodic arrivals: the nominal load is delivered in
         // full, so the variation band alone decides the overrun rate.
         for (const auto& t : ts.tasks) {
-          Rng rng(700 + static_cast<std::uint64_t>(rep) * 131 +
-                  static_cast<std::uint64_t>(t.id));
-          s.set_arrivals(t.id, arrivals::periodic_phased(
-                                   t.arrival, cfg.horizon, rng));
+          Rng rng(700 + rep * 131 + static_cast<std::uint64_t>(t.id));
+          s.set_arrivals(
+              t.id, arrivals::periodic_phased(t.arrival, cfg.horizon, rng));
         }
-        const auto out = s.run();
+        return s.run();
+      });
+
+  std::size_t at = 0;
+  for (const double variation : variations) {
+    for (const sim::ShareMode mode : modes) {
+      RunningStats aur, cmr;
+      std::int64_t aborted = 0, jobs = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        const sim::SimReport& out = reports[at++];
         aur.add(out.aur());
         cmr.add(out.cmr());
         aborted += out.aborted;

@@ -37,6 +37,9 @@ inline int run_aur_cmr_sweep(const std::string& fig, double load,
   Table table({"objects", "r (us)", "AUR lock-based", "AUR lock-free",
                "CMR lock-based", "CMR lock-free", "blk/job", "rty/job"});
 
+  // Both sharing modes of every sweep point fan out as one batch; rows
+  // are reduced and printed in sweep order below.
+  std::vector<SeriesSpec> series;
   for (int objects = 1; objects <= 10; ++objects) {
     workload::WorkloadSpec spec;
     spec.task_count = 10;
@@ -51,12 +54,18 @@ inline int run_aur_cmr_sweep(const std::string& fig, double load,
     RunParams rp;
     rp.r = r_for_objects(objects);
     rp.mode = sim::ShareMode::kLockBased;
-    const SeriesPoint lb = run_series(ts, rp);
+    series.push_back({ts, rp});
     rp.mode = sim::ShareMode::kLockFree;
-    const SeriesPoint lf = run_series(ts, rp);
+    series.push_back({ts, rp});
+  }
+  const std::vector<SeriesPoint> points = run_series_batch(pool(), series);
 
+  for (int objects = 1; objects <= 10; ++objects) {
+    const SeriesPoint& lb = points[static_cast<std::size_t>(objects - 1) * 2];
+    const SeriesPoint& lf =
+        points[static_cast<std::size_t>(objects - 1) * 2 + 1];
     table.add_row({std::to_string(objects),
-                   std::to_string(rp.r / 1000),
+                   std::to_string(r_for_objects(objects) / 1000),
                    Table::num(lb.aur_mean, 3) + " ±" + Table::num(lb.aur_ci, 3),
                    Table::num(lf.aur_mean, 3) + " ±" + Table::num(lf.aur_ci, 3),
                    Table::num(lb.cmr_mean, 3) + " ±" + Table::num(lb.cmr_ci, 3),

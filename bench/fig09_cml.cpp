@@ -10,8 +10,9 @@
 // execution times orders of magnitude larger (paper: ~1 ms vs ~10 us).
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lfrt;
+  bench::init(argc, argv);
   bench::print_header("Figure 9", "CML vs average job execution time");
   const Time r = usec(25), s = bench::kDefaultS;
   std::cout << "tasks=10  objects=10  accesses/job=2  r=" << to_usec(r)

@@ -1,7 +1,8 @@
 // Figure 10: AUR/CMR during underload (AL ~= 0.4), step TUFs.
 #include "aur_cmr_sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lfrt::bench::init(argc, argv);
   return lfrt::bench::run_aur_cmr_sweep("Figure 10", 0.4,
                                         lfrt::workload::TufClass::kStep);
 }

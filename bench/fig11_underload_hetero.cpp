@@ -2,7 +2,8 @@
 // (step + parabolic + linearly-decreasing).
 #include "aur_cmr_sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lfrt::bench::init(argc, argv);
   return lfrt::bench::run_aur_cmr_sweep(
       "Figure 11", 0.4, lfrt::workload::TufClass::kHeterogeneous);
 }

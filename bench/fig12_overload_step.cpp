@@ -1,7 +1,8 @@
 // Figure 12: AUR/CMR during overload (AL ~= 1.1), step TUFs.
 #include "aur_cmr_sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lfrt::bench::init(argc, argv);
   return lfrt::bench::run_aur_cmr_sweep("Figure 12", 1.1,
                                         lfrt::workload::TufClass::kStep);
 }

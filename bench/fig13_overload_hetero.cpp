@@ -1,7 +1,8 @@
 // Figure 13: AUR/CMR during overload (AL ~= 1.1), heterogeneous TUFs.
 #include "aur_cmr_sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lfrt::bench::init(argc, argv);
   return lfrt::bench::run_aur_cmr_sweep(
       "Figure 13", 1.1, lfrt::workload::TufClass::kHeterogeneous);
 }

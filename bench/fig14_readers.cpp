@@ -6,8 +6,9 @@
 // approximate load and touches three of the ten shared queues.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lfrt;
+  bench::init(argc, argv);
   bench::print_header("Figure 14", "AUR/CMR vs number of reader tasks");
   std::cout << "objects=10  accesses/job=3  r=" << to_usec(bench::kDefaultR)
             << "us  s=" << to_usec(bench::kDefaultS) << "us  seed=42\n\n";
@@ -15,6 +16,7 @@ int main() {
   Table table({"readers", "AL", "AUR lock-based", "AUR lock-free",
                "CMR lock-based", "CMR lock-free"});
 
+  std::vector<bench::SeriesSpec> series;
   for (int readers = 1; readers <= 11; ++readers) {
     const double load = 0.1 * readers;
     workload::WorkloadSpec spec;
@@ -33,9 +35,16 @@ int main() {
 
     bench::RunParams rp;
     rp.mode = sim::ShareMode::kLockBased;
-    const auto lb = bench::run_series(ts, rp);
+    series.push_back({ts, rp});
     rp.mode = sim::ShareMode::kLockFree;
-    const auto lf = bench::run_series(ts, rp);
+    series.push_back({ts, rp});
+  }
+  const auto points = bench::run_series_batch(bench::pool(), series);
+
+  for (int readers = 1; readers <= 11; ++readers) {
+    const double load = 0.1 * readers;
+    const auto& lb = points[static_cast<std::size_t>(readers - 1) * 2];
+    const auto& lf = points[static_cast<std::size_t>(readers - 1) * 2 + 1];
 
     table.add_row(
         {std::to_string(readers), Table::num(load, 1),

@@ -4,8 +4,9 @@
 #include "analysis/bounds.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lfrt;
+  bench::init(argc, argv);
   bench::print_header("Lemmas 4/5", "measured AUR inside analytic band");
 
   Table table({"TUF class", "mode", "lower", "measured AUR", "upper",

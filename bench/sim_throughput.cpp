@@ -1,0 +1,200 @@
+// Simulator throughput (ISSUE: de-mapified hot loop + parallel harness).
+//
+// Two measurements, both emitted to BENCH_sweep.json:
+//
+//  1. Per-event cost of the discrete-event core: Simulator::run() wall
+//     clock divided by SimReport::events_processed, for the three
+//     sharing regimes on a contended 12-task workload.  This is the
+//     number the job-slab rewrite (dense vector indexed by JobId,
+//     stamp-based dispatch dedup, O(1) per-job CPU index) moves.
+//
+//  2. Harness speedup: an identical fig09-shaped run_series_batch grid
+//     executed on a 1-thread pool and an N-thread pool, with the
+//     reduced SeriesPoints compared field-by-field — the binary fails
+//     if parallel execution changes any result, so the determinism
+//     guarantee is enforced in production, not just in tests.
+//
+// Usage: sim_throughput [--tiny] [--threads=N] [--out FILE]
+//   --tiny     smoke mode for check.sh: small grids, few samples
+//   --threads  parallel pool width for the harness comparison
+//              (default: bench::init's resolution of LFRT_THREADS)
+//   --out      JSON output path (default BENCH_sweep.json in the cwd)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace lfrt;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration_cast<
+             std::chrono::duration<double, std::milli>>(Clock::now() - t0)
+      .count();
+}
+
+struct EventRow {
+  std::string mode;
+  std::int64_t events = 0;
+  double ns_per_event = 0;
+};
+
+/// Median ns/event over `samples` fresh runs of one workload+mode.
+EventRow measure_events(const TaskSet& ts, sim::ShareMode mode,
+                        int samples) {
+  std::vector<double> per_event;
+  std::int64_t events = 0;
+  for (int s = 0; s < samples; ++s) {
+    sim::SimConfig cfg;
+    cfg.mode = mode;
+    cfg.lock_access_time = bench::kDefaultR;
+    cfg.lockfree_access_time = bench::kDefaultS;
+    cfg.sched_ns_per_op = bench::kDefaultNsPerOp;
+    Time max_window = 0;
+    for (const auto& t : ts.tasks)
+      max_window = std::max(max_window, t.arrival.window);
+    cfg.horizon = max_window * 200;
+    sim::Simulator sim(ts, bench::scheduler_for(mode), cfg);
+    sim.seed_arrivals(33);
+    const auto t0 = Clock::now();
+    const sim::SimReport rep = sim.run();
+    const double ns = ms_since(t0) * 1e6;
+    events = rep.events_processed;
+    per_event.push_back(events > 0 ? ns / static_cast<double>(events) : 0);
+  }
+  std::sort(per_event.begin(), per_event.end());
+  return {sim::to_string(mode), events, per_event[per_event.size() / 2]};
+}
+
+bool same_points(const std::vector<bench::SeriesPoint>& a,
+                 const std::vector<bench::SeriesPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].aur_mean != b[i].aur_mean || a[i].aur_ci != b[i].aur_ci ||
+        a[i].cmr_mean != b[i].cmr_mean || a[i].cmr_ci != b[i].cmr_ci ||
+        a[i].retries_per_job != b[i].retries_per_job ||
+        a[i].blockings_per_job != b[i].blockings_per_job ||
+        a[i].jobs != b[i].jobs || a[i].aborted != b[i].aborted ||
+        a[i].deadlocks != b[i].deadlocks ||
+        a[i].sched_invocations != b[i].sched_invocations ||
+        a[i].sched_ops != b[i].sched_ops ||
+        a[i].sched_overhead != b[i].sched_overhead)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lfrt;
+  bench::init(argc, argv);
+  bool tiny = false;
+  std::string out_path = "BENCH_sweep.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) {
+      tiny = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--threads", 9) == 0) {
+      if (std::strchr(argv[i], '=') == nullptr && i + 1 < argc) ++i;
+    } else {
+      std::cerr << "usage: sim_throughput [--tiny] [--threads=N] "
+                   "[--out FILE]\n";
+      return 2;
+    }
+  }
+  bench::print_header("Throughput", "simulator per-event cost + harness "
+                                    "parallel speedup");
+
+  // ---- 1. per-event cost of the discrete-event core -------------------
+  workload::WorkloadSpec spec;
+  spec.task_count = 12;
+  spec.object_count = 6;
+  spec.accesses_per_job = 3;
+  spec.avg_exec = usec(200);
+  spec.load = 0.9;
+  spec.seed = 11;
+  const TaskSet ts = workload::make_task_set(spec);
+
+  const int samples = tiny ? 2 : 7;
+  std::vector<EventRow> event_rows;
+  std::cout << "per-event cost (12 tasks, 6 objects, AL=0.9):\n"
+            << "  mode         events   ns/event\n";
+  for (const sim::ShareMode mode :
+       {sim::ShareMode::kLockFree, sim::ShareMode::kLockBased,
+        sim::ShareMode::kIdeal}) {
+    const EventRow row = measure_events(ts, mode, samples);
+    event_rows.push_back(row);
+    std::printf("  %-11s %7lld %10.1f\n", row.mode.c_str(),
+                static_cast<long long>(row.events), row.ns_per_event);
+  }
+
+  // ---- 2. harness speedup: identical grid, 1 vs N threads -------------
+  const int n_threads = static_cast<int>(bench::pool().size());
+  std::vector<bench::SeriesSpec> series;
+  for (const double load : tiny ? std::vector<double>{0.6, 1.0}
+                                : std::vector<double>{0.4, 0.7, 1.0, 1.3}) {
+    workload::WorkloadSpec ws;
+    ws.task_count = 10;
+    ws.object_count = 10;
+    ws.accesses_per_job = 2;
+    ws.avg_exec = usec(100);
+    ws.load = load;
+    ws.tuf_class = workload::TufClass::kStep;
+    ws.seed = 42;
+    bench::SeriesSpec s;
+    s.ts = workload::make_task_set(ws);
+    s.rp.mode = sim::ShareMode::kLockFree;
+    s.rp.repeats = tiny ? 2 : 6;
+    series.push_back(std::move(s));
+  }
+
+  exp::ThreadPool serial_pool(1);
+  const auto t_serial = Clock::now();
+  const auto serial = bench::run_series_batch(serial_pool, series);
+  const double serial_ms = ms_since(t_serial);
+
+  exp::ThreadPool wide_pool(n_threads);
+  const auto t_wide = Clock::now();
+  const auto wide = bench::run_series_batch(wide_pool, series);
+  const double wide_ms = ms_since(t_wide);
+
+  const bool identical = same_points(serial, wide);
+  const double speedup = wide_ms > 0 ? serial_ms / wide_ms : 0;
+
+  std::printf("\nharness grid (%zu series x %d repeats):\n",
+              series.size(), series.front().rp.repeats);
+  std::printf("  1 thread   %8.1f ms\n", serial_ms);
+  std::printf("  %d thread%s %8.1f ms   speedup %.2fx   results %s\n",
+              n_threads, n_threads == 1 ? " " : "s", wide_ms, speedup,
+              identical ? "identical" : "DIVERGED");
+  if (!identical) {
+    std::cerr << "error: parallel results differ from serial results\n";
+    return 1;
+  }
+
+  std::ofstream os(out_path);
+  os << "{\n  \"bench\": \"sim_throughput\",\n  \"events\": [\n";
+  for (std::size_t i = 0; i < event_rows.size(); ++i) {
+    const EventRow& r = event_rows[i];
+    os << "    {\"mode\": \"" << r.mode << "\", \"events\": " << r.events
+       << ", \"ns_per_event\": " << r.ns_per_event << "}"
+       << (i + 1 < event_rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"harness\": {\"threads\": " << n_threads
+     << ", \"serial_ms\": " << serial_ms << ", \"parallel_ms\": " << wide_ms
+     << ", \"speedup\": " << speedup << ", \"identical\": "
+     << (identical ? "true" : "false") << "}\n}\n";
+  if (!os) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

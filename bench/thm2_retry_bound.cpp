@@ -15,8 +15,9 @@
 #include "sched/edf.hpp"
 #include "uam/uam.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lfrt;
+  bench::init(argc, argv);
   bench::print_header("Theorem 2", "measured max retries vs analytic bound");
   std::cout << "load=0.9, s=10us, adversarial + random UAM arrivals\n\n";
 
@@ -25,6 +26,14 @@ int main() {
   bool all_ok = true;
   const sched::EdfScheduler edf;
 
+  struct SetSpec {
+    int a = 0;
+    int tasks = 0;
+    TaskSet ts;
+    std::int64_t bound_min = 0;
+    std::int64_t bound_max = 0;
+  };
+  std::vector<SetSpec> sets;
   for (const int a : {1, 2, 3}) {
     for (const int tasks : {3, 6, 10}) {
       workload::WorkloadSpec spec;
@@ -35,57 +44,74 @@ int main() {
       spec.load = 0.9;
       spec.max_per_window = a;
       spec.seed = 7;
-      const TaskSet ts = workload::make_task_set(spec);
-
-      std::int64_t bound_min = INT64_MAX, bound_max = 0;
-      for (const auto& t : ts.tasks) {
-        bound_min = std::min(bound_min, analysis::retry_bound(ts, t.id));
-        bound_max = std::max(bound_max, analysis::retry_bound(ts, t.id));
+      SetSpec s;
+      s.a = a;
+      s.tasks = tasks;
+      s.ts = workload::make_task_set(spec);
+      s.bound_min = INT64_MAX;
+      for (const auto& t : s.ts.tasks) {
+        s.bound_min =
+            std::min(s.bound_min, analysis::retry_bound(s.ts, t.id));
+        s.bound_max =
+            std::max(s.bound_max, analysis::retry_bound(s.ts, t.id));
       }
-
-      for (const bool use_edf : {false, true}) {
-        for (const bool adversarial : {true, false}) {
-          sim::SimConfig cfg;
-          cfg.mode = sim::ShareMode::kLockFree;
-          cfg.lockfree_access_time = usec(10);
-          Time max_window = 0;
-          for (const auto& t : ts.tasks)
-            max_window = std::max(max_window, t.arrival.window);
-          cfg.horizon = max_window * 100;
-
-          const sched::Scheduler& sch =
-              use_edf ? static_cast<const sched::Scheduler&>(edf)
-                      : bench::scheduler_for(cfg.mode);
-          sim::Simulator s(ts, sch, cfg);
-          if (adversarial) {
-            for (const auto& t : ts.tasks)
-              s.set_arrivals(
-                  t.id, arrivals::adversarial(t.arrival, 0, cfg.horizon));
-          } else {
-            s.seed_arrivals(91);
-          }
-          const sim::SimReport rep = s.run();
-
-          std::int64_t max_retries = 0, max_preempt = 0;
-          bool ok = true;
-          for (const Job& j : rep.jobs) {
-            max_retries = std::max(max_retries, j.retries);
-            max_preempt = std::max(max_preempt, j.preemptions);
-            const std::int64_t bound = analysis::retry_bound(ts, j.task);
-            ok = ok && j.retries <= bound && j.preemptions <= bound;
-          }
-          all_ok = all_ok && ok;
-          table.add_row({std::to_string(a), std::to_string(tasks),
-                         use_edf ? "EDF" : "RUA",
-                         adversarial ? "adversarial" : "random",
-                         std::to_string(bound_min) + ".." +
-                             std::to_string(bound_max),
-                         std::to_string(max_retries),
-                         std::to_string(max_preempt),
-                         ok ? "yes" : "VIOLATION"});
-        }
-      }
+      sets.push_back(std::move(s));
     }
+  }
+
+  // Four cells per task set — (RUA, EDF) x (adversarial, random) — flat-
+  // indexed in row order and fanned out over the bench pool.
+  const auto cells = static_cast<std::int64_t>(sets.size()) * 4;
+  const auto reports =
+      exp::parallel_map(bench::pool(), cells, [&](std::int64_t cell) {
+        const SetSpec& s = sets[static_cast<std::size_t>(cell / 4)];
+        const bool use_edf = (cell / 2) % 2 == 1;
+        const bool adversarial = cell % 2 == 0;
+
+        sim::SimConfig cfg;
+        cfg.mode = sim::ShareMode::kLockFree;
+        cfg.lockfree_access_time = usec(10);
+        Time max_window = 0;
+        for (const auto& t : s.ts.tasks)
+          max_window = std::max(max_window, t.arrival.window);
+        cfg.horizon = max_window * 100;
+
+        const sched::Scheduler& sch =
+            use_edf ? static_cast<const sched::Scheduler&>(edf)
+                    : bench::scheduler_for(cfg.mode);
+        sim::Simulator sim(s.ts, sch, cfg);
+        if (adversarial) {
+          for (const auto& t : s.ts.tasks)
+            sim.set_arrivals(
+                t.id, arrivals::adversarial(t.arrival, 0, cfg.horizon));
+        } else {
+          sim.seed_arrivals(91);
+        }
+        return sim.run();
+      });
+
+  for (std::size_t cell = 0; cell < reports.size(); ++cell) {
+    const SetSpec& s = sets[cell / 4];
+    const bool use_edf = (cell / 2) % 2 == 1;
+    const bool adversarial = cell % 2 == 0;
+    const sim::SimReport& rep = reports[cell];
+
+    std::int64_t max_retries = 0, max_preempt = 0;
+    bool ok = true;
+    for (const Job& j : rep.jobs) {
+      max_retries = std::max(max_retries, j.retries);
+      max_preempt = std::max(max_preempt, j.preemptions);
+      const std::int64_t bound = analysis::retry_bound(s.ts, j.task);
+      ok = ok && j.retries <= bound && j.preemptions <= bound;
+    }
+    all_ok = all_ok && ok;
+    table.add_row({std::to_string(s.a), std::to_string(s.tasks),
+                   use_edf ? "EDF" : "RUA",
+                   adversarial ? "adversarial" : "random",
+                   std::to_string(s.bound_min) + ".." +
+                       std::to_string(s.bound_max),
+                   std::to_string(max_retries),
+                   std::to_string(max_preempt), ok ? "yes" : "VIOLATION"});
   }
   table.print();
   std::cout << "\nresult: "

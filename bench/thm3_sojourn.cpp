@@ -9,8 +9,9 @@
 #include "analysis/bounds.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lfrt;
+  bench::init(argc, argv);
   bench::print_header("Theorem 3", "sojourn crossover vs s/r threshold");
 
   workload::WorkloadSpec spec;
@@ -43,24 +44,28 @@ int main() {
 
     auto mean_sojourn = [&](sim::ShareMode mode) {
       rp.mode = mode;
+      // Repeats fan out over the bench pool; the sojourn statistics are
+      // reduced in repeat order, so the mean is thread-count-invariant.
+      const auto reports = exp::parallel_map(
+          bench::pool(), rp.repeats, [&](std::int64_t rep) {
+            sim::SimConfig cfg;
+            cfg.mode = mode;
+            cfg.lock_access_time = r;
+            cfg.lockfree_access_time = s;
+            cfg.sched_ns_per_op = rp.ns_per_op;
+            Time max_window = 0;
+            for (const auto& t : ts.tasks)
+              max_window = std::max(max_window, t.arrival.window);
+            cfg.horizon = max_window * 150;
+            sim::Simulator sim(ts, bench::scheduler_for(mode), cfg);
+            sim.seed_arrivals(500 + static_cast<std::uint64_t>(rep));
+            return sim.run();
+          });
       RunningStats st;
-      for (int rep = 0; rep < rp.repeats; ++rep) {
-        sim::SimConfig cfg;
-        cfg.mode = mode;
-        cfg.lock_access_time = r;
-        cfg.lockfree_access_time = s;
-        cfg.sched_ns_per_op = rp.ns_per_op;
-        Time max_window = 0;
-        for (const auto& t : ts.tasks)
-          max_window = std::max(max_window, t.arrival.window);
-        cfg.horizon = max_window * 150;
-        sim::Simulator sim(ts, bench::scheduler_for(mode), cfg);
-        sim.seed_arrivals(500 + static_cast<std::uint64_t>(rep));
-        const auto rep_out = sim.run();
+      for (const auto& rep_out : reports)
         for (const Job& j : rep_out.jobs)
           if (j.state == JobState::kCompleted)
             st.add(to_usec(j.sojourn()));
-      }
       return st.mean();
     };
 

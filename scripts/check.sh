@@ -3,9 +3,13 @@
 #   1. ASan+UBSan build of the whole tree, tier-1 suite under the
 #      sanitizers (catches lifetime bugs in the in-place RUA schedule
 #      editing that plain tests cannot see),
-#   2. -O2 build, tier-1 suite, and a tiny sched_throughput sweep as a
-#      bench smoke test (also re-checks the optimized-vs-reference ops
-#      cross-validation built into the benchmark).
+#   2. TSan build, concurrency-sensitive suites only: the parallel
+#      experiment harness (exp_test), its thread-count-invariance
+#      guarantee (determinism_test), and the shared-const-scheduler
+#      contract (concurrent_build_test),
+#   3. -O2 build, tier-1 suite, and tiny sched_throughput +
+#      sim_throughput sweeps as bench smoke tests (the latter also
+#      re-checks serial-vs-parallel result identity in production).
 #
 # Usage: scripts/check.sh [jobs]      (default: nproc)
 set -euo pipefail
@@ -13,15 +17,24 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> [1/2] sanitizer build + tests (build-asan/)"
-cmake -B build-asan -S . -DLFRT_SANITIZE=ON \
+echo "==> [1/3] sanitizer build + tests (build-asan/)"
+cmake -B build-asan -S . -DLFRT_SANITIZE=address \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "==> [2/2] optimized build + tests + bench smoke (build-o2/)"
+echo "==> [2/3] thread-sanitizer build + concurrency tests (build-tsan/)"
+cmake -B build-tsan -S . -DLFRT_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan -j "$JOBS" \
+      --target exp_test determinism_test concurrent_build_test
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+      -R '^(ExpThreadPool|ExpParallelMap|ExpSweep|ExpThreads|Determinism|ConcurrentBuild)\.'
+
+echo "==> [3/3] optimized build + tests + bench smoke (build-o2/)"
 cmake -B build-o2 -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-o2 -j "$JOBS"
 ctest --test-dir build-o2 --output-on-failure -j "$JOBS"
 ./build-o2/bench/sched_throughput --tiny --out build-o2/BENCH_sched_smoke.json
-echo "OK: sanitizers clean, tier-1 green twice, bench smoke passed"
+./build-o2/bench/sim_throughput --tiny --out build-o2/BENCH_sweep_smoke.json
+echo "OK: ASan+TSan clean, tier-1 green twice, bench smokes passed"

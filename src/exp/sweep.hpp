@@ -1,0 +1,46 @@
+// Deterministic fan-out helpers on top of exp::ThreadPool.
+//
+// The contract every helper shares: results land at the index of the
+// cell that produced them, and any reduction happens on the calling
+// thread in cell order — so the value (and printed bytes) of a sweep is
+// a pure function of its inputs, independent of the pool size.  Seeds
+// are per-cell by construction in the callers (bench/common.hpp), which
+// is what makes the cells independent in the first place.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "exp/thread_pool.hpp"
+
+namespace lfrt::exp {
+
+/// Evaluate fn(i) for i in [0, n) on the pool and return the results in
+/// index order.  The result type must be default-constructible and
+/// movable; fn must be safe to call concurrently on distinct indices.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::int64_t n, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::int64_t>> {
+  using R = std::invoke_result_t<Fn&, std::int64_t>;
+  static_assert(std::is_default_constructible_v<R>,
+                "parallel_map results are slotted into a pre-sized vector");
+  std::vector<R> out(static_cast<std::size_t>(n));
+  pool.parallel_for(n, [&](std::int64_t i) {
+    out[static_cast<std::size_t>(i)] = fn(i);
+  });
+  return out;
+}
+
+/// parallel_map over a vector of inputs: fn(items[i]) in item order.
+template <typename In, typename Fn>
+auto sweep(ThreadPool& pool, const std::vector<In>& items, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, const In&>> {
+  return parallel_map(pool, static_cast<std::int64_t>(items.size()),
+                      [&](std::int64_t i) {
+                        return fn(items[static_cast<std::size_t>(i)]);
+                      });
+}
+
+}  // namespace lfrt::exp

@@ -101,6 +101,17 @@ class Scheduler {
   /// (cleared first; capacity kept).  `ws` must be a workspace from
   /// this policy's `make_workspace` or nullptr (the policy then falls
   /// back to transient scratch).
+  ///
+  /// Thread safety: build_into is const and every piece of mutable
+  /// scratch lives in the caller-owned Workspace/ScheduleResult, so ONE
+  /// scheduler instance may be shared by any number of concurrent
+  /// callers as long as each brings its own `ws` and `out`.  Policies
+  /// must not keep `mutable` members, statics, or other hidden state
+  /// behind this call.  The parallel experiment harness (src/exp,
+  /// bench::scheduler_for) relies on the guarantee — every pool worker
+  /// runs Simulators pointing at the same const instance — and
+  /// tests/concurrent_build_test.cpp enforces it under TSan
+  /// (scripts/check.sh, LFRT_SANITIZE=thread).
   virtual void build_into(const std::vector<SchedJob>& jobs, Time now,
                           Workspace* ws, ScheduleResult& out) const = 0;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 #include <sstream>
+#include <unordered_map>
 
 #include "support/check.hpp"
 #include "support/rng.hpp"
@@ -85,7 +86,14 @@ struct Simulator::Impl {
 
   // ---- runtime state ----
   Time now = 0;
-  std::unordered_map<JobId, Job> jobs;
+  // Dense job slab: JobId IS the index.  Ids are handed out sequentially
+  // from 0 and a job is never destroyed mid-run (retire only drops it
+  // from `alive`), so the slab stays id-ordered and lookups are O(1)
+  // array indexing instead of hashing.  run() reserves the full arrival
+  // count up front, so steady-state arrivals never reallocate — but no
+  // Job& is ever held across an insertion anyway.
+  std::vector<Job> jobs;
+  std::vector<int> job_cpu;  // per job: CPU it occupies, or -1
   std::vector<JobId> alive;
   std::vector<JobId> running_on;    // per CPU: job or kNoJob
   std::vector<Time> run_start_on;   // per CPU: instant its job (re)starts
@@ -121,6 +129,12 @@ struct Simulator::Impl {
   std::vector<JobId> targets_scratch;
   std::vector<JobId> next_scratch;
   std::vector<JobId> newcomers_scratch;
+  // Dispatch-target membership stamps: target_stamp[id] == target_gen
+  // iff id is already in targets_scratch this reschedule — an O(1)
+  // replacement for scanning targets_scratch per schedule entry.
+  std::vector<std::int64_t> target_stamp;
+  std::int64_t target_gen = 0;
+  std::ostringstream trace_os;  // reused trace formatting buffer
 
   Impl(TaskSet ts, const sched::Scheduler& sch, SimConfig c)
       : tasks(std::move(ts)), scheduler(&sch), cfg(c) {
@@ -146,6 +160,14 @@ struct Simulator::Impl {
 
   const TaskParams& params_of(const Job& j) const {
     return tasks.by_id(j.task);
+  }
+
+  Job& job(JobId id) { return jobs[static_cast<std::size_t>(id)]; }
+  const Job& job(JobId id) const {
+    return jobs[static_cast<std::size_t>(id)];
+  }
+  bool valid(JobId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < jobs.size();
   }
 
   /// A compute offset declared against the nominal u_i, rescaled to the
@@ -174,10 +196,11 @@ struct Simulator::Impl {
   template <typename... Parts>
   void trace(Parts&&... parts) {
     if (!cfg.record_trace) return;
-    std::ostringstream os;
-    os << "[" << now << "] ";
-    (os << ... << parts);
-    report.trace.push_back(os.str());
+    trace_os.str(std::string());
+    trace_os.clear();
+    trace_os << "[" << now << "] ";
+    (trace_os << ... << parts);
+    report.trace.push_back(trace_os.str());
   }
 
   void record_slice(JobId id, TaskId task, int cpu, Time begin, Time end) {
@@ -190,10 +213,15 @@ struct Simulator::Impl {
     out.push_back({id, task, cpu, begin, end});
   }
 
-  int cpu_of(JobId id) const {
-    for (int c = 0; c < cfg.cpu_count; ++c)
-      if (running_on[static_cast<std::size_t>(c)] == id) return c;
-    return -1;
+  // O(1) via the per-job CPU index (kept in sync at every running_on
+  // write), replacing the per-event scan over the CPU array.
+  int cpu_of(JobId id) const { return job_cpu[static_cast<std::size_t>(id)]; }
+
+  /// Clear a CPU slot, unbinding its job's CPU index.
+  void clear_cpu(int c) {
+    const JobId id = running_on[static_cast<std::size_t>(c)];
+    if (id != kNoJob) job_cpu[static_cast<std::size_t>(id)] = -1;
+    running_on[static_cast<std::size_t>(c)] = kNoJob;
   }
 
   // ---- per-job execution geometry -----------------------------------
@@ -262,7 +290,7 @@ struct Simulator::Impl {
     for (int c = 0; c < cfg.cpu_count; ++c) {
       const JobId id = running_on[static_cast<std::size_t>(c)];
       if (id == kNoJob) continue;
-      Job& j = jobs.at(id);
+      Job& j = job(id);
       const Time from =
           std::max(run_start_on[static_cast<std::size_t>(c)], last_sync);
       if (t <= from) continue;
@@ -290,7 +318,7 @@ struct Simulator::Impl {
     for (int c = 0; c < cfg.cpu_count; ++c) {
       const JobId id = running_on[static_cast<std::size_t>(c)];
       if (id == kNoJob) continue;
-      const Job& j = jobs.at(id);
+      const Job& j = job(id);
       const Time base =
           std::max(now, run_start_on[static_cast<std::size_t>(c)]);
       const auto [delta, kind] = next_milestone(j);
@@ -314,7 +342,7 @@ struct Simulator::Impl {
     auto& aborting = aborting_scratch;
     aborting.clear();
     for (JobId id : alive) {
-      const Job& j = jobs.at(id);
+      const Job& j = job(id);
       if (j.state == JobState::kAborting) {
         // Abort handlers execute immediately at the highest eligibility
         // (Section 3.5); they are not the scheduler's to order.
@@ -343,13 +371,12 @@ struct Simulator::Impl {
     // victims receive an abort-exception right away (Section 3.3).
     bool resolved_any = false;
     for (JobId victim : res.deadlock_victims) {
-      auto it = jobs.find(victim);
-      if (it == jobs.end() || it->second.finished() ||
-          it->second.state == JobState::kAborting)
-        continue;
+      if (!valid(victim)) continue;
+      Job& v = job(victim);
+      if (v.finished() || v.state == JobState::kAborting) continue;
       trace("deadlock victim job=", victim);
       ++report.deadlocks_resolved;
-      raise_abort(it->second);
+      raise_abort(v);
       resolved_any = true;
     }
     if (resolved_any) {
@@ -368,27 +395,30 @@ struct Simulator::Impl {
     // in order.
     auto& targets = targets_scratch;
     targets.clear();
+    ++target_gen;  // invalidates every stamp from earlier reschedules
+    const auto push_target = [&](JobId id) {
+      target_stamp[static_cast<std::size_t>(id)] = target_gen;
+      targets.push_back(id);
+    };
     for (JobId id : aborting) {
       if (static_cast<int>(targets.size()) >= cfg.cpu_count) break;
-      targets.push_back(id);
+      push_target(id);
     }
-    if (res.dispatch != kNoJob &&
+    if (res.dispatch != kNoJob && valid(res.dispatch) &&
         static_cast<int>(targets.size()) < cfg.cpu_count) {
-      const auto it = jobs.find(res.dispatch);
-      if (it != jobs.end() && (it->second.state == JobState::kReady ||
-                               it->second.state == JobState::kRunning))
-        targets.push_back(res.dispatch);
+      const Job& dj = job(res.dispatch);
+      if (dj.state == JobState::kReady || dj.state == JobState::kRunning)
+        push_target(res.dispatch);
     }
     for (JobId id : res.schedule) {
       if (static_cast<int>(targets.size()) >= cfg.cpu_count) break;
-      const auto it = jobs.find(id);
-      if (it == jobs.end()) continue;
-      const Job& j = it->second;
+      if (!valid(id)) continue;
+      const Job& j = job(id);
       if (j.state != JobState::kReady && j.state != JobState::kRunning)
         continue;
-      if (std::find(targets.begin(), targets.end(), id) != targets.end())
-        continue;
-      targets.push_back(id);
+      if (target_stamp[static_cast<std::size_t>(id)] == target_gen)
+        continue;  // O(1) dedup, replacing the linear targets scan
+      push_target(id);
     }
 
     dispatch(targets, overhead);
@@ -423,10 +453,9 @@ struct Simulator::Impl {
       const JobId target = next[ci];
       if (prev == target) continue;  // sticky: run_start unchanged
       if (prev != kNoJob) {
-        auto it = jobs.find(prev);
-        if (it != jobs.end() && !it->second.finished() &&
-            it->second.state != JobState::kBlocked) {
-          Job& pj = it->second;
+        Job& pj = job(prev);
+        job_cpu[static_cast<std::size_t>(prev)] = -1;
+        if (!pj.finished() && pj.state != JobState::kBlocked) {
           if (pj.state == JobState::kRunning) pj.state = JobState::kReady;
           ++pj.preemptions;
           ++report.total_preemptions;
@@ -434,7 +463,8 @@ struct Simulator::Impl {
       }
       running_on[ci] = target;
       if (target != kNoJob) {
-        Job& j = jobs.at(target);
+        Job& j = job(target);
+        job_cpu[static_cast<std::size_t>(target)] = c;
         if (j.state != JobState::kAborting) j.state = JobState::kRunning;
         run_start_on[ci] = cpu_free_at;
       }
@@ -463,7 +493,10 @@ struct Simulator::Impl {
     q.push(Event{j.critical_abs, 1, next_seq++, EvKind::kExpiry, j.id, -1,
                  0, MsKind::kCompletion});
     alive.push_back(j.id);
-    jobs.emplace(j.id, j);
+    LFRT_CHECK(j.id == static_cast<JobId>(jobs.size()));
+    jobs.push_back(j);
+    job_cpu.push_back(-1);
+    target_stamp.push_back(0);
     reschedule();
   }
 
@@ -472,7 +505,7 @@ struct Simulator::Impl {
   /// dispatched (if another waiter grabs the unit first, they re-block).
   void wake_waiters_on(ObjectId obj) {
     for (JobId id : alive) {
-      Job& w = jobs.at(id);
+      Job& w = job(id);
       if (w.state == JobState::kBlocked && w.access_object == obj) {
         w.waits_on = kNoJob;
         w.state = JobState::kReady;
@@ -511,7 +544,7 @@ struct Simulator::Impl {
   void retire(JobId id) {
     alive.erase(std::remove(alive.begin(), alive.end(), id), alive.end());
     const int c = cpu_of(id);
-    if (c >= 0) running_on[static_cast<std::size_t>(c)] = kNoJob;
+    if (c >= 0) clear_cpu(c);
   }
 
   /// Raise an abort-exception on a job (critical-time expiry or
@@ -532,14 +565,13 @@ struct Simulator::Impl {
       j.handler_done = 0;
       // It re-enters the CPU via the abort-priority dispatch path.
       const int c = cpu_of(j.id);
-      if (c >= 0) running_on[static_cast<std::size_t>(c)] = kNoJob;
+      if (c >= 0) clear_cpu(c);
     }
   }
 
   void handle_expiry(JobId id) {
-    auto it = jobs.find(id);
-    if (it == jobs.end()) return;
-    Job& j = it->second;
+    if (!valid(id)) return;
+    Job& j = job(id);
     if (j.finished() || j.state == JobState::kAborting) return;
     raise_abort(j);
     reschedule();
@@ -547,7 +579,7 @@ struct Simulator::Impl {
 
   void handle_milestone(const Event& e) {
     if (e.epoch != epoch || cpu_of(e.job) < 0) return;  // stale
-    Job& j = jobs.at(e.job);
+    Job& j = job(e.job);
     const TaskParams& p = params_of(j);
 
     switch (e.ms) {
@@ -587,7 +619,8 @@ struct Simulator::Impl {
           ++j.blockings;
           ++report.total_blockings;
           const int c = cpu_of(j.id);
-          running_on[static_cast<std::size_t>(c)] = kNoJob;
+          LFRT_CHECK(c >= 0);
+          clear_cpu(c);
           trace("blocked job=", j.id, " on=", hs.front(), " obj=", obj);
         }
         reschedule();
@@ -661,7 +694,8 @@ struct Simulator::Impl {
           ++j.blockings;
           ++report.total_blockings;
           const int c = cpu_of(j.id);
-          running_on[static_cast<std::size_t>(c)] = kNoJob;
+          LFRT_CHECK(c >= 0);
+          clear_cpu(c);
           trace("blocked job=", j.id, " on=", hs.front(), " obj=", obj);
         }
         reschedule();  // lock request — a scheduling event either way
@@ -725,18 +759,27 @@ struct Simulator::Impl {
     ran = true;
     seed_arrivals(1);  // default traces for tasks without explicit ones
 
+    std::size_t total_arrivals = 0;
     for (const auto& [task_id, times] : arrival_traces) {
       LFRT_CHECK_MSG(uam_conforms_max(tasks.by_id(task_id).arrival, times),
                      "arrival trace violates the task's UAM contract");
+      total_arrivals += times.size();
       for (Time t : times)
         q.push(Event{t, 2, next_seq++, EvKind::kArrival, kNoJob, task_id,
                      0, MsKind::kCompletion});
     }
+    // Every job the run can create corresponds to one queued arrival, so
+    // this reservation makes the slab reallocation-free for the whole
+    // run (and the parallel index vectors with it).
+    jobs.reserve(total_arrivals);
+    job_cpu.reserve(total_arrivals);
+    target_stamp.reserve(total_arrivals);
 
     while (!q.empty()) {
       const Event e = q.top();
       q.pop();
       if (e.t > cfg.horizon) break;
+      ++report.events_processed;
       sync_progress(e.t);
       now = e.t;
       switch (e.kind) {
@@ -757,7 +800,7 @@ struct Simulator::Impl {
   }
 
   void finalize() {
-    for (auto& [id, j] : jobs) {
+    for (const Job& j : jobs) {
       const TaskParams& p = params_of(j);
       if (j.critical_abs <= cfg.horizon) {
         ++report.counted_jobs;
@@ -769,10 +812,10 @@ struct Simulator::Impl {
           ++report.aborted;
         }
       }
-      report.jobs.push_back(j);
     }
-    std::sort(report.jobs.begin(), report.jobs.end(),
-              [](const Job& a, const Job& b) { return a.id < b.id; });
+    // The slab is already id-ordered; hand it to the report wholesale
+    // (the old map-based path copied every job and sorted).
+    report.jobs = std::move(jobs);
   }
 };
 

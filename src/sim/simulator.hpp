@@ -46,7 +46,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sched/scheduler.hpp"
@@ -117,6 +116,11 @@ struct SimReport {
   std::int64_t sched_invocations = 0;
   std::int64_t sched_ops = 0;
   Time sched_overhead = 0;  ///< total CPU time charged to the scheduler
+
+  /// Discrete events consumed from the queue (arrivals, expiries,
+  /// milestones) — the denominator for per-event cost measurements
+  /// (bench/sim_throughput).
+  std::int64_t events_processed = 0;
 
   std::int64_t total_retries = 0;    ///< lock-free access restarts
   std::int64_t total_blockings = 0;  ///< lock-based blocking episodes

@@ -1,0 +1,110 @@
+// Concurrent use of one const Scheduler instance (ISSUE satellite:
+// document + test the sched::Scheduler::build_into thread-safety
+// contract).
+//
+// The contract (sched/scheduler.hpp): build_into is const and keeps
+// every piece of mutable scratch in the caller-owned Workspace, so any
+// number of threads may share one scheduler instance as long as each
+// brings its own Workspace and ScheduleResult.  The parallel experiment
+// harness leans on exactly this — every worker runs Simulators that all
+// point at the same const scheduler (bench::scheduler_for).
+//
+// Run under LFRT_SANITIZE=thread (scripts/check.sh does) this test is
+// the proof: TSan flags any racy scratch the contract misses.
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sched/edf.hpp"
+#include "sched/rua.hpp"
+#include "tuf/tuf.hpp"
+
+namespace lfrt::sched {
+namespace {
+
+struct View {
+  std::vector<std::unique_ptr<Tuf>> tufs;
+  std::vector<SchedJob> jobs;
+};
+
+/// A per-thread job view: n pending jobs, optionally one dependency
+/// chain so the lock-based dependency machinery runs too.
+View make_view(int n, bool chained, int salt) {
+  View v;
+  for (int i = 0; i < n; ++i) {
+    v.tufs.push_back(
+        make_step_tuf(5.0 + (i + salt) % 11, msec(50) + usec(17 * i)));
+    SchedJob j;
+    j.id = i;
+    j.arrival = usec(3 * ((i + salt) % 5));
+    j.critical = j.arrival + v.tufs.back()->critical_time();
+    j.remaining = usec(40 + (i + salt) % 23);
+    j.tuf = v.tufs.back().get();
+    j.waits_on = chained && i + 1 < n ? i + 1 : kNoJob;
+    v.jobs.push_back(j);
+  }
+  return v;
+}
+
+/// Hammer one shared const scheduler from `threads` threads, each with
+/// its own Workspace/ScheduleResult, and compare every thread's output
+/// against a serial reference build of the same view.
+void hammer(const Scheduler& shared, bool chained) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 40;
+
+  // Serial references, one per thread-distinct view.
+  std::vector<View> views;
+  std::vector<ScheduleResult> expected(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    views.push_back(make_view(24, chained, t));
+    const auto ws = shared.make_workspace();
+    shared.build_into(views.back().jobs, 0, ws.get(), expected[t]);
+  }
+
+  std::vector<std::string> errors(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      const auto ws = shared.make_workspace();
+      ScheduleResult out;
+      for (int i = 0; i < kIters; ++i) {
+        shared.build_into(views[static_cast<std::size_t>(t)].jobs, 0,
+                          ws.get(), out);
+        if (out.schedule != expected[t].schedule ||
+            out.dispatch != expected[t].dispatch ||
+            out.ops != expected[t].ops) {
+          errors[static_cast<std::size_t>(t)] =
+              "thread result diverged from the serial reference";
+          return;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const auto& e : errors) EXPECT_EQ(e, "");
+}
+
+TEST(ConcurrentBuild, SharedConstRuaLockFree) {
+  const RuaScheduler rua(Sharing::kLockFree);
+  hammer(rua, /*chained=*/false);
+}
+
+TEST(ConcurrentBuild, SharedConstRuaLockBasedChained) {
+  const RuaScheduler rua(Sharing::kLockBased);
+  hammer(rua, /*chained=*/true);
+}
+
+TEST(ConcurrentBuild, SharedConstRuaWithDeadlockDetection) {
+  const RuaScheduler rua(Sharing::kLockBased, /*detect_deadlocks=*/true);
+  hammer(rua, /*chained=*/true);
+}
+
+TEST(ConcurrentBuild, SharedConstEdf) {
+  const EdfScheduler edf;
+  hammer(edf, /*chained=*/false);
+}
+
+}  // namespace
+}  // namespace lfrt::sched

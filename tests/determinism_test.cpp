@@ -1,0 +1,140 @@
+// Thread-count invariance of the parallel experiment harness
+// (ISSUE: byte-identical results for --threads=1 and --threads=N).
+//
+// Runs fig09-shaped and ablation_burstiness-shaped series batches on
+// pools of 1, 2, and 8 threads and requires bit-identical SeriesPoints
+// (doubles compared by representation, not tolerance), plus the same
+// for measure_cml's speculative-grid CML value.
+#include "common.hpp"
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+namespace lfrt {
+namespace {
+
+/// Bitwise comparison: the guarantee is "same bytes", not "close".
+bool bit_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+void expect_identical(const std::vector<bench::SeriesPoint>& a,
+                      const std::vector<bench::SeriesPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(bit_equal(a[i].aur_mean, b[i].aur_mean)) << "point " << i;
+    EXPECT_TRUE(bit_equal(a[i].aur_ci, b[i].aur_ci)) << "point " << i;
+    EXPECT_TRUE(bit_equal(a[i].cmr_mean, b[i].cmr_mean)) << "point " << i;
+    EXPECT_TRUE(bit_equal(a[i].cmr_ci, b[i].cmr_ci)) << "point " << i;
+    EXPECT_TRUE(bit_equal(a[i].retries_per_job, b[i].retries_per_job));
+    EXPECT_TRUE(bit_equal(a[i].blockings_per_job, b[i].blockings_per_job));
+    EXPECT_EQ(a[i].jobs, b[i].jobs);
+    EXPECT_EQ(a[i].aborted, b[i].aborted);
+    EXPECT_EQ(a[i].deadlocks, b[i].deadlocks);
+    EXPECT_EQ(a[i].sched_invocations, b[i].sched_invocations);
+    EXPECT_EQ(a[i].sched_ops, b[i].sched_ops);
+    EXPECT_EQ(a[i].sched_overhead, b[i].sched_overhead);
+  }
+}
+
+/// fig09/fig10-shaped: homogeneous step-TUF task sets over a small AL
+/// grid, lock-free and lock-based series interleaved.
+std::vector<bench::SeriesSpec> fig_shaped_batch() {
+  std::vector<bench::SeriesSpec> series;
+  for (const double load : {0.5, 0.9, 1.2}) {
+    workload::WorkloadSpec spec;
+    spec.task_count = 8;
+    spec.object_count = 6;
+    spec.accesses_per_job = 2;
+    spec.avg_exec = usec(100);
+    spec.load = load;
+    spec.seed = 42;
+    const TaskSet ts = workload::make_task_set(spec);
+    for (const sim::ShareMode mode :
+         {sim::ShareMode::kLockFree, sim::ShareMode::kLockBased}) {
+      bench::SeriesSpec s;
+      s.ts = ts;
+      s.rp.mode = mode;
+      s.rp.repeats = 3;
+      s.rp.windows_per_run = 30;
+      series.push_back(std::move(s));
+    }
+  }
+  return series;
+}
+
+/// ablation_burstiness-shaped: the UAM a_i knob varied, step TUFs,
+/// lock-free only (matching the bench's shape).
+std::vector<bench::SeriesSpec> burstiness_shaped_batch() {
+  std::vector<bench::SeriesSpec> series;
+  for (const std::int64_t a : {1, 2, 4}) {
+    workload::WorkloadSpec spec;
+    spec.task_count = 6;
+    spec.object_count = 4;
+    spec.accesses_per_job = 2;
+    spec.avg_exec = usec(150);
+    spec.load = 0.8;
+    spec.max_per_window = a;
+    spec.seed = 21;
+    bench::SeriesSpec s;
+    s.ts = workload::make_task_set(spec);
+    s.rp.mode = sim::ShareMode::kLockFree;
+    s.rp.repeats = 4;
+    s.rp.windows_per_run = 30;
+    series.push_back(std::move(s));
+  }
+  return series;
+}
+
+TEST(Determinism, FigShapedBatchThreadCountInvariant) {
+  const auto series = fig_shaped_batch();
+  exp::ThreadPool p1(1), p2(2), p8(8);
+  const auto r1 = bench::run_series_batch(p1, series);
+  const auto r2 = bench::run_series_batch(p2, series);
+  const auto r8 = bench::run_series_batch(p8, series);
+  expect_identical(r1, r2);
+  expect_identical(r1, r8);
+}
+
+TEST(Determinism, BurstinessShapedBatchThreadCountInvariant) {
+  const auto series = burstiness_shaped_batch();
+  exp::ThreadPool p1(1), p2(2), p8(8);
+  const auto r1 = bench::run_series_batch(p1, series);
+  const auto r2 = bench::run_series_batch(p2, series);
+  const auto r8 = bench::run_series_batch(p8, series);
+  expect_identical(r1, r2);
+  expect_identical(r1, r8);
+}
+
+TEST(Determinism, RepeatedRunsAreStable) {
+  // Same pool, same batch, run twice: the harness itself must be a
+  // pure function of its inputs.
+  const auto series = fig_shaped_batch();
+  exp::ThreadPool p4(4);
+  expect_identical(bench::run_series_batch(p4, series),
+                   bench::run_series_batch(p4, series));
+}
+
+TEST(Determinism, MeasureCmlThreadCountInvariant) {
+  const auto make_spec = [](double al) {
+    workload::WorkloadSpec spec;
+    spec.task_count = 6;
+    spec.object_count = 6;
+    spec.accesses_per_job = 2;
+    spec.avg_exec = usec(100);
+    spec.load = al;
+    spec.seed = 7;
+    return spec;
+  };
+  bench::RunParams rp;
+  rp.mode = sim::ShareMode::kLockFree;
+  rp.repeats = 2;
+  rp.windows_per_run = 25;
+  exp::ThreadPool p1(1), p8(8);
+  const double cml1 = bench::measure_cml(p1, make_spec, rp, 0.2, 1.2);
+  const double cml8 = bench::measure_cml(p8, make_spec, rp, 0.2, 1.2);
+  EXPECT_TRUE(bit_equal(cml1, cml8));
+}
+
+}  // namespace
+}  // namespace lfrt
