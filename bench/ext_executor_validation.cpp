@@ -1,0 +1,252 @@
+// Cross-substrate validation: the same WorkloadSpec on the simulator
+// and on the real-threads executor.
+//
+// The paper validates its analysis twice — simulation (Section 6) and a
+// POSIX middleware implementation (the meta-scheduler testbed).  This
+// bench is that discipline in-repo: one generated task set, identical
+// arrival traces (runtime::make_arrival_traces mirrors make_cell_sim's
+// seeding), run once through sim::Simulator and once through
+// rt::Executor via the runtime::run_on_executor adapter, under both the
+// lock-free and lock-based sharing regimes, in underload and overload.
+//
+// Assertions (exit 1 on violation):
+//   * both substrates score the same job population (same counting rule
+//     over the same traces),
+//   * underload: |AUR_sim - AUR_exec| and |CMR_sim - CMR_exec| within
+//     tolerance — the substrates must agree where the analysis says
+//     everything completes,
+//   * lock-free regimes: executor per-task worst-case retries and the
+//     total stay under Theorem 2's bound (the bound holds for *real*
+//     CAS failures, not just modelled ones).
+//
+// Overload rows are reported (the substrates shed differently — the
+// executor pays real scheduling latency) but only sanity-checked.
+//
+// Usage: ext_executor_validation [--tiny] [--threads=N] [--out FILE]
+//   --tiny   smoke mode for check.sh/CI: short horizons, loose tolerance
+//   --out    JSON output path (default BENCH_xval.json in the cwd)
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "common.hpp"
+#include "runtime/exec_adapter.hpp"
+
+namespace {
+
+using namespace lfrt;
+
+struct XvalRow {
+  std::string regime;       // "lock-free" | "lock-based"
+  std::string load_label;   // "underload" | "overload"
+  double load = 0.0;
+  std::int64_t jobs_sim = 0;
+  std::int64_t jobs_exec = 0;
+  double aur_sim = 0.0, aur_exec = 0.0;
+  double cmr_sim = 0.0, cmr_exec = 0.0;
+  std::int64_t retries_sim = 0, retries_exec = 0;
+  std::int64_t blockings_exec = 0;
+  std::int64_t retry_total_bound = 0;  // sum of Theorem 2 bounds (LF only)
+  bool bound_ok = true;
+};
+
+/// One matched pair of runs: identical task set, identical arrival
+/// traces, same scheduler flavour on both substrates.
+XvalRow run_pair(const workload::WorkloadSpec& spec, runtime::ObjectKind kind,
+                 const char* load_label, int windows,
+                 std::uint64_t arrival_seed) {
+  const TaskSet ts = workload::make_task_set(spec);
+  const sim::ShareMode mode = kind == runtime::ObjectKind::kLockFree
+                                  ? sim::ShareMode::kLockFree
+                                  : sim::ShareMode::kLockBased;
+
+  Time max_window = 0;
+  for (const auto& t : ts.tasks)
+    max_window = std::max(max_window, t.arrival.window);
+  const Time horizon = max_window * windows;
+
+  // --- simulator side, on the exact traces the executor will replay ---
+  sim::SimConfig cfg;
+  cfg.mode = mode;
+  // Access times in the same order of magnitude as the executor's real
+  // structure operations (sub-microsecond queue ops; the executor's
+  // "locks" are uncontended-fast mutexes, not RUA-mediated requests).
+  cfg.lockfree_access_time = usec(1);
+  cfg.lock_access_time = usec(2);
+  cfg.sched_ns_per_op = bench::kDefaultNsPerOp;
+  cfg.horizon = horizon;
+  sim::Simulator sim(ts, bench::scheduler_for(mode), cfg);
+  const auto traces =
+      runtime::make_arrival_traces(ts, horizon, arrival_seed,
+                                   /*periodic=*/true);
+  for (const auto& t : ts.tasks)
+    sim.set_arrivals(t.id, traces[static_cast<std::size_t>(t.id)]);
+  const sim::SimReport sim_rep = sim.run();
+
+  // --- executor side --------------------------------------------------
+  runtime::ExecConfig ec;
+  ec.horizon = horizon;
+  ec.objects = kind;
+  ec.arrival_seed = arrival_seed;
+  ec.periodic_arrivals = true;
+  const rt::ExecutorReport exec_rep =
+      runtime::run_on_executor(ts, bench::scheduler_for(mode), ec);
+
+  XvalRow row;
+  row.regime = sim::to_string(mode);
+  row.load_label = load_label;
+  row.load = spec.load;
+  row.jobs_sim = sim_rep.counted_jobs;
+  row.jobs_exec = exec_rep.counted_jobs;
+  row.aur_sim = sim_rep.aur();
+  row.aur_exec = exec_rep.aur();
+  row.cmr_sim = sim_rep.cmr();
+  row.cmr_exec = exec_rep.cmr();
+  row.retries_sim = sim_rep.total_retries;
+  row.retries_exec = exec_rep.total_retries;
+  row.blockings_exec = exec_rep.total_blockings;
+
+  if (kind == runtime::ObjectKind::kLockFree) {
+    for (const auto& t : ts.tasks) {
+      const std::int64_t bound = analysis::retry_bound(ts, t.id);
+      const auto b = exec_rep.breakdown_of(t.id);
+      row.retry_total_bound += bound * b.jobs;
+      if (exec_rep.max_retries_of_task(t.id) > bound) row.bound_ok = false;
+    }
+    if (exec_rep.total_retries > row.retry_total_bound)
+      row.bound_ok = false;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lfrt;
+  bench::init(argc, argv);
+  bool tiny = false;
+  std::string out_path = "BENCH_xval.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) {
+      tiny = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--threads", 9) == 0) {
+      if (std::strchr(argv[i], '=') == nullptr && i + 1 < argc) ++i;
+    } else {
+      std::cerr << "usage: ext_executor_validation [--tiny] [--threads=N] "
+                   "[--out FILE]\n";
+      return 2;
+    }
+  }
+  bench::print_header("Cross-validation",
+                      "same WorkloadSpec on Simulator and Executor");
+
+  // Long critical times relative to executor overheads (ms-scale jobs,
+  // tens-of-ms windows) so underload agreement is a property of the
+  // substrates, not of scheduling-latency noise.
+  workload::WorkloadSpec base;
+  base.task_count = 6;
+  base.object_count = 3;
+  base.accesses_per_job = 2;
+  base.avg_exec = msec(2);
+  base.tuf_class = workload::TufClass::kStep;
+  base.seed = 7;
+
+  const int windows = tiny ? 2 : 6;
+  const double aur_tol = tiny ? 0.25 : 0.15;
+  const std::uint64_t arrival_seed = 1000;
+
+  std::vector<XvalRow> rows;
+  for (const runtime::ObjectKind kind :
+       {runtime::ObjectKind::kLockFree, runtime::ObjectKind::kLockBased}) {
+    for (const auto& [label, load] :
+         std::vector<std::pair<const char*, double>>{{"underload", 0.35},
+                                                     {"overload", 1.2}}) {
+      workload::WorkloadSpec spec = base;
+      spec.load = load;
+      rows.push_back(run_pair(spec, kind, label, windows, arrival_seed));
+    }
+  }
+
+  Table table({"regime", "load", "jobs s/x", "AUR sim", "AUR exec",
+               "CMR sim", "CMR exec", "retries s/x", "blk exec", "bound"});
+  for (const XvalRow& r : rows) {
+    table.add_row({r.regime, r.load_label,
+                   std::to_string(r.jobs_sim) + "/" +
+                       std::to_string(r.jobs_exec),
+                   Table::num(r.aur_sim, 3), Table::num(r.aur_exec, 3),
+                   Table::num(r.cmr_sim, 3), Table::num(r.cmr_exec, 3),
+                   std::to_string(r.retries_sim) + "/" +
+                       std::to_string(r.retries_exec),
+                   std::to_string(r.blockings_exec),
+                   r.bound_ok ? "ok" : "VIOLATED"});
+  }
+  table.print();
+
+  // ---- assertions ------------------------------------------------------
+  bool ok = true;
+  for (const XvalRow& r : rows) {
+    if (r.jobs_sim != r.jobs_exec) {
+      std::cerr << "error: " << r.regime << "/" << r.load_label
+                << ": job populations differ (sim " << r.jobs_sim
+                << ", exec " << r.jobs_exec << ")\n";
+      ok = false;
+    }
+    if (!r.bound_ok) {
+      std::cerr << "error: " << r.regime << "/" << r.load_label
+                << ": executor retries exceed the Theorem 2 bound\n";
+      ok = false;
+    }
+    if (r.load_label == "underload") {
+      if (std::abs(r.aur_sim - r.aur_exec) > aur_tol) {
+        std::cerr << "error: " << r.regime
+                  << "/underload: |AUR_sim - AUR_exec| = "
+                  << std::abs(r.aur_sim - r.aur_exec) << " > " << aur_tol
+                  << "\n";
+        ok = false;
+      }
+      if (std::abs(r.cmr_sim - r.cmr_exec) > aur_tol) {
+        std::cerr << "error: " << r.regime
+                  << "/underload: |CMR_sim - CMR_exec| = "
+                  << std::abs(r.cmr_sim - r.cmr_exec) << " > " << aur_tol
+                  << "\n";
+        ok = false;
+      }
+    }
+  }
+  std::cout << "\nunderload AUR/CMR tolerance " << aur_tol << ": "
+            << (ok ? "agreement confirmed" : "DISAGREEMENT") << "\n";
+
+  std::ofstream os(out_path);
+  os << "{\n  \"bench\": \"ext_executor_validation\",\n  \"tolerance\": "
+     << aur_tol << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const XvalRow& r = rows[i];
+    os << "    {\"regime\": \"" << r.regime << "\", \"load\": \""
+       << r.load_label << "\", \"al\": " << r.load
+       << ", \"jobs_sim\": " << r.jobs_sim
+       << ", \"jobs_exec\": " << r.jobs_exec
+       << ", \"aur_sim\": " << r.aur_sim
+       << ", \"aur_exec\": " << r.aur_exec
+       << ", \"cmr_sim\": " << r.cmr_sim
+       << ", \"cmr_exec\": " << r.cmr_exec
+       << ", \"retries_sim\": " << r.retries_sim
+       << ", \"retries_exec\": " << r.retries_exec
+       << ", \"blockings_exec\": " << r.blockings_exec
+       << ", \"retry_total_bound\": " << r.retry_total_bound
+       << ", \"bound_ok\": " << (r.bound_ok ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  if (!os) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return ok ? 0 : 1;
+}

@@ -126,7 +126,7 @@ int main() {
         [&](int) { q.dequeue(); });
     table.add_row({"MS queue", Table::num(row.write_ns, 0),
                    Table::num(row.read_ns, 0),
-                   std::to_string(q.stats().total()), "64 (pool)",
+                   std::to_string(q.stats().retry_count()), "64 (pool)",
                    "none"});
   }
 
@@ -136,7 +136,7 @@ int main() {
                              [&](int) { (void)buf.read(); });
     table.add_row({"NBW buffer", Table::num(row.write_ns, 0),
                    Table::num(row.read_ns, 0),
-                   std::to_string(buf.read_retries()), "1",
+                   std::to_string(buf.stats().retry_count()), "1",
                    "single writer"});
   }
 
@@ -146,7 +146,7 @@ int main() {
                              [&](int) { (void)snap.scan(); });
     table.add_row({"snapshot scan", Table::num(row.write_ns, 0),
                    Table::num(row.read_ns, 0),
-                   std::to_string(snap.scan_retries()), "2",
+                   std::to_string(snap.stats().retry_count()), "2",
                    "single writer/segment"});
   }
 

@@ -51,9 +51,9 @@ int main() {
     threads[3].join();
   }
   std::cout << "MS queue:      delivered " << consumed.load() << "/"
-            << 2 * kItems << " items, CAS retries: enqueue="
-            << queue.stats().enqueue_retries.load()
-            << " dequeue=" << queue.stats().dequeue_retries.load() << "\n";
+            << 2 * kItems
+            << " items, CAS retries: " << queue.stats().retry_count()
+            << " over " << queue.stats().op_count() << " ops\n";
 
   // --- Treiber stack: mixed push/pop from 3 threads ---
   lockfree::TreiberStack<int> stack(1024);
@@ -74,7 +74,7 @@ int main() {
   while (stack.pop()) popped.fetch_add(1);
   std::cout << "Treiber stack: popped " << popped.load() << "/"
             << 3 * (kItems / 2) << " items, CAS retries: "
-            << stack.retries() << "\n";
+            << stack.stats().retry_count() << "\n";
 
   // --- Wait-free SPSC ring: zero retries by construction ---
   lockfree::SpscRing<int> ring(256);

@@ -14,8 +14,8 @@
 #include "lockbased/mutex_queue.hpp"
 #include "lockfree/msqueue.hpp"
 #include "rt/executor.hpp"
+#include "runtime/print_report.hpp"
 #include "sched/rua.hpp"
-#include "support/table.hpp"
 
 using namespace lfrt;
 
@@ -62,29 +62,29 @@ rt::ExecutorReport run_burst(PushFn push, PopFn pop) {
 int main() {
   std::cout << "Middleware burst: 12 fusion jobs under RUA on real "
                "threads\n\n";
-  Table table({"sharing", "completed", "aborted", "AUR", "dispatches",
-               "contention"});
 
   {
     auto q = std::make_shared<lockfree::MsQueue<int>>(64);
     const auto rep = run_burst([q](int v) { q->enqueue(v); },
                                [q] { q->dequeue(); });
-    table.add_row({"lock-free", std::to_string(rep.completed),
-                   std::to_string(rep.aborted), Table::num(rep.aur(), 3),
-                   std::to_string(rep.dispatches),
-                   std::to_string(q->stats().total()) + " CAS retries"});
+    runtime::PrintOptions opts;
+    opts.label = "lock-free ";
+    opts.show_sched = true;
+    runtime::print_report(std::cout, rep, opts);
+    std::cout << "  track store: " << q->stats().retry_count()
+              << " CAS retries over " << q->stats().op_count() << " ops\n";
   }
   {
     auto q = std::make_shared<lockbased::MutexQueue<int>>();
     const auto rep = run_burst([q](int v) { q->enqueue(v); },
                                [q] { q->dequeue(); });
-    table.add_row({"lock-based", std::to_string(rep.completed),
-                   std::to_string(rep.aborted), Table::num(rep.aur(), 3),
-                   std::to_string(rep.dispatches),
-                   std::to_string(q->stats().contended.load()) +
-                       " contended acquires"});
+    runtime::PrintOptions opts;
+    opts.label = "lock-based";
+    opts.show_sched = true;
+    runtime::print_report(std::cout, rep, opts);
+    std::cout << "  track store: " << q->stats().contended_count() << "/"
+              << q->stats().acquisition_count() << " contended acquires\n";
   }
-  table.print();
   std::cout << "\nThe executor serializes job bodies (cooperative "
                "middleware scheduling), so both runs complete the burst; "
                "the difference the paper quantifies appears in the "

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "analysis/bounds.hpp"
+#include "runtime/print_report.hpp"
 #include "sched/rua.hpp"
 #include "sim/simulator.hpp"
 
@@ -59,11 +60,9 @@ int main() {
     sim.seed_arrivals(/*seed=*/2026);
     const sim::SimReport rep = sim.run();
 
-    std::cout << sim::to_string(mode) << " RUA:  AUR="
-              << rep.aur() << "  CMR=" << rep.cmr()
-              << "  completed=" << rep.completed << "/" << rep.counted_jobs
-              << "  retries=" << rep.total_retries
-              << "  blockings=" << rep.total_blockings << "\n";
+    runtime::PrintOptions opts;
+    opts.label = sim::to_string(mode) + " RUA";
+    runtime::print_report(std::cout, rep, opts);
   }
   return 0;
 }

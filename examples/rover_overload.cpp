@@ -8,6 +8,7 @@
 // overload behaviour, printing a per-task breakdown of what RUA sheds.
 #include <iostream>
 
+#include "runtime/print_report.hpp"
 #include "sched/rua.hpp"
 #include "sim/simulator.hpp"
 #include "support/rng.hpp"
@@ -93,25 +94,11 @@ int main() {
 
   const sim::SimReport rep = sim.run();
 
-  Table table({"task", "arrivals", "completed", "aborted", "mean sojourn "
-               "(ms)"});
-  const char* names[] = {"hazard", "nav", "science", "telemetry"};
-  for (TaskId id = 0; id < 4; ++id) {
-    std::int64_t n = 0, done = 0, dead = 0;
-    for (const Job& j : rep.jobs) {
-      if (j.task != id) continue;
-      ++n;
-      done += j.state == JobState::kCompleted;
-      dead += j.state == JobState::kAborted;
-    }
-    table.add_row({names[id], std::to_string(n), std::to_string(done),
-                   std::to_string(dead),
-                   Table::num(rep.mean_sojourn_of_task(id) / 1e6, 2)});
-  }
-  table.print();
-  std::cout << "\noverall: AUR=" << Table::num(rep.aur(), 3)
-            << "  CMR=" << Table::num(rep.cmr(), 3)
-            << "  retries=" << rep.total_retries << "\n";
+  runtime::PrintOptions opts;
+  opts.label = "overall";
+  opts.per_task = true;
+  opts.task_names = {"hazard", "nav", "science", "telemetry"};
+  runtime::print_report(std::cout, rep, opts);
   std::cout << "Under overload RUA protects the high-utility hazard "
                "avoidance and sheds telemetry/science — urgency and "
                "importance are decoupled.\n";

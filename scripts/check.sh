@@ -5,11 +5,17 @@
 #      editing that plain tests cannot see),
 #   2. TSan build, concurrency-sensitive suites only: the parallel
 #      experiment harness (exp_test), its thread-count-invariance
-#      guarantee (determinism_test), and the shared-const-scheduler
-#      contract (concurrent_build_test),
+#      guarantee (determinism_test), the shared-const-scheduler
+#      contract (concurrent_build_test), the lock-free structures
+#      (lockfree_test — their relaxed/acquire orderings must satisfy
+#      TSan), and executor abort storms (executor_storm_test),
 #   3. -O2 build, tier-1 suite, and tiny sched_throughput +
 #      sim_throughput sweeps as bench smoke tests (the latter also
 #      re-checks serial-vs-parallel result identity in production).
+#
+# Stages 1 and 2 also run the cross-substrate validation bench
+# (ext_executor_validation --tiny): real executor runs under each
+# sanitizer, with the sim-vs-executor agreement assertions live.
 #
 # Usage: scripts/check.sh [jobs]      (default: nproc)
 set -euo pipefail
@@ -22,14 +28,19 @@ cmake -B build-asan -S . -DLFRT_SANITIZE=address \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+./build-asan/bench/ext_executor_validation --tiny \
+      --out build-asan/BENCH_xval_smoke.json
 
 echo "==> [2/3] thread-sanitizer build + concurrency tests (build-tsan/)"
 cmake -B build-tsan -S . -DLFRT_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-      --target exp_test determinism_test concurrent_build_test
+      --target exp_test determinism_test concurrent_build_test \
+               lockfree_test executor_storm_test ext_executor_validation
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R '^(ExpThreadPool|ExpParallelMap|ExpSweep|ExpThreads|Determinism|ConcurrentBuild)\.'
+      -R '^(ExpThreadPool|ExpParallelMap|ExpSweep|ExpThreads|Determinism|ConcurrentBuild|MsQueue|TreiberStack|SpscRing|NodePool|TaggedRef|Sweep/AbaHammerTest|ExecutorStorm)\.'
+./build-tsan/bench/ext_executor_validation --tiny \
+      --out build-tsan/BENCH_xval_smoke.json
 
 echo "==> [3/3] optimized build + tests + bench smoke (build-o2/)"
 cmake -B build-o2 -S . -DCMAKE_BUILD_TYPE=Release >/dev/null

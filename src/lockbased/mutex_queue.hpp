@@ -7,26 +7,14 @@
 // blocking cost, mirroring the r-vs-s decomposition of Section 5.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 
+#include "runtime/object_stats.hpp"
+
 namespace lfrt::lockbased {
-
-/// Blocking/contention accounting shared by the lock-based structures.
-struct LockStats {
-  std::atomic<std::int64_t> acquisitions{0};
-  std::atomic<std::int64_t> contended{0};  ///< acquire found lock held
-
-  double contention_ratio() const {
-    const auto a = acquisitions.load(std::memory_order_relaxed);
-    if (a == 0) return 0.0;
-    return static_cast<double>(contended.load(std::memory_order_relaxed)) /
-           static_cast<double>(a);
-  }
-};
 
 /// Unbounded mutex-protected MPMC FIFO.
 template <typename T>
@@ -35,10 +23,12 @@ class MutexQueue {
   void enqueue(const T& value) {
     Guard g(*this);
     q_.push_back(value);
+    stats_.record_op();
   }
 
   std::optional<T> dequeue() {
     Guard g(*this);
+    stats_.record_op();
     if (q_.empty()) return std::nullopt;
     T value = q_.front();
     q_.pop_front();
@@ -50,16 +40,17 @@ class MutexQueue {
     return q_.empty();
   }
 
-  const LockStats& stats() const { return stats_; }
+  const runtime::ObjectStats& stats() const { return stats_; }
 
  private:
   /// Lock guard that records whether the acquire contended.
   class Guard {
    public:
     explicit Guard(MutexQueue& q) : q_(q) {
-      q_.stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
-      if (!q_.mutex_.try_lock()) {
-        q_.stats_.contended.fetch_add(1, std::memory_order_relaxed);
+      if (q_.mutex_.try_lock()) {
+        q_.stats_.record_acquisition(/*was_contended=*/false);
+      } else {
+        q_.stats_.record_acquisition(/*was_contended=*/true);
         q_.mutex_.lock();
       }
     }
@@ -73,7 +64,7 @@ class MutexQueue {
 
   mutable std::mutex mutex_;
   std::deque<T> q_;
-  LockStats stats_;
+  runtime::ObjectStats stats_;
 };
 
 /// Unbounded mutex-protected MPMC LIFO.
@@ -84,11 +75,13 @@ class MutexStack {
     record_acquire();
     std::lock_guard<std::mutex> g(mutex_);
     s_.push_back(value);
+    stats_.record_op();
   }
 
   std::optional<T> pop() {
     record_acquire();
     std::lock_guard<std::mutex> g(mutex_);
+    stats_.record_op();
     if (s_.empty()) return std::nullopt;
     T value = s_.back();
     s_.pop_back();
@@ -100,21 +93,21 @@ class MutexStack {
     return s_.empty();
   }
 
-  const LockStats& stats() const { return stats_; }
+  const runtime::ObjectStats& stats() const { return stats_; }
 
  private:
   void record_acquire() {
-    stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
     if (mutex_.try_lock()) {
       mutex_.unlock();
+      stats_.record_acquisition(/*was_contended=*/false);
     } else {
-      stats_.contended.fetch_add(1, std::memory_order_relaxed);
+      stats_.record_acquisition(/*was_contended=*/true);
     }
   }
 
   mutable std::mutex mutex_;
   std::deque<T> s_;
-  LockStats stats_;
+  runtime::ObjectStats stats_;
 };
 
 }  // namespace lfrt::lockbased

@@ -21,6 +21,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "runtime/object_stats.hpp"
 #include "support/check.hpp"
 
 namespace lfrt::lockfree {
@@ -48,6 +49,7 @@ class FourSlot {
     data_[pair][slot] = value;
     last_slot_[pair].store(slot, std::memory_order_release);
     last_pair_.store(pair, std::memory_order_release);
+    stats_.record_op();
   }
 
   /// Wait-free read (single reader).
@@ -55,14 +57,19 @@ class FourSlot {
     const int pair = last_pair_.load(std::memory_order_acquire);
     reading_.store(pair, std::memory_order_release);
     const int slot = last_slot_[pair].load(std::memory_order_acquire);
+    stats_.record_op();
     return data_[pair][slot];
   }
+
+  /// Retries stay zero by construction — the wait-free contrast point.
+  const runtime::ObjectStats& stats() const { return stats_; }
 
  private:
   T data_[2][2]{};
   std::atomic<int> last_pair_{0};          // pair holding the latest write
   mutable std::atomic<int> reading_{0};    // pair the reader announced
   std::atomic<int> last_slot_[2]{{0}, {0}};
+  mutable runtime::ObjectStats stats_;
 };
 
 /// Wait-free single-writer/multi-reader register built from one
@@ -80,19 +87,27 @@ class WaitFreeSwmr {
   /// Wait-free write: O(R) slot writes, no retries.
   void write(const T& value) {
     for (auto& rep : replicas_) rep->write(value);
+    stats_.record_op();
   }
 
   /// Wait-free read for reader `r` (each reader id must be used by at
   /// most one thread): O(1), no retries.
-  T read(std::size_t r) const { return replicas_[r]->read(); }
+  T read(std::size_t r) const {
+    stats_.record_op();
+    return replicas_[r]->read();
+  }
 
   std::size_t readers() const { return replicas_.size(); }
 
   /// Buffers consumed — the space cost of wait-freedom the paper notes.
   std::size_t buffer_count() const { return 4 * replicas_.size(); }
 
+  /// Aggregate over the whole register (replica slots count their own).
+  const runtime::ObjectStats& stats() const { return stats_; }
+
  private:
   std::vector<std::unique_ptr<FourSlot<T>>> replicas_;
+  mutable runtime::ObjectStats stats_;
 };
 
 }  // namespace lfrt::lockfree

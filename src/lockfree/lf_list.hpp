@@ -22,6 +22,7 @@
 
 #include "lockfree/node_pool.hpp"
 #include "lockfree/tagged.hpp"
+#include "runtime/object_stats.hpp"
 
 namespace lfrt::lockfree {
 
@@ -71,6 +72,7 @@ class LfList {
       auto [prev, curr] = search(key);
       if (!curr.is_null() && pool_.at(curr.index()).key == key) {
         pool_.release(node);
+        stats_.record_op();
         return false;  // already present
       }
       // Link node before curr.
@@ -78,9 +80,11 @@ class LfList {
           MarkedRef::make(curr.index(), 0, false).bits,
           std::memory_order_release);
       if (cas_link(prev, curr,
-                   MarkedRef::make(node, next_tag(prev, curr), false)))
+                   MarkedRef::make(node, next_tag(prev, curr), false))) {
+        stats_.record_op();
         return true;
-      retries_.fetch_add(1, std::memory_order_relaxed);
+      }
+      stats_.record_retry();
     }
   }
 
@@ -88,8 +92,10 @@ class LfList {
   bool remove(std::int64_t key) {
     for (;;) {
       auto [prev, curr] = search(key);
-      if (curr.is_null() || pool_.at(curr.index()).key != key)
+      if (curr.is_null() || pool_.at(curr.index()).key != key) {
+        stats_.record_op();
         return false;
+      }
       Node& victim = pool_.at(curr.index());
       const MarkedRef succ{victim.next.load(std::memory_order_acquire)};
       if (succ.marked()) continue;  // someone else is deleting it
@@ -100,7 +106,7 @@ class LfList {
       if (!victim.next.compare_exchange_strong(expect.bits, marked.bits,
                                                std::memory_order_acq_rel,
                                                std::memory_order_acquire)) {
-        retries_.fetch_add(1, std::memory_order_relaxed);
+        stats_.record_retry();
         continue;
       }
       // Phase 2: physical unlink (best effort; search() helps too).
@@ -109,6 +115,7 @@ class LfList {
                                    false))) {
         retire(curr.index());
       }
+      stats_.record_op();
       return true;
     }
   }
@@ -156,9 +163,7 @@ class LfList {
     return n;
   }
 
-  std::int64_t retries() const {
-    return retries_.load(std::memory_order_relaxed);
-  }
+  const runtime::ObjectStats& stats() const { return stats_; }
 
  private:
   struct Node {
@@ -182,7 +187,7 @@ class LfList {
         if (!cas_link(prev, curr,
                       MarkedRef::make(next.index(), next_tag(prev, curr),
                                       false))) {
-          retries_.fetch_add(1, std::memory_order_relaxed);
+          stats_.record_retry();
           goto restart;
         }
         retire(curr.index());
@@ -233,7 +238,7 @@ class LfList {
   NodePool<Node> pool_;
   std::atomic<std::uint64_t> head_{0};
   std::atomic<std::uint64_t> retired_{0};
-  std::atomic<std::int64_t> retries_{0};
+  mutable runtime::ObjectStats stats_;
 };
 
 }  // namespace lfrt::lockfree

@@ -14,22 +14,12 @@
 #include <cstdint>
 #include <optional>
 
+#include "lockfree/annotate.hpp"
 #include "lockfree/node_pool.hpp"
 #include "lockfree/tagged.hpp"
+#include "runtime/object_stats.hpp"
 
 namespace lfrt::lockfree {
-
-/// Per-structure retry accounting (relaxed counters; read after quiesce
-/// or tolerate small skew during a run).
-struct RetryStats {
-  std::atomic<std::int64_t> enqueue_retries{0};
-  std::atomic<std::int64_t> dequeue_retries{0};
-
-  std::int64_t total() const {
-    return enqueue_retries.load(std::memory_order_relaxed) +
-           dequeue_retries.load(std::memory_order_relaxed);
-  }
-};
 
 /// Bounded multi-producer/multi-consumer lock-free FIFO.
 template <typename T>
@@ -49,7 +39,7 @@ class MsQueue {
   bool enqueue(const T& value) {
     const std::uint32_t node = pool_.allocate();
     if (node == TaggedRef::kNullIndex) return false;
-    pool_.at(node).value = value;
+    detail::store_value_slot(pool_.at(node).value, value);
     pool_.at(node).next.store(TaggedRef::null().bits,
                               std::memory_order_release);
     for (;;) {
@@ -69,6 +59,7 @@ class MsQueue {
             tail_.compare_exchange_strong(tail.bits, new_tail.bits,
                                           std::memory_order_acq_rel,
                                           std::memory_order_relaxed);
+            stats_.record_op();
             return true;
           }
         } else {
@@ -79,7 +70,7 @@ class MsQueue {
                                         std::memory_order_relaxed);
         }
       }
-      stats_.enqueue_retries.fetch_add(1, std::memory_order_relaxed);
+      stats_.record_retry();
     }
   }
 
@@ -92,7 +83,10 @@ class MsQueue {
           std::memory_order_acquire)};
       if (TaggedRef{head_.load(std::memory_order_acquire)} == head) {
         if (head.index() == tail.index()) {
-          if (next.is_null()) return std::nullopt;  // genuinely empty
+          if (next.is_null()) {
+            stats_.record_op();
+            return std::nullopt;  // genuinely empty
+          }
           // Tail lagging behind a half-finished enqueue — help.
           TaggedRef new_tail = TaggedRef::make(next.index(), tail.tag() + 1);
           tail_.compare_exchange_strong(tail.bits, new_tail.bits,
@@ -101,17 +95,18 @@ class MsQueue {
         } else {
           // Read the value *before* the CAS: after the CAS another
           // thread may recycle the node.
-          T value = pool_.at(next.index()).value;
+          T value = detail::load_value_slot(pool_.at(next.index()).value);
           TaggedRef new_head = TaggedRef::make(next.index(), head.tag() + 1);
           if (head_.compare_exchange_weak(head.bits, new_head.bits,
                                           std::memory_order_acq_rel,
                                           std::memory_order_acquire)) {
             pool_.release(head.index());
+            stats_.record_op();
             return value;
           }
         }
       }
-      stats_.dequeue_retries.fetch_add(1, std::memory_order_relaxed);
+      stats_.record_retry();
     }
   }
 
@@ -123,7 +118,7 @@ class MsQueue {
     return next.is_null();
   }
 
-  const RetryStats& stats() const { return stats_; }
+  const runtime::ObjectStats& stats() const { return stats_; }
 
  private:
   struct Node {
@@ -134,7 +129,7 @@ class MsQueue {
   NodePool<Node> pool_;
   std::atomic<std::uint64_t> head_{0};
   std::atomic<std::uint64_t> tail_{0};
-  RetryStats stats_;
+  runtime::ObjectStats stats_;
 };
 
 }  // namespace lfrt::lockfree

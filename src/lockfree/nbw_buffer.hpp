@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "runtime/object_stats.hpp"
+
 namespace lfrt::lockfree {
 
 /// Single-writer/multi-reader tear-free state buffer.
@@ -42,6 +44,7 @@ class NbwBuffer {
     data_ = value;
     std::atomic_thread_fence(std::memory_order_release);
     ccf_.store(s + 2, std::memory_order_release);  // even: stable
+    stats_.record_op();
   }
 
   /// Lock-free read: retries while a write is in flight or overlapped.
@@ -49,15 +52,18 @@ class NbwBuffer {
     for (;;) {
       const std::uint64_t before = ccf_.load(std::memory_order_acquire);
       if (before & 1) {  // writer mid-flight
-        retries_.fetch_add(1, std::memory_order_relaxed);
+        stats_.record_retry();
         continue;
       }
       std::atomic_thread_fence(std::memory_order_acquire);
       T copy = data_;
       std::atomic_thread_fence(std::memory_order_acquire);
       const std::uint64_t after = ccf_.load(std::memory_order_acquire);
-      if (before == after) return copy;
-      retries_.fetch_add(1, std::memory_order_relaxed);
+      if (before == after) {
+        stats_.record_op();
+        return copy;
+      }
+      stats_.record_retry();
     }
   }
 
@@ -66,14 +72,12 @@ class NbwBuffer {
     return ccf_.load(std::memory_order_acquire);
   }
 
-  std::int64_t read_retries() const {
-    return retries_.load(std::memory_order_relaxed);
-  }
+  const runtime::ObjectStats& stats() const { return stats_; }
 
  private:
   std::atomic<std::uint64_t> ccf_{0};
   T data_;
-  mutable std::atomic<std::int64_t> retries_{0};
+  mutable runtime::ObjectStats stats_;
 };
 
 }  // namespace lfrt::lockfree

@@ -58,7 +58,10 @@ class NodePool {
 
   /// Push a node index back onto the free list (Treiber push).
   void release(std::uint32_t index) {
-    TaggedRef head{free_.load(std::memory_order_acquire)};
+    // The initial load only seeds the CAS expected value; the acq_rel
+    // CAS (acquire reload on failure) provides all needed ordering, so
+    // relaxed is sufficient here.
+    TaggedRef head{free_.load(std::memory_order_relaxed)};
     for (;;) {
       nodes_[index].next.store(TaggedRef::make(head.index(), 0).bits,
                                std::memory_order_relaxed);

@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "runtime/object_stats.hpp"
+
 namespace lfrt::lockfree {
 
 /// Bounded lock-free N-segment atomic snapshot.
@@ -38,6 +40,7 @@ class AtomicSnapshot {
     seg.value = value;
     std::atomic_thread_fence(std::memory_order_release);
     seg.version.store(v + 2, std::memory_order_release);
+    stats_.record_op();
   }
 
   /// Lock-free scan: returns a linearizable view of all segments.
@@ -62,9 +65,12 @@ class AtomicSnapshot {
             break;
           }
         }
-        if (clean) return view;  // double collect agreed: atomic view
+        if (clean) {
+          stats_.record_op();
+          return view;  // double collect agreed: atomic view
+        }
       }
-      retries_.fetch_add(1, std::memory_order_relaxed);
+      stats_.record_retry();
     }
   }
 
@@ -81,9 +87,7 @@ class AtomicSnapshot {
     }
   }
 
-  std::int64_t scan_retries() const {
-    return retries_.load(std::memory_order_relaxed);
-  }
+  const runtime::ObjectStats& stats() const { return stats_; }
 
   static constexpr std::size_t size() { return N; }
 
@@ -94,7 +98,7 @@ class AtomicSnapshot {
   };
 
   std::array<Segment, N> segments_;
-  mutable std::atomic<std::int64_t> retries_{0};
+  mutable runtime::ObjectStats stats_;
 };
 
 }  // namespace lfrt::lockfree

@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "runtime/object_stats.hpp"
 #include "support/check.hpp"
 
 namespace lfrt::lockfree {
@@ -33,6 +34,7 @@ class SpscRing {
     if (next == tail_.load(std::memory_order_acquire)) return false;
     buf_[head] = value;
     head_.store(next, std::memory_order_release);
+    stats_.record_op();
     return true;
   }
 
@@ -42,6 +44,7 @@ class SpscRing {
     if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
     T value = buf_[tail];
     tail_.store(advance(tail), std::memory_order_release);
+    stats_.record_op();
     return value;
   }
 
@@ -49,6 +52,9 @@ class SpscRing {
     return tail_.load(std::memory_order_acquire) ==
            head_.load(std::memory_order_acquire);
   }
+
+  /// Retries stay zero by construction — the wait-free contrast point.
+  const runtime::ObjectStats& stats() const { return stats_; }
 
  private:
   std::size_t advance(std::size_t i) const {
@@ -58,6 +64,7 @@ class SpscRing {
   std::vector<T> buf_;
   std::atomic<std::size_t> head_{0};
   std::atomic<std::size_t> tail_{0};
+  runtime::ObjectStats stats_;
 };
 
 }  // namespace lfrt::lockfree

@@ -7,8 +7,10 @@
 #include <cstdint>
 #include <optional>
 
+#include "lockfree/annotate.hpp"
 #include "lockfree/node_pool.hpp"
 #include "lockfree/tagged.hpp"
+#include "runtime/object_stats.hpp"
 
 namespace lfrt::lockfree {
 
@@ -22,7 +24,7 @@ class TreiberStack {
   bool push(const T& value) {
     const std::uint32_t node = pool_.allocate();
     if (node == TaggedRef::kNullIndex) return false;
-    pool_.at(node).value = value;
+    detail::store_value_slot(pool_.at(node).value, value);
     TaggedRef top{top_.load(std::memory_order_acquire)};
     for (;;) {
       pool_.at(node).next.store(TaggedRef::make(top.index(), 0).bits,
@@ -30,9 +32,11 @@ class TreiberStack {
       TaggedRef desired = TaggedRef::make(node, top.tag() + 1);
       if (top_.compare_exchange_weak(top.bits, desired.bits,
                                      std::memory_order_acq_rel,
-                                     std::memory_order_acquire))
+                                     std::memory_order_acquire)) {
+        stats_.record_op();
         return true;
-      retries_.fetch_add(1, std::memory_order_relaxed);
+      }
+      stats_.record_retry();
     }
   }
 
@@ -40,19 +44,23 @@ class TreiberStack {
   std::optional<T> pop() {
     TaggedRef top{top_.load(std::memory_order_acquire)};
     for (;;) {
-      if (top.is_null()) return std::nullopt;
+      if (top.is_null()) {
+        stats_.record_op();
+        return std::nullopt;
+      }
       const TaggedRef next{
           pool_.at(top.index()).next.load(std::memory_order_acquire)};
       // Copy the value before the CAS — the node may be recycled after.
-      T value = pool_.at(top.index()).value;
+      T value = detail::load_value_slot(pool_.at(top.index()).value);
       TaggedRef desired = TaggedRef::make(next.index(), top.tag() + 1);
       if (top_.compare_exchange_weak(top.bits, desired.bits,
                                      std::memory_order_acq_rel,
                                      std::memory_order_acquire)) {
         pool_.release(top.index());
+        stats_.record_op();
         return value;
       }
-      retries_.fetch_add(1, std::memory_order_relaxed);
+      stats_.record_retry();
     }
   }
 
@@ -60,9 +68,7 @@ class TreiberStack {
     return TaggedRef{top_.load(std::memory_order_acquire)}.is_null();
   }
 
-  std::int64_t retries() const {
-    return retries_.load(std::memory_order_relaxed);
-  }
+  const runtime::ObjectStats& stats() const { return stats_; }
 
  private:
   struct Node {
@@ -72,7 +78,7 @@ class TreiberStack {
 
   NodePool<Node> pool_;
   std::atomic<std::uint64_t> top_{TaggedRef::null().bits};
-  std::atomic<std::int64_t> retries_{0};
+  runtime::ObjectStats stats_;
 };
 
 }  // namespace lfrt::lockfree

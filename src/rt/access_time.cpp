@@ -117,7 +117,7 @@ AccessTimeResult measure_lockfree_access(const AccessTimeConfig& cfg) {
     // Two operations per sample; report per-access time.
     out.per_access_ns.add(static_cast<double>(elapsed_ns(t0, t1)) / 2.0);
   }
-  for (auto& q : queues) out.retries += q->stats().total();
+  for (auto& q : queues) out.retries += q->stats().retry_count();
   return out;
 }
 
@@ -162,8 +162,7 @@ AccessTimeResult measure_lockbased_access(const AccessTimeConfig& cfg) {
     out.per_access_ns.add(static_cast<double>(elapsed_ns(t0, t1)) / 2.0);
     fake_now += usec(1);
   }
-  for (auto& q : queues)
-    out.contended += q->stats().contended.load(std::memory_order_relaxed);
+  for (auto& q : queues) out.contended += q->stats().contended_count();
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/object_stats.hpp"
 #include "sched/scheduler.hpp"
 #include "support/check.hpp"
 
@@ -51,13 +52,16 @@ struct Executor::Impl {
     Impl* owner = nullptr;
     JobId jid = kNoJob;
     RtJob spec;
-    Time arrival = 0;        // ns since epoch
-    Time critical_abs = 0;
     RtState state = RtState::kReady;
     Time ran_for = 0;        // accumulated execution time estimate input
     Time last_dispatch = 0;  // when it last got the CPU
-    Time completion = -1;
     std::thread worker;
+
+    /// The job's terminal record for the RunReport: arrival/critical
+    /// from real clocks, retries/blockings credited by the shared
+    /// structures through this worker's ScopedAccessSink, preemptions
+    /// counted by the scheduling thread.
+    Job acct;
 
     // --- JobContext ---
     void checkpoint() override {
@@ -103,8 +107,10 @@ struct Executor::Impl {
     r->owner = this;
     r->jid = id;
     r->spec = std::move(job);
-    r->arrival = now();
-    r->critical_abs = r->arrival + r->spec.tuf->critical_time();
+    r->acct.id = id;
+    r->acct.task = r->spec.task;
+    r->acct.arrival = now();
+    r->acct.critical_abs = r->acct.arrival + r->spec.tuf->critical_time();
     ++report.submitted;
     report.max_possible_utility += r->spec.tuf->utility(0);
     jobs.emplace(id, std::move(rec));
@@ -123,27 +129,36 @@ struct Executor::Impl {
       if (r->state != RtState::kAborting) r->state = RtState::kRunning;
     }
     bool completed = false;
-    try {
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        if (r->state == RtState::kAborting) throw JobAborted{};
+    {
+      // Structure-level retry/contention events on this thread credit
+      // the job's own counters — per-job f_i from real CAS failures.
+      runtime::ScopedAccessSink sink(&r->acct.retries, &r->acct.blockings);
+      try {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (r->state == RtState::kAborting) throw JobAborted{};
+        }
+        r->spec.body(*r);
+        completed = true;
+      } catch (const JobAborted&) {
+        if (r->spec.abort_handler) r->spec.abort_handler();
       }
-      r->spec.body(*r);
-      completed = true;
-    } catch (const JobAborted&) {
-      if (r->spec.abort_handler) r->spec.abort_handler();
     }
     std::unique_lock<std::mutex> lock(mu);
     if (completed) {
       r->state = RtState::kCompleted;
-      r->completion = now();
+      r->acct.state = JobState::kCompleted;
+      r->acct.completion = now();
       ++report.completed;
       report.accrued_utility +=
-          r->spec.tuf->utility(r->completion - r->arrival);
+          r->spec.tuf->utility(r->acct.completion - r->acct.arrival);
     } else {
       r->state = RtState::kAborted;
+      r->acct.state = JobState::kAborted;
       ++report.aborted;
     }
+    if (dispatched == r->jid) r->ran_for += now() - r->last_dispatch;
+    r->acct.exec_actual = r->ran_for;
     if (dispatched == r->jid) dispatched = kNoJob;
     sched_cv.notify_all();
   }
@@ -161,9 +176,12 @@ struct Executor::Impl {
       // Raise abort-exceptions for expired jobs (the timer going off).
       for (auto& [id, r] : jobs) {
         if (terminal(r->state) || r->state == RtState::kAborting) continue;
-        if (t >= r->critical_abs) {
+        if (t >= r->acct.critical_abs) {
           r->state = RtState::kAborting;
-          if (dispatched == id) dispatched = kNoJob;
+          if (dispatched == id) {
+            r->ran_for += t - r->last_dispatch;
+            dispatched = kNoJob;
+          }
           worker_cv.notify_all();  // parked workers observe and throw
         }
       }
@@ -174,8 +192,8 @@ struct Executor::Impl {
         if (terminal(r->state) || r->state == RtState::kAborting) continue;
         sched::SchedJob sj;
         sj.id = id;
-        sj.arrival = r->arrival;
-        sj.critical = r->critical_abs;
+        sj.arrival = r->acct.arrival;
+        sj.critical = r->acct.critical_abs;
         Time elapsed = r->ran_for;
         if (dispatched == id) elapsed += t - r->last_dispatch;
         sj.remaining = std::max<Time>(1, r->spec.expected_exec - elapsed);
@@ -186,12 +204,21 @@ struct Executor::Impl {
       if (stopping && view.empty()) return;
 
       scheduler->build_into(view, t, ws.get(), res);
+      ++report.sched_invocations;
+      report.sched_ops += res.ops;
       if (res.dispatch != dispatched) {
-        // Account the descheduled job's stint.
+        // Account the descheduled job's stint (a preemption if it is
+        // still unfinished).
         if (dispatched != kNoJob) {
           auto it = jobs.find(dispatched);
-          if (it != jobs.end())
-            it->second->ran_for += t - it->second->last_dispatch;
+          if (it != jobs.end()) {
+            JobRec& prev = *it->second;
+            prev.ran_for += t - prev.last_dispatch;
+            if (!terminal(prev.state) && prev.state != RtState::kAborting) {
+              ++prev.acct.preemptions;
+              ++report.total_preemptions;
+            }
+          }
         }
         dispatched = res.dispatch;
         if (dispatched != kNoJob) {
@@ -205,7 +232,7 @@ struct Executor::Impl {
       Time next_expiry = kTimeNever;
       for (auto& [id, r] : jobs) {
         if (terminal(r->state) || r->state == RtState::kAborting) continue;
-        next_expiry = std::min(next_expiry, r->critical_abs);
+        next_expiry = std::min(next_expiry, r->acct.critical_abs);
       }
       if (next_expiry == kTimeNever) {
         sched_cv.wait(lock);
@@ -236,6 +263,17 @@ struct Executor::Impl {
     for (auto& [id, r] : jobs)
       if (r->worker.joinable()) r->worker.join();
     std::lock_guard<std::mutex> lock(mu);
+    // Assemble the shared RunReport view: every submitted job reached a
+    // terminal state (drain above), so all of them are counted.
+    report.counted_jobs = report.submitted;
+    report.jobs.clear();
+    report.total_retries = 0;
+    report.total_blockings = 0;
+    for (const auto& [id, r] : jobs) {  // std::map: id order
+      report.jobs.push_back(r->acct);
+      report.total_retries += r->acct.retries;
+      report.total_blockings += r->acct.blockings;
+    }
     return report;
   }
 };

@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 
+#include "runtime/run_report.hpp"
 #include "support/time.hpp"
 #include "task/task.hpp"
 
@@ -54,6 +55,11 @@ class JobContext {
 
 /// What to run for one job.
 struct RtJob {
+  /// Originating task, when the job was lowered from a TaskSet
+  /// (runtime::run_on_executor); -1 for free-standing jobs.  Flows into
+  /// the report's per-job records and per-task breakdowns.
+  TaskId task = -1;
+
   /// Time constraint; utility accrues at U(sojourn) on completion.
   std::shared_ptr<const Tuf> tuf;
 
@@ -68,19 +74,16 @@ struct RtJob {
   std::function<void()> abort_handler;
 };
 
-/// Aggregate outcome of an Executor run.
-struct ExecutorReport {
+/// Aggregate outcome of an Executor run.  The shared job-lifecycle
+/// accounting (AUR/CMR, per-job terminal records with real-clock
+/// sojourns, retry/blocking tallies plumbed from the shared structures
+/// via runtime::ScopedAccessSink, per-task breakdowns) lives in
+/// runtime::RunReport — the same shape sim::SimReport extends, so the
+/// two substrates cross-validate (bench/ext_executor_validation).
+/// counted_jobs == submitted: shutdown() drains every job to a terminal
+/// state.
+struct ExecutorReport : runtime::RunReport {
   std::int64_t submitted = 0;
-  std::int64_t completed = 0;
-  std::int64_t aborted = 0;
-  double accrued_utility = 0.0;
-  double max_possible_utility = 0.0;
-  std::int64_t dispatches = 0;  ///< scheduler-driven context switches
-
-  double aur() const {
-    return max_possible_utility > 0 ? accrued_utility / max_possible_utility
-                                    : 0.0;
-  }
 };
 
 /// Middleware UA scheduler over real threads.

@@ -1,0 +1,160 @@
+#include "runtime/exec_adapter.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "lockbased/mutex_queue.hpp"
+#include "lockfree/msqueue.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "uam/uam.hpp"
+
+namespace lfrt::runtime {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Busy-wait this thread for `ns` of wall clock (synthetic compute).
+void spin_for(Time ns) {
+  const auto until = Clock::now() + std::chrono::nanoseconds(ns);
+  while (Clock::now() < until) {
+  }
+}
+
+/// The shared-object universe of one run, behind a uniform push/pop
+/// surface so job bodies are sharing-regime agnostic.
+struct SharedObjects {
+  std::vector<std::unique_ptr<lockfree::MsQueue<int>>> lf;
+  std::vector<std::unique_ptr<lockbased::MutexQueue<int>>> lb;
+
+  SharedObjects(ObjectKind kind, std::int32_t count,
+                std::size_t capacity) {
+    if (kind == ObjectKind::kLockFree) {
+      for (std::int32_t i = 0; i < count; ++i)
+        lf.push_back(std::make_unique<lockfree::MsQueue<int>>(capacity));
+    } else {
+      for (std::int32_t i = 0; i < count; ++i)
+        lb.push_back(std::make_unique<lockbased::MutexQueue<int>>());
+    }
+  }
+
+  void push(ObjectId o, int v) {
+    if (!lf.empty())
+      (void)lf[static_cast<std::size_t>(o)]->enqueue(v);
+    else
+      lb[static_cast<std::size_t>(o)]->enqueue(v);
+  }
+
+  void pop(ObjectId o) {
+    if (!lf.empty())
+      (void)lf[static_cast<std::size_t>(o)]->dequeue();
+    else
+      (void)lb[static_cast<std::size_t>(o)]->dequeue();
+  }
+};
+
+/// Lower one task's parameters into an RtJob: spin exec_time in
+/// checkpointed quanta, performing each access as push → checkpoint →
+/// pop against the real object.  The checkpoint in the middle makes
+/// mid-access aborts reachable; the abort handler rolls back whatever
+/// push is still unbalanced (Section 3.5's compensation, for real).
+rt::RtJob make_job(const TaskParams& tp,
+                   const std::shared_ptr<SharedObjects>& objs,
+                   Time quantum) {
+  rt::RtJob job;
+  job.task = tp.id;
+  job.tuf = tp.tuf;
+  job.expected_exec = tp.exec_time;
+  // Pending (pushed, not yet popped) objects.  Body and abort handler
+  // run on the same worker thread, so no synchronization is needed.
+  auto pending = std::make_shared<std::vector<ObjectId>>();
+  job.body = [objs, pending, quantum, exec = tp.exec_time,
+              accesses = tp.accesses](rt::JobContext& ctx) {
+    Time done = 0;
+    auto advance_to = [&](Time target) {
+      while (done < target) {
+        const Time q = std::min<Time>(quantum, target - done);
+        spin_for(q);
+        done += q;
+        ctx.checkpoint();
+      }
+    };
+    for (const AccessSpec& a : accesses) {
+      advance_to(std::min(a.offset, exec));
+      objs->push(a.object, static_cast<int>(ctx.id()));
+      pending->push_back(a.object);
+      ctx.checkpoint();
+      objs->pop(a.object);
+      pending->pop_back();
+    }
+    advance_to(exec);
+  };
+  job.abort_handler = [objs, pending] {
+    while (!pending->empty()) {
+      objs->pop(pending->back());
+      pending->pop_back();
+    }
+  };
+  return job;
+}
+
+}  // namespace
+
+std::vector<std::vector<Time>> make_arrival_traces(const TaskSet& ts,
+                                                   Time horizon,
+                                                   std::uint64_t seed,
+                                                   bool periodic) {
+  std::vector<std::vector<Time>> traces(ts.tasks.size());
+  for (const auto& t : ts.tasks) {
+    Rng rng(seed ^ (0xA5A5A5A5ULL * static_cast<std::uint64_t>(t.id + 1)));
+    traces[static_cast<std::size_t>(t.id)] =
+        periodic ? arrivals::periodic_phased(t.arrival, horizon, rng)
+                 : arrivals::random_conformant(t.arrival, horizon, rng);
+  }
+  return traces;
+}
+
+rt::ExecutorReport run_on_executor(const TaskSet& ts,
+                                   const sched::Scheduler& scheduler,
+                                   const ExecConfig& cfg) {
+  ts.validate();
+  auto objs = std::make_shared<SharedObjects>(cfg.objects, ts.object_count,
+                                              cfg.queue_capacity);
+
+  // Flatten the per-task traces into one tape, keeping only jobs whose
+  // critical time falls within the horizon (the simulator's counting
+  // rule) so both substrates score the same population.
+  struct Arrival {
+    Time at;
+    TaskId task;
+  };
+  const auto traces =
+      make_arrival_traces(ts, cfg.horizon, cfg.arrival_seed,
+                          cfg.periodic_arrivals);
+  std::vector<Arrival> tape;
+  for (const auto& t : ts.tasks)
+    for (Time at : traces[static_cast<std::size_t>(t.id)])
+      if (at + t.critical_time() <= cfg.horizon) tape.push_back({at, t.id});
+  std::stable_sort(tape.begin(), tape.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     return a.at != b.at ? a.at < b.at : a.task < b.task;
+                   });
+
+  rt::Executor ex(scheduler);
+  const auto epoch = Clock::now();
+  for (const Arrival& a : tape) {
+    std::this_thread::sleep_until(epoch + std::chrono::nanoseconds(a.at));
+    ex.submit(make_job(ts.by_id(a.task), objs, cfg.quantum));
+  }
+  return ex.shutdown();
+}
+
+rt::ExecutorReport run_on_executor(const workload::WorkloadSpec& spec,
+                                   const sched::Scheduler& scheduler,
+                                   const ExecConfig& cfg) {
+  return run_on_executor(workload::make_task_set(spec), scheduler, cfg);
+}
+
+}  // namespace lfrt::runtime

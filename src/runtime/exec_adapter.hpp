@@ -1,0 +1,82 @@
+// Workload adapter: run the *same* generated task set on the real-
+// threads executor that the simulator runs.
+//
+// The paper's evaluation is simulation; its implementation study is a
+// POSIX middleware testbed.  This adapter closes the loop between the
+// two substrates in-repo: it lowers a TaskSet (typically from
+// workload::make_task_set) into rt::RtJobs with synthetic checkpointed
+// compute bodies and *real* shared objects (lock-free MS queues or
+// mutex queues), replays the identical arrival traces the bench harness
+// would feed the simulator, and returns the executor's RunReport — so
+// AUR/CMR/retry figures can be cross-validated between analysis,
+// simulation, and actual threads (bench/ext_executor_validation.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/executor.hpp"
+#include "task/task.hpp"
+#include "workload/workload.hpp"
+
+namespace lfrt::sched {
+class Scheduler;
+}
+
+namespace lfrt::runtime {
+
+/// Which shared-object implementation the synthetic bodies touch.
+enum class ObjectKind {
+  kLockFree,   ///< lockfree::MsQueue (CAS retries under preemption)
+  kLockBased,  ///< lockbased::MutexQueue (blocking episodes)
+};
+
+/// Configuration of one executor run.
+struct ExecConfig {
+  /// Wall-clock length of the arrival tape.  Only jobs whose critical
+  /// time falls within the horizon are submitted — the same counting
+  /// rule sim::Simulator applies — so the two substrates score the same
+  /// job population.
+  Time horizon = msec(200);
+
+  ObjectKind objects = ObjectKind::kLockFree;
+
+  /// Arrival seeding, mirroring bench::make_cell_sim: per-task RNG
+  /// seeded with `arrival_seed ^ (0xA5A5A5A5 * (id + 1))`, trace from
+  /// arrivals::periodic_phased (or random_conformant when !periodic).
+  std::uint64_t arrival_seed = 1;
+  bool periodic_arrivals = true;
+
+  /// Compute bodies spin in quanta of this length with a checkpoint
+  /// (preemption/abort point) between quanta.
+  Time quantum = usec(50);
+
+  /// Capacity of each lock-free queue (accesses are push/pop balanced,
+  /// so steady-state occupancy stays near the in-flight job count).
+  std::size_t queue_capacity = 1024;
+};
+
+/// Per-task arrival traces over [0, horizon], indexed by TaskId — byte-
+/// compatible with what bench::make_cell_sim feeds the simulator for
+/// the same seed, so a cross-validation run compares like with like.
+std::vector<std::vector<Time>> make_arrival_traces(const TaskSet& ts,
+                                                   Time horizon,
+                                                   std::uint64_t seed,
+                                                   bool periodic);
+
+/// Replay `ts` on a fresh rt::Executor under `scheduler`: submit each
+/// admitted arrival at its trace time (wall clock), with a body that
+/// spins the task's exec_time in checkpointed quanta and performs each
+/// AccessSpec as a push → checkpoint → pop pair against a real shared
+/// object (abort handlers roll back the unbalanced push).  Blocks until
+/// the tape has played and every job reached a terminal state.
+rt::ExecutorReport run_on_executor(const TaskSet& ts,
+                                   const sched::Scheduler& scheduler,
+                                   const ExecConfig& cfg);
+
+/// Convenience: generate the task set from `spec` first.
+rt::ExecutorReport run_on_executor(const workload::WorkloadSpec& spec,
+                                   const sched::Scheduler& scheduler,
+                                   const ExecConfig& cfg);
+
+}  // namespace lfrt::runtime

@@ -1,0 +1,122 @@
+// Unified per-structure accounting for every shared object.
+//
+// Before this layer existed each structure in src/lockfree and
+// src/lockbased kept its own ad-hoc counter struct (RetryStats,
+// LockStats, bare atomics).  ObjectStats replaces all of them with one
+// interface covering the whole design space the paper compares:
+//
+//   * ops          — completed public operations (enqueue, pop, scan, ...)
+//   * retries      — lock-free restarts: the f_i events Theorem 2 bounds
+//   * acquisitions — lock-based mutex acquires
+//   * contended    — acquires that found the lock held (a blocking
+//                    episode, the paper's n_i events)
+//
+// Wait-free structures (SPSC ring, four-slot register) report through
+// the same interface with retries pinned at zero by construction —
+// which is the point of including them.
+//
+// Counters are relaxed atomics: safe to bump from any thread, read
+// after quiesce or tolerate small skew during a run.
+//
+// Retry-sink plumbing: the real-threads executor needs *per-job* retry
+// and blocking counts (the simulator gets them for free from its event
+// loop).  A worker thread installs a ScopedAccessSink around a job
+// body, and every record_retry/record_acquisition on that thread also
+// lands in the job's counters — so Theorem 2's per-job f_i emerges from
+// real CAS failures, not modelling.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfrt::runtime {
+
+namespace detail {
+
+/// Per-thread destination for access events (null fields = discard).
+struct AccessSinkState {
+  std::int64_t* retries = nullptr;
+  std::int64_t* blockings = nullptr;
+};
+
+inline thread_local AccessSinkState tls_access_sink;
+
+}  // namespace detail
+
+/// RAII: while alive, this thread's retry/contention events are also
+/// credited to the given per-job counters.  Nestable (restores the
+/// previous sink); the pointees must outlive the scope and be touched
+/// by no other thread while it is active.
+class ScopedAccessSink {
+ public:
+  ScopedAccessSink(std::int64_t* retries, std::int64_t* blockings)
+      : prev_(detail::tls_access_sink) {
+    detail::tls_access_sink = {retries, blockings};
+  }
+  ~ScopedAccessSink() { detail::tls_access_sink = prev_; }
+
+  ScopedAccessSink(const ScopedAccessSink&) = delete;
+  ScopedAccessSink& operator=(const ScopedAccessSink&) = delete;
+
+ private:
+  detail::AccessSinkState prev_;
+};
+
+/// The one accounting interface every shared structure exposes via
+/// `stats()`.
+struct ObjectStats {
+  std::atomic<std::int64_t> ops{0};
+  std::atomic<std::int64_t> retries{0};
+  std::atomic<std::int64_t> acquisitions{0};
+  std::atomic<std::int64_t> contended{0};
+
+  // --- recording (called by the structures) ---
+
+  void record_op(std::int64_t n = 1) {
+    ops.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  void record_retry(std::int64_t n = 1) {
+    retries.fetch_add(n, std::memory_order_relaxed);
+    if (std::int64_t* sink = detail::tls_access_sink.retries) *sink += n;
+  }
+
+  void record_acquisition(bool was_contended) {
+    acquisitions.fetch_add(1, std::memory_order_relaxed);
+    if (was_contended) {
+      contended.fetch_add(1, std::memory_order_relaxed);
+      if (std::int64_t* sink = detail::tls_access_sink.blockings) ++*sink;
+    }
+  }
+
+  // --- reading ---
+
+  std::int64_t op_count() const {
+    return ops.load(std::memory_order_relaxed);
+  }
+  std::int64_t retry_count() const {
+    return retries.load(std::memory_order_relaxed);
+  }
+  std::int64_t acquisition_count() const {
+    return acquisitions.load(std::memory_order_relaxed);
+  }
+  std::int64_t contended_count() const {
+    return contended.load(std::memory_order_relaxed);
+  }
+
+  /// Fraction of acquires that found the lock held (lock-based).
+  double contention_ratio() const {
+    const std::int64_t a = acquisition_count();
+    if (a == 0) return 0.0;
+    return static_cast<double>(contended_count()) / static_cast<double>(a);
+  }
+
+  /// Retries per completed operation (lock-free).
+  double retry_ratio() const {
+    const std::int64_t o = op_count();
+    if (o == 0) return 0.0;
+    return static_cast<double>(retry_count()) / static_cast<double>(o);
+  }
+};
+
+}  // namespace lfrt::runtime

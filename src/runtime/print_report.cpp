@@ -1,0 +1,49 @@
+#include "runtime/print_report.hpp"
+
+#include <algorithm>
+
+#include "support/table.hpp"
+
+namespace lfrt::runtime {
+
+void print_report(std::ostream& os, const RunReport& rep,
+                  const PrintOptions& opts) {
+  if (opts.per_task) {
+    TaskId max_task = -1;
+    for (const Job& j : rep.jobs) max_task = std::max(max_task, j.task);
+    Table table({"task", "jobs", "completed", "aborted", "retries",
+                 "mean sojourn (ms)"});
+    for (TaskId id = 0; id <= max_task; ++id) {
+      const RunReport::TaskBreakdown b = rep.breakdown_of(id);
+      if (b.jobs == 0) continue;
+      std::string name;
+      if (id < static_cast<TaskId>(opts.task_names.size())) {
+        name = opts.task_names[static_cast<std::size_t>(id)];
+      } else {
+        name = "T";
+        name += std::to_string(id);
+      }
+      table.add_row({name, std::to_string(b.jobs),
+                     std::to_string(b.completed), std::to_string(b.aborted),
+                     std::to_string(b.retries),
+                     Table::num(b.mean_sojourn / 1e6, 2)});
+    }
+    table.print(os);
+    os << '\n';
+  }
+
+  if (!opts.label.empty()) os << opts.label << ":  ";
+  os << "AUR=" << Table::num(rep.aur(), 3)
+     << "  CMR=" << Table::num(rep.cmr(), 3) << "  completed="
+     << rep.completed << "/" << rep.counted_jobs
+     << "  aborted=" << rep.aborted << "  retries=" << rep.total_retries
+     << "  blockings=" << rep.total_blockings;
+  if (opts.show_sched) {
+    os << "  dispatches=" << rep.dispatches
+       << "  sched_invocations=" << rep.sched_invocations
+       << "  sched_ops=" << rep.sched_ops;
+  }
+  os << '\n';
+}
+
+}  // namespace lfrt::runtime

@@ -1,0 +1,30 @@
+// Shared console formatter for RunReport — one report printer for every
+// example and demo instead of per-binary hand-rolled loops.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runtime/run_report.hpp"
+
+namespace lfrt::runtime {
+
+/// Knobs for print_report.
+struct PrintOptions {
+  /// Prefix for the summary line, e.g. "lock-free RUA".
+  std::string label;
+  /// Emit a per-task breakdown table above the summary line.
+  bool per_task = false;
+  /// Optional display names indexed by TaskId (falls back to "T<id>").
+  std::vector<std::string> task_names;
+  /// Include scheduling-activity counters in the summary line.
+  bool show_sched = false;
+};
+
+/// Print `rep` to `os`: optional per-task table, then one summary line
+/// with AUR/CMR/completed/aborted and the sharing-mechanism tallies.
+void print_report(std::ostream& os, const RunReport& rep,
+                  const PrintOptions& opts = {});
+
+}  // namespace lfrt::runtime

@@ -24,26 +24,6 @@ std::string to_string(ShareMode mode) {
   return "?";
 }
 
-std::int64_t SimReport::max_retries_of_task(const TaskSet& /*ts*/,
-                                            TaskId id) const {
-  std::int64_t best = 0;
-  for (const Job& j : jobs)
-    if (j.task == id) best = std::max(best, j.retries);
-  return best;
-}
-
-double SimReport::mean_sojourn_of_task(TaskId id) const {
-  double sum = 0.0;
-  std::int64_t n = 0;
-  for (const Job& j : jobs) {
-    if (j.task == id && j.state == JobState::kCompleted) {
-      sum += static_cast<double>(j.sojourn());
-      ++n;
-    }
-  }
-  return n > 0 ? sum / static_cast<double>(n) : 0.0;
-}
-
 namespace {
 
 enum class MsKind : std::uint8_t {
@@ -467,6 +447,7 @@ struct Simulator::Impl {
         job_cpu[static_cast<std::size_t>(target)] = c;
         if (j.state != JobState::kAborting) j.state = JobState::kRunning;
         run_start_on[ci] = cpu_free_at;
+        ++report.dispatches;
       }
     }
     repost_milestones();

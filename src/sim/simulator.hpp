@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/run_report.hpp"
 #include "sched/scheduler.hpp"
 #include "support/rng.hpp"
 #include "task/task.hpp"
@@ -89,32 +90,13 @@ struct SimConfig {
   int cpu_count = 1;
 };
 
-/// Aggregate results of one run.
-struct SimReport {
-  // Only jobs whose critical time falls within the horizon are counted —
-  // every such job reaches a terminal state (completed or aborted).
-  std::int64_t counted_jobs = 0;
-  std::int64_t completed = 0;  ///< completed at or before critical time
-  std::int64_t aborted = 0;    ///< critical time expired first
-
-  double accrued_utility = 0.0;
-  double max_possible_utility = 0.0;  ///< sum of U_i(0) over counted jobs
-
-  /// Accrued utility ratio (paper, Section 5): accrued / max possible.
-  double aur() const {
-    return max_possible_utility > 0 ? accrued_utility / max_possible_utility
-                                    : 0.0;
-  }
-  /// Critical-time-meet ratio (Section 6.2).
-  double cmr() const {
-    return counted_jobs > 0
-               ? static_cast<double>(completed) /
-                     static_cast<double>(counted_jobs)
-               : 0.0;
-  }
-
-  std::int64_t sched_invocations = 0;
-  std::int64_t sched_ops = 0;
+/// Aggregate results of one run.  The job-lifecycle accounting —
+/// counted/completed/aborted, AUR/CMR, retry/blocking/preemption
+/// tallies, per-job terminal records and per-task breakdowns — lives in
+/// runtime::RunReport, shared with rt::ExecutorReport so both
+/// substrates report through the same shape; only the simulation-
+/// specific extras are added here.
+struct SimReport : runtime::RunReport {
   Time sched_overhead = 0;  ///< total CPU time charged to the scheduler
 
   /// Discrete events consumed from the queue (arrivals, expiries,
@@ -122,13 +104,7 @@ struct SimReport {
   /// (bench/sim_throughput).
   std::int64_t events_processed = 0;
 
-  std::int64_t total_retries = 0;    ///< lock-free access restarts
-  std::int64_t total_blockings = 0;  ///< lock-based blocking episodes
-  std::int64_t total_preemptions = 0;
   std::int64_t deadlocks_resolved = 0;  ///< cycle victims aborted (nested)
-
-  /// Per-job terminal records (arrival, sojourn, retries, ...).
-  std::vector<Job> jobs;
 
   /// Optional event trace (record_trace).
   std::vector<std::string> trace;
@@ -144,13 +120,6 @@ struct SimReport {
     Time end = 0;
   };
   std::vector<ExecSlice> slices;
-
-  /// Maximum retries by any single counted job of the given task —
-  /// compared against analysis::retry_bound in tests/benches.
-  std::int64_t max_retries_of_task(const TaskSet& ts, TaskId id) const;
-
-  /// Mean sojourn time of completed jobs of the given task.
-  double mean_sojourn_of_task(TaskId id) const;
 };
 
 /// One simulation instance: a task set, a scheduler, arrival traces.

@@ -148,7 +148,7 @@ TEST(NbwBuffer, SingleThreadReadBack) {
   buf.write({7, -1.0});
   EXPECT_EQ(buf.read().a, 7);
   EXPECT_EQ(buf.version(), 2u);  // one write = +2, even when stable
-  EXPECT_EQ(buf.read_retries(), 0);
+  EXPECT_EQ(buf.stats().retry_count(), 0);
 }
 
 TEST(NbwBuffer, WriterIsWaitFreeReadersAreConsistent) {

@@ -23,8 +23,8 @@ TEST(MutexQueue, AccountsAcquisitions) {
   q.enqueue(1);
   q.dequeue();
   q.dequeue();
-  EXPECT_EQ(q.stats().acquisitions.load(), 3);
-  EXPECT_EQ(q.stats().contended.load(), 0);
+  EXPECT_EQ(q.stats().acquisition_count(), 3);
+  EXPECT_EQ(q.stats().contended_count(), 0);
   EXPECT_DOUBLE_EQ(q.stats().contention_ratio(), 0.0);
 }
 
@@ -44,7 +44,7 @@ TEST(MutexQueue, ConcurrentConservation) {
   for (auto& th : threads) th.join();
   while (q.dequeue()) count.fetch_add(1);
   EXPECT_EQ(count.load(), 3LL * kPerThread);
-  EXPECT_GE(q.stats().acquisitions.load(), 3LL * kPerThread * 2);
+  EXPECT_GE(q.stats().acquisition_count(), 3LL * kPerThread * 2);
 }
 
 TEST(MutexStack, LifoSequential) {
@@ -59,14 +59,14 @@ TEST(MutexStack, StatsCountOperations) {
   MutexStack<int> s;
   s.push(1);
   s.pop();
-  EXPECT_EQ(s.stats().acquisitions.load(), 2);
+  EXPECT_EQ(s.stats().acquisition_count(), 2);
 }
 
 TEST(ContentionRatio, ZeroWhenUncontended) {
-  LockStats st;
+  runtime::ObjectStats st;
   EXPECT_DOUBLE_EQ(st.contention_ratio(), 0.0);
-  st.acquisitions.store(10);
-  st.contended.store(5);
+  for (int i = 0; i < 5; ++i) st.record_acquisition(/*was_contended=*/false);
+  for (int i = 0; i < 5; ++i) st.record_acquisition(/*was_contended=*/true);
   EXPECT_DOUBLE_EQ(st.contention_ratio(), 0.5);
 }
 

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "lockfree/annotate.hpp"
 #include "lockfree/msqueue.hpp"
 #include "lockfree/node_pool.hpp"
 #include "lockfree/spsc_ring.hpp"
@@ -17,6 +18,15 @@
 
 namespace lfrt::lockfree {
 namespace {
+
+// TSan serializes the tight CAS loops; at full iteration counts the
+// 4-thread hammer over a 4-node pool can take minutes on a small box.
+// Scale down under TSan — recycling pressure per cycle is unchanged.
+#ifdef LFRT_TSAN_ACTIVE
+constexpr int kHammerCycles = 2000;
+#else
+constexpr int kHammerCycles = 30000;
+#endif
 
 TEST(TaggedRef, PackingRoundTrips) {
   const auto r = TaggedRef::make(0x12345678u, 0x9ABCDEF0u);
@@ -168,7 +178,7 @@ TEST(MsQueue, RetryCountersAccumulateUnderContention) {
   for (auto& th : threads) th.join();
   // Retries are workload-dependent; the counter API must at least be
   // consistent (non-negative, readable after quiesce).
-  EXPECT_GE(q.stats().total(), 0);
+  EXPECT_GE(q.stats().retry_count(), 0);
   EXPECT_TRUE(q.empty());
 }
 
@@ -272,7 +282,7 @@ TEST_P(AbaHammerTest, QueueSurvivesRecyclingPressure) {
   std::atomic<std::int64_t> delivered{0};
   for (int t = 0; t < threads_n; ++t) {
     threads.emplace_back([&] {
-      for (int i = 0; i < 30000; ++i) {
+      for (int i = 0; i < kHammerCycles; ++i) {
         while (!q.enqueue(i)) std::this_thread::yield();
         while (!q.dequeue()) std::this_thread::yield();
         delivered.fetch_add(1, std::memory_order_relaxed);
@@ -280,7 +290,7 @@ TEST_P(AbaHammerTest, QueueSurvivesRecyclingPressure) {
     });
   }
   for (auto& th : threads) th.join();
-  EXPECT_EQ(delivered.load(), threads_n * 30000LL);
+  EXPECT_EQ(delivered.load(), threads_n * static_cast<std::int64_t>(kHammerCycles));
   EXPECT_TRUE(q.empty());
 }
 

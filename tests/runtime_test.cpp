@@ -1,0 +1,208 @@
+// Units for the src/runtime layer: ObjectStats, the thread-local
+// access sink, RunReport breakdowns, and print_report formatting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "runtime/object_stats.hpp"
+#include "runtime/print_report.hpp"
+#include "runtime/run_report.hpp"
+
+namespace lfrt::runtime {
+namespace {
+
+// ---------------------------------------------------------------- stats
+
+TEST(ObjectStats, StartsAtZero) {
+  ObjectStats st;
+  EXPECT_EQ(st.op_count(), 0);
+  EXPECT_EQ(st.retry_count(), 0);
+  EXPECT_EQ(st.acquisition_count(), 0);
+  EXPECT_EQ(st.contended_count(), 0);
+  EXPECT_DOUBLE_EQ(st.retry_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(st.contention_ratio(), 0.0);
+}
+
+TEST(ObjectStats, RecordsOpsAndRetries) {
+  ObjectStats st;
+  for (int i = 0; i < 8; ++i) st.record_op();
+  st.record_op(2);
+  st.record_retry();
+  st.record_retry(4);
+  EXPECT_EQ(st.op_count(), 10);
+  EXPECT_EQ(st.retry_count(), 5);
+  EXPECT_DOUBLE_EQ(st.retry_ratio(), 0.5);
+}
+
+TEST(ObjectStats, ContentionRatioCountsContendedAcquires) {
+  ObjectStats st;
+  for (int i = 0; i < 6; ++i) st.record_acquisition(false);
+  for (int i = 0; i < 2; ++i) st.record_acquisition(true);
+  EXPECT_EQ(st.acquisition_count(), 8);
+  EXPECT_EQ(st.contended_count(), 2);
+  EXPECT_DOUBLE_EQ(st.contention_ratio(), 0.25);
+}
+
+// ----------------------------------------------------------------- sink
+
+TEST(ScopedAccessSink, CreditsRetriesAndBlockingsToBoundCounters) {
+  ObjectStats st;
+  std::int64_t retries = 0, blockings = 0;
+  {
+    ScopedAccessSink sink(&retries, &blockings);
+    st.record_retry(3);
+    st.record_acquisition(true);
+    st.record_acquisition(false);  // uncontended: no blocking episode
+  }
+  EXPECT_EQ(retries, 3);
+  EXPECT_EQ(blockings, 1);
+  // Structure-level counters accumulate regardless of the sink.
+  EXPECT_EQ(st.retry_count(), 3);
+  EXPECT_EQ(st.contended_count(), 1);
+}
+
+TEST(ScopedAccessSink, RestoresPreviousSinkOnExit) {
+  ObjectStats st;
+  std::int64_t outer = 0, inner = 0, blk = 0;
+  {
+    ScopedAccessSink a(&outer, &blk);
+    {
+      ScopedAccessSink b(&inner, &blk);
+      st.record_retry();
+    }
+    st.record_retry();
+  }
+  st.record_retry();  // no sink installed: discarded
+  EXPECT_EQ(inner, 1);
+  EXPECT_EQ(outer, 1);
+  EXPECT_EQ(st.retry_count(), 3);
+}
+
+TEST(ScopedAccessSink, IsPerThread) {
+  ObjectStats st;
+  std::int64_t main_retries = 0, main_blk = 0;
+  ScopedAccessSink sink(&main_retries, &main_blk);
+  std::int64_t worker_retries = 0, worker_blk = 0;
+  std::thread worker([&] {
+    ScopedAccessSink ws(&worker_retries, &worker_blk);
+    st.record_retry(2);
+  });
+  worker.join();
+  st.record_retry();
+  EXPECT_EQ(worker_retries, 2);
+  EXPECT_EQ(main_retries, 1);
+}
+
+// ------------------------------------------------------------ RunReport
+
+Job make_job(TaskId task, Time arrival, Time sojourn, JobState state,
+             std::int64_t retries = 0, std::int64_t blockings = 0) {
+  Job j;
+  j.task = task;
+  j.arrival = arrival;
+  j.state = state;
+  j.retries = retries;
+  j.blockings = blockings;
+  if (state == JobState::kCompleted) j.completion = arrival + sojourn;
+  return j;
+}
+
+RunReport two_task_report() {
+  RunReport rep;
+  rep.jobs.push_back(make_job(0, msec(0), msec(2), JobState::kCompleted, 3));
+  rep.jobs.push_back(make_job(0, msec(10), msec(4), JobState::kCompleted, 1));
+  rep.jobs.push_back(make_job(0, msec(20), -1, JobState::kAborted, 7));
+  rep.jobs.push_back(make_job(1, msec(0), msec(1), JobState::kCompleted, 0, 2));
+  rep.counted_jobs = 4;
+  rep.completed = 3;
+  rep.aborted = 1;
+  rep.accrued_utility = 30.0;
+  rep.max_possible_utility = 40.0;
+  rep.total_retries = 11;
+  rep.total_blockings = 2;
+  return rep;
+}
+
+TEST(RunReport, AurAndCmr) {
+  const RunReport rep = two_task_report();
+  EXPECT_DOUBLE_EQ(rep.aur(), 0.75);
+  EXPECT_DOUBLE_EQ(rep.cmr(), 0.75);
+  EXPECT_DOUBLE_EQ(RunReport{}.aur(), 0.0);
+  EXPECT_DOUBLE_EQ(RunReport{}.cmr(), 0.0);
+}
+
+TEST(RunReport, BreakdownAggregatesPerTask) {
+  const RunReport rep = two_task_report();
+  const auto b0 = rep.breakdown_of(0);
+  EXPECT_EQ(b0.jobs, 3);
+  EXPECT_EQ(b0.completed, 2);
+  EXPECT_EQ(b0.aborted, 1);
+  EXPECT_EQ(b0.retries, 11);
+  EXPECT_EQ(b0.max_retries, 7);
+  EXPECT_DOUBLE_EQ(b0.mean_sojourn, static_cast<double>(msec(3)));
+
+  const auto b1 = rep.breakdown_of(1);
+  EXPECT_EQ(b1.jobs, 1);
+  EXPECT_EQ(b1.blockings, 2);
+  EXPECT_DOUBLE_EQ(b1.mean_sojourn, static_cast<double>(msec(1)));
+
+  const auto none = rep.breakdown_of(9);
+  EXPECT_EQ(none.jobs, 0);
+  EXPECT_DOUBLE_EQ(none.mean_sojourn, 0.0);
+}
+
+TEST(RunReport, MaxRetriesAndMeanSojournHelpers) {
+  const RunReport rep = two_task_report();
+  EXPECT_EQ(rep.max_retries_of_task(0), 7);
+  EXPECT_EQ(rep.max_retries_of_task(1), 0);
+  EXPECT_DOUBLE_EQ(rep.mean_sojourn_of_task(0),
+                   static_cast<double>(msec(3)));
+  EXPECT_DOUBLE_EQ(rep.mean_sojourn_of_task(9), 0.0);
+}
+
+// --------------------------------------------------------- print_report
+
+TEST(PrintReport, SummaryLineCarriesLabelAndMetrics) {
+  const RunReport rep = two_task_report();
+  std::ostringstream os;
+  PrintOptions opts;
+  opts.label = "unit";
+  print_report(os, rep, opts);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("unit"), std::string::npos);
+  EXPECT_NE(out.find("AUR=0.750"), std::string::npos);
+  EXPECT_NE(out.find("completed=3/4"), std::string::npos);
+  EXPECT_NE(out.find("retries=11"), std::string::npos);
+  // No scheduling columns unless asked for.
+  EXPECT_EQ(out.find("sched_ops"), std::string::npos);
+}
+
+TEST(PrintReport, PerTaskTableUsesProvidedNames) {
+  const RunReport rep = two_task_report();
+  std::ostringstream os;
+  PrintOptions opts;
+  opts.per_task = true;
+  opts.task_names = {"sensing", "control"};
+  print_report(os, rep, opts);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("sensing"), std::string::npos);
+  EXPECT_NE(out.find("control"), std::string::npos);
+}
+
+TEST(PrintReport, PerTaskFallsBackToTaskIds) {
+  RunReport rep = two_task_report();
+  std::ostringstream os;
+  PrintOptions opts;
+  opts.per_task = true;
+  opts.show_sched = true;
+  rep.sched_invocations = 5;
+  print_report(os, rep, opts);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("T0"), std::string::npos);
+  EXPECT_NE(out.find("T1"), std::string::npos);
+  EXPECT_NE(out.find("sched_invocations=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lfrt::runtime

@@ -20,7 +20,7 @@ TEST(Snapshot, SingleThreadUpdateAndScan) {
   EXPECT_EQ(v, (std::array<int, 3>{10, 0, 30}));
   EXPECT_EQ(snap.read(0), 10);
   EXPECT_EQ(snap.read(1), 0);
-  EXPECT_EQ(snap.scan_retries(), 0);
+  EXPECT_EQ(snap.stats().retry_count(), 0);
 }
 
 TEST(Snapshot, SizeIsCompileTime) {
