@@ -22,11 +22,21 @@
 // Overload rows are reported (the substrates shed differently — the
 // executor pays real scheduling latency) but only sanity-checked.
 //
-// Usage: ext_executor_validation [--tiny] [--threads=N] [--out FILE]
+// The whole grid is swept at cpu_count ∈ {1, 2, 4}: the simulator's
+// multi-CPU dispatch and the executor's M-worker mode share the same
+// selection rule (sched::DispatchSelector), so agreement must survive
+// true parallelism.  For every cpu_count >= 2 the executor must also
+// witness real overlap: max_concurrency_observed >= 2 somewhere in the
+// group, or the "parallel" mode silently serialized.
+//
+// Usage: ext_executor_validation [--tiny] [--cpus=N] [--threads=N]
+//                                [--out FILE]
 //   --tiny   smoke mode for check.sh/CI: short horizons, loose tolerance
+//   --cpus=N restrict the sweep to one cpu_count (smoke runs)
 //   --out    JSON output path (default BENCH_xval.json in the cwd)
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -44,6 +54,8 @@ struct XvalRow {
   std::string regime;       // "lock-free" | "lock-based"
   std::string load_label;   // "underload" | "overload"
   double load = 0.0;
+  int cpus = 1;
+  int max_conc = 0;  // executor's max_concurrency_observed
   std::int64_t jobs_sim = 0;
   std::int64_t jobs_exec = 0;
   double aur_sim = 0.0, aur_exec = 0.0;
@@ -57,7 +69,7 @@ struct XvalRow {
 /// One matched pair of runs: identical task set, identical arrival
 /// traces, same scheduler flavour on both substrates.
 XvalRow run_pair(const workload::WorkloadSpec& spec, runtime::ObjectKind kind,
-                 const char* load_label, int windows,
+                 const char* load_label, int cpus, int windows,
                  std::uint64_t arrival_seed) {
   const TaskSet ts = workload::make_task_set(spec);
   const sim::ShareMode mode = kind == runtime::ObjectKind::kLockFree
@@ -78,6 +90,7 @@ XvalRow run_pair(const workload::WorkloadSpec& spec, runtime::ObjectKind kind,
   cfg.lockfree_access_time = usec(1);
   cfg.lock_access_time = usec(2);
   cfg.sched_ns_per_op = bench::kDefaultNsPerOp;
+  cfg.cpu_count = cpus;
   cfg.horizon = horizon;
   sim::Simulator sim(ts, bench::scheduler_for(mode), cfg);
   const auto traces =
@@ -91,6 +104,7 @@ XvalRow run_pair(const workload::WorkloadSpec& spec, runtime::ObjectKind kind,
   runtime::ExecConfig ec;
   ec.horizon = horizon;
   ec.objects = kind;
+  ec.cpu_count = cpus;
   ec.arrival_seed = arrival_seed;
   ec.periodic_arrivals = true;
   const rt::ExecutorReport exec_rep =
@@ -100,6 +114,8 @@ XvalRow run_pair(const workload::WorkloadSpec& spec, runtime::ObjectKind kind,
   row.regime = sim::to_string(mode);
   row.load_label = load_label;
   row.load = spec.load;
+  row.cpus = cpus;
+  row.max_conc = exec_rep.max_concurrency_observed;
   row.jobs_sim = sim_rep.counted_jobs;
   row.jobs_exec = exec_rep.counted_jobs;
   row.aur_sim = sim_rep.aur();
@@ -129,17 +145,24 @@ int main(int argc, char** argv) {
   using namespace lfrt;
   bench::init(argc, argv);
   bool tiny = false;
+  int only_cpus = 0;  // 0 = sweep {1, 2, 4}
   std::string out_path = "BENCH_xval.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tiny") == 0) {
       tiny = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--cpus=", 7) == 0) {
+      only_cpus = std::atoi(argv[i] + 7);
+      if (only_cpus < 1) {
+        std::cerr << "error: --cpus must be >= 1\n";
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--threads", 9) == 0) {
       if (std::strchr(argv[i], '=') == nullptr && i + 1 < argc) ++i;
     } else {
-      std::cerr << "usage: ext_executor_validation [--tiny] [--threads=N] "
-                   "[--out FILE]\n";
+      std::cerr << "usage: ext_executor_validation [--tiny] [--cpus=N] "
+                   "[--threads=N] [--out FILE]\n";
       return 2;
     }
   }
@@ -161,22 +184,29 @@ int main(int argc, char** argv) {
   const double aur_tol = tiny ? 0.25 : 0.15;
   const std::uint64_t arrival_seed = 1000;
 
+  std::vector<int> cpu_sweep = {1, 2, 4};
+  if (only_cpus > 0) cpu_sweep = {only_cpus};
+
   std::vector<XvalRow> rows;
-  for (const runtime::ObjectKind kind :
-       {runtime::ObjectKind::kLockFree, runtime::ObjectKind::kLockBased}) {
-    for (const auto& [label, load] :
-         std::vector<std::pair<const char*, double>>{{"underload", 0.35},
-                                                     {"overload", 1.2}}) {
-      workload::WorkloadSpec spec = base;
-      spec.load = load;
-      rows.push_back(run_pair(spec, kind, label, windows, arrival_seed));
+  for (const int cpus : cpu_sweep) {
+    for (const runtime::ObjectKind kind :
+         {runtime::ObjectKind::kLockFree, runtime::ObjectKind::kLockBased}) {
+      for (const auto& [label, load] :
+           std::vector<std::pair<const char*, double>>{{"underload", 0.35},
+                                                       {"overload", 1.2}}) {
+        workload::WorkloadSpec spec = base;
+        spec.load = load;
+        rows.push_back(
+            run_pair(spec, kind, label, cpus, windows, arrival_seed));
+      }
     }
   }
 
-  Table table({"regime", "load", "jobs s/x", "AUR sim", "AUR exec",
-               "CMR sim", "CMR exec", "retries s/x", "blk exec", "bound"});
+  Table table({"cpus", "regime", "load", "jobs s/x", "AUR sim", "AUR exec",
+               "CMR sim", "CMR exec", "retries s/x", "blk exec", "conc",
+               "bound"});
   for (const XvalRow& r : rows) {
-    table.add_row({r.regime, r.load_label,
+    table.add_row({std::to_string(r.cpus), r.regime, r.load_label,
                    std::to_string(r.jobs_sim) + "/" +
                        std::to_string(r.jobs_exec),
                    Table::num(r.aur_sim, 3), Table::num(r.aur_exec, 3),
@@ -184,6 +214,7 @@ int main(int argc, char** argv) {
                    std::to_string(r.retries_sim) + "/" +
                        std::to_string(r.retries_exec),
                    std::to_string(r.blockings_exec),
+                   std::to_string(r.max_conc),
                    r.bound_ok ? "ok" : "VIOLATED"});
   }
   table.print();
@@ -192,31 +223,46 @@ int main(int argc, char** argv) {
   bool ok = true;
   for (const XvalRow& r : rows) {
     if (r.jobs_sim != r.jobs_exec) {
-      std::cerr << "error: " << r.regime << "/" << r.load_label
-                << ": job populations differ (sim " << r.jobs_sim
-                << ", exec " << r.jobs_exec << ")\n";
+      std::cerr << "error: cpus=" << r.cpus << " " << r.regime << "/"
+                << r.load_label << ": job populations differ (sim "
+                << r.jobs_sim << ", exec " << r.jobs_exec << ")\n";
       ok = false;
     }
     if (!r.bound_ok) {
-      std::cerr << "error: " << r.regime << "/" << r.load_label
+      std::cerr << "error: cpus=" << r.cpus << " " << r.regime << "/"
+                << r.load_label
                 << ": executor retries exceed the Theorem 2 bound\n";
       ok = false;
     }
     if (r.load_label == "underload") {
       if (std::abs(r.aur_sim - r.aur_exec) > aur_tol) {
-        std::cerr << "error: " << r.regime
+        std::cerr << "error: cpus=" << r.cpus << " " << r.regime
                   << "/underload: |AUR_sim - AUR_exec| = "
                   << std::abs(r.aur_sim - r.aur_exec) << " > " << aur_tol
                   << "\n";
         ok = false;
       }
       if (std::abs(r.cmr_sim - r.cmr_exec) > aur_tol) {
-        std::cerr << "error: " << r.regime
+        std::cerr << "error: cpus=" << r.cpus << " " << r.regime
                   << "/underload: |CMR_sim - CMR_exec| = "
                   << std::abs(r.cmr_sim - r.cmr_exec) << " > " << aur_tol
                   << "\n";
         ok = false;
       }
+    }
+  }
+  // Every multi-CPU group must witness true overlap somewhere (the
+  // overload rows guarantee backlog, so this cannot flake on timing).
+  for (const int cpus : cpu_sweep) {
+    if (cpus < 2) continue;
+    int conc = 0;
+    for (const XvalRow& r : rows)
+      if (r.cpus == cpus) conc = std::max(conc, r.max_conc);
+    if (conc < 2) {
+      std::cerr << "error: cpus=" << cpus
+                << ": max_concurrency_observed never reached 2 — the "
+                   "M-worker mode serialized\n";
+      ok = false;
     }
   }
   std::cout << "\nunderload AUR/CMR tolerance " << aur_tol << ": "
@@ -227,8 +273,8 @@ int main(int argc, char** argv) {
      << aur_tol << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const XvalRow& r = rows[i];
-    os << "    {\"regime\": \"" << r.regime << "\", \"load\": \""
-       << r.load_label << "\", \"al\": " << r.load
+    os << "    {\"cpus\": " << r.cpus << ", \"regime\": \"" << r.regime
+       << "\", \"load\": \"" << r.load_label << "\", \"al\": " << r.load
        << ", \"jobs_sim\": " << r.jobs_sim
        << ", \"jobs_exec\": " << r.jobs_exec
        << ", \"aur_sim\": " << r.aur_sim
@@ -239,6 +285,7 @@ int main(int argc, char** argv) {
        << ", \"retries_exec\": " << r.retries_exec
        << ", \"blockings_exec\": " << r.blockings_exec
        << ", \"retry_total_bound\": " << r.retry_total_bound
+       << ", \"max_concurrency\": " << r.max_conc
        << ", \"bound_ok\": " << (r.bound_ok ? "true" : "false") << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }

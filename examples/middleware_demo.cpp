@@ -85,8 +85,10 @@ int main() {
     std::cout << "  track store: " << q->stats().contended_count() << "/"
               << q->stats().acquisition_count() << " contended acquires\n";
   }
-  std::cout << "\nThe executor serializes job bodies (cooperative "
-               "middleware scheduling), so both runs complete the burst; "
+  std::cout << "\nThe executor here runs one CPU slot (the paper's "
+               "uniprocessor model: job bodies serialize under "
+               "cooperative middleware scheduling), so both runs "
+               "complete the burst; "
                "the difference the paper quantifies appears in the "
                "object-access costs and, at RTOS scale, in the blocking "
                "chains the lock-based variant adds to every scheduling "

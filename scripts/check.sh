@@ -8,14 +8,20 @@
 #      guarantee (determinism_test), the shared-const-scheduler
 #      contract (concurrent_build_test), the lock-free structures
 #      (lockfree_test — their relaxed/acquire orderings must satisfy
-#      TSan), and executor abort storms (executor_storm_test),
+#      TSan, including the wide-payload value-slot path), executor
+#      abort storms (executor_storm_test, with parallel workers),
+#      the submit-vs-shutdown race (executor_shutdown_race_test), and
+#      the M-worker mode witnesses (executor_multicpu_test),
 #   3. -O2 build, tier-1 suite, and tiny sched_throughput +
 #      sim_throughput sweeps as bench smoke tests (the latter also
 #      re-checks serial-vs-parallel result identity in production).
 #
 # Stages 1 and 2 also run the cross-substrate validation bench
 # (ext_executor_validation --tiny): real executor runs under each
-# sanitizer, with the sim-vs-executor agreement assertions live.
+# sanitizer, with the sim-vs-executor agreement assertions live.  The
+# TSan stage runs it twice — once at cpu_count=1 and once at
+# cpu_count=4 — so races between genuinely overlapping workers cannot
+# regress silently.
 #
 # Usage: scripts/check.sh [jobs]      (default: nproc)
 set -euo pipefail
@@ -36,11 +42,15 @@ cmake -B build-tsan -S . -DLFRT_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j "$JOBS" \
       --target exp_test determinism_test concurrent_build_test \
-               lockfree_test executor_storm_test ext_executor_validation
+               lockfree_test executor_storm_test \
+               executor_shutdown_race_test executor_multicpu_test \
+               ext_executor_validation
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R '^(ExpThreadPool|ExpParallelMap|ExpSweep|ExpThreads|Determinism|ConcurrentBuild|MsQueue|TreiberStack|SpscRing|NodePool|TaggedRef|Sweep/AbaHammerTest|ExecutorStorm)\.'
-./build-tsan/bench/ext_executor_validation --tiny \
+      -R '^(ExpThreadPool|ExpParallelMap|ExpSweep|ExpThreads|Determinism|ConcurrentBuild|MsQueue|TreiberStack|SpscRing|NodePool|TaggedRef|Sweep/AbaHammerTest|ExecutorStorm|ExecutorShutdownRace|ExecutorMultiCpu)\.'
+./build-tsan/bench/ext_executor_validation --tiny --cpus=1 \
       --out build-tsan/BENCH_xval_smoke.json
+./build-tsan/bench/ext_executor_validation --tiny --cpus=4 \
+      --out build-tsan/BENCH_xval_smoke_cpu4.json
 
 echo "==> [3/3] optimized build + tests + bench smoke (build-o2/)"
 cmake -B build-o2 -S . -DCMAKE_BUILD_TYPE=Release >/dev/null

@@ -11,17 +11,31 @@
 // recycling (the ABA defence tests/lockfree_test.cpp hammers).
 //
 // That overlap makes the plain-data accesses a formal data race even
-// though the stale copy is never used.  For trivially copyable values
-// that fit a machine word (every payload the experiments use) the
-// helpers below perform the slot access as a *relaxed atomic* via
-// std::atomic_ref — the protocol becomes well-defined C++ and
-// ThreadSanitizer-clean with zero overhead on x86/ARM.  For larger or
-// non-trivially-copyable payloads the copy stays plain and is
-// un-instrumented via LFRT_NO_TSAN, the validate-after-read contract
-// standing in for what the type system cannot express.
+// though the stale copy is never used, so every slot access goes
+// through the helpers below as *relaxed atomics*:
+//
+//  - payloads that fit a machine word use one std::atomic_ref<T>
+//    load/store — zero overhead on x86/ARM;
+//  - wider payloads are copied byte-wise through
+//    std::atomic_ref<unsigned char>.  A reader racing a writer may
+//    assemble a *torn* value, but never undefined behaviour — and the
+//    contract below guarantees the torn value is discarded.
+//
+// Contract (what makes the torn read safe): callers must only *use* a
+// loaded value after a tag-checked CAS on the containing structure
+// succeeds against the TaggedRef observed *before* the load.  CAS
+// success proves the node was not recycled across the read window, so
+// no writer overlapped it (store_value_slot runs only on freshly
+// allocated nodes, before they are published) and the copy is whole.
+// On CAS failure the copy — torn or not — must be thrown away and the
+// operation retried.  The tag acts as the version counter of a seqlock,
+// with the structure's existing CAS standing in for the re-check.
+// T must be trivially copyable; there is no plain-copy fallback.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <type_traits>
 
@@ -33,18 +47,9 @@
 #endif
 #endif
 
-// noinline matters: if the fallback helper is inlined into an
-// instrumented caller, GCC instruments the inlined body and the
-// suppression is lost.
-#ifdef LFRT_TSAN_ACTIVE
-#define LFRT_NO_TSAN __attribute__((no_sanitize("thread"), noinline))
-#else
-#define LFRT_NO_TSAN
-#endif
-
 namespace lfrt::lockfree::detail {
 
-/// Word-sized trivially copyable payloads take the atomic path.
+/// Word-sized trivially copyable payloads take the single-atomic path.
 template <typename T>
 inline constexpr bool kAtomicValueSlot =
     std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(std::uint64_t) &&
@@ -52,22 +57,38 @@ inline constexpr bool kAtomicValueSlot =
 
 /// Publish a value into a (possibly observed-by-stale-readers) slot.
 template <typename T>
-LFRT_NO_TSAN void store_value_slot(T& slot, const T& v) {
+void store_value_slot(T& slot, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "value-slot payloads are copied bytewise under races; "
+                "only trivially copyable types are well-defined");
   if constexpr (kAtomicValueSlot<T>) {
     std::atomic_ref<T>(slot).store(v, std::memory_order_relaxed);
   } else {
-    slot = v;
+    const auto bytes = std::bit_cast<std::array<unsigned char, sizeof(T)>>(v);
+    auto* dst = reinterpret_cast<unsigned char*>(&slot);
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      std::atomic_ref<unsigned char>(dst[i]).store(bytes[i],
+                                                   std::memory_order_relaxed);
   }
 }
 
 /// Optimistic copy of a possibly-recycled node's value; the caller's
-/// tag-checked CAS discards stale copies.
+/// tag-checked CAS discards stale (possibly torn) copies — see the
+/// contract at the top of this header.
 template <typename T>
-LFRT_NO_TSAN T load_value_slot(T& slot) {
+T load_value_slot(T& slot) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "value-slot payloads are copied bytewise under races; "
+                "only trivially copyable types are well-defined");
   if constexpr (kAtomicValueSlot<T>) {
     return std::atomic_ref<T>(slot).load(std::memory_order_relaxed);
   } else {
-    return slot;
+    std::array<unsigned char, sizeof(T)> bytes;
+    auto* src = reinterpret_cast<unsigned char*>(&slot);
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      bytes[i] =
+          std::atomic_ref<unsigned char>(src[i]).load(std::memory_order_relaxed);
+    return std::bit_cast<T>(bytes);
   }
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "runtime/object_stats.hpp"
+#include "sched/dispatch.hpp"
 #include "sched/scheduler.hpp"
 #include "support/check.hpp"
 
@@ -19,7 +20,7 @@ using Clock = std::chrono::steady_clock;
 
 enum class RtState : std::uint8_t {
   kReady,      // submitted, waiting for its first dispatch
-  kRunning,    // the dispatched job (its worker owns the CPU)
+  kRunning,    // dispatched to a CPU slot (its worker owns that CPU)
   kPreempted,  // parked inside checkpoint()
   kAborting,   // abort requested; body will throw at its next checkpoint
   kCompleted,
@@ -36,6 +37,7 @@ struct Executor::Impl {
   struct JobRec;
 
   const sched::Scheduler* scheduler;
+  const int cpu_count;
   Clock::time_point epoch = Clock::now();
 
   std::mutex mu;
@@ -43,9 +45,17 @@ struct Executor::Impl {
   std::condition_variable worker_cv;   // wakes parked workers
   std::map<JobId, std::unique_ptr<JobRec>> jobs;
   JobId next_id = 0;
-  JobId dispatched = kNoJob;
+  // Per-CPU occupancy: running_on[c] is the job dispatched to CPU c
+  // (kNoJob = idle).  Invariant under mu: running_on[c] == id iff
+  // jobs.at(id)->cpu == c.
+  std::vector<JobId> running_on;
+  // Gauge of workers currently inside job bodies; feeds the report's
+  // max_concurrency_observed high-water mark.
+  int executing_now = 0;
   bool stopping = false;
   ExecutorReport report;
+  sched::DispatchSelector selector;
+  const std::vector<JobId> no_front;  // handlers run off-CPU, no front jobs
   std::thread sched_thread;
 
   struct JobRec final : public JobContext {
@@ -53,8 +63,10 @@ struct Executor::Impl {
     JobId jid = kNoJob;
     RtJob spec;
     RtState state = RtState::kReady;
+    int cpu = -1;            // CPU slot currently held, -1 = none
+    bool counted = false;    // inside the executing_now gauge
     Time ran_for = 0;        // accumulated execution time estimate input
-    Time last_dispatch = 0;  // when it last got the CPU
+    Time last_dispatch = 0;  // when it last got a CPU
     std::thread worker;
 
     /// The job's terminal record for the RunReport: arrival/critical
@@ -67,15 +79,20 @@ struct Executor::Impl {
     void checkpoint() override {
       std::unique_lock<std::mutex> lock(owner->mu);
       if (state == RtState::kAborting) throw JobAborted{};
-      if (owner->dispatched == jid) return;  // still ours: keep going
-      // Preempted: account the stint and park.
+      if (cpu >= 0) return;  // still dispatched: keep going
+      // Preempted: leave the concurrency gauge and park.  The worker
+      // never migrates and its thread-local access sink stays
+      // installed, so structure events after resumption still credit
+      // this job.
       state = RtState::kPreempted;
+      owner->leave_body(*this);
       owner->sched_cv.notify_all();
       owner->worker_cv.wait(lock, [&] {
-        return owner->dispatched == jid || state == RtState::kAborting;
+        return cpu >= 0 || state == RtState::kAborting;
       });
       if (state == RtState::kAborting) throw JobAborted{};
       state = RtState::kRunning;
+      owner->enter_body(*this);
     }
 
     bool aborted() const override {
@@ -86,7 +103,12 @@ struct Executor::Impl {
     JobId id() const override { return jid; }
   };
 
-  explicit Impl(const sched::Scheduler& sch) : scheduler(&sch) {
+  Impl(const sched::Scheduler& sch, ExecutorConfig cfg)
+      : scheduler(&sch), cpu_count(cfg.cpu_count) {
+    LFRT_CHECK_MSG(cpu_count >= 1, "ExecutorConfig::cpu_count must be >= 1");
+    running_on.assign(static_cast<std::size_t>(cpu_count), kNoJob);
+    report.cpu_count = cpu_count;
+    report.cpu_busy.assign(static_cast<std::size_t>(cpu_count), 0);
     sched_thread = std::thread([this] { scheduler_loop(); });
   }
 
@@ -96,11 +118,43 @@ struct Executor::Impl {
         .count();
   }
 
+  // --- helpers; all require mu held ---
+
+  void enter_body(JobRec& r) {
+    r.counted = true;
+    ++executing_now;
+    report.max_concurrency_observed =
+        std::max(report.max_concurrency_observed, executing_now);
+  }
+
+  // Idempotent: the abort path may leave before the handler runs and
+  // the terminal path leaves unconditionally.
+  void leave_body(JobRec& r) {
+    if (!r.counted) return;
+    r.counted = false;
+    --executing_now;
+  }
+
+  // Releases the job's CPU slot (if any) and accounts the stint, both
+  // into the job's execution time and the per-CPU busy tally.
+  void vacate_cpu(JobRec& r, Time t) {
+    if (r.cpu < 0) return;
+    const auto c = static_cast<std::size_t>(r.cpu);
+    r.ran_for += t - r.last_dispatch;
+    report.cpu_busy[c] += t - r.last_dispatch;
+    running_on[c] = kNoJob;
+    r.cpu = -1;
+  }
+
   JobId submit(RtJob job) {
     LFRT_CHECK_MSG(job.tuf != nullptr, "job needs a TUF");
     LFRT_CHECK_MSG(job.body != nullptr, "job needs a body");
     LFRT_CHECK_MSG(job.expected_exec > 0, "job needs an execution estimate");
     std::unique_lock<std::mutex> lock(mu);
+    // Reject instead of racing the drain: once shutdown has begun the
+    // scheduling thread may already be gone, so an accepted job could
+    // never be dispatched and counted_jobs == submitted would break.
+    if (stopping) return kNoJob;
     const JobId id = next_id++;
     auto rec = std::make_unique<JobRec>();
     JobRec* r = rec.get();
@@ -124,14 +178,20 @@ struct Executor::Impl {
       // Wait for the first dispatch (or an abort before ever running).
       std::unique_lock<std::mutex> lock(mu);
       worker_cv.wait(lock, [&] {
-        return dispatched == r->jid || r->state == RtState::kAborting;
+        return r->cpu >= 0 || r->state == RtState::kAborting;
       });
-      if (r->state != RtState::kAborting) r->state = RtState::kRunning;
+      if (r->state != RtState::kAborting) {
+        r->state = RtState::kRunning;
+        enter_body(*r);
+      }
     }
     bool completed = false;
     {
       // Structure-level retry/contention events on this thread credit
       // the job's own counters — per-job f_i from real CAS failures.
+      // One sink covers body and abort handler: both run here, and this
+      // thread runs nothing else, so credits cannot leak across jobs no
+      // matter how many workers are inside a structure at once.
       runtime::ScopedAccessSink sink(&r->acct.retries, &r->acct.blockings);
       try {
         {
@@ -141,10 +201,17 @@ struct Executor::Impl {
         r->spec.body(*r);
         completed = true;
       } catch (const JobAborted&) {
+        {
+          // The handler runs off-CPU: it is compensation, not body
+          // execution, so it leaves the concurrency gauge first.
+          std::lock_guard<std::mutex> lock(mu);
+          leave_body(*r);
+        }
         if (r->spec.abort_handler) r->spec.abort_handler();
       }
     }
     std::unique_lock<std::mutex> lock(mu);
+    leave_body(*r);
     if (completed) {
       r->state = RtState::kCompleted;
       r->acct.state = JobState::kCompleted;
@@ -157,9 +224,8 @@ struct Executor::Impl {
       r->acct.state = JobState::kAborted;
       ++report.aborted;
     }
-    if (dispatched == r->jid) r->ran_for += now() - r->last_dispatch;
+    vacate_cpu(*r, now());
     r->acct.exec_actual = r->ran_for;
-    if (dispatched == r->jid) dispatched = kNoJob;
     sched_cv.notify_all();
   }
 
@@ -178,10 +244,7 @@ struct Executor::Impl {
         if (terminal(r->state) || r->state == RtState::kAborting) continue;
         if (t >= r->acct.critical_abs) {
           r->state = RtState::kAborting;
-          if (dispatched == id) {
-            r->ran_for += t - r->last_dispatch;
-            dispatched = kNoJob;
-          }
+          vacate_cpu(*r, t);
           worker_cv.notify_all();  // parked workers observe and throw
         }
       }
@@ -195,7 +258,7 @@ struct Executor::Impl {
         sj.arrival = r->acct.arrival;
         sj.critical = r->acct.critical_abs;
         Time elapsed = r->ran_for;
-        if (dispatched == id) elapsed += t - r->last_dispatch;
+        if (r->cpu >= 0) elapsed += t - r->last_dispatch;
         sj.remaining = std::max<Time>(1, r->spec.expected_exec - elapsed);
         sj.tuf = r->spec.tuf.get();
         view.push_back(sj);
@@ -206,27 +269,46 @@ struct Executor::Impl {
       scheduler->build_into(view, t, ws.get(), res);
       ++report.sched_invocations;
       report.sched_ops += res.ops;
-      if (res.dispatch != dispatched) {
-        // Account the descheduled job's stint (a preemption if it is
-        // still unfinished).
-        if (dispatched != kNoJob) {
-          auto it = jobs.find(dispatched);
-          if (it != jobs.end()) {
-            JobRec& prev = *it->second;
-            prev.ran_for += t - prev.last_dispatch;
-            if (!terminal(prev.state) && prev.state != RtState::kAborting) {
-              ++prev.acct.preemptions;
-              ++report.total_preemptions;
-            }
+
+      // Top-M target selection + sticky assignment: the exact rule the
+      // simulator's cpu_count > 1 path applies (sched/dispatch.hpp).
+      const auto& targets = selector.select(
+          no_front, res, cpu_count, static_cast<std::size_t>(next_id),
+          [&](JobId id) {
+            const auto it = jobs.find(id);
+            if (it == jobs.end()) return false;
+            const RtState s = it->second->state;
+            return !terminal(s) && s != RtState::kAborting;
+          });
+      const auto& next = selector.assign_sticky(
+          targets, cpu_count, [&](JobId id) { return jobs.at(id)->cpu; });
+
+      bool changed = false;
+      for (int c = 0; c < cpu_count; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        const JobId prev = running_on[ci];
+        const JobId target = next[ci];
+        if (prev == target) continue;
+        changed = true;
+        if (prev != kNoJob) {
+          // Deschedule: account the stint (a preemption if the job is
+          // still unfinished).
+          JobRec& p = *jobs.at(prev);
+          vacate_cpu(p, t);
+          if (!terminal(p.state) && p.state != RtState::kAborting) {
+            ++p.acct.preemptions;
+            ++report.total_preemptions;
           }
         }
-        dispatched = res.dispatch;
-        if (dispatched != kNoJob) {
-          jobs.at(dispatched)->last_dispatch = t;
+        if (target != kNoJob) {
+          JobRec& n = *jobs.at(target);
+          n.cpu = c;
+          n.last_dispatch = t;
+          running_on[ci] = target;
           ++report.dispatches;
         }
-        worker_cv.notify_all();
       }
+      if (changed) worker_cv.notify_all();
 
       // Sleep until the next critical time (abort timer) or any event.
       Time next_expiry = kTimeNever;
@@ -253,17 +335,20 @@ struct Executor::Impl {
   }
 
   ExecutorReport shutdown() {
-    drain();
     {
+      // Close the door first: submissions from here on are rejected
+      // (submit returns kNoJob), so the drain below is over a frozen
+      // job population and counted_jobs == submitted holds.
       std::lock_guard<std::mutex> lock(mu);
       stopping = true;
       sched_cv.notify_all();
     }
+    drain();
     sched_thread.join();
     for (auto& [id, r] : jobs)
       if (r->worker.joinable()) r->worker.join();
     std::lock_guard<std::mutex> lock(mu);
-    // Assemble the shared RunReport view: every submitted job reached a
+    // Assemble the shared RunReport view: every accepted job reached a
     // terminal state (drain above), so all of them are counted.
     report.counted_jobs = report.submitted;
     report.jobs.clear();
@@ -278,8 +363,8 @@ struct Executor::Impl {
   }
 };
 
-Executor::Executor(const sched::Scheduler& scheduler)
-    : impl_(std::make_unique<Impl>(scheduler)) {}
+Executor::Executor(const sched::Scheduler& scheduler, ExecutorConfig config)
+    : impl_(std::make_unique<Impl>(scheduler, config)) {}
 
 Executor::~Executor() {
   if (impl_ && impl_->sched_thread.joinable()) (void)impl_->shutdown();

@@ -12,6 +12,14 @@
 // job's abort handler runs, and the job accrues zero utility
 // (Section 3.5's abort model, for real).
 //
+// Abort delivery is checkpoint-only: expiry merely *marks* the job,
+// and the mark takes effect at the body's next checkpoint.  A body
+// that returns before reaching another checkpoint therefore completes
+// normally — late, accruing whatever its TUF yields at that sojourn
+// (zero past the critical time) — exactly like a checkpoint-free
+// body, which can never be aborted at all.  Abort handlers only ever
+// run for bodies that were actually interrupted mid-flight.
+//
 // Bodies may share objects through the lock-free or lock-based
 // structures in src/lockfree and src/lockbased; retry/contention
 // statistics come from those structures.
@@ -21,6 +29,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "runtime/run_report.hpp"
 #include "support/time.hpp"
@@ -74,40 +83,92 @@ struct RtJob {
   std::function<void()> abort_handler;
 };
 
+/// Executor construction parameters.
+struct ExecutorConfig {
+  /// Number of CPU slots the dispatcher fills: up to cpu_count job
+  /// bodies execute *concurrently*, chosen by the same top-M
+  /// target-selection rule the simulator's cpu_count > 1 path applies
+  /// (sched::DispatchSelector over one global schedule).  1 reproduces
+  /// the paper's uniprocessor model — lock-free retries then come only
+  /// from cooperative preemption; with M > 1 they also come from true
+  /// parallelism (the paper's "multiprocessor systems" future-work
+  /// direction).
+  int cpu_count = 1;
+};
+
 /// Aggregate outcome of an Executor run.  The shared job-lifecycle
 /// accounting (AUR/CMR, per-job terminal records with real-clock
 /// sojourns, retry/blocking tallies plumbed from the shared structures
 /// via runtime::ScopedAccessSink, per-task breakdowns) lives in
 /// runtime::RunReport — the same shape sim::SimReport extends, so the
 /// two substrates cross-validate (bench/ext_executor_validation).
-/// counted_jobs == submitted: shutdown() drains every job to a terminal
-/// state.
+/// counted_jobs == submitted: shutdown() drains every accepted job to a
+/// terminal state (submissions rejected during shutdown are not
+/// counted).
 struct ExecutorReport : runtime::RunReport {
   std::int64_t submitted = 0;
+
+  /// CPU slots the dispatcher filled (ExecutorConfig::cpu_count).
+  int cpu_count = 1;
+
+  /// Wall-clock ns each CPU slot spent occupied by a dispatched job,
+  /// indexed by CPU — the executor-side analogue of the simulator's
+  /// per-CPU execution slices.
+  std::vector<Time> cpu_busy;
+
+  /// High-water mark of worker threads simultaneously executing job
+  /// bodies (abort handlers excluded).  The witness that a multi-CPU
+  /// run really overlapped: >= 2 means lock-free conflicts could arise
+  /// from true parallelism, not just preemption.  May transiently
+  /// exceed cpu_count: a descheduled body keeps executing until its
+  /// next checkpoint while its replacement starts (the cooperative
+  /// model's preemption latency).
+  int max_concurrency_observed = 0;
 };
 
 /// Middleware UA scheduler over real threads.
 ///
-/// Thread model: one scheduling thread plus one worker per in-flight
-/// job; exactly one worker executes at a time (the dispatched one), so
-/// execution is serialized the way a uniprocessor RTOS would — which is
-/// also what makes runs reproducible enough to test.
+/// Thread model: one scheduling thread, one worker thread per job, and
+/// M = ExecutorConfig::cpu_count CPU slots.  The scheduling thread
+/// computes one global schedule at every scheduling event and dispatches
+/// its top M eligible jobs (the simulator's multi-CPU rule, shared via
+/// sched::DispatchSelector); each dispatched job's worker executes its
+/// body while the others park inside checkpoint().  With the default
+/// cpu_count = 1 exactly one body executes at a time — the paper's
+/// uniprocessor model, where lock-free interference comes only from
+/// cooperative preemption.  With cpu_count > 1 up to M bodies overlap
+/// for real, so retry counts include true-parallelism conflicts; the
+/// paper's uniprocessor-only results (Theorem 2's derivation, Theorem
+/// 3's tradeoff, Lemmas 4/5) are validated at cpu_count = 1 and merely
+/// *measured* beyond it.
+///
+/// Retry/blocking attribution: every job's body and abort handler run
+/// on that job's own worker thread, whose thread-local
+/// runtime::ScopedAccessSink is installed once around both; a preempted
+/// worker parks but never migrates, so structure events always credit
+/// the job that performed them even when several workers are inside the
+/// same structure simultaneously.
 class Executor {
  public:
   /// `scheduler` must outlive the executor.
-  explicit Executor(const sched::Scheduler& scheduler);
+  explicit Executor(const sched::Scheduler& scheduler,
+                    ExecutorConfig config = {});
   ~Executor();
 
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
-  /// Submit a job; its arrival is "now".  Thread-safe.
+  /// Submit a job; its arrival is "now".  Thread-safe.  Returns kNoJob
+  /// if the executor is already shutting down: the job is rejected
+  /// explicitly (not counted, body never runs) rather than racing the
+  /// drain — see tests/executor_shutdown_race_test.cpp.
   JobId submit(RtJob job);
 
   /// Block until every submitted job has completed or aborted.
   void drain();
 
-  /// Drain, stop the scheduling thread, and return the tallies.
+  /// Stop accepting submissions, drain, stop the scheduling thread, and
+  /// return the tallies.
   ExecutorReport shutdown();
 
  private:

@@ -142,7 +142,7 @@ rt::ExecutorReport run_on_executor(const TaskSet& ts,
                      return a.at != b.at ? a.at < b.at : a.task < b.task;
                    });
 
-  rt::Executor ex(scheduler);
+  rt::Executor ex(scheduler, rt::ExecutorConfig{cfg.cpu_count});
   const auto epoch = Clock::now();
   for (const Arrival& a : tape) {
     std::this_thread::sleep_until(epoch + std::chrono::nanoseconds(a.at));

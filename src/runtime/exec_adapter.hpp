@@ -41,6 +41,12 @@ struct ExecConfig {
 
   ObjectKind objects = ObjectKind::kLockFree;
 
+  /// CPU slots the executor dispatches to (rt::ExecutorConfig): 1 is
+  /// the paper's uniprocessor model; > 1 runs up to that many job
+  /// bodies in true parallel.  Match the simulator's SimConfig
+  /// cpu_count when cross-validating.
+  int cpu_count = 1;
+
   /// Arrival seeding, mirroring bench::make_cell_sim: per-task RNG
   /// seeded with `arrival_seed ^ (0xA5A5A5A5 * (id + 1))`, trace from
   /// arrivals::periodic_phased (or random_conformant when !periodic).

@@ -1,0 +1,115 @@
+// Multiprocessor dispatch selection shared by the simulator and the
+// real-threads executor.
+//
+// Both substrates run ONE global scheduler (Scheduler::build_into) and
+// then choose which jobs of the resulting schedule occupy the M CPUs.
+// The selection rule — the schedule's eligible jobs in order, behind any
+// must-run-now jobs (abort handlers) and the scheduler's own dispatch
+// nomination — and the sticky CPU assignment that keeps already-running
+// jobs on their CPU both live here, so sim::Simulator (cpu_count > 1)
+// and rt::Executor (ExecutorConfig::cpu_count) dispatch identically and
+// the cross-substrate validation (bench/ext_executor_validation)
+// compares like with like.
+//
+// A DispatchSelector is reusable scratch, exactly like a
+// Scheduler::Workspace: one instance per dispatching loop, never shared
+// between threads, steady-state allocation-free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "support/check.hpp"
+#include "task/task.hpp"
+
+namespace lfrt::sched {
+
+class DispatchSelector {
+ public:
+  /// Pre-size the membership stamps for `n` job ids (optional; the
+  /// stamps grow on demand).
+  void reserve(std::size_t n) { stamp_.reserve(n); }
+
+  /// Top-M selection: fill up to `cpu_count` dispatch targets from
+  /// `front` (jobs that must run now regardless of the schedule — the
+  /// simulator's abort handlers; empty for the executor, whose handlers
+  /// run off-CPU), then the scheduler's own dispatch choice (which may
+  /// differ from the first runnable schedule entry — e.g. EDF+PIP
+  /// dispatches a lock *holder* on behalf of the blocked head), then
+  /// the schedule's entries in order.  Entries are deduplicated in O(1)
+  /// via generation stamps and filtered by `eligible(id)` (front jobs
+  /// are the caller's to vet).  Ids must be < `id_limit`.
+  template <typename Eligible>
+  const std::vector<JobId>& select(const std::vector<JobId>& front,
+                                   const ScheduleResult& res, int cpu_count,
+                                   std::size_t id_limit,
+                                   Eligible&& eligible) {
+    targets_.clear();
+    if (stamp_.size() < id_limit) stamp_.resize(id_limit, 0);
+    ++gen_;
+    const auto full = [&] {
+      return static_cast<int>(targets_.size()) >= cpu_count;
+    };
+    const auto push = [&](JobId id) {
+      stamp_[static_cast<std::size_t>(id)] = gen_;
+      targets_.push_back(id);
+    };
+    const auto in_range = [&](JobId id) {
+      return id >= 0 && static_cast<std::size_t>(id) < id_limit;
+    };
+    for (JobId id : front) {
+      if (full()) break;
+      push(id);
+    }
+    if (!full() && in_range(res.dispatch) &&
+        stamp_[static_cast<std::size_t>(res.dispatch)] != gen_ &&
+        eligible(res.dispatch)) {
+      push(res.dispatch);
+    }
+    for (JobId id : res.schedule) {
+      if (full()) break;
+      if (!in_range(id)) continue;
+      if (stamp_[static_cast<std::size_t>(id)] == gen_) continue;
+      if (!eligible(id)) continue;
+      push(id);
+    }
+    return targets_;
+  }
+
+  /// Sticky CPU assignment over the last selection: targets keep the
+  /// CPU they already occupy (`cpu_of(id)` >= 0), newcomers fill the
+  /// freed slots in selection order.  Returns the per-CPU next
+  /// occupancy (kNoJob = idle), valid until the next call.
+  template <typename CpuOf>
+  const std::vector<JobId>& assign_sticky(const std::vector<JobId>& targets,
+                                          int cpu_count, CpuOf&& cpu_of) {
+    next_.assign(static_cast<std::size_t>(cpu_count), kNoJob);
+    newcomers_.clear();
+    for (JobId id : targets) {
+      const int c = cpu_of(id);
+      if (c >= 0)
+        next_[static_cast<std::size_t>(c)] = id;
+      else
+        newcomers_.push_back(id);
+    }
+    std::size_t fill = 0;
+    for (JobId id : newcomers_) {
+      while (fill < next_.size() && next_[fill] != kNoJob) ++fill;
+      LFRT_CHECK(fill < next_.size());
+      next_[fill] = id;
+    }
+    return next_;
+  }
+
+ private:
+  std::vector<JobId> targets_;
+  std::vector<JobId> next_;
+  std::vector<JobId> newcomers_;
+  // Membership stamps: stamp_[id] == gen_ iff id is already in
+  // targets_ this selection — O(1) dedup without a per-entry scan.
+  std::vector<std::int64_t> stamp_;
+  std::int64_t gen_ = 0;
+};
+
+}  // namespace lfrt::sched

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "sched/dispatch.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "uam/uam.hpp"
@@ -106,14 +107,9 @@ struct Simulator::Impl {
   sched::ScheduleResult sched_result;
   std::vector<sched::SchedJob> view_scratch;
   std::vector<JobId> aborting_scratch;
-  std::vector<JobId> targets_scratch;
-  std::vector<JobId> next_scratch;
-  std::vector<JobId> newcomers_scratch;
-  // Dispatch-target membership stamps: target_stamp[id] == target_gen
-  // iff id is already in targets_scratch this reschedule — an O(1)
-  // replacement for scanning targets_scratch per schedule entry.
-  std::vector<std::int64_t> target_stamp;
-  std::int64_t target_gen = 0;
+  // Top-M target selection + sticky CPU assignment, shared with
+  // rt::Executor so both substrates dispatch identically.
+  sched::DispatchSelector selector;
   std::ostringstream trace_os;  // reused trace formatting buffer
 
   Impl(TaskSet ts, const sched::Scheduler& sch, SimConfig c)
@@ -368,38 +364,14 @@ struct Simulator::Impl {
       return;
     }
 
-    // Select up to cpu_count jobs: abort handlers first, then the
-    // scheduler's own dispatch choice (which may differ from the first
-    // runnable schedule entry — e.g. EDF+PIP dispatches a lock *holder*
-    // on behalf of the blocked head), then the schedule's runnable jobs
-    // in order.
-    auto& targets = targets_scratch;
-    targets.clear();
-    ++target_gen;  // invalidates every stamp from earlier reschedules
-    const auto push_target = [&](JobId id) {
-      target_stamp[static_cast<std::size_t>(id)] = target_gen;
-      targets.push_back(id);
-    };
-    for (JobId id : aborting) {
-      if (static_cast<int>(targets.size()) >= cfg.cpu_count) break;
-      push_target(id);
-    }
-    if (res.dispatch != kNoJob && valid(res.dispatch) &&
-        static_cast<int>(targets.size()) < cfg.cpu_count) {
-      const Job& dj = job(res.dispatch);
-      if (dj.state == JobState::kReady || dj.state == JobState::kRunning)
-        push_target(res.dispatch);
-    }
-    for (JobId id : res.schedule) {
-      if (static_cast<int>(targets.size()) >= cfg.cpu_count) break;
-      if (!valid(id)) continue;
-      const Job& j = job(id);
-      if (j.state != JobState::kReady && j.state != JobState::kRunning)
-        continue;
-      if (target_stamp[static_cast<std::size_t>(id)] == target_gen)
-        continue;  // O(1) dedup, replacing the linear targets scan
-      push_target(id);
-    }
+    // Top-M selection (shared with the executor): abort handlers first,
+    // then the scheduler's dispatch choice, then the schedule's
+    // runnable jobs in order.
+    const auto& targets = selector.select(
+        aborting, res, cfg.cpu_count, jobs.size(), [&](JobId id) {
+          const JobState s = job(id).state;
+          return s == JobState::kReady || s == JobState::kRunning;
+        });
 
     dispatch(targets, overhead);
   }
@@ -407,23 +379,8 @@ struct Simulator::Impl {
   void dispatch(const std::vector<JobId>& targets, Time overhead) {
     // Sticky assignment: keep selected jobs on their current CPUs, fill
     // newcomers into the freed ones.
-    auto& next = next_scratch;
-    next.assign(static_cast<std::size_t>(cfg.cpu_count), kNoJob);
-    auto& newcomers = newcomers_scratch;
-    newcomers.clear();
-    for (JobId id : targets) {
-      const int c = cpu_of(id);
-      if (c >= 0)
-        next[static_cast<std::size_t>(c)] = id;
-      else
-        newcomers.push_back(id);
-    }
-    std::size_t fill = 0;
-    for (JobId id : newcomers) {
-      while (fill < next.size() && next[fill] != kNoJob) ++fill;
-      LFRT_CHECK(fill < next.size());
-      next[fill] = id;
-    }
+    const auto& next = selector.assign_sticky(
+        targets, cfg.cpu_count, [&](JobId id) { return cpu_of(id); });
 
     cpu_free_at = std::max(cpu_free_at, now) + overhead;
 
@@ -477,7 +434,6 @@ struct Simulator::Impl {
     LFRT_CHECK(j.id == static_cast<JobId>(jobs.size()));
     jobs.push_back(j);
     job_cpu.push_back(-1);
-    target_stamp.push_back(0);
     reschedule();
   }
 
@@ -754,7 +710,7 @@ struct Simulator::Impl {
     // run (and the parallel index vectors with it).
     jobs.reserve(total_arrivals);
     job_cpu.reserve(total_arrivals);
-    target_stamp.reserve(total_arrivals);
+    selector.reserve(total_arrivals);
 
     while (!q.empty()) {
       const Event e = q.top();

@@ -71,13 +71,13 @@ void check_no_leaked_nodes(lockfree::MsQueue<int>& q, std::size_t capacity) {
   }
 }
 
-TEST(ExecutorStorm, LockFreeAbortMidAccessLeaksNothing) {
+void run_lockfree_abort_storm(int cpu_count) {
   constexpr std::size_t kCapacity = 64;
   auto q = std::make_shared<lockfree::MsQueue<int>>(kCapacity);
   const sched::RuaScheduler rua(sched::Sharing::kLockFree);
   rt::ExecutorReport rep;
   {
-    rt::Executor ex(rua);
+    rt::Executor ex(rua, rt::ExecutorConfig{cpu_count});
     for (int i = 0; i < 24; ++i) {
       rt::RtJob job;
       const bool doomed = (i % 2 == 0);
@@ -109,8 +109,21 @@ TEST(ExecutorStorm, LockFreeAbortMidAccessLeaksNothing) {
   EXPECT_EQ(rep.submitted, 24);
   EXPECT_GT(rep.aborted, 0) << "storm failed to abort anything";
   EXPECT_GT(rep.completed, 0) << "storm aborted everything";
+  EXPECT_EQ(rep.cpu_count, cpu_count);
+  ASSERT_EQ(static_cast<int>(rep.cpu_busy.size()), cpu_count);
   check_report_consistency(rep);
   check_no_leaked_nodes(*q, kCapacity);
+}
+
+TEST(ExecutorStorm, LockFreeAbortMidAccessLeaksNothing) {
+  run_lockfree_abort_storm(1);
+}
+
+// The same storm with four workers genuinely overlapping: aborts,
+// compensation, and pool recycling must stay leak-free when lock-free
+// conflicts come from true parallelism, not just preemption.
+TEST(ExecutorStorm, LockFreeAbortStormWithParallelWorkers) {
+  run_lockfree_abort_storm(4);
 }
 
 TEST(ExecutorStorm, LockBasedAbortMidAccessStaysConsistent) {
@@ -187,6 +200,64 @@ TEST(ExecutorStorm, AccessRegionsWithoutCheckpointsFinishBeforeAbort) {
   EXPECT_TRUE(q->empty());
   EXPECT_GT(started.load(), 0);
   EXPECT_EQ(balanced.load(), started.load());
+}
+
+/// With several workers inside the same lock-free queue simultaneously
+/// (plus cooperative preemptions parking workers mid-access), every
+/// structure-level retry must be credited to exactly the job that
+/// performed it: the per-job sums must equal the structure's own
+/// counter to the event.  A mis-placed ScopedAccessSink re-install —
+/// e.g. dropping the sink across a park/resume — would break the
+/// equality, since the queue is touched by no thread without a sink.
+TEST(ExecutorStorm, ParallelWorkersCreditRetriesToOwnJobs) {
+  constexpr int kJobs = 6;
+  constexpr int kCpus = 2;
+  auto q = std::make_shared<lockfree::MsQueue<int>>(256);
+  const sched::RuaScheduler rua(sched::Sharing::kLockFree);
+  std::atomic<int> in_body{0};
+  std::atomic<int> peak{0};
+  rt::ExecutorReport rep;
+  {
+    rt::Executor ex(rua, rt::ExecutorConfig{kCpus});
+    for (int i = 0; i < kJobs; ++i) {
+      rt::RtJob job;
+      job.tuf = make_step_tuf(10.0 + i, sec(20));  // generous: no aborts
+      job.expected_exec = msec(1);
+      job.body = [q, &in_body, &peak, i](rt::JobContext& ctx) {
+        const int level = in_body.fetch_add(1) + 1;
+        int p = peak.load();
+        while (p < level && !peak.compare_exchange_weak(p, level)) {
+        }
+        // Rendezvous: hold until two bodies have overlapped, so the
+        // hammer below is guaranteed to contend across real threads.
+        // With kCpus >= 2 and every job ready, the dispatcher fills
+        // both slots, so this terminates deterministically.
+        while (peak.load() < 2) {
+          ctx.checkpoint();
+          std::this_thread::yield();
+        }
+        for (int k = 0; k < 2000; ++k) {
+          while (!q->enqueue(i)) std::this_thread::yield();
+          // A preemption/abort point in the middle of the access pair:
+          // a parked worker must keep its credits on resume.
+          if (k % 64 == 0) ctx.checkpoint();
+          while (!q->dequeue()) std::this_thread::yield();
+        }
+        in_body.fetch_sub(1);
+      };
+      ex.submit(std::move(job));
+    }
+    rep = ex.shutdown();
+  }
+  EXPECT_EQ(rep.completed, kJobs);
+  EXPECT_EQ(rep.cpu_count, kCpus);
+  EXPECT_GE(rep.max_concurrency_observed, 2);
+  EXPECT_GE(peak.load(), 2);
+  check_report_consistency(rep);
+  // The attribution invariant: per-job credited retries add up to
+  // exactly what the structure itself recorded.
+  EXPECT_EQ(rep.total_retries, q->stats().retry_count());
+  EXPECT_TRUE(q->empty());
 }
 
 }  // namespace
