@@ -7,7 +7,12 @@
 // arrival traces (runtime::make_arrival_traces mirrors make_cell_sim's
 // seeding), run once through sim::Simulator and once through
 // rt::Executor via the runtime::run_on_executor adapter, under both the
-// lock-free and lock-based sharing regimes, in underload and overload.
+// lock-free and lock-based implementations of a chosen object *kind*
+// (queue by default; --objects= selects stack, buffer, or snapshot —
+// both substrates lower the same per-object ObjectSpec universe), in
+// underload and overload.  The simulator's access times s and r are
+// *calibrated*: measured on this host by the fig08 access-time
+// machinery via runtime::calibrate, not order-of-magnitude constants.
 //
 // Assertions (exit 1 on violation):
 //   * both substrates score the same job population (same counting rule
@@ -15,9 +20,16 @@
 //   * underload: |AUR_sim - AUR_exec| and |CMR_sim - CMR_exec| within
 //     tolerance — the substrates must agree where the analysis says
 //     everything completes,
-//   * lock-free regimes: executor per-task worst-case retries and the
-//     total stay under Theorem 2's bound (the bound holds for *real*
-//     CAS failures, not just modelled ones).
+//   * queue kind, lock-free impl: executor per-task worst-case retries
+//     and the total stay under Theorem 2's bound (the bound holds for
+//     *real* CAS failures, not just modelled ones).  Other kinds report
+//     retries without enforcing the bound: NBW/snapshot readers spin
+//     while a writer is mid-flight, a retry class outside the theorem's
+//     CAS model,
+//   * every executor report's contention heatmap has objects × tasks
+//     cells whose retry/blocking sums equal the run's per-job totals
+//     (the attribution invariant), and round-trips bit-exactly through
+//     runtime::to_json / from_json.
 //
 // Overload rows are reported (the substrates shed differently — the
 // executor pays real scheduling latency) but only sanity-checked.
@@ -30,10 +42,16 @@
 // group, or the "parallel" mode silently serialized.
 //
 // Usage: ext_executor_validation [--tiny] [--cpus=N] [--threads=N]
-//                                [--out FILE]
-//   --tiny   smoke mode for check.sh/CI: short horizons, loose tolerance
-//   --cpus=N restrict the sweep to one cpu_count (smoke runs)
-//   --out    JSON output path (default BENCH_xval.json in the cwd)
+//                                [--objects=KIND] [--out FILE]
+//                                [--report-out FILE]
+//   --tiny        smoke mode for check.sh/CI: short horizons, loose
+//                 tolerance, fewer calibration samples
+//   --cpus=N      restrict the sweep to one cpu_count (smoke runs)
+//   --objects=K   object kind: queue (default) | stack | buffer |
+//                 snapshot
+//   --out         JSON row output (default BENCH_xval.json in the cwd)
+//   --report-out  full RunReport JSON of one executor run, heatmap
+//                 included (default BENCH_xval_report.json)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -44,7 +62,9 @@
 
 #include "analysis/bounds.hpp"
 #include "common.hpp"
+#include "runtime/calibrate.hpp"
 #include "runtime/exec_adapter.hpp"
+#include "runtime/report_json.hpp"
 
 namespace {
 
@@ -62,19 +82,62 @@ struct XvalRow {
   double cmr_sim = 0.0, cmr_exec = 0.0;
   std::int64_t retries_sim = 0, retries_exec = 0;
   std::int64_t blockings_exec = 0;
-  std::int64_t retry_total_bound = 0;  // sum of Theorem 2 bounds (LF only)
+  std::int64_t retry_total_bound = 0;  // sum of Theorem 2 bounds (queue/LF)
   bool bound_ok = true;
+  bool heat_ok = true;    // heatmap dims + attribution sums + round-trip
+  std::string exec_json;  // serialized executor report (heatmap payload)
 };
 
+/// Heatmap witnesses on one executor report: dimensions match the
+/// universe, the matrix's retry/blocking sums equal the run totals
+/// (every event was attributed to a cell), and the whole report —
+/// matrix included — survives a JSON round trip bit-exactly.
+bool check_heatmap(const rt::ExecutorReport& rep, std::int32_t objects,
+                   std::int32_t tasks, std::string* json_out) {
+  bool ok = true;
+  const runtime::ContentionMatrix& m = rep.contention;
+  if (m.objects != objects || m.tasks != tasks ||
+      m.cells.size() != static_cast<std::size_t>(objects) *
+                            static_cast<std::size_t>(tasks)) {
+    std::cerr << "error: heatmap dims " << m.objects << "x" << m.tasks
+              << " != universe " << objects << "x" << tasks << "\n";
+    ok = false;
+  }
+  const runtime::ContentionCell totals = m.totals();
+  if (totals.retries != rep.total_retries) {
+    std::cerr << "error: heatmap retries " << totals.retries
+              << " != report total " << rep.total_retries << "\n";
+    ok = false;
+  }
+  if (totals.blockings != rep.total_blockings) {
+    std::cerr << "error: heatmap blockings " << totals.blockings
+              << " != report total " << rep.total_blockings << "\n";
+    ok = false;
+  }
+  *json_out = runtime::to_json(rep);
+  const runtime::RunReport back = runtime::from_json(*json_out);
+  if (back.contention != rep.contention ||
+      back.total_retries != rep.total_retries ||
+      back.jobs.size() != rep.jobs.size() ||
+      back.accrued_utility != rep.accrued_utility) {
+    std::cerr << "error: report JSON round-trip mismatch\n";
+    ok = false;
+  }
+  return ok;
+}
+
 /// One matched pair of runs: identical task set, identical arrival
-/// traces, same scheduler flavour on both substrates.
-XvalRow run_pair(const workload::WorkloadSpec& spec, runtime::ObjectKind kind,
+/// traces, identical ObjectSpec universe, same scheduler flavour on
+/// both substrates.
+XvalRow run_pair(const workload::WorkloadSpec& spec,
+                 runtime::ObjectKind kind, runtime::ObjectImpl impl,
                  const char* load_label, int cpus, int windows,
-                 std::uint64_t arrival_seed) {
+                 std::uint64_t arrival_seed, Time s_time, Time r_time) {
   const TaskSet ts = workload::make_task_set(spec);
-  const sim::ShareMode mode = kind == runtime::ObjectKind::kLockFree
+  const sim::ShareMode mode = impl == runtime::ObjectImpl::kLockFree
                                   ? sim::ShareMode::kLockFree
                                   : sim::ShareMode::kLockBased;
+  const auto specs = runtime::uniform_objects(ts.object_count, kind, impl);
 
   Time max_window = 0;
   for (const auto& t : ts.tasks)
@@ -84,11 +147,12 @@ XvalRow run_pair(const workload::WorkloadSpec& spec, runtime::ObjectKind kind,
   // --- simulator side, on the exact traces the executor will replay ---
   sim::SimConfig cfg;
   cfg.mode = mode;
-  // Access times in the same order of magnitude as the executor's real
-  // structure operations (sub-microsecond queue ops; the executor's
-  // "locks" are uncontended-fast mutexes, not RUA-mediated requests).
-  cfg.lockfree_access_time = usec(1);
-  cfg.lock_access_time = usec(2);
+  // Calibrated access times (runtime::calibrate): what one structure
+  // operation costs on THIS host, so the simulator predicts the
+  // executor it is compared against.
+  cfg.lockfree_access_time = s_time;
+  cfg.lock_access_time = r_time;
+  cfg.objects = specs;
   cfg.sched_ns_per_op = bench::kDefaultNsPerOp;
   cfg.cpu_count = cpus;
   cfg.horizon = horizon;
@@ -103,10 +167,12 @@ XvalRow run_pair(const workload::WorkloadSpec& spec, runtime::ObjectKind kind,
   // --- executor side --------------------------------------------------
   runtime::ExecConfig ec;
   ec.horizon = horizon;
-  ec.objects = kind;
+  ec.objects = specs;
   ec.cpu_count = cpus;
   ec.arrival_seed = arrival_seed;
   ec.periodic_arrivals = true;
+  ec.sim_lockfree_access_time = s_time;
+  ec.sim_lock_access_time = r_time;
   const rt::ExecutorReport exec_rep =
       runtime::run_on_executor(ts, bench::scheduler_for(mode), ec);
 
@@ -126,7 +192,8 @@ XvalRow run_pair(const workload::WorkloadSpec& spec, runtime::ObjectKind kind,
   row.retries_exec = exec_rep.total_retries;
   row.blockings_exec = exec_rep.total_blockings;
 
-  if (kind == runtime::ObjectKind::kLockFree) {
+  if (impl == runtime::ObjectImpl::kLockFree &&
+      kind == runtime::ObjectKind::kQueue) {
     for (const auto& t : ts.tasks) {
       const std::int64_t bound = analysis::retry_bound(ts, t.id);
       const auto b = exec_rep.breakdown_of(t.id);
@@ -136,6 +203,9 @@ XvalRow run_pair(const workload::WorkloadSpec& spec, runtime::ObjectKind kind,
     if (exec_rep.total_retries > row.retry_total_bound)
       row.bound_ok = false;
   }
+  row.heat_ok = check_heatmap(exec_rep, ts.object_count,
+                              static_cast<std::int32_t>(ts.tasks.size()),
+                              &row.exec_json);
   return row;
 }
 
@@ -146,12 +216,22 @@ int main(int argc, char** argv) {
   bench::init(argc, argv);
   bool tiny = false;
   int only_cpus = 0;  // 0 = sweep {1, 2, 4}
+  runtime::ObjectKind kind = runtime::ObjectKind::kQueue;
   std::string out_path = "BENCH_xval.json";
+  std::string report_path = "BENCH_xval_report.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tiny") == 0) {
       tiny = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--report-out") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--objects=", 10) == 0) {
+      if (!runtime::parse_object_kind(argv[i] + 10, &kind)) {
+        std::cerr << "error: --objects must be queue|stack|buffer|"
+                     "snapshot\n";
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--cpus=", 7) == 0) {
       only_cpus = std::atoi(argv[i] + 7);
       if (only_cpus < 1) {
@@ -162,7 +242,8 @@ int main(int argc, char** argv) {
       if (std::strchr(argv[i], '=') == nullptr && i + 1 < argc) ++i;
     } else {
       std::cerr << "usage: ext_executor_validation [--tiny] [--cpus=N] "
-                   "[--threads=N] [--out FILE]\n";
+                   "[--objects=KIND] [--threads=N] [--out FILE] "
+                   "[--report-out FILE]\n";
       return 2;
     }
   }
@@ -179,32 +260,48 @@ int main(int argc, char** argv) {
   base.avg_exec = msec(2);
   base.tuf_class = workload::TufClass::kStep;
   base.seed = 7;
+  // Reader/writer kinds carry a read mix: NBW/snapshot exist to move
+  // the retry cost onto readers, so give them readers to move it onto.
+  if (kind == runtime::ObjectKind::kBuffer ||
+      kind == runtime::ObjectKind::kSnapshot)
+    base.read_fraction = 0.5;
 
   const int windows = tiny ? 2 : 6;
   const double aur_tol = tiny ? 0.25 : 0.15;
   const std::uint64_t arrival_seed = 1000;
+
+  // Calibrate s and r on this host (satellite of the fig08 machinery):
+  // the simulator models what one access actually costs here.
+  runtime::ExecConfig cal_probe;
+  const TaskSet cal_ts = workload::make_task_set(base);
+  const runtime::AccessCalibration cal =
+      runtime::calibrate(cal_probe, cal_ts, tiny ? 200 : 500);
+  std::cout << "calibrated access times: s = " << cal.lockfree_access_time
+            << " ns, r = " << cal.lock_access_time << " ns ("
+            << cal.samples << " samples)\n";
 
   std::vector<int> cpu_sweep = {1, 2, 4};
   if (only_cpus > 0) cpu_sweep = {only_cpus};
 
   std::vector<XvalRow> rows;
   for (const int cpus : cpu_sweep) {
-    for (const runtime::ObjectKind kind :
-         {runtime::ObjectKind::kLockFree, runtime::ObjectKind::kLockBased}) {
+    for (const runtime::ObjectImpl impl :
+         {runtime::ObjectImpl::kLockFree, runtime::ObjectImpl::kLockBased}) {
       for (const auto& [label, load] :
            std::vector<std::pair<const char*, double>>{{"underload", 0.35},
                                                        {"overload", 1.2}}) {
         workload::WorkloadSpec spec = base;
         spec.load = load;
-        rows.push_back(
-            run_pair(spec, kind, label, cpus, windows, arrival_seed));
+        rows.push_back(run_pair(spec, kind, impl, label, cpus, windows,
+                                arrival_seed, cal.lockfree_access_time,
+                                cal.lock_access_time));
       }
     }
   }
 
   Table table({"cpus", "regime", "load", "jobs s/x", "AUR sim", "AUR exec",
                "CMR sim", "CMR exec", "retries s/x", "blk exec", "conc",
-               "bound"});
+               "bound", "heat"});
   for (const XvalRow& r : rows) {
     table.add_row({std::to_string(r.cpus), r.regime, r.load_label,
                    std::to_string(r.jobs_sim) + "/" +
@@ -215,7 +312,8 @@ int main(int argc, char** argv) {
                        std::to_string(r.retries_exec),
                    std::to_string(r.blockings_exec),
                    std::to_string(r.max_conc),
-                   r.bound_ok ? "ok" : "VIOLATED"});
+                   r.bound_ok ? "ok" : "VIOLATED",
+                   r.heat_ok ? "ok" : "BROKEN"});
   }
   table.print();
 
@@ -232,6 +330,11 @@ int main(int argc, char** argv) {
       std::cerr << "error: cpus=" << r.cpus << " " << r.regime << "/"
                 << r.load_label
                 << ": executor retries exceed the Theorem 2 bound\n";
+      ok = false;
+    }
+    if (!r.heat_ok) {
+      std::cerr << "error: cpus=" << r.cpus << " " << r.regime << "/"
+                << r.load_label << ": contention heatmap invariants broken\n";
       ok = false;
     }
     if (r.load_label == "underload") {
@@ -265,12 +368,16 @@ int main(int argc, char** argv) {
       ok = false;
     }
   }
-  std::cout << "\nunderload AUR/CMR tolerance " << aur_tol << ": "
+  std::cout << "\nobjects=" << runtime::to_string(kind)
+            << ", underload AUR/CMR tolerance " << aur_tol << ": "
             << (ok ? "agreement confirmed" : "DISAGREEMENT") << "\n";
 
   std::ofstream os(out_path);
-  os << "{\n  \"bench\": \"ext_executor_validation\",\n  \"tolerance\": "
-     << aur_tol << ",\n  \"rows\": [\n";
+  os << "{\n  \"bench\": \"ext_executor_validation\",\n  \"objects\": \""
+     << runtime::to_string(kind) << "\",\n  \"calibrated_s_ns\": "
+     << cal.lockfree_access_time << ",\n  \"calibrated_r_ns\": "
+     << cal.lock_access_time << ",\n  \"tolerance\": " << aur_tol
+     << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const XvalRow& r = rows[i];
     os << "    {\"cpus\": " << r.cpus << ", \"regime\": \"" << r.regime
@@ -286,7 +393,8 @@ int main(int argc, char** argv) {
        << ", \"blockings_exec\": " << r.blockings_exec
        << ", \"retry_total_bound\": " << r.retry_total_bound
        << ", \"max_concurrency\": " << r.max_conc
-       << ", \"bound_ok\": " << (r.bound_ok ? "true" : "false") << "}"
+       << ", \"bound_ok\": " << (r.bound_ok ? "true" : "false")
+       << ", \"heatmap_ok\": " << (r.heat_ok ? "true" : "false") << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
@@ -295,5 +403,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "wrote " << out_path << "\n";
+
+  // Full executor report (heatmap included) of the last lock-free
+  // underload row — the machine-readable artifact scripts diff, already
+  // proven round-trippable by check_heatmap above.
+  const XvalRow* rep_row = nullptr;
+  for (const XvalRow& r : rows)
+    if (r.regime == "lock-free" && r.load_label == "underload") rep_row = &r;
+  if (rep_row != nullptr && !rep_row->exec_json.empty()) {
+    std::ofstream ros(report_path);
+    ros << rep_row->exec_json << "\n";
+    if (!ros) {
+      std::cerr << "error: cannot write " << report_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << report_path << "\n";
+  }
   return ok ? 0 : 1;
 }

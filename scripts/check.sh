@@ -10,11 +10,16 @@
 #      (lockfree_test — their relaxed/acquire orderings must satisfy
 #      TSan, including the wide-payload value-slot path), executor
 #      abort storms (executor_storm_test, with parallel workers),
-#      the submit-vs-shutdown race (executor_shutdown_race_test), and
-#      the M-worker mode witnesses (executor_multicpu_test),
-#   3. -O2 build, tier-1 suite, and tiny sched_throughput +
-#      sim_throughput sweeps as bench smoke tests (the latter also
-#      re-checks serial-vs-parallel result identity in production).
+#      the submit-vs-shutdown race (executor_shutdown_race_test),
+#      the M-worker mode witnesses (executor_multicpu_test), the
+#      unified shared-object layer hammered from parallel threads
+#      (shared_object_test), and the read/write object flavours on the
+#      executor adapter (exec_objects_test),
+#   3. -O2 build, tier-1 suite, tiny sched_throughput + sim_throughput
+#      sweeps as bench smoke tests (the latter also re-checks
+#      serial-vs-parallel result identity in production), and a
+#      heatmap_contention smoke that must report a non-empty
+#      objects × tasks contention matrix for every kind × impl combo.
 #
 # Stages 1 and 2 also run the cross-substrate validation bench
 # (ext_executor_validation --tiny): real executor runs under each
@@ -44,9 +49,10 @@ cmake --build build-tsan -j "$JOBS" \
       --target exp_test determinism_test concurrent_build_test \
                lockfree_test executor_storm_test \
                executor_shutdown_race_test executor_multicpu_test \
+               shared_object_test exec_objects_test \
                ext_executor_validation
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R '^(ExpThreadPool|ExpParallelMap|ExpSweep|ExpThreads|Determinism|ConcurrentBuild|MsQueue|TreiberStack|SpscRing|NodePool|TaggedRef|Sweep/AbaHammerTest|ExecutorStorm|ExecutorShutdownRace|ExecutorMultiCpu)\.'
+      -R '^(ExpThreadPool|ExpParallelMap|ExpSweep|ExpThreads|Determinism|ConcurrentBuild|MsQueue|TreiberStack|SpscRing|NodePool|TaggedRef|Sweep/AbaHammerTest|ExecutorStorm|ExecutorShutdownRace|ExecutorMultiCpu|SharedObject|Zoo/SharedObjectAllCombos|ObjectRegistryTest|ReaderWriterKinds/ExecObjects|ExecObjectsLockBased|ExecObjectsMixed)\.'
 ./build-tsan/bench/ext_executor_validation --tiny --cpus=1 \
       --out build-tsan/BENCH_xval_smoke.json
 ./build-tsan/bench/ext_executor_validation --tiny --cpus=4 \
@@ -58,4 +64,12 @@ cmake --build build-o2 -j "$JOBS"
 ctest --test-dir build-o2 --output-on-failure -j "$JOBS"
 ./build-o2/bench/sched_throughput --tiny --out build-o2/BENCH_sched_smoke.json
 ./build-o2/bench/sim_throughput --tiny --out build-o2/BENCH_sweep_smoke.json
+# Heatmap smoke: the bench self-validates (non-empty matrix, rows ==
+# objects × tasks, attribution sums, JSON round-trip) and exits
+# non-zero on violation; the grep pins the "all combos checked" line so
+# a silently truncated sweep also fails.
+HEAT_OUT=$(./build-o2/bench/heatmap_contention --tiny \
+      --out build-o2/BENCH_heatmap_smoke.json)
+echo "$HEAT_OUT" | tail -n 2
+echo "$HEAT_OUT" | grep -q '8 combos, 4x8 cells each — all checks ok'
 echo "OK: ASan+TSan clean, tier-1 green twice, bench smokes passed"

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "lockfree/annotate.hpp"
 #include "runtime/object_stats.hpp"
 
 namespace lfrt::lockfree {
@@ -41,7 +42,10 @@ class NbwBuffer {
     const std::uint64_t s = ccf_.load(std::memory_order_relaxed);
     ccf_.store(s + 1, std::memory_order_release);  // odd: write in flight
     std::atomic_thread_fence(std::memory_order_release);
-    data_ = value;
+    // The copy formally races with readers mid-collect; those readers
+    // discard their (possibly torn) copy when ccf_ moved — the seqlock
+    // contract annotate.hpp documents.
+    detail::store_value_slot(data_, value);
     std::atomic_thread_fence(std::memory_order_release);
     ccf_.store(s + 2, std::memory_order_release);  // even: stable
     stats_.record_op();
@@ -56,7 +60,7 @@ class NbwBuffer {
         continue;
       }
       std::atomic_thread_fence(std::memory_order_acquire);
-      T copy = data_;
+      T copy = detail::load_value_slot(const_cast<T&>(data_));
       std::atomic_thread_fence(std::memory_order_acquire);
       const std::uint64_t after = ccf_.load(std::memory_order_acquire);
       if (before == after) {

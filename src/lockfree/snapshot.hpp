@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "lockfree/annotate.hpp"
 #include "runtime/object_stats.hpp"
 
 namespace lfrt::lockfree {
@@ -37,7 +38,9 @@ class AtomicSnapshot {
     const std::uint64_t v = seg.version.load(std::memory_order_relaxed);
     seg.version.store(v + 1, std::memory_order_release);  // odd: in flight
     std::atomic_thread_fence(std::memory_order_release);
-    seg.value = value;
+    // Racy against collects in flight; they re-check versions and
+    // discard torn copies (annotate.hpp's seqlock contract).
+    detail::store_value_slot(seg.value, value);
     std::atomic_thread_fence(std::memory_order_release);
     seg.version.store(v + 2, std::memory_order_release);
     stats_.record_op();
@@ -55,7 +58,8 @@ class AtomicSnapshot {
       }
       if (stable) {
         std::atomic_thread_fence(std::memory_order_acquire);
-        for (std::size_t i = 0; i < N; ++i) view[i] = segments_[i].value;
+        for (std::size_t i = 0; i < N; ++i)
+          view[i] = detail::load_value_slot(const_cast<T&>(segments_[i].value));
         std::atomic_thread_fence(std::memory_order_acquire);
         bool clean = true;
         for (std::size_t i = 0; i < N; ++i) {
@@ -81,7 +85,7 @@ class AtomicSnapshot {
       const std::uint64_t v0 = seg.version.load(std::memory_order_acquire);
       if (v0 & 1) continue;
       std::atomic_thread_fence(std::memory_order_acquire);
-      T copy = seg.value;
+      T copy = detail::load_value_slot(const_cast<T&>(seg.value));
       std::atomic_thread_fence(std::memory_order_acquire);
       if (seg.version.load(std::memory_order_acquire) == v0) return copy;
     }

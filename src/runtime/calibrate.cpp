@@ -1,0 +1,33 @@
+#include "runtime/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lfrt::runtime {
+
+AccessCalibration calibrate_access_times(const rt::AccessTimeConfig& mcfg) {
+  const rt::AccessTimeResult lf = rt::measure_lockfree_access(mcfg);
+  const rt::AccessTimeResult lb = rt::measure_lockbased_access(mcfg);
+  AccessCalibration cal;
+  cal.lockfree_access_time = std::max<Time>(
+      1, static_cast<Time>(std::llround(lf.per_access_ns.mean())));
+  cal.lock_access_time = std::max<Time>(
+      1, static_cast<Time>(std::llround(lb.per_access_ns.mean())));
+  cal.samples = mcfg.samples;
+  return cal;
+}
+
+AccessCalibration calibrate(ExecConfig& cfg, const TaskSet& ts,
+                            std::int64_t samples) {
+  rt::AccessTimeConfig mcfg;
+  mcfg.object_count = std::max<std::int32_t>(1, ts.object_count);
+  mcfg.task_count =
+      std::max<std::int32_t>(1, static_cast<std::int32_t>(ts.tasks.size()));
+  mcfg.samples = samples;
+  const AccessCalibration cal = calibrate_access_times(mcfg);
+  cfg.sim_lockfree_access_time = cal.lockfree_access_time;
+  cfg.sim_lock_access_time = cal.lock_access_time;
+  return cal;
+}
+
+}  // namespace lfrt::runtime

@@ -1,0 +1,40 @@
+// Executor-side access-time calibration.
+//
+// Cross-validation (bench/ext_executor_validation) feeds the simulator
+// per-access costs s and r so it predicts what the executor will
+// measure.  Until now those were order-of-magnitude constants
+// (usec(1) / usec(2)); this helper runs the fig08 access-time
+// microbenchmarks (rt::measure_lockfree_access /
+// rt::measure_lockbased_access) on the current host and writes the
+// measured means into ExecConfig's sim_* fields — so the simulator side
+// of a cross-validation run is parameterized by the same machine that
+// produces the executor side (the paper's Section 5 measurement,
+// feeding its Section 6 simulation).
+#pragma once
+
+#include "rt/access_time.hpp"
+#include "runtime/exec_adapter.hpp"
+#include "support/time.hpp"
+
+namespace lfrt::runtime {
+
+/// Measured per-access costs, in the simulator's vocabulary.
+struct AccessCalibration {
+  Time lockfree_access_time = 0;  ///< s — mean lock-free access (ns)
+  Time lock_access_time = 0;      ///< r — mean lock-based access (ns)
+  std::int64_t samples = 0;       ///< samples behind each mean
+};
+
+/// Run both fig08 microbenchmarks and return the measured means,
+/// clamped to >= 1 ns (the simulator requires positive access times).
+AccessCalibration calibrate_access_times(const rt::AccessTimeConfig& mcfg);
+
+/// Measure with a config shaped like `ts`'s universe (object/task
+/// counts) and write the results into cfg.sim_lockfree_access_time /
+/// cfg.sim_lock_access_time.  `samples` trades precision for startup
+/// time (the fig08 bench uses 2000; a few hundred suffices to get the
+/// order of magnitude right for cross-validation).
+AccessCalibration calibrate(ExecConfig& cfg, const TaskSet& ts,
+                            std::int64_t samples = 500);
+
+}  // namespace lfrt::runtime

@@ -1,0 +1,93 @@
+// Object × task contention matrix — where retries and blocking
+// episodes actually landed.
+//
+// Theorem 2 bounds each task's retries by summing interference over
+// *all* accesses to *any* object; the matrix resolves that aggregate to
+// the (object, task) pair so a heatmap can show where the f_i events
+// concentrate.  Filled by runtime::ObjectRegistry on the executor and
+// directly by the simulator's access bookkeeping; carried on every
+// runtime::RunReport and serialized by report_json.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lfrt::runtime {
+
+/// One (object, task) cell of the contention heatmap.
+struct ContentionCell {
+  std::int64_t ops = 0;        ///< completed accesses task made to object
+  std::int64_t retries = 0;    ///< lock-free retry events (f_i share)
+  std::int64_t blockings = 0;  ///< lock-based contended acquisitions (n_i)
+
+  friend bool operator==(const ContentionCell&,
+                         const ContentionCell&) = default;
+};
+
+/// Dense row-major [object][task] heatmap.  Empty (0 × 0) on reports
+/// from runs that predate per-object attribution.
+struct ContentionMatrix {
+  std::int32_t objects = 0;
+  std::int32_t tasks = 0;
+  std::vector<ContentionCell> cells;  ///< size == objects * tasks
+
+  ContentionMatrix() = default;
+  ContentionMatrix(std::int32_t object_count, std::int32_t task_count)
+      : objects(object_count),
+        tasks(task_count),
+        cells(static_cast<std::size_t>(object_count) *
+              static_cast<std::size_t>(task_count)) {}
+
+  bool empty() const { return cells.empty(); }
+
+  ContentionCell& at(std::int32_t object, std::int32_t task) {
+    return cells[static_cast<std::size_t>(object) *
+                     static_cast<std::size_t>(tasks) +
+                 static_cast<std::size_t>(task)];
+  }
+  const ContentionCell& at(std::int32_t object, std::int32_t task) const {
+    return cells[static_cast<std::size_t>(object) *
+                     static_cast<std::size_t>(tasks) +
+                 static_cast<std::size_t>(task)];
+  }
+
+  /// Sum of one column (all objects, one task).
+  ContentionCell task_totals(std::int32_t task) const {
+    ContentionCell sum;
+    for (std::int32_t o = 0; o < objects; ++o) {
+      const ContentionCell& c = at(o, task);
+      sum.ops += c.ops;
+      sum.retries += c.retries;
+      sum.blockings += c.blockings;
+    }
+    return sum;
+  }
+
+  /// Sum of one row (one object, all tasks).
+  ContentionCell object_totals(std::int32_t object) const {
+    ContentionCell sum;
+    for (std::int32_t t = 0; t < tasks; ++t) {
+      const ContentionCell& c = at(object, t);
+      sum.ops += c.ops;
+      sum.retries += c.retries;
+      sum.blockings += c.blockings;
+    }
+    return sum;
+  }
+
+  /// Grand total over every cell.
+  ContentionCell totals() const {
+    ContentionCell sum;
+    for (const ContentionCell& c : cells) {
+      sum.ops += c.ops;
+      sum.retries += c.retries;
+      sum.blockings += c.blockings;
+    }
+    return sum;
+  }
+
+  friend bool operator==(const ContentionMatrix&,
+                         const ContentionMatrix&) = default;
+};
+
+}  // namespace lfrt::runtime

@@ -5,8 +5,7 @@
 #include <memory>
 #include <thread>
 
-#include "lockbased/mutex_queue.hpp"
-#include "lockfree/msqueue.hpp"
+#include "runtime/shared_object.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "uam/uam.hpp"
@@ -23,54 +22,20 @@ void spin_for(Time ns) {
   }
 }
 
-/// The shared-object universe of one run, behind a uniform push/pop
-/// surface so job bodies are sharing-regime agnostic.
-struct SharedObjects {
-  std::vector<std::unique_ptr<lockfree::MsQueue<int>>> lf;
-  std::vector<std::unique_ptr<lockbased::MutexQueue<int>>> lb;
-
-  SharedObjects(ObjectKind kind, std::int32_t count,
-                std::size_t capacity) {
-    if (kind == ObjectKind::kLockFree) {
-      for (std::int32_t i = 0; i < count; ++i)
-        lf.push_back(std::make_unique<lockfree::MsQueue<int>>(capacity));
-    } else {
-      for (std::int32_t i = 0; i < count; ++i)
-        lb.push_back(std::make_unique<lockbased::MutexQueue<int>>());
-    }
-  }
-
-  void push(ObjectId o, int v) {
-    if (!lf.empty())
-      (void)lf[static_cast<std::size_t>(o)]->enqueue(v);
-    else
-      lb[static_cast<std::size_t>(o)]->enqueue(v);
-  }
-
-  void pop(ObjectId o) {
-    if (!lf.empty())
-      (void)lf[static_cast<std::size_t>(o)]->dequeue();
-    else
-      (void)lb[static_cast<std::size_t>(o)]->dequeue();
-  }
-};
-
 /// Lower one task's parameters into an RtJob: spin exec_time in
-/// checkpointed quanta, performing each access as push → checkpoint →
-/// pop against the real object.  The checkpoint in the middle makes
-/// mid-access aborts reachable; the abort handler rolls back whatever
-/// push is still unbalanced (Section 3.5's compensation, for real).
+/// checkpointed quanta, performing each access through the unified
+/// SharedObject layer.  The layer places a checkpoint mid-access (so
+/// mid-access aborts stay reachable) and rolls back its own unbalanced
+/// inserts before rethrowing — no abort handler needed for object
+/// consistency (Section 3.5's compensation, inlined in the layer).
 rt::RtJob make_job(const TaskParams& tp,
-                   const std::shared_ptr<SharedObjects>& objs,
+                   const std::shared_ptr<SharedObjectSet>& objs,
                    Time quantum) {
   rt::RtJob job;
   job.task = tp.id;
   job.tuf = tp.tuf;
   job.expected_exec = tp.exec_time;
-  // Pending (pushed, not yet popped) objects.  Body and abort handler
-  // run on the same worker thread, so no synchronization is needed.
-  auto pending = std::make_shared<std::vector<ObjectId>>();
-  job.body = [objs, pending, quantum, exec = tp.exec_time,
+  job.body = [objs, quantum, task = tp.id, exec = tp.exec_time,
               accesses = tp.accesses](rt::JobContext& ctx) {
     Time done = 0;
     auto advance_to = [&](Time target) {
@@ -83,19 +48,11 @@ rt::RtJob make_job(const TaskParams& tp,
     };
     for (const AccessSpec& a : accesses) {
       advance_to(std::min(a.offset, exec));
-      objs->push(a.object, static_cast<int>(ctx.id()));
-      pending->push_back(a.object);
-      ctx.checkpoint();
-      objs->pop(a.object);
-      pending->pop_back();
+      objs->access(a.object,
+                   a.write ? AccessOp::kWrite : AccessOp::kRead, task,
+                   ctx.id(), [&ctx] { ctx.checkpoint(); });
     }
     advance_to(exec);
-  };
-  job.abort_handler = [objs, pending] {
-    while (!pending->empty()) {
-      objs->pop(pending->back());
-      pending->pop_back();
-    }
   };
   return job;
 }
@@ -116,12 +73,26 @@ std::vector<std::vector<Time>> make_arrival_traces(const TaskSet& ts,
   return traces;
 }
 
+std::vector<ObjectSpec> resolve_object_specs(const TaskSet& ts,
+                                             const ExecConfig& cfg) {
+  if (cfg.objects.empty())
+    return uniform_objects(ts.object_count, ObjectKind::kQueue,
+                           ObjectImpl::kLockFree);
+  LFRT_CHECK_MSG(static_cast<std::int32_t>(cfg.objects.size()) ==
+                     ts.object_count,
+                 "ExecConfig::objects must list one spec per object");
+  return cfg.objects;
+}
+
 rt::ExecutorReport run_on_executor(const TaskSet& ts,
                                    const sched::Scheduler& scheduler,
                                    const ExecConfig& cfg) {
   ts.validate();
-  auto objs = std::make_shared<SharedObjects>(cfg.objects, ts.object_count,
-                                              cfg.queue_capacity);
+  TaskId max_task = -1;
+  for (const auto& t : ts.tasks) max_task = std::max(max_task, t.id);
+  auto objs = std::make_shared<SharedObjectSet>(
+      resolve_object_specs(ts, cfg), static_cast<std::int32_t>(max_task + 1),
+      cfg.queue_capacity);
 
   // Flatten the per-task traces into one tape, keeping only jobs whose
   // critical time falls within the horizon (the simulator's counting
@@ -148,7 +119,9 @@ rt::ExecutorReport run_on_executor(const TaskSet& ts,
     std::this_thread::sleep_until(epoch + std::chrono::nanoseconds(a.at));
     ex.submit(make_job(ts.by_id(a.task), objs, cfg.quantum));
   }
-  return ex.shutdown();
+  rt::ExecutorReport rep = ex.shutdown();
+  rep.contention = objs->matrix();
+  return rep;
 }
 
 rt::ExecutorReport run_on_executor(const workload::WorkloadSpec& spec,

@@ -5,17 +5,22 @@
 // POSIX middleware testbed.  This adapter closes the loop between the
 // two substrates in-repo: it lowers a TaskSet (typically from
 // workload::make_task_set) into rt::RtJobs with synthetic checkpointed
-// compute bodies and *real* shared objects (lock-free MS queues or
-// mutex queues), replays the identical arrival traces the bench harness
-// would feed the simulator, and returns the executor's RunReport — so
-// AUR/CMR/retry figures can be cross-validated between analysis,
-// simulation, and actual threads (bench/ext_executor_validation.cpp).
+// compute bodies and *real* shared objects behind the unified
+// runtime::SharedObject layer — per-object ObjectSpec{kind, impl}
+// selects MS queue / Treiber stack / NBW buffer / atomic snapshot or
+// their mutex counterparts — replays the identical arrival traces the
+// bench harness would feed the simulator, and returns the executor's
+// RunReport (including the object × task contention matrix from the
+// layer's registry) — so AUR/CMR/retry figures can be cross-validated
+// between analysis, simulation, and actual threads
+// (bench/ext_executor_validation.cpp).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "rt/executor.hpp"
+#include "runtime/object_spec.hpp"
 #include "task/task.hpp"
 #include "workload/workload.hpp"
 
@@ -25,12 +30,6 @@ class Scheduler;
 
 namespace lfrt::runtime {
 
-/// Which shared-object implementation the synthetic bodies touch.
-enum class ObjectKind {
-  kLockFree,   ///< lockfree::MsQueue (CAS retries under preemption)
-  kLockBased,  ///< lockbased::MutexQueue (blocking episodes)
-};
-
 /// Configuration of one executor run.
 struct ExecConfig {
   /// Wall-clock length of the arrival tape.  Only jobs whose critical
@@ -39,7 +38,12 @@ struct ExecConfig {
   /// job population.
   Time horizon = msec(200);
 
-  ObjectKind objects = ObjectKind::kLockFree;
+  /// Per-object shared-object specs, indexed by ObjectId.  Empty means
+  /// a uniform universe of lock-free queues over ts.object_count (the
+  /// paper's implementation-study shape); otherwise the size must equal
+  /// ts.object_count.  Build mixed universes by hand or homogeneous
+  /// ones with uniform_objects().
+  std::vector<ObjectSpec> objects;
 
   /// CPU slots the executor dispatches to (rt::ExecutorConfig): 1 is
   /// the paper's uniprocessor model; > 1 runs up to that many job
@@ -57,9 +61,18 @@ struct ExecConfig {
   /// (preemption/abort point) between quanta.
   Time quantum = usec(50);
 
-  /// Capacity of each lock-free queue (accesses are push/pop balanced,
-  /// so steady-state occupancy stays near the in-flight job count).
+  /// Capacity of each lock-free queue/stack (accesses are insert/remove
+  /// balanced, so steady-state occupancy stays near the in-flight job
+  /// count).
   std::size_t queue_capacity = 1024;
+
+  /// Simulator-side access costs — s and r of Section 5 — used when a
+  /// harness cross-validates this run against sim::Simulator.  The
+  /// defaults are order-of-magnitude placeholders; calibrate()
+  /// (runtime/calibrate.hpp) replaces them with values measured on this
+  /// host by the fig08 access-time machinery.
+  Time sim_lockfree_access_time = usec(1);
+  Time sim_lock_access_time = usec(2);
 };
 
 /// Per-task arrival traces over [0, horizon], indexed by TaskId — byte-
@@ -70,12 +83,22 @@ std::vector<std::vector<Time>> make_arrival_traces(const TaskSet& ts,
                                                    std::uint64_t seed,
                                                    bool periodic);
 
+/// Resolve cfg.objects against the task set: the explicit per-object
+/// list when given (size-checked), else the uniform lock-free-queue
+/// default.  Exposed so cross-validation harnesses can lower the same
+/// universe into the simulator's SimConfig.
+std::vector<ObjectSpec> resolve_object_specs(const TaskSet& ts,
+                                             const ExecConfig& cfg);
+
 /// Replay `ts` on a fresh rt::Executor under `scheduler`: submit each
 /// admitted arrival at its trace time (wall clock), with a body that
 /// spins the task's exec_time in checkpointed quanta and performs each
-/// AccessSpec as a push → checkpoint → pop pair against a real shared
-/// object (abort handlers roll back the unbalanced push).  Blocks until
-/// the tape has played and every job reached a terminal state.
+/// AccessSpec as one SharedObject::access against the real object —
+/// write accesses on queue/stack shapes insert, expose a mid-access
+/// checkpoint, then remove (aborts roll the insert back); buffer and
+/// snapshot shapes write/read/scan per their protocols.  Blocks until
+/// the tape has played and every job reached a terminal state; the
+/// returned report carries the object × task contention matrix.
 rt::ExecutorReport run_on_executor(const TaskSet& ts,
                                    const sched::Scheduler& scheduler,
                                    const ExecConfig& cfg);

@@ -1,0 +1,80 @@
+// Per-object shared-object specification — the vocabulary both
+// execution substrates speak.
+//
+// Brandenburg's locking-protocol survey organizes results by *access
+// pattern* (queue/stack vs reader-writer vs snapshot); this header is
+// that axis for our object universe.  An ObjectSpec names, for one
+// ObjectId, (a) the access pattern the object serves (kind) and (b) the
+// synchronization mechanism implementing it (impl).  The simulator uses
+// the impl to pick its per-object access-cost/blocking model; the
+// executor adapter (runtime::SharedObject) instantiates the matching
+// real structure.  Deliberately header-light: sim::SimConfig includes
+// this without dragging in src/lockfree / src/lockbased.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lfrt::runtime {
+
+/// Access pattern of one shared object.
+enum class ObjectKind : std::uint8_t {
+  kQueue,     ///< MPMC FIFO (MS queue / mutex queue) — the paper's shape
+  kStack,     ///< MPMC LIFO (Treiber stack / mutex stack)
+  kBuffer,    ///< single-writer state message (NBW buffer / mutex buffer)
+  kSnapshot,  ///< N-segment atomic snapshot (double-collect / mutex)
+};
+
+/// Synchronization mechanism implementing the object.
+enum class ObjectImpl : std::uint8_t {
+  kLockFree,   ///< CAS/version retries under interference (f_i events)
+  kLockBased,  ///< mutual exclusion; blocking episodes (n_i events)
+};
+
+/// One shared object of a run's universe, indexed by ObjectId.
+struct ObjectSpec {
+  ObjectKind kind = ObjectKind::kQueue;
+  ObjectImpl impl = ObjectImpl::kLockFree;
+
+  friend bool operator==(const ObjectSpec&, const ObjectSpec&) = default;
+};
+
+inline std::string to_string(ObjectKind kind) {
+  switch (kind) {
+    case ObjectKind::kQueue:
+      return "queue";
+    case ObjectKind::kStack:
+      return "stack";
+    case ObjectKind::kBuffer:
+      return "buffer";
+    case ObjectKind::kSnapshot:
+      return "snapshot";
+  }
+  return "?";
+}
+
+inline std::string to_string(ObjectImpl impl) {
+  return impl == ObjectImpl::kLockFree ? "lock-free" : "lock-based";
+}
+
+/// Parse "queue" | "stack" | "buffer" | "snapshot" (bench --objects=
+/// flags).  Returns false on anything else.
+inline bool parse_object_kind(const std::string& s, ObjectKind* out) {
+  if (s == "queue") *out = ObjectKind::kQueue;
+  else if (s == "stack") *out = ObjectKind::kStack;
+  else if (s == "buffer") *out = ObjectKind::kBuffer;
+  else if (s == "snapshot") *out = ObjectKind::kSnapshot;
+  else return false;
+  return true;
+}
+
+/// A homogeneous universe: `count` objects of the same kind and impl.
+inline std::vector<ObjectSpec> uniform_objects(std::int32_t count,
+                                               ObjectKind kind,
+                                               ObjectImpl impl) {
+  return std::vector<ObjectSpec>(static_cast<std::size_t>(count),
+                                 ObjectSpec{kind, impl});
+}
+
+}  // namespace lfrt::runtime

@@ -31,12 +31,24 @@
 
 namespace lfrt::runtime {
 
+/// One (object, task) accounting cell, bumpable concurrently from any
+/// worker.  Cache-line aligned so tasks hammering different cells don't
+/// false-share.  ObjectRegistry (shared_object.hpp) owns a dense
+/// objects × tasks array of these and flattens it into the plain
+/// ContentionMatrix a report carries.
+struct alignas(64) AtomicAccessCell {
+  std::atomic<std::int64_t> ops{0};
+  std::atomic<std::int64_t> retries{0};
+  std::atomic<std::int64_t> blockings{0};
+};
+
 namespace detail {
 
 /// Per-thread destination for access events (null fields = discard).
 struct AccessSinkState {
   std::int64_t* retries = nullptr;
   std::int64_t* blockings = nullptr;
+  AtomicAccessCell* cell = nullptr;  ///< (object, task) attribution
 };
 
 inline thread_local AccessSinkState tls_access_sink;
@@ -51,7 +63,7 @@ class ScopedAccessSink {
  public:
   ScopedAccessSink(std::int64_t* retries, std::int64_t* blockings)
       : prev_(detail::tls_access_sink) {
-    detail::tls_access_sink = {retries, blockings};
+    detail::tls_access_sink = {retries, blockings, nullptr};
   }
   ~ScopedAccessSink() { detail::tls_access_sink = prev_; }
 
@@ -60,6 +72,26 @@ class ScopedAccessSink {
 
  private:
   detail::AccessSinkState prev_;
+};
+
+/// RAII: while alive, this thread's retry/contention events are *also*
+/// credited to one (object, task) cell — installed by
+/// runtime::SharedObject::access around each structure operation, on
+/// top of (not instead of) the job's ScopedAccessSink, so per-job and
+/// per-cell tallies count the same underlying events.  Nestable.
+class ScopedCellSink {
+ public:
+  explicit ScopedCellSink(AtomicAccessCell* cell)
+      : prev_(detail::tls_access_sink.cell) {
+    detail::tls_access_sink.cell = cell;
+  }
+  ~ScopedCellSink() { detail::tls_access_sink.cell = prev_; }
+
+  ScopedCellSink(const ScopedCellSink&) = delete;
+  ScopedCellSink& operator=(const ScopedCellSink&) = delete;
+
+ private:
+  AtomicAccessCell* prev_;
 };
 
 /// The one accounting interface every shared structure exposes via
@@ -79,6 +111,8 @@ struct ObjectStats {
   void record_retry(std::int64_t n = 1) {
     retries.fetch_add(n, std::memory_order_relaxed);
     if (std::int64_t* sink = detail::tls_access_sink.retries) *sink += n;
+    if (AtomicAccessCell* cell = detail::tls_access_sink.cell)
+      cell->retries.fetch_add(n, std::memory_order_relaxed);
   }
 
   void record_acquisition(bool was_contended) {
@@ -86,6 +120,8 @@ struct ObjectStats {
     if (was_contended) {
       contended.fetch_add(1, std::memory_order_relaxed);
       if (std::int64_t* sink = detail::tls_access_sink.blockings) ++*sink;
+      if (AtomicAccessCell* cell = detail::tls_access_sink.cell)
+        cell->blockings.fetch_add(1, std::memory_order_relaxed);
     }
   }
 

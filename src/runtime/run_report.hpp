@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "runtime/contention.hpp"
 #include "task/task.hpp"
 
 namespace lfrt::runtime {
@@ -57,6 +58,11 @@ struct RunReport {
 
   /// Per-job terminal records (arrival, sojourn, retries, ...).
   std::vector<Job> jobs;
+
+  /// Object × task heatmap of where retries/blockings landed.  Empty
+  /// when the run's substrate didn't attribute per-object events (e.g.
+  /// free-standing Executor use without the runtime adapter).
+  ContentionMatrix contention;
 
   // --- per-task breakdowns (defined once for both substrates) ---
 

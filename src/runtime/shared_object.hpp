@@ -1,0 +1,179 @@
+// The unified shared-object access layer.
+//
+// One SharedObject wraps any of the repo's shared structures —
+// lockfree::MsQueue / TreiberStack / NbwBuffer / AtomicSnapshot and
+// their lock-based counterparts — behind a single
+// `access(op, task, job, checkpoint)` surface, selected by ObjectSpec
+// {kind, impl}.  Job bodies become object-shape agnostic: the executor
+// adapter lowers an AccessSpec to exactly one call here, and which
+// structure absorbs the interference is a per-object configuration
+// knob, not a fork in the lowering code.
+//
+// Attribution: every structure already reports through
+// runtime::ObjectStats, whose record_retry/record_acquisition also
+// credit the calling thread's sinks.  access() installs a
+// ScopedCellSink for the (object, task) cell on top of the job sink the
+// executor worker installed, so one underlying CAS failure lands in the
+// structure counter, the job's f_i tally, AND the heatmap cell — three
+// views of the same event, which is what makes the cross-sum
+// invariants in tests/exec_objects_test.cpp checkable.
+//
+// Abort safety: the mid-access checkpoint may throw rt::JobAborted.
+// Queue/stack accesses push before the checkpoint and roll the push
+// back in a catch block before rethrowing (Section 3.5's compensation,
+// inlined), so no separate abort handler is needed to keep occupancy
+// balanced.  Buffer/snapshot operations are indivisible; their
+// checkpoint runs after the operation with nothing to roll back.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/contention.hpp"
+#include "runtime/object_spec.hpp"
+#include "runtime/object_stats.hpp"
+#include "task/task.hpp"
+
+namespace lfrt::lockfree {
+template <typename T>
+class MsQueue;
+template <typename T>
+class TreiberStack;
+template <typename T>
+class NbwBuffer;
+template <typename T, std::size_t N>
+class AtomicSnapshot;
+}  // namespace lfrt::lockfree
+
+namespace lfrt::lockbased {
+template <typename T>
+class MutexQueue;
+template <typename T>
+class MutexStack;
+template <typename T>
+class MutexBuffer;
+template <typename T, std::size_t N>
+class MutexSnapshot;
+}  // namespace lfrt::lockbased
+
+namespace lfrt::runtime {
+
+/// Direction of one logical access.  Queue/stack: write = insert +
+/// remove pair (occupancy-balanced), read = emptiness probe.  Buffer:
+/// write/read of the state message.  Snapshot: write = one segment
+/// update, read = full double-collect scan.
+enum class AccessOp : std::uint8_t { kWrite, kRead };
+
+/// Segment fan-out of snapshot-kind objects (fixed at compile time; the
+/// writer's segment is chosen by task id modulo this).
+inline constexpr std::size_t kSnapshotSegments = 4;
+
+/// Dense objects × tasks grid of concurrently-bumpable accounting
+/// cells, flattened into the plain ContentionMatrix a report carries.
+class ObjectRegistry {
+ public:
+  ObjectRegistry(std::int32_t object_count, std::int32_t task_count);
+
+  /// The (object, task) cell, or nullptr when either index is out of
+  /// range (e.g. free-standing jobs with task == -1): events then keep
+  /// flowing to the structure and job counters but skip the heatmap.
+  AtomicAccessCell* cell(ObjectId object, TaskId task);
+
+  std::int32_t object_count() const { return objects_; }
+  std::int32_t task_count() const { return tasks_; }
+
+  /// Relaxed snapshot of every cell (exact after quiesce).
+  ContentionMatrix to_matrix() const;
+
+ private:
+  std::int32_t objects_;
+  std::int32_t tasks_;
+  std::unique_ptr<AtomicAccessCell[]> cells_;
+};
+
+/// One shared object of the run's universe: the structure selected by
+/// its ObjectSpec plus the uniform access surface over it.
+class SharedObject {
+ public:
+  /// `queue_capacity` bounds the node pool of lock-free queue/stack
+  /// shapes (accesses are insert/remove balanced, so steady-state
+  /// occupancy stays near the in-flight job count).
+  SharedObject(ObjectSpec spec, std::size_t queue_capacity);
+  ~SharedObject();
+
+  SharedObject(const SharedObject&) = delete;
+  SharedObject& operator=(const SharedObject&) = delete;
+
+  ObjectSpec spec() const { return spec_; }
+
+  /// Perform one logical access on behalf of (task, job).  `checkpoint`
+  /// is invoked once mid-access (it may throw to abort the job — see
+  /// the rollback notes in the header comment); `cell` — usually from
+  /// an ObjectRegistry — receives the access's retry/blocking events
+  /// and its completed-op count, and may be null.
+  void access(AccessOp op, TaskId task, JobId job,
+              const std::function<void()>& checkpoint,
+              AtomicAccessCell* cell);
+
+  /// The wrapped structure's counters (whole-run, all tasks).
+  const ObjectStats& stats() const;
+
+ private:
+  ObjectSpec spec_;
+
+  // Exactly one of these is non-null, per spec_.
+  std::unique_ptr<lockfree::MsQueue<int>> lf_queue_;
+  std::unique_ptr<lockfree::TreiberStack<int>> lf_stack_;
+  std::unique_ptr<lockfree::NbwBuffer<int>> lf_buffer_;
+  std::unique_ptr<lockfree::AtomicSnapshot<int, kSnapshotSegments>>
+      lf_snapshot_;
+  std::unique_ptr<lockbased::MutexQueue<int>> lb_queue_;
+  std::unique_ptr<lockbased::MutexStack<int>> lb_stack_;
+  std::unique_ptr<lockbased::MutexBuffer<int>> lb_buffer_;
+  std::unique_ptr<lockbased::MutexSnapshot<int, kSnapshotSegments>>
+      lb_snapshot_;
+
+  /// Upholds NBW's and the snapshot's single-writer preconditions when
+  /// arbitrary tasks write: writers serialize here, held only across
+  /// the (wait-free, bounded) write itself — never across a checkpoint.
+  /// Deliberately uncounted: it is scaffolding for the precondition the
+  /// paper says is hard to meet in dynamic systems, not part of the
+  /// measured protocol.
+  std::mutex writer_mu_;
+};
+
+/// The whole universe of one run: objects built from a per-ObjectId
+/// spec list plus the registry that attributes their events.
+class SharedObjectSet {
+ public:
+  SharedObjectSet(std::vector<ObjectSpec> specs, std::int32_t task_count,
+                  std::size_t queue_capacity);
+
+  std::int32_t object_count() const {
+    return static_cast<std::int32_t>(objects_.size());
+  }
+  const ObjectSpec& spec_of(ObjectId o) const {
+    return specs_[static_cast<std::size_t>(o)];
+  }
+
+  /// One logical access by (task, job) to object `o`; `checkpoint` runs
+  /// mid-access and may throw (rolled back first, then rethrown).
+  void access(ObjectId o, AccessOp op, TaskId task, JobId job,
+              const std::function<void()>& checkpoint);
+
+  const ObjectStats& stats_of(ObjectId o) const {
+    return objects_[static_cast<std::size_t>(o)]->stats();
+  }
+
+  ContentionMatrix matrix() const { return registry_.to_matrix(); }
+
+ private:
+  std::vector<ObjectSpec> specs_;
+  std::vector<std::unique_ptr<SharedObject>> objects_;
+  ObjectRegistry registry_;
+};
+
+}  // namespace lfrt::runtime

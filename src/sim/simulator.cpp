@@ -112,6 +112,10 @@ struct Simulator::Impl {
   sched::DispatchSelector selector;
   std::ostringstream trace_os;  // reused trace formatting buffer
 
+  // Resolved per-object specs (one per ObjectId; the homogeneous
+  // default when cfg.objects is empty).
+  std::vector<runtime::ObjectSpec> obj_specs;
+
   Impl(TaskSet ts, const sched::Scheduler& sch, SimConfig c)
       : tasks(std::move(ts)), scheduler(&sch), cfg(c) {
     tasks.validate();
@@ -125,6 +129,32 @@ struct Simulator::Impl {
                        "nested critical sections require lock-based "
                        "sharing (paper, Section 2)");
     }
+    if (cfg.objects.empty()) {
+      obj_specs = runtime::uniform_objects(
+          tasks.object_count, runtime::ObjectKind::kQueue,
+          cfg.mode == ShareMode::kLockBased
+              ? runtime::ObjectImpl::kLockBased
+              : runtime::ObjectImpl::kLockFree);
+    } else {
+      LFRT_CHECK_MSG(static_cast<std::int32_t>(cfg.objects.size()) ==
+                         tasks.object_count,
+                     "SimConfig::objects must list one spec per object");
+      obj_specs = cfg.objects;
+      if (cfg.mode != ShareMode::kIdeal) {
+        for (const auto& s : obj_specs)
+          if (s.impl == runtime::ObjectImpl::kLockFree)
+            LFRT_CHECK_MSG(cfg.lockfree_access_time > 0,
+                           "lock-free access time must be positive");
+      }
+      // Nested spans model critical sections; their objects must be
+      // lock-based under a mixed universe.
+      for (const auto& t : tasks.tasks)
+        for (const auto& sp : t.spans)
+          LFRT_CHECK_MSG(
+              obj_specs[static_cast<std::size_t>(sp.object)].impl ==
+                  runtime::ObjectImpl::kLockBased,
+              "nested spans require lock-based objects");
+    }
     running_on.assign(static_cast<std::size_t>(cfg.cpu_count), kNoJob);
     run_start_on.assign(static_cast<std::size_t>(cfg.cpu_count), 0);
     holders.assign(static_cast<std::size_t>(tasks.object_count), {});
@@ -132,6 +162,10 @@ struct Simulator::Impl {
     last_obj_write.assign(static_cast<std::size_t>(tasks.object_count),
                           -1);
     sched_ws = scheduler->make_workspace();
+    TaskId max_task = -1;
+    for (const auto& t : tasks.tasks) max_task = std::max(max_task, t.id);
+    report.contention = runtime::ContentionMatrix(
+        tasks.object_count, static_cast<std::int32_t>(max_task + 1));
   }
 
   const TaskParams& params_of(const Job& j) const {
@@ -154,16 +188,27 @@ struct Simulator::Impl {
     return nominal_offset * j.exec_actual / nominal;
   }
 
-  Time access_len() const {
-    switch (cfg.mode) {
-      case ShareMode::kLockBased:
-        return cfg.lock_access_time;
-      case ShareMode::kLockFree:
-        return cfg.lockfree_access_time;
-      case ShareMode::kIdeal:
-        return 0;
-    }
-    return 0;
+  /// Whether object `o` blocks (lock-based) rather than retries.
+  bool lock_based_obj(ObjectId o) const {
+    if (cfg.mode == ShareMode::kIdeal) return false;
+    return obj_specs[static_cast<std::size_t>(o)].impl ==
+           runtime::ObjectImpl::kLockBased;
+  }
+
+  runtime::ObjectKind kind_of(ObjectId o) const {
+    return obj_specs[static_cast<std::size_t>(o)].kind;
+  }
+
+  /// Per-object access segment length: r for lock-based objects, s for
+  /// lock-free ones, 0 under the ideal yardstick.
+  Time access_len(ObjectId o) const {
+    if (cfg.mode == ShareMode::kIdeal) return 0;
+    return lock_based_obj(o) ? cfg.lock_access_time
+                             : cfg.lockfree_access_time;
+  }
+
+  runtime::ContentionCell& ccell(ObjectId o, TaskId t) {
+    return report.contention.at(o, t);
   }
 
   /// Append one trace line from streamable parts.  The parts are only
@@ -203,26 +248,26 @@ struct Simulator::Impl {
   // ---- per-job execution geometry -----------------------------------
 
   /// Remaining execution estimate: remaining compute plus remaining
-  /// access time at the mode's per-access cost (c_i = u_i + m_i * t_acc).
+  /// access time at each pending access's per-object cost
+  /// (c_i = u_i + sum of t_acc over pending accesses; for a homogeneous
+  /// universe this is the paper's u_i + m_i * t_acc).
   Time remaining_estimate(const Job& j) const {
     const auto& p = params_of(j);
-    const Time t_acc = access_len();
     // The scheduler is shown the task's *estimate*; a job whose actual
     // demand overruns it simply looks (optimistically) nearly done.
     Time rem = std::max<Time>(1, p.exec_time - j.compute_done);
     if (p.nested()) {
-      rem += static_cast<std::int64_t>(p.spans.size() - j.next_span) *
-             t_acc;
-      if (j.in_access) rem += t_acc - j.access_progress;
+      for (std::size_t s = j.next_span; s < p.spans.size(); ++s)
+        rem += access_len(p.spans[s].object);
+      if (j.in_access)
+        rem += access_len(j.access_object) - j.access_progress;
       return rem;
     }
-    const auto pending =
-        static_cast<std::int64_t>(p.accesses.size() - j.next_access);
-    if (j.in_access) {
-      rem += (t_acc - j.access_progress) + (pending - 1) * t_acc;
-    } else {
-      rem += pending * t_acc;
-    }
+    // next_access still indexes the in-flight access, so the sum
+    // covers it in full; subtracting the progress leaves its remainder.
+    for (std::size_t a = j.next_access; a < p.accesses.size(); ++a)
+      rem += access_len(p.accesses[a].object);
+    if (j.in_access) rem -= j.access_progress;
     return rem;
   }
 
@@ -233,7 +278,8 @@ struct Simulator::Impl {
     if (j.state == JobState::kAborting)
       return {p.abort_handler_time - j.handler_done, MsKind::kHandlerEnd};
     if (j.in_access)
-      return {access_len() - j.access_progress, MsKind::kAccessEnd};
+      return {access_len(j.access_object) - j.access_progress,
+              MsKind::kAccessEnd};
     if (p.nested()) {
       // Next interesting compute offset: the innermost open span's
       // release, the next span's acquire, or completion — release
@@ -277,7 +323,7 @@ struct Simulator::Impl {
         LFRT_CHECK(j.handler_done <= params_of(j).abort_handler_time);
       } else if (j.in_access) {
         j.access_progress += delta;
-        LFRT_CHECK(j.access_progress <= access_len());
+        LFRT_CHECK(j.access_progress <= access_len(j.access_object));
       } else {
         j.compute_done += delta;
         LFRT_CHECK(j.compute_done <= j.exec_actual);
@@ -526,12 +572,14 @@ struct Simulator::Impl {
         if (cfg.mode == ShareMode::kIdeal) {
           // Zero-cost access: consume every access due at this offset.
           while (j.next_access < p.accesses.size() &&
-                 p.accesses[j.next_access].offset <= j.compute_done)
+                 p.accesses[j.next_access].offset <= j.compute_done) {
+            ++ccell(p.accesses[j.next_access].object, j.task).ops;
             ++j.next_access;
+          }
           continue_running();
           return;
         }
-        if (cfg.mode == ShareMode::kLockFree) {
+        if (!lock_based_obj(obj)) {
           j.in_access = true;
           j.access_progress = 0;
           j.access_object = obj;
@@ -555,6 +603,7 @@ struct Simulator::Impl {
           j.access_object = obj;
           ++j.blockings;
           ++report.total_blockings;
+          ++ccell(obj, j.task).blockings;
           const int c = cpu_of(j.id);
           LFRT_CHECK(c >= 0);
           clear_cpu(c);
@@ -566,25 +615,37 @@ struct Simulator::Impl {
 
       case MsKind::kAccessEnd: {
         LFRT_CHECK(j.in_access);
-        LFRT_CHECK(j.access_progress == access_len());
-        if (cfg.mode == ShareMode::kLockFree) {
+        LFRT_CHECK(j.access_progress == access_len(j.access_object));
+        if (!lock_based_obj(j.access_object)) {
           // The CAS executes here, at the end of the attempt: it fails
           // iff another job completed a WRITE to the same object since
           // this attempt's read (its window start) — reads never
           // invalidate anyone.  On one CPU the interfering writer must
           // have preempted this job mid-access — the Section-4 retry
           // model; on many CPUs true concurrency triggers it too.
+          // Buffer/snapshot *writes* are exempt: NBW's writer and the
+          // snapshot's single-writer update are wait-free, so only
+          // their readers pay the retry cost (the cost migration those
+          // structures exist to demonstrate).
           const auto oi = static_cast<std::size_t>(j.access_object);
-          if (last_obj_write[oi] > j.access_attempt_start) {
+          const bool is_write = p.accesses[j.next_access].write;
+          const runtime::ObjectKind kind = kind_of(j.access_object);
+          const bool wait_free_write =
+              is_write && (kind == runtime::ObjectKind::kBuffer ||
+                           kind == runtime::ObjectKind::kSnapshot);
+          if (!wait_free_write &&
+              last_obj_write[oi] > j.access_attempt_start) {
             ++j.retries;
             ++report.total_retries;
+            ++ccell(j.access_object, j.task).retries;
             j.access_progress = 0;
             j.access_attempt_start = now;
             trace("retry job=", j.id, " obj=", j.access_object);
             continue_running();
             return;
           }
-          if (p.accesses[j.next_access].write) last_obj_write[oi] = now;
+          if (is_write) last_obj_write[oi] = now;
+          ++ccell(j.access_object, j.task).ops;
           j.in_access = false;
           j.access_progress = 0;
           j.access_object = kNoObject;
@@ -592,6 +653,7 @@ struct Simulator::Impl {
           continue_running();
           return;
         }
+        ++ccell(j.access_object, j.task).ops;
         j.in_access = false;
         j.access_progress = 0;
         j.access_object = kNoObject;
@@ -630,6 +692,7 @@ struct Simulator::Impl {
           j.access_object = obj;
           ++j.blockings;
           ++report.total_blockings;
+          ++ccell(obj, j.task).blockings;
           const int c = cpu_of(j.id);
           LFRT_CHECK(c >= 0);
           clear_cpu(c);

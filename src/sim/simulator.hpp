@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/object_spec.hpp"
 #include "runtime/run_report.hpp"
 #include "sched/scheduler.hpp"
 #include "support/rng.hpp"
@@ -73,6 +74,20 @@ struct SimConfig {
   bool record_trace = false;           ///< collect a human-readable trace
   bool record_slices = false;          ///< collect execution slices
                                        ///< (SimReport::slices, Gantt input)
+
+  /// Per-object shared-object specs, indexed by ObjectId — the same
+  /// vocabulary runtime::ExecConfig::objects speaks, so a
+  /// cross-validation harness lowers one universe into both substrates.
+  /// Empty (the default) keeps the global `mode` homogeneous model:
+  /// every object is a queue with the mode's implementation.  When
+  /// non-empty (size must equal the task set's object_count), each
+  /// object's impl selects its access time and blocking-vs-retry
+  /// semantics per object; `mode = kIdeal` still zeroes every access.
+  /// Kind matters to the conflict rule: buffer/snapshot *writes* are
+  /// wait-free (NBW/single-writer-update — they never retry), while
+  /// their reads, and every queue/stack access, retry when a write
+  /// completed during the attempt window.
+  std::vector<runtime::ObjectSpec> objects;
 
   /// Seed for per-job actual-execution draws (TaskParams::
   /// exec_variation); runs are reproducible for a fixed seed.

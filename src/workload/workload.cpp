@@ -95,10 +95,14 @@ TaskSet make_task_set(const WorkloadSpec& spec) {
         offsets.push_back(rng.uniform(lo, hi));
       }
       std::sort(offsets.begin(), offsets.end());
-      for (Time off : offsets)
-        p.accesses.push_back(
-            {static_cast<ObjectId>(rng.uniform(0, spec.object_count - 1)),
-             off, !rng.chance(spec.read_fraction)});
+      for (Time off : offsets) {
+        const auto obj =
+            static_cast<ObjectId>(rng.uniform(0, spec.object_count - 1));
+        bool write = !rng.chance(spec.read_fraction);
+        if (spec.single_writer_objects && obj % spec.task_count != i)
+          write = false;
+        p.accesses.push_back({obj, off, write});
+      }
     }
 
     ts.tasks.push_back(std::move(p));

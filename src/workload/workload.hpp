@@ -36,6 +36,15 @@ struct WorkloadSpec {
   /// writes alike under mutual exclusion).  0 = all writes (default).
   double read_fraction = 0.0;
 
+  /// When true, each object has exactly one writer: task i may write
+  /// object o iff o mod task_count == i, and any access another task
+  /// drew as a write is demoted to a read.  Matches the single-writer
+  /// precondition of lockfree::NbwBuffer / AtomicSnapshot so executor
+  /// runs exercise those kinds under their intended usage.  Demotion
+  /// happens after all random draws, so task sets generated with the
+  /// flag off are unchanged.  Default false.
+  bool single_writer_objects = false;
+
   /// Critical time as a fraction of the UAM window: C_i = fraction *
   /// W_i (the model requires C_i <= W_i; the paper's evaluation uses
   /// C = W, the default).  Smaller fractions leave idle headroom after

@@ -144,8 +144,7 @@ TEST(ExecutorMultiCpu, AgreesWithSimulatorAcrossCpuCounts) {
     const sim::SimReport sim_rep = sim.run();
 
     runtime::ExecConfig ec;
-    ec.horizon = horizon;
-    ec.objects = runtime::ObjectKind::kLockFree;
+    ec.horizon = horizon;  // objects default: uniform lock-free queues
     ec.cpu_count = cpus;
     ec.arrival_seed = kArrivalSeed;
     const rt::ExecutorReport exec_rep = runtime::run_on_executor(ts, rua, ec);
