@@ -43,7 +43,7 @@
 //
 // Usage: ext_executor_validation [--tiny] [--cpus=N] [--threads=N]
 //                                [--objects=KIND] [--out FILE]
-//                                [--report-out FILE]
+//                                [--report-out FILE] [--recalibrate]
 //   --tiny        smoke mode for check.sh/CI: short horizons, loose
 //                 tolerance, fewer calibration samples
 //   --cpus=N      restrict the sweep to one cpu_count (smoke runs)
@@ -52,6 +52,9 @@
 //   --out         JSON row output (default BENCH_xval.json in the cwd)
 //   --report-out  full RunReport JSON of one executor run, heatmap
 //                 included (default BENCH_xval_report.json)
+//   --recalibrate ignore the persistent calibration cache
+//                 (runtime::calibrate keeps per-host measurements in
+//                 $LFRT_CALIBRATION_CACHE / ~/.cache) and re-measure
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -215,6 +218,7 @@ int main(int argc, char** argv) {
   using namespace lfrt;
   bench::init(argc, argv);
   bool tiny = false;
+  bool recalibrate = false;
   int only_cpus = 0;  // 0 = sweep {1, 2, 4}
   runtime::ObjectKind kind = runtime::ObjectKind::kQueue;
   std::string out_path = "BENCH_xval.json";
@@ -222,6 +226,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tiny") == 0) {
       tiny = true;
+    } else if (std::strcmp(argv[i], "--recalibrate") == 0) {
+      recalibrate = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--report-out") == 0 && i + 1 < argc) {
@@ -243,7 +249,7 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: ext_executor_validation [--tiny] [--cpus=N] "
                    "[--objects=KIND] [--threads=N] [--out FILE] "
-                   "[--report-out FILE]\n";
+                   "[--report-out FILE] [--recalibrate]\n";
       return 2;
     }
   }
@@ -271,14 +277,19 @@ int main(int argc, char** argv) {
   const std::uint64_t arrival_seed = 1000;
 
   // Calibrate s and r on this host (satellite of the fig08 machinery):
-  // the simulator models what one access actually costs here.
+  // the simulator models what one access actually costs here.  Served
+  // from the per-host persistent cache when available; --recalibrate
+  // forces a fresh measurement and overwrites the cached entry.
   runtime::ExecConfig cal_probe;
   const TaskSet cal_ts = workload::make_task_set(base);
+  runtime::CalibrateOptions cal_opts;
+  cal_opts.force = recalibrate;
   const runtime::AccessCalibration cal =
-      runtime::calibrate(cal_probe, cal_ts, tiny ? 200 : 500);
+      runtime::calibrate(cal_probe, cal_ts, tiny ? 200 : 500, cal_opts);
   std::cout << "calibrated access times: s = " << cal.lockfree_access_time
             << " ns, r = " << cal.lock_access_time << " ns ("
-            << cal.samples << " samples)\n";
+            << cal.samples << " samples"
+            << (cal.from_cache ? ", cached" : ", measured") << ")\n";
 
   std::vector<int> cpu_sweep = {1, 2, 4};
   if (only_cpus > 0) cpu_sweep = {only_cpus};

@@ -13,13 +13,17 @@
 #      the submit-vs-shutdown race (executor_shutdown_race_test),
 #      the M-worker mode witnesses (executor_multicpu_test), the
 #      unified shared-object layer hammered from parallel threads
-#      (shared_object_test), and the read/write object flavours on the
-#      executor adapter (exec_objects_test),
+#      (shared_object_test), the read/write object flavours on the
+#      executor adapter (exec_objects_test), and the sharded stripes
+#      plus live contention controller — conservation and attribution
+#      across concurrent promote/demote (sharded_object_test,
+#      contention_controller_test),
 #   3. -O2 build, tier-1 suite, tiny sched_throughput + sim_throughput
 #      sweeps as bench smoke tests (the latter also re-checks
-#      serial-vs-parallel result identity in production), and a
+#      serial-vs-parallel result identity in production), a
 #      heatmap_contention smoke that must report a non-empty
-#      objects × tasks contention matrix for every kind × impl combo.
+#      objects × tasks contention matrix for every kind × impl combo,
+#      and a shard_adaptive smoke (adaptive-sharding invariants live).
 #
 # Stages 1 and 2 also run the cross-substrate validation bench
 # (ext_executor_validation --tiny): real executor runs under each
@@ -50,9 +54,10 @@ cmake --build build-tsan -j "$JOBS" \
                lockfree_test executor_storm_test \
                executor_shutdown_race_test executor_multicpu_test \
                shared_object_test exec_objects_test \
+               sharded_object_test contention_controller_test \
                ext_executor_validation
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R '^(ExpThreadPool|ExpParallelMap|ExpSweep|ExpThreads|Determinism|ConcurrentBuild|MsQueue|TreiberStack|SpscRing|NodePool|TaggedRef|Sweep/AbaHammerTest|ExecutorStorm|ExecutorShutdownRace|ExecutorMultiCpu|SharedObject|Zoo/SharedObjectAllCombos|ObjectRegistryTest|ReaderWriterKinds/ExecObjects|ExecObjectsLockBased|ExecObjectsMixed)\.'
+      -R '^(ExpThreadPool|ExpParallelMap|ExpSweep|ExpThreads|Determinism|ConcurrentBuild|MsQueue|TreiberStack|SpscRing|NodePool|TaggedRef|Sweep/AbaHammerTest|ExecutorStorm|ExecutorShutdownRace|ExecutorMultiCpu|SharedObject|Zoo/SharedObjectAllCombos|ObjectRegistryTest|ReaderWriterKinds/ExecObjects|ExecObjectsLockBased|ExecObjectsMixed|ShardedQueue|ShardedStack|EliminationArray|SharedObjectSharded|LiveController)\.'
 ./build-tsan/bench/ext_executor_validation --tiny --cpus=1 \
       --out build-tsan/BENCH_xval_smoke.json
 ./build-tsan/bench/ext_executor_validation --tiny --cpus=4 \
@@ -72,4 +77,11 @@ HEAT_OUT=$(./build-o2/bench/heatmap_contention --tiny \
       --out build-o2/BENCH_heatmap_smoke.json)
 echo "$HEAT_OUT" | tail -n 2
 echo "$HEAT_OUT" | grep -q '8 combos, 4x8 cells each — all checks ok'
+# Adaptive-sharding smoke: attribution invariants and the controller
+# acting are asserted even in --tiny; the pinned line catches a
+# silently skipped check block.
+SHARD_OUT=$(./build-o2/bench/shard_adaptive --tiny \
+      --out build-o2/BENCH_shard_smoke.json)
+echo "$SHARD_OUT" | tail -n 2
+echo "$SHARD_OUT" | grep -q 'shard_adaptive: all checks ok'
 echo "OK: ASan+TSan clean, tier-1 green twice, bench smokes passed"

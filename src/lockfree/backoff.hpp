@@ -1,0 +1,62 @@
+// Bounded exponential backoff for CAS retry loops.
+//
+// A failed CAS means another thread changed the structure inside this
+// thread's read→CAS window; immediately re-reading under heavy
+// contention keeps every loser hammering the same cache line and turns
+// a conflict into a retry storm.  Pausing for an exponentially growing
+// (but compile-time capped) number of spins before the re-read lets the
+// winner's store settle and de-synchronizes the losers — the classic
+// counterpart to Theorem 2's interference charge: the bound covers the
+// retries, the backoff makes each one cheaper.
+//
+// The spin count is *reported*, not hidden: callers feed the spins
+// executed into ObjectStats::record_backoff so the time spent backing
+// off shows up in run reports (Job::backoff_spins,
+// RunReport::total_backoff_spins) instead of vanishing into the
+// structure's latency.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace lfrt::lockfree {
+
+/// One CPU-relax hint (PAUSE / YIELD / compiler barrier fallback).
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Per-operation exponential backoff ladder.  Stack-allocate one per
+/// public operation (enqueue/dequeue/push/pop); call pause() after each
+/// failed attempt.  The ladder starts at kMinSpins relax hints and
+/// doubles per failure up to kMaxSpins — a hard compile-time cap so a
+/// backlogged loop can never sleep unbounded time (this is a real-time
+/// codebase: the worst-case pause is kMaxSpins relax hints, full stop).
+class Backoff {
+ public:
+  static constexpr std::int64_t kMinSpins = 4;
+  static constexpr std::int64_t kMaxSpins = 256;  ///< compile-time cap
+
+  /// Spin the current rung and climb one; returns the spins executed
+  /// (the caller records them via ObjectStats::record_backoff).
+  std::int64_t pause() {
+    const std::int64_t n = spins_;
+    for (std::int64_t i = 0; i < n; ++i) cpu_relax();
+    spins_ = spins_ < kMaxSpins / 2 ? spins_ * 2 : kMaxSpins;
+    return n;
+  }
+
+ private:
+  std::int64_t spins_ = kMinSpins;
+};
+
+}  // namespace lfrt::lockfree

@@ -1,0 +1,111 @@
+// Elimination front for push–pop pairs (Hendler/Shavit-style, bounded).
+//
+// A LIFO stack admits a degenerate linearization: a push immediately
+// followed by a pop of the same element leaves the stack untouched, so
+// a concurrent push/pop pair may *eliminate* — exchange the value
+// through a side slot and skip the top-of-stack CAS entirely.  Under a
+// retry storm on `top_` that is exactly the pair most likely to
+// collide, so the front converts the worst conflicts into zero shared-
+// state traffic.  (FIFO queues admit no such linearization — an
+// eliminated enqueue/dequeue pair would reorder against elements
+// already queued — so ShardedQueue deliberately has no front.)
+//
+// Protocol per slot (one atomic word):
+//   EMPTY -> WAITING(value)   pusher advertises, bounded spin
+//   WAITING -> TAKEN          popper claims the value
+//   TAKEN -> EMPTY            pusher acknowledges, returns success
+//   WAITING -> EMPTY          pusher times out, falls back to the stack
+//
+// The advertisement window is a bounded spin (kWindowSpins relax
+// hints): the pusher's operation must be complete when it returns, so
+// it can never park inside the front.  A popper that claims a stale-
+// looking WAITING word always claims a *live* advertisement (the word
+// is only ever installed by a pusher currently inside exchange_push),
+// so every successful claim is a real pairing — count conservation
+// holds by construction: an eliminated pair contributes +1 push and
+// +1 pop to the operation ledger and 0 elements to the stripes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "lockfree/backoff.hpp"
+
+namespace lfrt::lockfree {
+
+/// Elimination array for int-valued stacks (the value type the unified
+/// shared-object layer traffics in).  Slot count and window are small
+/// compile-time constants: the front is an opportunistic fast path, not
+/// a queue of its own.
+class EliminationArray {
+ public:
+  static constexpr std::size_t kSlots = 4;
+  static constexpr int kWindowSpins = 64;
+
+  /// Pusher side: advertise `value` briefly; true when a popper took it
+  /// (the push is done), false when the caller must fall back to the
+  /// underlying stack.
+  bool exchange_push(int value) {
+    const std::size_t s = slot_of(value);
+    const std::uint64_t waiting = encode(value);
+    std::uint64_t expected = kEmpty;
+    if (!slots_[s].word.compare_exchange_strong(expected, waiting,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed))
+      return false;  // slot busy: no front this time
+    for (int i = 0; i < kWindowSpins; ++i) {
+      if (slots_[s].word.load(std::memory_order_acquire) == kTaken) {
+        slots_[s].word.store(kEmpty, std::memory_order_release);
+        return true;
+      }
+      cpu_relax();
+    }
+    expected = waiting;
+    if (slots_[s].word.compare_exchange_strong(expected, kEmpty,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire))
+      return false;  // window expired unclaimed
+    // Lost the race to a popper that claimed at the last instant.
+    slots_[s].word.store(kEmpty, std::memory_order_release);
+    return true;
+  }
+
+  /// Popper side: claim any waiting pusher's value, if one is there.
+  std::optional<int> exchange_pop() {
+    for (std::size_t s = 0; s < kSlots; ++s) {
+      std::uint64_t w = slots_[s].word.load(std::memory_order_acquire);
+      if (w == kEmpty || w == kTaken) continue;
+      if (slots_[s].word.compare_exchange_strong(w, kTaken,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_relaxed))
+        return decode(w);
+    }
+    return std::nullopt;
+  }
+
+ private:
+  // Word layout: 0 = EMPTY, 1 = TAKEN, else WAITING with the value in
+  // the low 32 bits and a marker bit keeping any value distinct from
+  // the two sentinels.
+  static constexpr std::uint64_t kEmpty = 0;
+  static constexpr std::uint64_t kTaken = 1;
+  static constexpr std::uint64_t kWaitingBit = std::uint64_t{1} << 63;
+
+  static std::uint64_t encode(int v) {
+    return kWaitingBit | static_cast<std::uint32_t>(v);
+  }
+  static int decode(std::uint64_t w) {
+    return static_cast<int>(static_cast<std::uint32_t>(w));
+  }
+  static std::size_t slot_of(int v) {
+    return static_cast<std::uint32_t>(v) % kSlots;
+  }
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> word{kEmpty};
+  };
+  Slot slots_[kSlots];
+};
+
+}  // namespace lfrt::lockfree

@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "lockfree/annotate.hpp"
+#include "lockfree/backoff.hpp"
 #include "lockfree/node_pool.hpp"
 #include "lockfree/tagged.hpp"
 #include "runtime/object_stats.hpp"
@@ -42,6 +43,7 @@ class MsQueue {
     detail::store_value_slot(pool_.at(node).value, value);
     pool_.at(node).next.store(TaggedRef::null().bits,
                               std::memory_order_release);
+    Backoff backoff;
     for (;;) {
       TaggedRef tail{tail_.load(std::memory_order_acquire)};
       TaggedRef next{pool_.at(tail.index()).next.load(
@@ -71,11 +73,13 @@ class MsQueue {
         }
       }
       stats_.record_retry();
+      stats_.record_backoff(backoff.pause());
     }
   }
 
   /// Dequeue the oldest element; empty optional when the queue is empty.
   std::optional<T> dequeue() {
+    Backoff backoff;
     for (;;) {
       TaggedRef head{head_.load(std::memory_order_acquire)};
       TaggedRef tail{tail_.load(std::memory_order_acquire)};
@@ -107,6 +111,7 @@ class MsQueue {
         }
       }
       stats_.record_retry();
+      stats_.record_backoff(backoff.pause());
     }
   }
 

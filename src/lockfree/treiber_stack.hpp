@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "lockfree/annotate.hpp"
+#include "lockfree/backoff.hpp"
 #include "lockfree/node_pool.hpp"
 #include "lockfree/tagged.hpp"
 #include "runtime/object_stats.hpp"
@@ -26,6 +27,7 @@ class TreiberStack {
     if (node == TaggedRef::kNullIndex) return false;
     detail::store_value_slot(pool_.at(node).value, value);
     TaggedRef top{top_.load(std::memory_order_acquire)};
+    Backoff backoff;
     for (;;) {
       pool_.at(node).next.store(TaggedRef::make(top.index(), 0).bits,
                                 std::memory_order_relaxed);
@@ -37,12 +39,14 @@ class TreiberStack {
         return true;
       }
       stats_.record_retry();
+      stats_.record_backoff(backoff.pause());
     }
   }
 
   /// Pop the most recent element; empty optional when the stack is empty.
   std::optional<T> pop() {
     TaggedRef top{top_.load(std::memory_order_acquire)};
+    Backoff backoff;
     for (;;) {
       if (top.is_null()) {
         stats_.record_op();
@@ -61,6 +65,7 @@ class TreiberStack {
         return value;
       }
       stats_.record_retry();
+      stats_.record_backoff(backoff.pause());
     }
   }
 

@@ -192,7 +192,8 @@ struct Executor::Impl {
       // One sink covers body and abort handler: both run here, and this
       // thread runs nothing else, so credits cannot leak across jobs no
       // matter how many workers are inside a structure at once.
-      runtime::ScopedAccessSink sink(&r->acct.retries, &r->acct.blockings);
+      runtime::ScopedAccessSink sink(&r->acct.retries, &r->acct.blockings,
+                                     &r->acct.backoff_spins);
       try {
         {
           std::lock_guard<std::mutex> lock(mu);
@@ -272,13 +273,18 @@ struct Executor::Impl {
 
       // Top-M target selection + sticky assignment: the exact rule the
       // simulator's cpu_count > 1 path applies (sched/dispatch.hpp).
-      const auto& targets = selector.select(
+      // With no conflict groups installed select_steered IS select.
+      const auto& targets = selector.select_steered(
           no_front, res, cpu_count, static_cast<std::size_t>(next_id),
           [&](JobId id) {
             const auto it = jobs.find(id);
             if (it == jobs.end()) return false;
             const RtState s = it->second->state;
             return !terminal(s) && s != RtState::kAborting;
+          },
+          [&](JobId id) -> TaskId {
+            const auto it = jobs.find(id);
+            return it == jobs.end() ? TaskId{-1} : it->second->spec.task;
           });
       const auto& next = selector.assign_sticky(
           targets, cpu_count, [&](JobId id) { return jobs.at(id)->cpu; });
@@ -325,6 +331,12 @@ struct Executor::Impl {
     }
   }
 
+  void set_task_conflict_groups(std::vector<std::int32_t> groups) {
+    std::lock_guard<std::mutex> lock(mu);
+    selector.set_conflict_groups(std::move(groups));
+    sched_cv.notify_all();  // re-dispatch under the new steering
+  }
+
   void drain() {
     std::unique_lock<std::mutex> lock(mu);
     sched_cv.wait(lock, [&] {
@@ -354,10 +366,12 @@ struct Executor::Impl {
     report.jobs.clear();
     report.total_retries = 0;
     report.total_blockings = 0;
+    report.total_backoff_spins = 0;
     for (const auto& [id, r] : jobs) {  // std::map: id order
       report.jobs.push_back(r->acct);
       report.total_retries += r->acct.retries;
       report.total_blockings += r->acct.blockings;
+      report.total_backoff_spins += r->acct.backoff_spins;
     }
     return report;
   }
@@ -373,6 +387,10 @@ Executor::~Executor() {
 JobId Executor::submit(RtJob job) { return impl_->submit(std::move(job)); }
 
 void Executor::drain() { impl_->drain(); }
+
+void Executor::set_task_conflict_groups(std::vector<std::int32_t> groups) {
+  impl_->set_task_conflict_groups(std::move(groups));
+}
 
 ExecutorReport Executor::shutdown() { return impl_->shutdown(); }
 

@@ -167,6 +167,16 @@ class Executor {
   /// Block until every submitted job has completed or aborted.
   void drain();
 
+  /// Install the contention controller's per-task conflict vector:
+  /// groups[task] is the object task is currently hammering (-1 =
+  /// none).  While non-empty, the dispatcher's top-M selection avoids
+  /// co-scheduling two tasks of the same group when other eligible jobs
+  /// can fill the slots (never leaving a CPU idle for it).  An empty
+  /// vector — the initial state — disables steering; pass empty again
+  /// to clear it.  Thread-safe; takes effect at the next scheduling
+  /// pass.
+  void set_task_conflict_groups(std::vector<std::int32_t> groups);
+
   /// Stop accepting submissions, drain, stop the scheduling thread, and
   /// return the tallies.
   ExecutorReport shutdown();

@@ -1,9 +1,120 @@
 #include "runtime/calibrate.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "runtime/json_min.hpp"
 
 namespace lfrt::runtime {
+namespace {
+
+// One cached measurement.  Entries are keyed by (host, cpus, samples):
+// access times are a property of the machine and the sample budget, not
+// of the workload shape, so distinct benches on one host share a hit.
+struct CacheEntry {
+  std::string host;
+  std::int64_t cpus = 0;
+  std::int64_t samples = 0;
+  Time lockfree_ns = 0;
+  Time lock_ns = 0;
+};
+
+std::string host_name() {
+  char buf[256] = {};
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf[0] != '\0' ? std::string(buf) : std::string("unknown");
+}
+
+std::int64_t cpu_count() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::int64_t>(n);
+}
+
+std::vector<CacheEntry> load_cache(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::vector<CacheEntry> entries;
+  try {
+    const jsonmin::JsonValue root = jsonmin::Parser(buf.str()).parse();
+    const jsonmin::JsonObject* o = root.as_object();
+    if (o == nullptr) return {};
+    const jsonmin::JsonValue* ev = jsonmin::find(*o, "entries");
+    const jsonmin::JsonArray* arr = ev != nullptr ? ev->as_array() : nullptr;
+    if (arr == nullptr) return {};
+    for (const jsonmin::JsonValue& v : *arr) {
+      const jsonmin::JsonObject* eo = v.as_object();
+      if (eo == nullptr) continue;
+      CacheEntry e;
+      const jsonmin::JsonValue* h = jsonmin::find(*eo, "host");
+      const std::string* hs = h != nullptr ? h->as_string() : nullptr;
+      if (hs == nullptr) continue;
+      e.host = *hs;
+      e.cpus = jsonmin::get_int(*eo, "cpus");
+      e.samples = jsonmin::get_int(*eo, "samples");
+      e.lockfree_ns = jsonmin::get_int(*eo, "lockfree_ns");
+      e.lock_ns = jsonmin::get_int(*eo, "lock_ns");
+      if (e.lockfree_ns > 0 && e.lock_ns > 0) entries.push_back(std::move(e));
+    }
+  } catch (const std::exception&) {
+    // A corrupt cache is indistinguishable from no cache.
+    return {};
+  }
+  return entries;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+void store_cache(const std::string& path,
+                 const std::vector<CacheEntry>& entries) {
+  std::string out = "{\"entries\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const CacheEntry& e = entries[i];
+    if (i > 0) out += ',';
+    out += "{\"host\":";
+    append_json_string(out, e.host);
+    out += ",\"cpus\":" + std::to_string(e.cpus);
+    out += ",\"samples\":" + std::to_string(e.samples);
+    out += ",\"lockfree_ns\":" + std::to_string(e.lockfree_ns);
+    out += ",\"lock_ns\":" + std::to_string(e.lock_ns);
+    out += '}';
+  }
+  out += "]}\n";
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path())
+    std::filesystem::create_directories(p.parent_path(), ec);
+  std::ofstream f(path, std::ios::trunc);
+  if (f) f << out;  // best-effort: an unwritable cache is not an error
+}
+
+}  // namespace
+
+std::string calibration_cache_path() {
+  if (const char* env = std::getenv("LFRT_CALIBRATION_CACHE");
+      env != nullptr && env[0] != '\0')
+    return env;
+  if (const char* home = std::getenv("HOME");
+      home != nullptr && home[0] != '\0')
+    return std::string(home) + "/.cache/lfrt_calibration.json";
+  return ".lfrt_calibration.json";
+}
 
 AccessCalibration calibrate_access_times(const rt::AccessTimeConfig& mcfg) {
   const rt::AccessTimeResult lf = rt::measure_lockfree_access(mcfg);
@@ -18,7 +129,28 @@ AccessCalibration calibrate_access_times(const rt::AccessTimeConfig& mcfg) {
 }
 
 AccessCalibration calibrate(ExecConfig& cfg, const TaskSet& ts,
-                            std::int64_t samples) {
+                            std::int64_t samples,
+                            const CalibrateOptions& opts) {
+  const std::string path =
+      opts.cache_path.empty() ? calibration_cache_path() : opts.cache_path;
+  const std::string host = host_name();
+  const std::int64_t cpus = cpu_count();
+
+  if (opts.use_cache && !opts.force) {
+    for (const CacheEntry& e : load_cache(path)) {
+      if (e.host == host && e.cpus == cpus && e.samples == samples) {
+        AccessCalibration cal;
+        cal.lockfree_access_time = e.lockfree_ns;
+        cal.lock_access_time = e.lock_ns;
+        cal.samples = e.samples;
+        cal.from_cache = true;
+        cfg.sim_lockfree_access_time = cal.lockfree_access_time;
+        cfg.sim_lock_access_time = cal.lock_access_time;
+        return cal;
+      }
+    }
+  }
+
   rt::AccessTimeConfig mcfg;
   mcfg.object_count = std::max<std::int32_t>(1, ts.object_count);
   mcfg.task_count =
@@ -27,6 +159,19 @@ AccessCalibration calibrate(ExecConfig& cfg, const TaskSet& ts,
   const AccessCalibration cal = calibrate_access_times(mcfg);
   cfg.sim_lockfree_access_time = cal.lockfree_access_time;
   cfg.sim_lock_access_time = cal.lock_access_time;
+
+  if (opts.use_cache) {
+    std::vector<CacheEntry> entries = load_cache(path);
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [&](const CacheEntry& e) {
+                                   return e.host == host && e.cpus == cpus &&
+                                          e.samples == samples;
+                                 }),
+                  entries.end());
+    entries.push_back({host, cpus, samples, cal.lockfree_access_time,
+                       cal.lock_access_time});
+    store_cache(path, entries);
+  }
   return cal;
 }
 

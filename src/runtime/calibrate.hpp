@@ -10,7 +10,18 @@
 // of a cross-validation run is parameterized by the same machine that
 // produces the executor side (the paper's Section 5 measurement,
 // feeding its Section 6 simulation).
+//
+// Measurements are stable per host, so they are cached persistently:
+// calibrate() consults a small JSON file keyed by hostname + CPU count
+// + sample budget and skips the microbenchmarks on a hit.  The cache
+// lives at $LFRT_CALIBRATION_CACHE if set, else
+// $HOME/.cache/lfrt_calibration.json, else ./.lfrt_calibration.json.
+// Pass CalibrateOptions{.force = true} (the benches' --recalibrate) to
+// re-measure and overwrite the entry; cache I/O failures fall back to
+// measuring — calibration never fails because the cache is unwritable.
 #pragma once
+
+#include <string>
 
 #include "rt/access_time.hpp"
 #include "runtime/exec_adapter.hpp"
@@ -23,7 +34,20 @@ struct AccessCalibration {
   Time lockfree_access_time = 0;  ///< s — mean lock-free access (ns)
   Time lock_access_time = 0;      ///< r — mean lock-based access (ns)
   std::int64_t samples = 0;       ///< samples behind each mean
+  bool from_cache = false;        ///< true when served from the cache
 };
+
+/// Cache behaviour for calibrate().
+struct CalibrateOptions {
+  bool use_cache = true;   ///< consult/update the persistent cache
+  bool force = false;      ///< re-measure even on a hit (--recalibrate)
+  std::string cache_path;  ///< override the file; empty = default chain
+};
+
+/// The cache file calibrate() would use for an empty
+/// CalibrateOptions::cache_path — env override, then
+/// $HOME/.cache/lfrt_calibration.json, then ./.lfrt_calibration.json.
+std::string calibration_cache_path();
 
 /// Run both fig08 microbenchmarks and return the measured means,
 /// clamped to >= 1 ns (the simulator requires positive access times).
@@ -33,8 +57,12 @@ AccessCalibration calibrate_access_times(const rt::AccessTimeConfig& mcfg);
 /// counts) and write the results into cfg.sim_lockfree_access_time /
 /// cfg.sim_lock_access_time.  `samples` trades precision for startup
 /// time (the fig08 bench uses 2000; a few hundred suffices to get the
-/// order of magnitude right for cross-validation).
+/// order of magnitude right for cross-validation).  With the default
+/// options a prior measurement for this host/CPU-count/sample budget is
+/// reused from the persistent cache; a fresh measurement is written
+/// back (best-effort).
 AccessCalibration calibrate(ExecConfig& cfg, const TaskSet& ts,
-                            std::int64_t samples = 500);
+                            std::int64_t samples = 500,
+                            const CalibrateOptions& opts = {});
 
 }  // namespace lfrt::runtime

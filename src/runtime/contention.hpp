@@ -31,6 +31,13 @@ struct ContentionMatrix {
   std::int32_t tasks = 0;
   std::vector<ContentionCell> cells;  ///< size == objects * tasks
 
+  /// Per-object active stripe count at snapshot time (the sharding
+  /// dimension): size == objects when the run's substrate reports it,
+  /// empty on legacy reports.  Cells stay per *object* — every stripe
+  /// of a sharded object feeds the same row, which is what keeps the
+  /// three-way attribution sums exact across promote/demote.
+  std::vector<std::int32_t> shard_counts;
+
   ContentionMatrix() = default;
   ContentionMatrix(std::int32_t object_count, std::int32_t task_count)
       : objects(object_count),

@@ -1,0 +1,105 @@
+#include "runtime/contention_controller.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "rt/executor.hpp"
+#include "runtime/shared_object.hpp"
+
+namespace lfrt::runtime {
+
+struct ContentionController::Impl {
+  ControllerConfig cfg;
+  SharedObjectSet* objects;
+  rt::Executor* executor;
+  ContentionControllerCore core;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool running = false;
+  bool stop_requested = false;
+  std::thread thread;
+
+  std::vector<ShardDecision> decisions;  // under mu
+  std::int64_t epochs_stepped = 0;       // under mu
+  std::chrono::steady_clock::time_point started;
+
+  Impl(ControllerConfig c, SharedObjectSet* objs, rt::Executor* ex)
+      : cfg(c), objects(objs), executor(ex), core(c, collect_specs(objs)) {}
+
+  static std::vector<ObjectSpec> collect_specs(SharedObjectSet* objs) {
+    std::vector<ObjectSpec> specs;
+    specs.reserve(static_cast<std::size_t>(objs->object_count()));
+    for (std::int32_t o = 0; o < objs->object_count(); ++o)
+      specs.push_back(objs->spec_of(o));
+    return specs;
+  }
+
+  void loop() {
+    // Baseline sample, so the first timed epoch sees a real diff.
+    core.step(objects->matrix());
+    std::unique_lock<std::mutex> lock(mu);
+    while (!stop_requested) {
+      cv.wait_for(lock, std::chrono::nanoseconds(cfg.epoch),
+                  [&] { return stop_requested; });
+      if (stop_requested) break;
+      lock.unlock();
+      ContentionControllerCore::Epoch ep = core.step(objects->matrix());
+      for (ShardDecision& d : ep.decisions)
+        objects->set_shards(d.object, d.to_shards);
+      if (executor != nullptr)
+        executor->set_task_conflict_groups(ep.conflict_groups);
+      const Time stamp = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
+      lock.lock();
+      ++epochs_stepped;
+      for (ShardDecision& d : ep.decisions) {
+        d.time = stamp;
+        decisions.push_back(d);
+      }
+    }
+  }
+};
+
+ContentionController::ContentionController(ControllerConfig cfg,
+                                           SharedObjectSet* objects,
+                                           rt::Executor* executor)
+    : impl_(std::make_unique<Impl>(cfg, objects, executor)) {}
+
+ContentionController::~ContentionController() { stop(); }
+
+void ContentionController::start() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->running) return;
+  impl_->running = true;
+  impl_->stop_requested = false;
+  impl_->started = std::chrono::steady_clock::now();
+  impl_->thread = std::thread([this] { impl_->loop(); });
+}
+
+void ContentionController::stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (!impl_->running) return;
+    impl_->stop_requested = true;
+    impl_->cv.notify_all();
+  }
+  impl_->thread.join();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->running = false;
+}
+
+std::vector<ShardDecision> ContentionController::decisions() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->decisions;
+}
+
+std::int64_t ContentionController::epochs() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->epochs_stepped;
+}
+
+}  // namespace lfrt::runtime

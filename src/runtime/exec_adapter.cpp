@@ -5,6 +5,7 @@
 #include <memory>
 #include <thread>
 
+#include "runtime/contention_controller.hpp"
 #include "runtime/shared_object.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
@@ -114,11 +115,28 @@ rt::ExecutorReport run_on_executor(const TaskSet& ts,
                    });
 
   rt::Executor ex(scheduler, rt::ExecutorConfig{cfg.cpu_count});
+
+  // Live contention controller, only when an object opted in: it reads
+  // the registry's heatmap every epoch, promotes/demotes stripes on the
+  // real structures, and installs dispatch steering.  Stopped before
+  // shutdown so the final matrix is quiescent.
+  std::unique_ptr<ContentionController> controller;
+  bool any_adapt = false;
+  for (std::int32_t o = 0; o < objs->object_count(); ++o)
+    any_adapt = any_adapt || objs->spec_of(o).adapt;
+  if (any_adapt) {
+    controller =
+        std::make_unique<ContentionController>(cfg.controller, objs.get(), &ex);
+    controller->start();
+  }
+
   const auto epoch = Clock::now();
   for (const Arrival& a : tape) {
     std::this_thread::sleep_until(epoch + std::chrono::nanoseconds(a.at));
     ex.submit(make_job(ts.by_id(a.task), objs, cfg.quantum));
   }
+  ex.drain();
+  if (controller) controller->stop();
   rt::ExecutorReport rep = ex.shutdown();
   rep.contention = objs->matrix();
   return rep;

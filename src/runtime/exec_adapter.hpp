@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "rt/executor.hpp"
+#include "runtime/contention_controller.hpp"
 #include "runtime/object_spec.hpp"
 #include "task/task.hpp"
 #include "workload/workload.hpp"
@@ -65,6 +66,13 @@ struct ExecConfig {
   /// balanced, so steady-state occupancy stays near the in-flight job
   /// count).
   std::size_t queue_capacity = 1024;
+
+  /// Contention-controller tuning, engaged when any ObjectSpec in
+  /// `objects` sets adapt: run_on_executor then runs a live
+  /// runtime::ContentionController thread for the duration of the tape,
+  /// promoting/demoting shard counts on the real sharded structures and
+  /// steering the executor's dispatch by the epoch conflict vector.
+  ControllerConfig controller;
 
   /// Simulator-side access costs — s and r of Section 5 — used when a
   /// harness cross-validates this run against sim::Simulator.  The

@@ -1,0 +1,263 @@
+// Minimal JSON DOM + recursive-descent parser, shared by report_json
+// (report round-trips) and calibrate (the persistent calibration
+// cache).  Deliberately tiny: just what the repo's own writers emit —
+// objects, arrays, strings with simple escapes, bools, null, and
+// numbers that keep both views (is_int marks values parsed without
+// '.', 'e'), so int64 fields round-trip exactly even past 2^53.
+#pragma once
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace lfrt::runtime::jsonmin {
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue, std::less<>>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v = nullptr;
+  std::int64_t inum = 0;
+  bool is_int = false;
+
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  double as_double() const { return std::get<double>(v); }
+  std::int64_t as_int() const {
+    if (is_int) return inum;
+    return static_cast<std::int64_t>(std::llround(std::get<double>(v)));
+  }
+  const std::string* as_string() const {
+    return std::get_if<std::string>(&v);
+  }
+  const JsonArray* as_array() const {
+    auto* p = std::get_if<std::shared_ptr<JsonArray>>(&v);
+    return p ? p->get() : nullptr;
+  }
+  const JsonObject* as_object() const {
+    auto* p = std::get_if<std::shared_ptr<JsonObject>>(&v);
+    return p ? p->get() : nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : s_(s) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* why) const {
+    throw std::runtime_error(std::string("json: ") + why + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (s_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"': {
+        JsonValue v;
+        v.v = string();
+        return v;
+      }
+      case 't': {
+        if (!consume_literal("true")) fail("bad literal");
+        JsonValue v;
+        v.v = true;
+        return v;
+      }
+      case 'f': {
+        if (!consume_literal("false")) fail("bad literal");
+        JsonValue v;
+        v.v = false;
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      }
+      default:
+        return number();
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          // \uXXXX is not emitted by our writers; reject, don't decode.
+          default: fail("unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool integral = true;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        integral = integral && c != '.' && c != 'e' && c != 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a number");
+    const std::string_view text = s_.substr(start, pos_ - start);
+    JsonValue v;
+    double d = 0.0;
+    const auto dres =
+        std::from_chars(text.data(), text.data() + text.size(), d);
+    if (dres.ec != std::errc{} || dres.ptr != text.data() + text.size())
+      fail("malformed number");
+    v.v = d;
+    if (integral) {
+      std::int64_t i = 0;
+      const auto ires =
+          std::from_chars(text.data(), text.data() + text.size(), i);
+      if (ires.ec == std::errc{} && ires.ptr == text.data() + text.size()) {
+        v.inum = i;
+        v.is_int = true;
+      }
+    }
+    return v;
+  }
+
+  JsonValue array() {
+    expect('[');
+    auto arr = std::make_shared<JsonArray>();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+    } else {
+      for (;;) {
+        arr->push_back(value());
+        skip_ws();
+        const char c = peek();
+        ++pos_;
+        if (c == ']') break;
+        if (c != ',') fail("expected ',' or ']'");
+      }
+    }
+    JsonValue v;
+    v.v = std::move(arr);
+    return v;
+  }
+
+  JsonValue object() {
+    expect('{');
+    auto obj = std::make_shared<JsonObject>();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+    } else {
+      for (;;) {
+        skip_ws();
+        std::string key = string();
+        skip_ws();
+        expect(':');
+        (*obj)[std::move(key)] = value();
+        skip_ws();
+        const char c = peek();
+        ++pos_;
+        if (c == '}') break;
+        if (c != ',') fail("expected ',' or '}'");
+      }
+    }
+    JsonValue v;
+    v.v = std::move(obj);
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+inline const JsonValue* find(const JsonObject& o, std::string_view key) {
+  const auto it = o.find(key);
+  return it == o.end() ? nullptr : &it->second;
+}
+
+inline std::int64_t get_int(const JsonObject& o, std::string_view key,
+                            std::int64_t fallback = 0) {
+  const JsonValue* v = find(o, key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number())
+    throw std::runtime_error("json: non-numeric " + std::string(key));
+  return v->as_int();
+}
+
+inline double get_double(const JsonObject& o, std::string_view key,
+                         double fallback = 0.0) {
+  const JsonValue* v = find(o, key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number())
+    throw std::runtime_error("json: non-numeric " + std::string(key));
+  return v->as_double();
+}
+
+}  // namespace lfrt::runtime::jsonmin

@@ -1,0 +1,71 @@
+// Log2-bucketed concurrent latency histogram.
+//
+// The shard_adaptive bench needs a p99 access latency, and tail
+// percentiles cannot be recovered from a mean — so the access layer
+// records every structure-operation duration here, always on.  A
+// power-of-two bucket per sample keeps the record path to one clz and
+// one relaxed fetch_add (no allocation, no lock), cheap enough to leave
+// enabled in every run; the price is that a percentile is resolved to
+// its bucket's upper bound, i.e. within 2x — plenty to show a tail
+// collapsing by an order of magnitude.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace lfrt::runtime {
+
+/// Concurrent histogram of nanosecond durations in log2 buckets:
+/// bucket b counts samples in [2^(b-1), 2^b), bucket 0 counts {0}.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 48;  ///< covers > 3 days in ns
+
+  void record(std::int64_t ns) {
+    buckets_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::int64_t count() const {
+    std::int64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Upper bound (ns) of the bucket holding the p-th percentile sample
+  /// (p in [0, 1]); 0 when the histogram is empty.  Exact after
+  /// quiesce, small-skew tolerant during a run.
+  std::int64_t percentile(double p) const {
+    std::int64_t counts[kBuckets];
+    std::int64_t total = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      counts[b] = buckets_[b].load(std::memory_order_relaxed);
+      total += counts[b];
+    }
+    if (total == 0) return 0;
+    std::int64_t rank = static_cast<std::int64_t>(p * static_cast<double>(total));
+    if (rank >= total) rank = total - 1;
+    std::int64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += counts[b];
+      if (seen > rank) return upper_bound(b);
+    }
+    return upper_bound(kBuckets - 1);
+  }
+
+  static int bucket_of(std::int64_t ns) {
+    if (ns <= 0) return 0;
+    const int b = std::bit_width(static_cast<std::uint64_t>(ns));
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  static std::int64_t upper_bound(int bucket) {
+    if (bucket == 0) return 0;
+    return std::int64_t{1} << bucket;
+  }
+
+ private:
+  std::atomic<std::int64_t> buckets_[kBuckets] = {};
+};
+
+}  // namespace lfrt::runtime

@@ -32,13 +32,38 @@ enum class ObjectImpl : std::uint8_t {
   kLockBased,  ///< mutual exclusion; blocking episodes (n_i events)
 };
 
+/// Hard cap on the shard fan-out of one object (compile-time: shard
+/// headers and the simulator's per-shard conflict state are sized by
+/// it).  8 stripes already spread 8 hammering tasks one-per-stripe.
+inline constexpr std::int32_t kMaxObjectShards = 8;
+
 /// One shared object of a run's universe, indexed by ObjectId.
 struct ObjectSpec {
   ObjectKind kind = ObjectKind::kQueue;
   ObjectImpl impl = ObjectImpl::kLockFree;
 
+  /// Initial stripe count of a lock-free queue/stack (clamped to
+  /// [1, kMaxObjectShards]; other kinds ignore it): accesses spread
+  /// over `shards` independent structures by task affinity, so tasks
+  /// landing on different stripes stop invalidating each other's CAS
+  /// windows.  1 — the default — is the unsharded structure.
+  std::int32_t shards = 1;
+
+  /// Opt this object into the online ContentionController: its stripe
+  /// count is then promoted/demoted at run time from the live
+  /// ContentionMatrix (shards above is the starting point and the
+  /// demotion floor).
+  bool adapt = false;
+
   friend bool operator==(const ObjectSpec&, const ObjectSpec&) = default;
 };
+
+/// ObjectSpec::shards clamped to the representable range.
+inline std::int32_t clamp_shards(std::int32_t shards) {
+  if (shards < 1) return 1;
+  if (shards > kMaxObjectShards) return kMaxObjectShards;
+  return shards;
+}
 
 inline std::string to_string(ObjectKind kind) {
   switch (kind) {

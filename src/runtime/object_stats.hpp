@@ -48,6 +48,7 @@ namespace detail {
 struct AccessSinkState {
   std::int64_t* retries = nullptr;
   std::int64_t* blockings = nullptr;
+  std::int64_t* backoff = nullptr;   ///< backoff spins (per-job tally)
   AtomicAccessCell* cell = nullptr;  ///< (object, task) attribution
 };
 
@@ -61,9 +62,10 @@ inline thread_local AccessSinkState tls_access_sink;
 /// by no other thread while it is active.
 class ScopedAccessSink {
  public:
-  ScopedAccessSink(std::int64_t* retries, std::int64_t* blockings)
+  ScopedAccessSink(std::int64_t* retries, std::int64_t* blockings,
+                   std::int64_t* backoff = nullptr)
       : prev_(detail::tls_access_sink) {
-    detail::tls_access_sink = {retries, blockings, nullptr};
+    detail::tls_access_sink = {retries, blockings, backoff, nullptr};
   }
   ~ScopedAccessSink() { detail::tls_access_sink = prev_; }
 
@@ -94,6 +96,26 @@ class ScopedCellSink {
   AtomicAccessCell* prev_;
 };
 
+/// Plain (non-atomic) snapshot of one structure's counters — what a
+/// sharded object aggregates over its stripes and what callers compare
+/// against heatmap rows after quiesce.
+struct ObjectCounts {
+  std::int64_t ops = 0;
+  std::int64_t retries = 0;
+  std::int64_t acquisitions = 0;
+  std::int64_t contended = 0;
+  std::int64_t backoff_spins = 0;
+
+  ObjectCounts& operator+=(const ObjectCounts& o) {
+    ops += o.ops;
+    retries += o.retries;
+    acquisitions += o.acquisitions;
+    contended += o.contended;
+    backoff_spins += o.backoff_spins;
+    return *this;
+  }
+};
+
 /// The one accounting interface every shared structure exposes via
 /// `stats()`.
 struct ObjectStats {
@@ -101,6 +123,7 @@ struct ObjectStats {
   std::atomic<std::int64_t> retries{0};
   std::atomic<std::int64_t> acquisitions{0};
   std::atomic<std::int64_t> contended{0};
+  std::atomic<std::int64_t> backoff_spins{0};
 
   // --- recording (called by the structures) ---
 
@@ -113,6 +136,15 @@ struct ObjectStats {
     if (std::int64_t* sink = detail::tls_access_sink.retries) *sink += n;
     if (AtomicAccessCell* cell = detail::tls_access_sink.cell)
       cell->retries.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Backoff spins burned before the re-read that follows a failed
+  /// CAS.  Credited to the structure and the job's tally but NOT to a
+  /// heatmap cell: a ContentionCell stays [ops, retries, blockings] —
+  /// backoff is a *cost* of a retry, not a distinct conflict event.
+  void record_backoff(std::int64_t spins) {
+    backoff_spins.fetch_add(spins, std::memory_order_relaxed);
+    if (std::int64_t* sink = detail::tls_access_sink.backoff) *sink += spins;
   }
 
   void record_acquisition(bool was_contended) {
@@ -138,6 +170,15 @@ struct ObjectStats {
   }
   std::int64_t contended_count() const {
     return contended.load(std::memory_order_relaxed);
+  }
+  std::int64_t backoff_count() const {
+    return backoff_spins.load(std::memory_order_relaxed);
+  }
+
+  /// Relaxed snapshot of every counter (exact after quiesce).
+  ObjectCounts counts() const {
+    return {op_count(), retry_count(), acquisition_count(),
+            contended_count(), backoff_count()};
   }
 
   /// Fraction of acquires that found the lock held (lock-based).

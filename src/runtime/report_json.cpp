@@ -1,18 +1,24 @@
 #include "runtime/report_json.hpp"
 
-#include <cctype>
-#include <charconv>
-#include <cmath>
 #include <cstdio>
-#include <limits>
-#include <map>
-#include <memory>
 #include <stdexcept>
-#include <variant>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
+
+#include "runtime/json_min.hpp"
 
 namespace lfrt::runtime {
 namespace {
+
+using jsonmin::find;
+using jsonmin::get_double;
+using jsonmin::get_int;
+using jsonmin::JsonArray;
+using jsonmin::JsonObject;
+using jsonmin::JsonValue;
+using jsonmin::Parser;
 
 // ---- writer ----------------------------------------------------------
 
@@ -46,259 +52,18 @@ void append_job(std::string& out, const Job& j) {
   append_int(out, j.blockings);
   out += R"(,"preemptions":)";
   append_int(out, j.preemptions);
+  out += R"(,"backoff_spins":)";
+  append_int(out, j.backoff_spins);
   out += R"(,"completion":)";
   append_int(out, j.completion);
   out += '}';
-}
-
-// ---- minimal JSON DOM + recursive-descent parser ---------------------
-
-struct JsonValue;
-using JsonArray = std::vector<JsonValue>;
-using JsonObject = std::map<std::string, JsonValue, std::less<>>;
-
-struct JsonValue {
-  // Numbers keep both views: is_int marks values parsed without '.',
-  // 'e', so int64 fields round-trip exactly even past 2^53.
-  std::variant<std::nullptr_t, bool, double, std::string,
-               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
-      v = nullptr;
-  std::int64_t inum = 0;
-  bool is_int = false;
-
-  bool is_number() const { return std::holds_alternative<double>(v); }
-  double as_double() const { return std::get<double>(v); }
-  std::int64_t as_int() const {
-    if (is_int) return inum;
-    return static_cast<std::int64_t>(std::llround(std::get<double>(v)));
-  }
-  const JsonArray* as_array() const {
-    auto* p = std::get_if<std::shared_ptr<JsonArray>>(&v);
-    return p ? p->get() : nullptr;
-  }
-  const JsonObject* as_object() const {
-    auto* p = std::get_if<std::shared_ptr<JsonObject>>(&v);
-    return p ? p->get() : nullptr;
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(std::string_view s) : s_(s) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != s_.size()) fail("trailing characters after JSON value");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const char* why) const {
-    throw std::runtime_error(std::string("report_json: ") + why +
-                             " at offset " + std::to_string(pos_));
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-            s_[pos_] == '\r'))
-      ++pos_;
-  }
-
-  char peek() {
-    if (pos_ >= s_.size()) fail("unexpected end of input");
-    return s_[pos_];
-  }
-
-  void expect(char c) {
-    if (pos_ >= s_.size() || s_[pos_] != c) fail("unexpected character");
-    ++pos_;
-  }
-
-  bool consume_literal(std::string_view lit) {
-    if (s_.compare(pos_, lit.size(), lit) != 0) return false;
-    pos_ += lit.size();
-    return true;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    switch (peek()) {
-      case '{':
-        return object();
-      case '[':
-        return array();
-      case '"': {
-        JsonValue v;
-        v.v = string();
-        return v;
-      }
-      case 't': {
-        if (!consume_literal("true")) fail("bad literal");
-        JsonValue v;
-        v.v = true;
-        return v;
-      }
-      case 'f': {
-        if (!consume_literal("false")) fail("bad literal");
-        JsonValue v;
-        v.v = false;
-        return v;
-      }
-      case 'n': {
-        if (!consume_literal("null")) fail("bad literal");
-        return JsonValue{};
-      }
-      default:
-        return number();
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= s_.size()) fail("unterminated string");
-      const char c = s_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= s_.size()) fail("unterminated escape");
-        const char e = s_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          // \uXXXX is not emitted by to_json; reject rather than decode.
-          default: fail("unsupported escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
-    bool integral = true;
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_];
-      if (std::isdigit(static_cast<unsigned char>(c))) {
-        ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
-        integral = integral && c != '.' && c != 'e' && c != 'E';
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-    if (pos_ == start) fail("expected a number");
-    const std::string_view text = s_.substr(start, pos_ - start);
-    JsonValue v;
-    double d = 0.0;
-    const auto dres =
-        std::from_chars(text.data(), text.data() + text.size(), d);
-    if (dres.ec != std::errc{} || dres.ptr != text.data() + text.size())
-      fail("malformed number");
-    v.v = d;
-    if (integral) {
-      std::int64_t i = 0;
-      const auto ires =
-          std::from_chars(text.data(), text.data() + text.size(), i);
-      if (ires.ec == std::errc{} && ires.ptr == text.data() + text.size()) {
-        v.inum = i;
-        v.is_int = true;
-      }
-    }
-    return v;
-  }
-
-  JsonValue array() {
-    expect('[');
-    auto arr = std::make_shared<JsonArray>();
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-    } else {
-      for (;;) {
-        arr->push_back(value());
-        skip_ws();
-        const char c = peek();
-        ++pos_;
-        if (c == ']') break;
-        if (c != ',') fail("expected ',' or ']'");
-      }
-    }
-    JsonValue v;
-    v.v = std::move(arr);
-    return v;
-  }
-
-  JsonValue object() {
-    expect('{');
-    auto obj = std::make_shared<JsonObject>();
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-    } else {
-      for (;;) {
-        skip_ws();
-        std::string key = string();
-        skip_ws();
-        expect(':');
-        (*obj)[std::move(key)] = value();
-        skip_ws();
-        const char c = peek();
-        ++pos_;
-        if (c == '}') break;
-        if (c != ',') fail("expected ',' or '}'");
-      }
-    }
-    JsonValue v;
-    v.v = std::move(obj);
-    return v;
-  }
-
-  std::string_view s_;
-  std::size_t pos_ = 0;
-};
-
-// ---- field extraction ------------------------------------------------
-
-const JsonValue* find(const JsonObject& o, std::string_view key) {
-  const auto it = o.find(key);
-  return it == o.end() ? nullptr : &it->second;
-}
-
-std::int64_t get_int(const JsonObject& o, std::string_view key,
-                     std::int64_t fallback = 0) {
-  const JsonValue* v = find(o, key);
-  if (v == nullptr) return fallback;
-  if (!v->is_number()) throw std::runtime_error("report_json: non-numeric " +
-                                                std::string(key));
-  return v->as_int();
-}
-
-double get_double(const JsonObject& o, std::string_view key,
-                  double fallback = 0.0) {
-  const JsonValue* v = find(o, key);
-  if (v == nullptr) return fallback;
-  if (!v->is_number()) throw std::runtime_error("report_json: non-numeric " +
-                                                std::string(key));
-  return v->as_double();
 }
 
 }  // namespace
 
 std::string to_json(const RunReport& rep) {
   std::string out;
-  out.reserve(256 + rep.jobs.size() * 160 + rep.contention.cells.size() * 24);
+  out.reserve(256 + rep.jobs.size() * 176 + rep.contention.cells.size() * 24);
   out += R"({"counted_jobs":)";
   append_int(out, rep.counted_jobs);
   out += R"(,"completed":)";
@@ -321,6 +86,8 @@ std::string to_json(const RunReport& rep) {
   append_int(out, rep.total_blockings);
   out += R"(,"total_preemptions":)";
   append_int(out, rep.total_preemptions);
+  out += R"(,"total_backoff_spins":)";
+  append_int(out, rep.total_backoff_spins);
   out += R"(,"jobs":[)";
   for (std::size_t i = 0; i < rep.jobs.size(); ++i) {
     if (i > 0) out += ',';
@@ -342,7 +109,19 @@ std::string to_json(const RunReport& rep) {
     append_int(out, c.blockings);
     out += ']';
   }
-  out += "]}}";
+  out += ']';
+  // Shard dimension: one live stripe count per object, filled by both
+  // substrates whenever any object carries a sharded structure.  Absent
+  // from legacy reports, so emit only when present and parse optionally.
+  if (!rep.contention.shard_counts.empty()) {
+    out += R"(,"shard_counts":[)";
+    for (std::size_t i = 0; i < rep.contention.shard_counts.size(); ++i) {
+      if (i > 0) out += ',';
+      append_int(out, rep.contention.shard_counts[i]);
+    }
+    out += ']';
+  }
+  out += "}}";
   return out;
 }
 
@@ -364,6 +143,7 @@ RunReport from_json(std::string_view json) {
   rep.total_retries = get_int(*o, "total_retries");
   rep.total_blockings = get_int(*o, "total_blockings");
   rep.total_preemptions = get_int(*o, "total_preemptions");
+  rep.total_backoff_spins = get_int(*o, "total_backoff_spins");
 
   if (const JsonValue* jobs = find(*o, "jobs")) {
     const JsonArray* arr = jobs->as_array();
@@ -387,6 +167,7 @@ RunReport from_json(std::string_view json) {
       j.retries = get_int(*jo, "retries");
       j.blockings = get_int(*jo, "blockings");
       j.preemptions = get_int(*jo, "preemptions");
+      j.backoff_spins = get_int(*jo, "backoff_spins");
       j.completion = get_int(*jo, "completion", -1);
       rep.jobs.push_back(std::move(j));
     }
@@ -419,6 +200,22 @@ RunReport from_json(std::string_view json) {
       m.cells[i].ops = (*triple)[0].as_int();
       m.cells[i].retries = (*triple)[1].as_int();
       m.cells[i].blockings = (*triple)[2].as_int();
+    }
+    if (const JsonValue* sc = find(*co, "shard_counts")) {
+      const JsonArray* sarr = sc->as_array();
+      if (sarr == nullptr)
+        throw std::runtime_error(
+            "report_json: shard_counts must be an array");
+      if (sarr->size() != static_cast<std::size_t>(objects))
+        throw std::runtime_error(
+            "report_json: shard_counts length != objects");
+      m.shard_counts.reserve(sarr->size());
+      for (const JsonValue& v : *sarr) {
+        if (!v.is_number())
+          throw std::runtime_error(
+              "report_json: shard_counts entries must be numbers");
+        m.shard_counts.push_back(static_cast<std::int32_t>(v.as_int()));
+      }
     }
     rep.contention = std::move(m);
   }

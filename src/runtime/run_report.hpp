@@ -55,6 +55,7 @@ struct RunReport {
   std::int64_t total_retries = 0;    ///< lock-free access restarts (f_i)
   std::int64_t total_blockings = 0;  ///< lock-based blocking episodes
   std::int64_t total_preemptions = 0;
+  std::int64_t total_backoff_spins = 0;  ///< sum of Job::backoff_spins
 
   /// Per-job terminal records (arrival, sojourn, retries, ...).
   std::vector<Job> jobs;

@@ -1,14 +1,44 @@
 #include "runtime/shared_object.hpp"
 
+#include <chrono>
+
 #include "lockbased/mutex_queue.hpp"
 #include "lockbased/mutex_rw.hpp"
-#include "lockfree/msqueue.hpp"
+#include "lockfree/sharded.hpp"
 #include "lockfree/snapshot.hpp"
-#include "lockfree/treiber_stack.hpp"
 #include "lockfree/nbw_buffer.hpp"
 #include "support/check.hpp"
 
 namespace lfrt::runtime {
+
+namespace {
+
+inline std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Accumulates structure-op time across the access, excluding whatever
+/// runs between segments (the checkpoint), and records one sample.
+class LatencyProbe {
+ public:
+  explicit LatencyProbe(LatencyHistogram* hist) : hist_(hist) {}
+
+  void begin() { start_ = now_ns(); }
+  void end() { elapsed_ += now_ns() - start_; }
+
+  void commit() {
+    if (hist_ != nullptr) hist_->record(elapsed_);
+  }
+
+ private:
+  LatencyHistogram* hist_;
+  std::int64_t start_ = 0;
+  std::int64_t elapsed_ = 0;
+};
+
+}  // namespace
 
 // --- ObjectRegistry ---
 
@@ -52,14 +82,15 @@ SharedObject::SharedObject(ObjectSpec spec, std::size_t queue_capacity)
   switch (spec.kind) {
     case ObjectKind::kQueue:
       if (lf)
-        lf_queue_ = std::make_unique<lockfree::MsQueue<int>>(queue_capacity);
+        lf_queue_ = std::make_unique<lockfree::ShardedQueue<int>>(
+            queue_capacity, clamp_shards(spec.shards));
       else
         lb_queue_ = std::make_unique<lockbased::MutexQueue<int>>();
       break;
     case ObjectKind::kStack:
       if (lf)
-        lf_stack_ =
-            std::make_unique<lockfree::TreiberStack<int>>(queue_capacity);
+        lf_stack_ = std::make_unique<lockfree::ShardedStack<int>>(
+            queue_capacity, clamp_shards(spec.shards));
       else
         lb_stack_ = std::make_unique<lockbased::MutexStack<int>>();
       break;
@@ -82,15 +113,31 @@ SharedObject::SharedObject(ObjectSpec spec, std::size_t queue_capacity)
 
 SharedObject::~SharedObject() = default;
 
-const ObjectStats& SharedObject::stats() const {
-  if (lf_queue_) return lf_queue_->stats();
-  if (lf_stack_) return lf_stack_->stats();
-  if (lf_buffer_) return lf_buffer_->stats();
-  if (lf_snapshot_) return lf_snapshot_->stats();
-  if (lb_queue_) return lb_queue_->stats();
-  if (lb_stack_) return lb_stack_->stats();
-  if (lb_buffer_) return lb_buffer_->stats();
-  return lb_snapshot_->stats();
+std::int32_t SharedObject::shards() const {
+  if (lf_queue_) return lf_queue_->active();
+  if (lf_stack_) return lf_stack_->active();
+  return 1;
+}
+
+void SharedObject::set_shards(std::int32_t k) {
+  if (lf_queue_) lf_queue_->set_active(k);
+  else if (lf_stack_) lf_stack_->set_active(k);
+  // Every other shape is structurally unsharded: ignore.
+}
+
+ObjectCounts SharedObject::counts() const {
+  if (lf_queue_) return lf_queue_->counts();
+  if (lf_stack_) return lf_stack_->counts();
+  if (lf_buffer_) return lf_buffer_->stats().counts();
+  if (lf_snapshot_) return lf_snapshot_->stats().counts();
+  if (lb_queue_) return lb_queue_->stats().counts();
+  if (lb_stack_) return lb_stack_->stats().counts();
+  if (lb_buffer_) return lb_buffer_->stats().counts();
+  return lb_snapshot_->stats().counts();
+}
+
+std::int64_t SharedObject::eliminations() const {
+  return lf_stack_ ? lf_stack_->eliminations() : 0;
 }
 
 void SharedObject::access(AccessOp op, TaskId task, JobId job,
@@ -98,6 +145,11 @@ void SharedObject::access(AccessOp op, TaskId task, JobId job,
                           AtomicAccessCell* cell) {
   ScopedCellSink sink(cell);
   const int v = static_cast<int>(job);
+  // Stripe affinity: a stable task id maps to a stable stripe while the
+  // active count is unchanged, and a write's pop starts on the stripe
+  // its push used.
+  const std::int32_t hint = task < 0 ? 0 : static_cast<std::int32_t>(task);
+  LatencyProbe probe(&latency_);
 
   switch (spec_.kind) {
     case ObjectKind::kQueue:
@@ -109,38 +161,45 @@ void SharedObject::access(AccessOp op, TaskId task, JobId job,
         auto push = [&] {
           // Full-pool inserts are dropped, as the pre-refactor adapter
           // did; capacity is sized so balanced accesses never fill it.
-          if (lf_queue_) (void)lf_queue_->enqueue(v);
+          if (lf_queue_) (void)lf_queue_->push(v, hint);
           else if (lb_queue_) lb_queue_->enqueue(v);
-          else if (lf_stack_) (void)lf_stack_->push(v);
+          else if (lf_stack_) (void)lf_stack_->push(v, hint);
           else lb_stack_->push(v);
         };
         auto pop = [&] {
-          if (lf_queue_) (void)lf_queue_->dequeue();
+          if (lf_queue_) (void)lf_queue_->pop(hint);
           else if (lb_queue_) (void)lb_queue_->dequeue();
-          else if (lf_stack_) (void)lf_stack_->pop();
+          else if (lf_stack_) (void)lf_stack_->pop(hint);
           else (void)lb_stack_->pop();
         };
+        probe.begin();
         push();
+        probe.end();
         try {
           checkpoint();
         } catch (...) {
           pop();
           throw;
         }
+        probe.begin();
         pop();
+        probe.end();
       } else {
         // Reads probe emptiness: a constant-time observation that still
         // exercises the structure's shared state under interference.
+        probe.begin();
         if (lf_queue_) (void)lf_queue_->empty();
         else if (lb_queue_) (void)lb_queue_->empty();
         else if (lf_stack_) (void)lf_stack_->empty();
         else (void)lb_stack_->empty();
+        probe.end();
         checkpoint();
       }
       break;
     }
 
     case ObjectKind::kBuffer: {
+      probe.begin();
       if (op == AccessOp::kWrite) {
         if (lf_buffer_) {
           // Serialize writers to uphold NBW's single-writer
@@ -154,6 +213,7 @@ void SharedObject::access(AccessOp op, TaskId task, JobId job,
         if (lf_buffer_) (void)lf_buffer_->read();
         else (void)lb_buffer_->read();
       }
+      probe.end();
       checkpoint();
       break;
     }
@@ -161,6 +221,7 @@ void SharedObject::access(AccessOp op, TaskId task, JobId job,
     case ObjectKind::kSnapshot: {
       const std::size_t seg =
           static_cast<std::size_t>(task < 0 ? 0 : task) % kSnapshotSegments;
+      probe.begin();
       if (op == AccessOp::kWrite) {
         if (lf_snapshot_) {
           // Same single-writer scaffolding as the buffer: updates
@@ -175,11 +236,13 @@ void SharedObject::access(AccessOp op, TaskId task, JobId job,
         if (lf_snapshot_) (void)lf_snapshot_->scan();
         else (void)lb_snapshot_->scan();
       }
+      probe.end();
       checkpoint();
       break;
     }
   }
 
+  probe.commit();
   if (cell != nullptr) cell->ops.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -200,6 +263,14 @@ void SharedObjectSet::access(ObjectId o, AccessOp op, TaskId task, JobId job,
   LFRT_CHECK_MSG(o >= 0 && o < object_count(), "object id out of range");
   objects_[static_cast<std::size_t>(o)]->access(op, task, job, checkpoint,
                                                 registry_.cell(o, task));
+}
+
+ContentionMatrix SharedObjectSet::matrix() const {
+  ContentionMatrix m = registry_.to_matrix();
+  m.shard_counts.reserve(objects_.size());
+  for (const auto& obj : objects_)
+    m.shard_counts.push_back(obj->shards());
+  return m;
 }
 
 }  // namespace lfrt::runtime

@@ -9,6 +9,14 @@
 // structure absorbs the interference is a per-object configuration
 // knob, not a fork in the lowering code.
 //
+// Sharding: lock-free queue/stack objects are instantiated as
+// lockfree::ShardedQueue/ShardedStack — up to kMaxObjectShards full
+// stripes behind the same access() surface, with the live stripe count
+// (`set_shards`) flipped at run time by the ContentionController.
+// Access semantics, rollback, and attribution are unchanged: every
+// stripe's ObjectStats feeds the same sinks, and the heatmap cell is
+// per *object*, so the three-way sums stay exact across promote/demote.
+//
 // Attribution: every structure already reports through
 // runtime::ObjectStats, whose record_retry/record_acquisition also
 // credit the calling thread's sinks.  access() installs a
@@ -33,15 +41,16 @@
 #include <vector>
 
 #include "runtime/contention.hpp"
+#include "runtime/latency_histogram.hpp"
 #include "runtime/object_spec.hpp"
 #include "runtime/object_stats.hpp"
 #include "task/task.hpp"
 
 namespace lfrt::lockfree {
 template <typename T>
-class MsQueue;
+class ShardedQueue;
 template <typename T>
-class TreiberStack;
+class ShardedStack;
 template <typename T>
 class NbwBuffer;
 template <typename T, std::size_t N>
@@ -118,15 +127,30 @@ class SharedObject {
               const std::function<void()>& checkpoint,
               AtomicAccessCell* cell);
 
-  /// The wrapped structure's counters (whole-run, all tasks).
-  const ObjectStats& stats() const;
+  /// Live stripe count: 1 for every shape except lock-free queue/stack,
+  /// where the ContentionController may promote it up to
+  /// kMaxObjectShards.  set_shards on an unshardable object is a no-op
+  /// — the controller never has to special-case shapes.
+  std::int32_t shards() const;
+  void set_shards(std::int32_t k);
+
+  /// Aggregate counters of the wrapped structure(s) — all stripes, all
+  /// tasks, whole run (exact after quiesce).
+  ObjectCounts counts() const;
+
+  /// Push–pop pairs the stack's elimination front absorbed (0 for every
+  /// other shape).
+  std::int64_t eliminations() const;
+
+  /// Structure-operation latency (checkpoint time excluded), always on.
+  const LatencyHistogram& latency() const { return latency_; }
 
  private:
   ObjectSpec spec_;
 
   // Exactly one of these is non-null, per spec_.
-  std::unique_ptr<lockfree::MsQueue<int>> lf_queue_;
-  std::unique_ptr<lockfree::TreiberStack<int>> lf_stack_;
+  std::unique_ptr<lockfree::ShardedQueue<int>> lf_queue_;
+  std::unique_ptr<lockfree::ShardedStack<int>> lf_stack_;
   std::unique_ptr<lockfree::NbwBuffer<int>> lf_buffer_;
   std::unique_ptr<lockfree::AtomicSnapshot<int, kSnapshotSegments>>
       lf_snapshot_;
@@ -135,6 +159,8 @@ class SharedObject {
   std::unique_ptr<lockbased::MutexBuffer<int>> lb_buffer_;
   std::unique_ptr<lockbased::MutexSnapshot<int, kSnapshotSegments>>
       lb_snapshot_;
+
+  LatencyHistogram latency_;
 
   /// Upholds NBW's and the snapshot's single-writer preconditions when
   /// arbitrary tasks write: writers serialize here, held only across
@@ -164,11 +190,25 @@ class SharedObjectSet {
   void access(ObjectId o, AccessOp op, TaskId task, JobId job,
               const std::function<void()>& checkpoint);
 
-  const ObjectStats& stats_of(ObjectId o) const {
-    return objects_[static_cast<std::size_t>(o)]->stats();
+  ObjectCounts counts_of(ObjectId o) const {
+    return objects_[static_cast<std::size_t>(o)]->counts();
+  }
+  std::int32_t shards_of(ObjectId o) const {
+    return objects_[static_cast<std::size_t>(o)]->shards();
+  }
+  void set_shards(ObjectId o, std::int32_t k) {
+    objects_[static_cast<std::size_t>(o)]->set_shards(k);
+  }
+  std::int64_t eliminations_of(ObjectId o) const {
+    return objects_[static_cast<std::size_t>(o)]->eliminations();
+  }
+  const LatencyHistogram& latency_of(ObjectId o) const {
+    return objects_[static_cast<std::size_t>(o)]->latency();
   }
 
-  ContentionMatrix matrix() const { return registry_.to_matrix(); }
+  /// Heatmap snapshot; shard_counts carries each object's live stripe
+  /// count at snapshot time.
+  ContentionMatrix matrix() const;
 
  private:
   std::vector<ObjectSpec> specs_;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sched/scheduler.hpp"
@@ -77,6 +78,93 @@ class DispatchSelector {
     return targets_;
   }
 
+  /// Install the contention controller's per-task conflict vector:
+  /// groups[task] is the shared object that task is currently hammering
+  /// (-1 = none).  While non-empty, select_steered avoids co-scheduling
+  /// two tasks of the same group; empty (the default) disables steering
+  /// entirely.  Steering is a hint between epochs, not part of the
+  /// schedule: the scheduler's job order is untouched, only which of
+  /// its eligible jobs occupy the M slots *this pass* changes.
+  void set_conflict_groups(std::vector<std::int32_t> groups) {
+    groups_ = std::move(groups);
+  }
+  const std::vector<std::int32_t>& conflict_groups() const { return groups_; }
+
+  /// select() with conflict-group steering.  `task_of(id)` maps a job to
+  /// its task (< groups.size(); -1 or out of range = unsteered).  Front
+  /// jobs and the scheduler's dispatch nomination are never steered
+  /// (they must run); schedule entries whose group already holds a slot
+  /// this pass are deferred, and — work conservation — any slots still
+  /// free after the pass are filled from the deferred list in schedule
+  /// order, so steering can reorder a selection but never shrink it.
+  /// With no conflict groups installed this IS select(), bit for bit.
+  template <typename Eligible, typename TaskOf>
+  const std::vector<JobId>& select_steered(const std::vector<JobId>& front,
+                                           const ScheduleResult& res,
+                                           int cpu_count, std::size_t id_limit,
+                                           Eligible&& eligible,
+                                           TaskOf&& task_of) {
+    if (groups_.empty())
+      return select(front, res, cpu_count, id_limit,
+                    std::forward<Eligible>(eligible));
+    targets_.clear();
+    deferred_.clear();
+    if (stamp_.size() < id_limit) stamp_.resize(id_limit, 0);
+    ++gen_;
+    const auto full = [&] {
+      return static_cast<int>(targets_.size()) >= cpu_count;
+    };
+    const auto group_of = [&](JobId id) -> std::int32_t {
+      const TaskId task = task_of(id);
+      if (task < 0 || static_cast<std::size_t>(task) >= groups_.size())
+        return -1;
+      return groups_[static_cast<std::size_t>(task)];
+    };
+    const auto group_taken = [&](std::int32_t g) {
+      return g >= 0 && static_cast<std::size_t>(g) < group_stamp_.size() &&
+             group_stamp_[static_cast<std::size_t>(g)] == gen_;
+    };
+    const auto push = [&](JobId id) {
+      stamp_[static_cast<std::size_t>(id)] = gen_;
+      const std::int32_t g = group_of(id);
+      if (g >= 0) {
+        if (static_cast<std::size_t>(g) >= group_stamp_.size())
+          group_stamp_.resize(static_cast<std::size_t>(g) + 1, 0);
+        group_stamp_[static_cast<std::size_t>(g)] = gen_;
+      }
+      targets_.push_back(id);
+    };
+    const auto in_range = [&](JobId id) {
+      return id >= 0 && static_cast<std::size_t>(id) < id_limit;
+    };
+    for (JobId id : front) {
+      if (full()) break;
+      push(id);
+    }
+    if (!full() && in_range(res.dispatch) &&
+        stamp_[static_cast<std::size_t>(res.dispatch)] != gen_ &&
+        eligible(res.dispatch)) {
+      push(res.dispatch);
+    }
+    for (JobId id : res.schedule) {
+      if (full()) break;
+      if (!in_range(id)) continue;
+      if (stamp_[static_cast<std::size_t>(id)] == gen_) continue;
+      if (!eligible(id)) continue;
+      if (group_taken(group_of(id))) {
+        deferred_.push_back(id);  // same storm cell as a picked job
+        continue;
+      }
+      push(id);
+    }
+    // Work conservation: a deferred job beats an idle CPU.
+    for (JobId id : deferred_) {
+      if (full()) break;
+      push(id);
+    }
+    return targets_;
+  }
+
   /// Sticky CPU assignment over the last selection: targets keep the
   /// CPU they already occupy (`cpu_of(id)` >= 0), newcomers fill the
   /// freed slots in selection order.  Returns the per-CPU next
@@ -106,10 +194,14 @@ class DispatchSelector {
   std::vector<JobId> targets_;
   std::vector<JobId> next_;
   std::vector<JobId> newcomers_;
+  std::vector<JobId> deferred_;
   // Membership stamps: stamp_[id] == gen_ iff id is already in
   // targets_ this selection — O(1) dedup without a per-entry scan.
+  // group_stamp_ is the same trick keyed by conflict-group id.
   std::vector<std::int64_t> stamp_;
+  std::vector<std::int64_t> group_stamp_;
   std::int64_t gen_ = 0;
+  std::vector<std::int32_t> groups_;  ///< task -> conflict group (-1 none)
 };
 
 }  // namespace lfrt::sched

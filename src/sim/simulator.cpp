@@ -36,7 +36,7 @@ enum class MsKind : std::uint8_t {
   kHandlerEnd,
 };
 
-enum class EvKind : std::uint8_t { kMilestone, kExpiry, kArrival };
+enum class EvKind : std::uint8_t { kMilestone, kExpiry, kArrival, kController };
 
 struct Event {
   Time t = 0;
@@ -85,8 +85,15 @@ struct Simulator::Impl {
   // TaskSet::object_units; the DATE paper's single-unit model is the
   // one-unit special case).
   std::vector<std::vector<JobId>> holders;
-  std::vector<Time> last_obj_write;  // per-object last lock-free WRITE
-                                     // completion (conflict source)
+  // Per-(object, shard) last lock-free WRITE completion — the conflict
+  // source.  Flattened [o * kMaxObjectShards + shard]; the shard of an
+  // access is task % shard_count_[o], evaluated at CAS time, so a
+  // promotion applied mid-attempt narrows the attempt's own conflict
+  // window exactly like a real re-read of a different stripe head.
+  // With shard_count_[o] == 1 every access maps to shard 0 and this IS
+  // the pre-sharding per-object rule, bit for bit.
+  std::vector<Time> last_shard_write;
+  std::vector<std::int32_t> shard_count_;  // per-object live stripe count
   JobId next_job_id = 0;
   std::int64_t next_seq = 0;
   bool ran = false;
@@ -115,6 +122,13 @@ struct Simulator::Impl {
   // Resolved per-object specs (one per ObjectId; the homogeneous
   // default when cfg.objects is empty).
   std::vector<runtime::ObjectSpec> obj_specs;
+
+  // The adaptive-sharding policy, stepped from deterministic
+  // kController epoch events — the same core the executor's controller
+  // thread runs.  Engaged only when an object opts in (and the mode has
+  // retries to act on), so legacy configurations take none of these
+  // paths.
+  std::unique_ptr<runtime::ContentionControllerCore> controller;
 
   Impl(TaskSet ts, const sched::Scheduler& sch, SimConfig c)
       : tasks(std::move(ts)), scheduler(&sch), cfg(c) {
@@ -159,8 +173,26 @@ struct Simulator::Impl {
     run_start_on.assign(static_cast<std::size_t>(cfg.cpu_count), 0);
     holders.assign(static_cast<std::size_t>(tasks.object_count), {});
     exec_rng = Rng(cfg.exec_seed);
-    last_obj_write.assign(static_cast<std::size_t>(tasks.object_count),
-                          -1);
+    last_shard_write.assign(static_cast<std::size_t>(tasks.object_count) *
+                                static_cast<std::size_t>(
+                                    runtime::kMaxObjectShards),
+                            -1);
+    shard_count_.reserve(static_cast<std::size_t>(tasks.object_count));
+    bool any_adapt = false;
+    for (const auto& s : obj_specs) {
+      const bool shardable =
+          s.impl == runtime::ObjectImpl::kLockFree &&
+          (s.kind == runtime::ObjectKind::kQueue ||
+           s.kind == runtime::ObjectKind::kStack);
+      shard_count_.push_back(shardable ? runtime::clamp_shards(s.shards) : 1);
+      any_adapt = any_adapt || (shardable && s.adapt);
+    }
+    if (any_adapt && cfg.mode != ShareMode::kIdeal) {
+      LFRT_CHECK_MSG(cfg.controller.epoch > 0,
+                     "controller epoch must be positive");
+      controller = std::make_unique<runtime::ContentionControllerCore>(
+          cfg.controller, obj_specs);
+    }
     sched_ws = scheduler->make_workspace();
     TaskId max_task = -1;
     for (const auto& t : tasks.tasks) max_task = std::max(max_task, t.id);
@@ -197,6 +229,15 @@ struct Simulator::Impl {
 
   runtime::ObjectKind kind_of(ObjectId o) const {
     return obj_specs[static_cast<std::size_t>(o)].kind;
+  }
+
+  /// Stripe of object `o` that task `t`'s accesses land on — the same
+  /// affinity rule the executor's sharded containers apply.
+  std::int32_t shard_of(ObjectId o, TaskId t) const {
+    const std::int32_t k = shard_count_[static_cast<std::size_t>(o)];
+    if (k <= 1) return 0;
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(t) %
+                                     static_cast<std::uint32_t>(k));
   }
 
   /// Per-object access segment length: r for lock-based objects, s for
@@ -412,12 +453,16 @@ struct Simulator::Impl {
 
     // Top-M selection (shared with the executor): abort handlers first,
     // then the scheduler's dispatch choice, then the schedule's
-    // runnable jobs in order.
-    const auto& targets = selector.select(
-        aborting, res, cfg.cpu_count, jobs.size(), [&](JobId id) {
+    // runnable jobs in order.  Conflict-group steering engages only
+    // once the controller installed a vector; with none this IS the
+    // plain select, bit for bit.
+    const auto& targets = selector.select_steered(
+        aborting, res, cfg.cpu_count, jobs.size(),
+        [&](JobId id) {
           const JobState s = job(id).state;
           return s == JobState::kReady || s == JobState::kRunning;
-        });
+        },
+        [&](JobId id) { return job(id).task; });
 
     dispatch(targets, overhead);
   }
@@ -627,14 +672,20 @@ struct Simulator::Impl {
           // snapshot's single-writer update are wait-free, so only
           // their readers pay the retry cost (the cost migration those
           // structures exist to demonstrate).
+          // Sharding narrows the window further: only writes to the
+          // *same stripe* (task % live shard count) invalidate the CAS,
+          // which is exactly why promotion collapses a retry storm.
           const auto oi = static_cast<std::size_t>(j.access_object);
+          const auto si =
+              oi * static_cast<std::size_t>(runtime::kMaxObjectShards) +
+              static_cast<std::size_t>(shard_of(j.access_object, j.task));
           const bool is_write = p.accesses[j.next_access].write;
           const runtime::ObjectKind kind = kind_of(j.access_object);
           const bool wait_free_write =
               is_write && (kind == runtime::ObjectKind::kBuffer ||
                            kind == runtime::ObjectKind::kSnapshot);
           if (!wait_free_write &&
-              last_obj_write[oi] > j.access_attempt_start) {
+              last_shard_write[si] > j.access_attempt_start) {
             ++j.retries;
             ++report.total_retries;
             ++ccell(j.access_object, j.task).retries;
@@ -644,7 +695,7 @@ struct Simulator::Impl {
             continue_running();
             return;
           }
-          if (is_write) last_obj_write[oi] = now;
+          if (is_write) last_shard_write[si] = now;
           ++ccell(j.access_object, j.task).ops;
           j.in_access = false;
           j.access_progress = 0;
@@ -742,6 +793,27 @@ struct Simulator::Impl {
     }
   }
 
+  /// One controller epoch: diff the live heatmap, apply shard
+  /// promotions/demotions to the conflict model, install dispatch
+  /// steering, and re-dispatch under it (the epoch hook runs inside the
+  /// scheduling loop, so its decisions take effect immediately).
+  void handle_controller() {
+    auto ep = controller->step(report.contention);
+    ++report.controller_epochs;
+    for (runtime::ShardDecision& d : ep.decisions) {
+      d.time = now;
+      shard_count_[static_cast<std::size_t>(d.object)] = d.to_shards;
+      report.shard_decisions.push_back(d);
+      trace("shard ", d.from_shards < d.to_shards ? "promote" : "demote",
+            " obj=", d.object, " ", d.from_shards, "->", d.to_shards);
+    }
+    selector.set_conflict_groups(std::move(ep.conflict_groups));
+    if (now + cfg.controller.epoch <= cfg.horizon)
+      q.push(Event{now + cfg.controller.epoch, 0, next_seq++,
+                   EvKind::kController, kNoJob, -1, 0, MsKind::kCompletion});
+    reschedule();
+  }
+
   // ---- top level ------------------------------------------------------
 
   void seed_arrivals(std::uint64_t seed) {
@@ -775,6 +847,10 @@ struct Simulator::Impl {
     job_cpu.reserve(total_arrivals);
     selector.reserve(total_arrivals);
 
+    if (controller)
+      q.push(Event{cfg.controller.epoch, 0, next_seq++, EvKind::kController,
+                   kNoJob, -1, 0, MsKind::kCompletion});
+
     while (!q.empty()) {
       const Event e = q.top();
       q.pop();
@@ -791,6 +867,9 @@ struct Simulator::Impl {
           break;
         case EvKind::kMilestone:
           handle_milestone(e);
+          break;
+        case EvKind::kController:
+          handle_controller();
           break;
       }
     }
@@ -816,6 +895,9 @@ struct Simulator::Impl {
     // The slab is already id-ordered; hand it to the report wholesale
     // (the old map-based path copied every job and sorted).
     report.jobs = std::move(jobs);
+    // Final per-object stripe counts, matching the executor's matrix().
+    report.contention.shard_counts.assign(shard_count_.begin(),
+                                          shard_count_.end());
   }
 };
 

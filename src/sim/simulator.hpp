@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/contention_controller.hpp"
 #include "runtime/object_spec.hpp"
 #include "runtime/run_report.hpp"
 #include "sched/scheduler.hpp"
@@ -89,6 +90,17 @@ struct SimConfig {
   /// completed during the attempt window.
   std::vector<runtime::ObjectSpec> objects;
 
+  /// Contention-controller tuning for objects that set
+  /// ObjectSpec::adapt.  The simulator steps the same
+  /// runtime::ContentionControllerCore the executor's controller thread
+  /// runs, from deterministic epoch events: every `controller.epoch` ns
+  /// it diffs the live contention matrix, promotes/demotes shard counts
+  /// (which changes the conflict rule's granularity from that instant
+  /// on), and installs the conflict vector into dispatch steering.
+  /// Ignored when no object adapts (and under kIdeal, which has no
+  /// retries to act on).
+  runtime::ControllerConfig controller;
+
   /// Seed for per-job actual-execution draws (TaskParams::
   /// exec_variation); runs are reproducible for a fixed seed.
   std::uint64_t exec_seed = 77;
@@ -120,6 +132,13 @@ struct SimReport : runtime::RunReport {
   std::int64_t events_processed = 0;
 
   std::int64_t deadlocks_resolved = 0;  ///< cycle victims aborted (nested)
+
+  /// Shard promotions/demotions the contention controller applied, in
+  /// simulation-time order (empty when no object adapts).  The
+  /// bench/shard_adaptive timeline comes straight from this.
+  std::vector<runtime::ShardDecision> shard_decisions;
+
+  std::int64_t controller_epochs = 0;  ///< controller steps taken
 
   /// Optional event trace (record_trace).
   std::vector<std::string> trace;

@@ -160,6 +160,10 @@ struct Job {
   std::int64_t retries = 0;      ///< lock-free access restarts (f_i)
   std::int64_t blockings = 0;    ///< lock-based blocking episodes
   std::int64_t preemptions = 0;  ///< times descheduled while unfinished
+  std::int64_t backoff_spins = 0;  ///< relax spins burned after failed CAS
+                                   ///< (cost of the retries above; executor
+                                   ///< only — the simulator models retries,
+                                   ///< not the spins between them)
   Time completion = -1;          ///< completion instant, -1 if not completed
 
   Time sojourn() const { return completion >= 0 ? completion - arrival : -1; }

@@ -1,0 +1,362 @@
+// runtime::ContentionControllerCore policy, conflict-group dispatch
+// steering, and the adaptive simulator path.
+//
+// The core is pure logic over ContentionMatrix snapshots, so its
+// promote / idle-demote / calm-hold rules are pinned here with
+// hand-built epochs — no threads, no timing.  The steering tests pin
+// the DispatchSelector contract the executor and simulator both rely
+// on: with no groups installed select_steered IS select, and with
+// groups it may reorder a selection but never shrink it.  The sim tests
+// pin that adaptive runs are deterministic and no worse than static.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/contention_controller.hpp"
+#include "runtime/exec_adapter.hpp"
+#include "runtime/shared_object.hpp"
+#include "sched/dispatch.hpp"
+#include "sched/rua.hpp"
+#include "sim/simulator.hpp"
+#include "workload/workload.hpp"
+
+namespace lfrt {
+namespace {
+
+using runtime::ContentionControllerCore;
+using runtime::ContentionMatrix;
+using runtime::ControllerConfig;
+using runtime::ObjectImpl;
+using runtime::ObjectKind;
+using runtime::ObjectSpec;
+
+constexpr std::int32_t kTasks = 2;
+
+ControllerConfig test_config() {
+  ControllerConfig cfg;
+  cfg.min_epoch_ops = 10;
+  cfg.promote_rate = 0.1;
+  cfg.demote_rate = 0.01;
+  cfg.demote_patience = 2;
+  cfg.steer_min_retries = 8;
+  return cfg;
+}
+
+std::vector<ObjectSpec> adaptive_queue(std::int32_t shards = 1) {
+  ObjectSpec s{ObjectKind::kQueue, ObjectImpl::kLockFree, shards,
+               /*adapt=*/true};
+  return {s};
+}
+
+/// An epoch snapshot where object 0 accumulated `ops` / `retries`
+/// total, spread over task 0.
+ContentionMatrix snap(std::int64_t ops, std::int64_t retries) {
+  ContentionMatrix m(1, kTasks);
+  m.at(0, 0).ops = ops;
+  m.at(0, 0).retries = retries;
+  return m;
+}
+
+/// Step the core until object 0's storm promotes it along the whole
+/// ladder; returns the decision sequence.
+TEST(ControllerCore, PromotesAlongTheLadderToTheCap) {
+  ContentionControllerCore core(test_config(), adaptive_queue());
+  EXPECT_TRUE(core.any_adaptive());
+  ASSERT_TRUE(core.step(snap(0, 0)).decisions.empty());  // baseline
+
+  std::int64_t ops = 0, retries = 0;
+  std::vector<std::int32_t> ladder;
+  for (int e = 0; e < 6; ++e) {
+    ops += 100;
+    retries += 50;  // epoch rate 0.5 >= promote_rate
+    for (const auto& d : core.step(snap(ops, retries)).decisions) {
+      EXPECT_EQ(d.object, 0);
+      EXPECT_EQ(d.from_shards, ladder.empty() ? 1 : ladder.back());
+      EXPECT_DOUBLE_EQ(d.rate, 0.5);
+      ladder.push_back(d.to_shards);
+    }
+  }
+  EXPECT_EQ(ladder, (std::vector<std::int32_t>{2, 4, 8}));
+  EXPECT_EQ(core.shards(0), runtime::kMaxObjectShards);  // capped, no churn
+}
+
+TEST(ControllerCore, MinEpochOpsGatesTheRate) {
+  ContentionControllerCore core(test_config(), adaptive_queue());
+  core.step(snap(0, 0));
+  // 5 ops < min_epoch_ops: a 100% retry rate on a trickle is noise.
+  EXPECT_TRUE(core.step(snap(5, 5)).decisions.empty());
+  EXPECT_EQ(core.shards(0), 1);
+}
+
+/// The revised demote rule: a busy object whose rate collapsed is CALM
+/// (the stripes are working) — it must hold, not demote, no matter how
+/// many calm epochs pass.  Demoting it would re-create the storm.
+TEST(ControllerCore, CalmEpochsHoldTheShardCount) {
+  ContentionControllerCore core(test_config(), adaptive_queue());
+  core.step(snap(0, 0));
+  std::int64_t ops = 100, retries = 50;
+  core.step(snap(ops, retries));  // promote 1 -> 2
+  ASSERT_EQ(core.shards(0), 2);
+
+  for (int e = 0; e < 10; ++e) {
+    ops += 100;  // busy, zero retries: rate 0 <= demote_rate
+    EXPECT_TRUE(core.step(snap(ops, retries)).decisions.empty());
+  }
+  EXPECT_EQ(core.shards(0), 2);
+}
+
+TEST(ControllerCore, IdleEpochsDemoteAfterPatienceTowardFloor) {
+  ControllerConfig cfg = test_config();
+  ContentionControllerCore core(cfg, adaptive_queue(/*shards=*/2));
+  core.step(snap(0, 0));
+  std::int64_t ops = 0, retries = 0;
+  for (int e = 0; e < 2; ++e) {
+    ops += 100;
+    retries += 50;
+    core.step(snap(ops, retries));
+  }
+  ASSERT_EQ(core.shards(0), 8);
+
+  // Idle epochs (no traffic): halve every demote_patience epochs, but
+  // never below the spec floor of 2.
+  std::vector<std::int32_t> path;
+  for (int e = 0; e < 8; ++e) {
+    for (const auto& d : core.step(snap(ops, retries)).decisions)
+      path.push_back(d.to_shards);
+  }
+  EXPECT_EQ(path, (std::vector<std::int32_t>{4, 2}));
+  EXPECT_EQ(core.shards(0), 2);
+}
+
+TEST(ControllerCore, ContendedEpochResetsDemotePatience) {
+  ContentionControllerCore core(test_config(), adaptive_queue());
+  core.step(snap(0, 0));
+  std::int64_t ops = 100, retries = 50;
+  core.step(snap(ops, retries));  // promote 1 -> 2
+  ASSERT_EQ(core.shards(0), 2);
+
+  EXPECT_TRUE(core.step(snap(ops, retries)).decisions.empty());  // idle #1
+  // Busy epoch between demote_rate and promote_rate: genuinely
+  // contended — resets the idle streak.
+  ops += 100;
+  retries += 5;  // rate 0.05
+  core.step(snap(ops, retries));
+  EXPECT_TRUE(core.step(snap(ops, retries)).decisions.empty());  // idle #1'
+  EXPECT_EQ(core.shards(0), 2);  // patience=2 not reached after reset
+}
+
+TEST(ControllerCore, NonAdaptiveAndUnshardableObjectsAreIgnored) {
+  std::vector<ObjectSpec> specs(3);
+  specs[0] = {ObjectKind::kQueue, ObjectImpl::kLockFree, 1, /*adapt=*/false};
+  specs[1] = {ObjectKind::kBuffer, ObjectImpl::kLockFree, 1, /*adapt=*/true};
+  specs[2] = {ObjectKind::kQueue, ObjectImpl::kLockBased, 1, /*adapt=*/true};
+  ContentionControllerCore core(test_config(), specs);
+  EXPECT_FALSE(core.any_adaptive());
+  for (std::int32_t o = 0; o < 3; ++o) EXPECT_FALSE(core.adaptive(o));
+
+  ContentionMatrix m(3, kTasks);
+  core.step(m);
+  for (std::int32_t o = 0; o < 3; ++o) m.at(o, 0) = {1000, 900, 0};
+  EXPECT_TRUE(core.step(m).decisions.empty());
+  for (std::int32_t o = 0; o < 3; ++o) EXPECT_EQ(core.shards(o), 1);
+}
+
+TEST(ControllerCore, DimensionChangeRebaselines) {
+  ContentionControllerCore core(test_config(), adaptive_queue());
+  core.step(snap(0, 0));
+  // A snapshot of different shape must not be diffed against the old
+  // baseline — it only re-baselines.
+  ContentionMatrix wide(1, kTasks + 2);
+  wide.at(0, 0) = {1000, 900, 0};
+  EXPECT_TRUE(core.step(wide).decisions.empty());
+  // Next same-shape epoch diffs against `wide`, not against zero.
+  ContentionMatrix next = wide;
+  EXPECT_TRUE(core.step(next).decisions.empty());
+  EXPECT_EQ(core.shards(0), 1);
+}
+
+TEST(ControllerCore, ConflictVectorNamesEachTasksHottestObject) {
+  ObjectSpec q{ObjectKind::kQueue, ObjectImpl::kLockFree, 1, true};
+  ContentionControllerCore core(test_config(), {q, q});
+  ContentionMatrix m(2, kTasks);
+  core.step(m);
+
+  // Task 0: object 1 is hottest (10 >= steer_min_retries); task 1's 3
+  // epoch retries are below the steering threshold.
+  m.at(0, 0).ops = 100;
+  m.at(0, 0).retries = 4;
+  m.at(1, 0).ops = 100;
+  m.at(1, 0).retries = 10;
+  m.at(0, 1).ops = 50;
+  m.at(0, 1).retries = 3;
+  const auto epoch = core.step(m);
+  ASSERT_EQ(epoch.conflict_groups.size(), static_cast<std::size_t>(kTasks));
+  EXPECT_EQ(epoch.conflict_groups[0], 1);
+  EXPECT_EQ(epoch.conflict_groups[1], -1);
+
+  // No task crossed the threshold this epoch: steering off entirely.
+  EXPECT_TRUE(core.step(m).conflict_groups.empty());
+}
+
+// ---- dispatch steering ----------------------------------------------
+
+sched::ScheduleResult schedule_of(std::vector<JobId> ids) {
+  sched::ScheduleResult res;
+  res.dispatch = ids.empty() ? kNoJob : ids.front();
+  res.schedule = std::move(ids);
+  return res;
+}
+
+constexpr auto kAllEligible = [](JobId) { return true; };
+// Job id == task id in these tests.
+constexpr auto kIdentityTask = [](JobId id) { return static_cast<TaskId>(id); };
+
+TEST(DispatchSteering, NoGroupsInstalledIsSelectBitForBit) {
+  sched::DispatchSelector a, b;
+  const auto res = schedule_of({3, 1, 4, 0, 2});
+  const std::vector<JobId> front{5};
+  const auto eligible = [](JobId id) { return id != 4; };
+  const auto plain = a.select(front, res, 3, /*id_limit=*/8, eligible);
+  const auto steered =
+      b.select_steered(front, res, 3, 8, eligible, kIdentityTask);
+  EXPECT_EQ(plain, steered);
+  EXPECT_EQ(plain, (std::vector<JobId>{5, 3, 1}));
+}
+
+TEST(DispatchSteering, SameGroupJobsAreSpreadAcrossTheSelection) {
+  sched::DispatchSelector sel;
+  // Tasks 0 and 1 hammer object 7; task 2 is unsteered.
+  sel.set_conflict_groups({7, 7, -1});
+  const auto res = schedule_of({0, 1, 2});
+  const auto& picked =
+      sel.select_steered({}, res, 2, /*id_limit=*/4, kAllEligible,
+                         kIdentityTask);
+  // Job 1 shares job 0's storm cell, so job 2 takes the second slot.
+  EXPECT_EQ(picked, (std::vector<JobId>{0, 2}));
+}
+
+TEST(DispatchSteering, WorkConservationRefillsFromDeferred) {
+  sched::DispatchSelector sel;
+  sel.set_conflict_groups({7, 7});
+  const auto res = schedule_of({0, 1});
+  const auto& picked =
+      sel.select_steered({}, res, 2, /*id_limit=*/4, kAllEligible,
+                         kIdentityTask);
+  // No other work exists: the deferred same-group job beats an idle CPU.
+  EXPECT_EQ(picked, (std::vector<JobId>{0, 1}));
+}
+
+TEST(DispatchSteering, FrontAndDispatchNominationAreNeverSteered) {
+  sched::DispatchSelector sel;
+  sel.set_conflict_groups({7, 7, 7});
+  sched::ScheduleResult res;
+  res.dispatch = 1;
+  res.schedule = {1, 2};
+  const auto& picked = sel.select_steered({0}, res, 3, /*id_limit=*/4,
+                                          kAllEligible, kIdentityTask);
+  // Front job 0 and nomination 1 are must-runs despite sharing group 7;
+  // only schedule entry 2 defers, then refills the free slot.
+  EXPECT_EQ(picked, (std::vector<JobId>{0, 1, 2}));
+}
+
+// ---- adaptive simulator runs ----------------------------------------
+
+sim::SimReport run_adaptive_sim(bool adapt) {
+  workload::WorkloadSpec spec;
+  spec.task_count = 8;
+  spec.object_count = 2;
+  spec.accesses_per_job = 10;
+  spec.avg_exec = usec(200);
+  spec.load = 3.0;
+  spec.tuf_class = workload::TufClass::kStep;
+  spec.seed = 9;
+  const TaskSet ts = workload::make_task_set(spec);
+
+  Time max_window = 0;
+  for (const auto& t : ts.tasks)
+    max_window = std::max(max_window, t.arrival.window);
+  const Time horizon = max_window * 3;
+
+  sim::SimConfig cfg;
+  cfg.mode = sim::ShareMode::kLockFree;
+  cfg.lockfree_access_time = usec(10);
+  cfg.objects = runtime::uniform_objects(ts.object_count, ObjectKind::kQueue,
+                                         ObjectImpl::kLockFree);
+  for (auto& s : cfg.objects) s.adapt = adapt;
+  cfg.controller.epoch = usec(500);
+  cfg.controller.min_epoch_ops = 16;
+  cfg.controller.promote_rate = 0.02;
+  cfg.cpu_count = 4;
+  cfg.horizon = horizon;
+  static const sched::RuaScheduler kScheduler(sched::Sharing::kLockFree);
+  sim::Simulator sim(ts, kScheduler, cfg);
+  const auto traces =
+      runtime::make_arrival_traces(ts, horizon, /*seed=*/3000,
+                                   /*periodic=*/true);
+  for (const auto& t : ts.tasks)
+    sim.set_arrivals(t.id, traces[static_cast<std::size_t>(t.id)]);
+  return sim.run();
+}
+
+/// Adaptive runs stay deterministic: the controller is epoch-event
+/// driven, so two identical runs agree on every decision and every
+/// heatmap cell — the property the bench's reproducibility rests on.
+TEST(AdaptiveSim, RunsAreDeterministic) {
+  const sim::SimReport a = run_adaptive_sim(true);
+  const sim::SimReport b = run_adaptive_sim(true);
+  EXPECT_EQ(a.total_retries, b.total_retries);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.controller_epochs, b.controller_epochs);
+  EXPECT_EQ(a.shard_decisions, b.shard_decisions);
+  EXPECT_EQ(a.contention, b.contention);
+}
+
+TEST(AdaptiveSim, AdaptationActsAndDoesNotRegress) {
+  const sim::SimReport stat = run_adaptive_sim(false);
+  const sim::SimReport adpt = run_adaptive_sim(true);
+
+  EXPECT_TRUE(stat.shard_decisions.empty());
+  EXPECT_EQ(stat.controller_epochs, 0);
+  ASSERT_EQ(stat.contention.shard_counts.size(), 2u);
+  EXPECT_EQ(stat.contention.shard_counts[0], 1);
+
+  EXPECT_GT(adpt.controller_epochs, 0);
+  ASSERT_FALSE(adpt.shard_decisions.empty());
+  std::int32_t peak = 1;
+  for (const auto& d : adpt.shard_decisions) {
+    EXPECT_GE(d.time, 0);
+    peak = std::max(peak, d.to_shards);
+  }
+  EXPECT_GT(peak, 1);
+  EXPECT_LE(adpt.total_retries, stat.total_retries);
+  EXPECT_GE(adpt.completed, stat.completed);
+  // The heatmap stays attribution-exact with shards > 1.
+  EXPECT_EQ(adpt.contention.totals().retries, adpt.total_retries);
+}
+
+/// Executor-side wrapper: the epoch thread runs against a live
+/// SharedObjectSet and stop() is idempotent.
+TEST(LiveController, EpochThreadStepsAndStopsCleanly) {
+  std::vector<ObjectSpec> specs(1);
+  specs[0] = {ObjectKind::kQueue, ObjectImpl::kLockFree, 1, /*adapt=*/true};
+  runtime::SharedObjectSet set(specs, /*task_count=*/2,
+                               /*queue_capacity=*/64);
+  ControllerConfig cfg;
+  cfg.epoch = usec(500);
+  runtime::ContentionController ctl(cfg, &set, /*executor=*/nullptr);
+  ctl.start();
+  // Give the epoch thread a few periods of mostly-idle traffic.
+  for (int i = 0; i < 100; ++i)
+    set.access(0, runtime::AccessOp::kWrite, i % 2, i, [] {});
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ctl.stop();
+  ctl.stop();  // idempotent
+  EXPECT_GE(ctl.epochs(), 1);
+  EXPECT_TRUE(ctl.decisions().empty());  // no storm on a trickle
+}
+
+}  // namespace
+}  // namespace lfrt

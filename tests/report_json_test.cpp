@@ -31,6 +31,7 @@ RunReport sample_report() {
   r.total_retries = 4;
   r.total_blockings = 2;
   r.total_preemptions = 3;
+  r.total_backoff_spins = 21;
 
   Job j;
   j.id = 42;
@@ -42,6 +43,7 @@ RunReport sample_report() {
   j.retries = 4;
   j.blockings = 2;
   j.preemptions = 3;
+  j.backoff_spins = 9;
   j.completion = msec(2);
   r.jobs.push_back(j);
   j.id = 43;
@@ -52,6 +54,7 @@ RunReport sample_report() {
   r.contention = ContentionMatrix(2, 3);
   r.contention.at(0, 1) = {10, 4, 0};
   r.contention.at(1, 2) = {6, 0, 2};
+  r.contention.shard_counts = {4, 1};  // the sharding dimension
   return r;
 }
 
@@ -70,6 +73,7 @@ TEST(ReportJson, HandBuiltRoundTrip) {
   EXPECT_EQ(back.total_retries, r.total_retries);
   EXPECT_EQ(back.total_blockings, r.total_blockings);
   EXPECT_EQ(back.total_preemptions, r.total_preemptions);
+  EXPECT_EQ(back.total_backoff_spins, r.total_backoff_spins);
   EXPECT_EQ(back.aur(), r.aur());
 
   ASSERT_EQ(back.jobs.size(), r.jobs.size());
@@ -85,9 +89,26 @@ TEST(ReportJson, HandBuiltRoundTrip) {
     EXPECT_EQ(b.retries, a.retries);
     EXPECT_EQ(b.blockings, a.blockings);
     EXPECT_EQ(b.preemptions, a.preemptions);
+    EXPECT_EQ(b.backoff_spins, a.backoff_spins);
     EXPECT_EQ(b.completion, a.completion);
   }
+  // operator== covers shard_counts: the sharding dimension round-trips.
   EXPECT_EQ(back.contention, r.contention);
+}
+
+/// Reports written before backoff accounting and sharding existed still
+/// parse: the new fields default to zero / empty.
+TEST(ReportJson, LegacyReportWithoutNewFieldsParses) {
+  const RunReport back = from_json(
+      "{\"counted_jobs\": 1, \"total_retries\": 2,"
+      " \"jobs\": [{\"id\": 0, \"state\": 0, \"retries\": 2}],"
+      " \"contention\": {\"objects\": 1, \"tasks\": 1,"
+      " \"cells\": [[3,2,0]]}}");
+  EXPECT_EQ(back.total_backoff_spins, 0);
+  ASSERT_EQ(back.jobs.size(), 1u);
+  EXPECT_EQ(back.jobs[0].backoff_spins, 0);
+  EXPECT_TRUE(back.contention.shard_counts.empty());
+  EXPECT_EQ(back.contention.at(0, 0).ops, 3);
 }
 
 TEST(ReportJson, EmptyReportRoundTrips) {
@@ -154,6 +175,19 @@ TEST(ReportJson, InconsistentContentionThrows) {
   // Out-of-range job state is rejected.
   EXPECT_THROW(from_json("{\"jobs\": [{\"id\": 1, \"state\": 99}]}"),
                std::runtime_error);
+  // shard_counts must be an array of one number per object.
+  EXPECT_THROW(
+      from_json("{\"contention\": {\"objects\": 1, \"tasks\": 1, "
+                "\"cells\": [[1,2,3]], \"shard_counts\": 4}}"),
+      std::runtime_error);
+  EXPECT_THROW(
+      from_json("{\"contention\": {\"objects\": 1, \"tasks\": 1, "
+                "\"cells\": [[1,2,3]], \"shard_counts\": [2, 2]}}"),
+      std::runtime_error);
+  EXPECT_THROW(
+      from_json("{\"contention\": {\"objects\": 1, \"tasks\": 1, "
+                "\"cells\": [[1,2,3]], \"shard_counts\": [\"x\"]}}"),
+      std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,263 @@
+// lockfree::ShardedQueue / ShardedStack and the sharded SharedObject
+// layer.
+//
+// The properties that make contention-adaptive sharding safe to flip at
+// run time: the public ledger conserves elements across concurrent
+// promote/demote (#successful pushes == #successful pops + drained
+// remainder), FIFO order holds per stripe for a stable affinity hint,
+// demotion strands nothing (pop sweeps deactivated stripes), the
+// elimination front is ledger-neutral, and the three-way attribution
+// sums — heatmap cells, structure counters, job sinks — stay exact for
+// shards > 1.  The hammers are the TSan targets for this layer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "lockfree/elimination.hpp"
+#include "lockfree/sharded.hpp"
+#include "runtime/shared_object.hpp"
+
+namespace lfrt {
+namespace {
+
+TEST(ShardedQueue, FifoPerStripeWithStableHint) {
+  lockfree::ShardedQueue<int> q(/*capacity=*/64, /*initial_shards=*/4);
+  ASSERT_EQ(q.active(), 4);
+  // Two affinity hints that map to different stripes (1 % 4 != 2 % 4).
+  for (int v : {1, 2, 3}) ASSERT_TRUE(q.push(v, /*hint=*/1));
+  for (int v : {10, 20}) ASSERT_TRUE(q.push(v, /*hint=*/2));
+  EXPECT_EQ(q.pop(1), std::optional<int>(1));
+  EXPECT_EQ(q.pop(2), std::optional<int>(10));
+  EXPECT_EQ(q.pop(1), std::optional<int>(2));
+  EXPECT_EQ(q.pop(1), std::optional<int>(3));
+  EXPECT_EQ(q.pop(2), std::optional<int>(20));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ShardedQueue, DemoteStrandsNoElements) {
+  lockfree::ShardedQueue<int> q(/*capacity=*/128, /*initial_shards=*/8);
+  // Spread 64 elements over all 8 stripes, then demote to 1: every
+  // element must still come out through the post-miss sweep.
+  for (int i = 0; i < 64; ++i) ASSERT_TRUE(q.push(i, /*hint=*/i));
+  q.set_active(1);
+  std::int64_t sum = 0;
+  int popped = 0;
+  while (auto v = q.pop(/*hint=*/0)) {
+    sum += *v;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 64);
+  EXPECT_EQ(sum, 64 * 63 / 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ShardedQueue, ClampsShardCount) {
+  lockfree::ShardedQueue<int> q(/*capacity=*/16, /*initial_shards=*/99);
+  EXPECT_EQ(q.active(), runtime::kMaxObjectShards);
+  q.set_active(0);
+  EXPECT_EQ(q.active(), 1);
+  q.set_active(-5);
+  EXPECT_EQ(q.active(), 1);
+}
+
+/// Count + value conservation while a control thread flips the active
+/// stripe count through its whole range mid-traffic.  This is the
+/// promote/demote race the ContentionController creates in production.
+template <typename Sharded>
+void reshard_hammer() {
+  Sharded s(/*capacity=*/4096, /*initial_shards=*/1);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 20000;
+  std::atomic<std::int64_t> pushed{0}, popped{0};
+  std::atomic<std::int64_t> pushed_sum{0}, popped_sum{0};
+  std::atomic<bool> stop{false};
+
+  std::thread flipper([&] {
+    std::int32_t k = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      s.set_active(k);
+      k = k % runtime::kMaxObjectShards + 1;
+      std::this_thread::yield();
+    }
+    s.set_active(1);
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int v = t * kOpsPerThread + i;
+        if (s.push(v, /*hint=*/t)) {
+          pushed.fetch_add(1, std::memory_order_relaxed);
+          pushed_sum.fetch_add(v, std::memory_order_relaxed);
+        }
+        if (i % 2 == 1) {
+          if (auto got = s.pop(/*hint=*/t)) {
+            popped.fetch_add(1, std::memory_order_relaxed);
+            popped_sum.fetch_add(*got, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_release);
+  flipper.join();
+
+  // Drain what the hammer left behind, sweeping from hint 0.
+  std::int64_t drained = 0, drained_sum = 0;
+  while (auto v = s.pop(0)) {
+    ++drained;
+    drained_sum += *v;
+  }
+  EXPECT_EQ(pushed.load(), popped.load() + drained);
+  EXPECT_EQ(pushed_sum.load(), popped_sum.load() + drained_sum);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ShardedQueue, ConservationAcrossConcurrentReshard) {
+  reshard_hammer<lockfree::ShardedQueue<int>>();
+}
+
+TEST(ShardedStack, ConservationAcrossConcurrentReshard) {
+  // Also covers the elimination front: while active > 1, push–pop pairs
+  // may exchange without touching a stripe, which must stay
+  // ledger-neutral for the same conservation sums to hold.
+  reshard_hammer<lockfree::ShardedStack<int>>();
+}
+
+TEST(EliminationArray, TimesOutWithoutAPartner) {
+  lockfree::EliminationArray arr;
+  EXPECT_EQ(arr.exchange_pop(), std::nullopt);  // nothing advertised
+  EXPECT_FALSE(arr.exchange_push(42));          // nobody came; timed out
+  // The timed-out advertisement was withdrawn, not leaked.
+  EXPECT_EQ(arr.exchange_pop(), std::nullopt);
+}
+
+TEST(ShardedStack, EliminationCountsPairs) {
+  lockfree::ShardedStack<int> s(/*capacity=*/1024, /*initial_shards=*/4);
+  constexpr int kPairs = 10000;
+  std::atomic<std::int64_t> popped{0};
+  std::thread pusher([&] {
+    for (int i = 0; i < kPairs; ++i) {
+      // The pusher can outrun the popper by a whole stripe capacity;
+      // retry until the drain catches up.
+      while (!s.push(i, /*hint=*/0)) std::this_thread::yield();
+    }
+  });
+  std::thread popper([&] {
+    std::int64_t got = 0;
+    while (got < kPairs) {
+      if (s.pop(/*hint=*/1)) ++got;
+    }
+    popped.store(got);
+  });
+  pusher.join();
+  popper.join();
+  EXPECT_EQ(popped.load(), kPairs);
+  EXPECT_TRUE(s.empty());
+  EXPECT_GE(s.eliminations(), 0);  // pairs are host-timing dependent
+}
+
+// ---- the unified layer with shards > 1 -------------------------------
+
+constexpr std::int32_t kTasks = 4;
+constexpr int kAccessesPerThread = 5000;
+
+TEST(SharedObjectSharded, SpecShardsClampAndUnshardableNoop) {
+  std::vector<runtime::ObjectSpec> specs(3);
+  specs[0] = {runtime::ObjectKind::kQueue, runtime::ObjectImpl::kLockFree,
+              /*shards=*/99, /*adapt=*/false};
+  specs[1] = {runtime::ObjectKind::kBuffer, runtime::ObjectImpl::kLockFree,
+              /*shards=*/4, /*adapt=*/false};
+  specs[2] = {runtime::ObjectKind::kQueue, runtime::ObjectImpl::kLockBased,
+              /*shards=*/4, /*adapt=*/false};
+  runtime::SharedObjectSet set(specs, kTasks, /*queue_capacity=*/64);
+  EXPECT_EQ(set.shards_of(0), runtime::kMaxObjectShards);
+  EXPECT_EQ(set.shards_of(1), 1);  // buffers don't stripe
+  EXPECT_EQ(set.shards_of(2), 1);  // lock-based doesn't stripe
+  set.set_shards(1, 4);
+  set.set_shards(2, 4);
+  EXPECT_EQ(set.shards_of(1), 1);
+  EXPECT_EQ(set.shards_of(2), 1);
+  set.set_shards(0, 0);
+  EXPECT_EQ(set.shards_of(0), 1);
+  const runtime::ContentionMatrix m = set.matrix();
+  ASSERT_EQ(m.shard_counts.size(), 3u);
+  EXPECT_EQ(m.shard_counts[0], 1);
+}
+
+/// The shared_object_test attribution invariant, now with stripes and a
+/// controller-like thread flipping shard counts mid-hammer: heatmap row
+/// sums must equal the aggregated per-stripe structure counters, the op
+/// count must equal the accesses performed, and backoff spins can only
+/// exist where retries were recorded.
+TEST(SharedObjectSharded, AttributionExactAcrossReshard) {
+  std::vector<runtime::ObjectSpec> specs(2);
+  specs[0] = {runtime::ObjectKind::kQueue, runtime::ObjectImpl::kLockFree,
+              /*shards=*/2, /*adapt=*/true};
+  specs[1] = {runtime::ObjectKind::kStack, runtime::ObjectImpl::kLockFree,
+              /*shards=*/1, /*adapt=*/true};
+  runtime::SharedObjectSet set(specs, kTasks, /*queue_capacity=*/4096);
+
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    std::int32_t k = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      set.set_shards(0, k);
+      set.set_shards(1, runtime::kMaxObjectShards + 1 - k);
+      k = k % runtime::kMaxObjectShards + 1;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> threads;
+  for (std::int32_t t = 0; t < kTasks; ++t) {
+    threads.emplace_back([&set, t] {
+      for (int i = 0; i < kAccessesPerThread; ++i) {
+        set.access(i % 2, runtime::AccessOp::kWrite, t,
+                   /*job=*/t * kAccessesPerThread + i, [] {});
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  stop.store(true, std::memory_order_release);
+  flipper.join();
+
+  const runtime::ContentionMatrix m = set.matrix();
+  ASSERT_EQ(m.objects, 2);
+  ASSERT_EQ(m.tasks, kTasks);
+  ASSERT_EQ(m.shard_counts.size(), 2u);
+  std::int64_t structure_retries = 0;
+  for (std::int32_t o = 0; o < 2; ++o) {
+    const runtime::ObjectCounts c = set.counts_of(o);
+    const runtime::ContentionCell row = m.object_totals(o);
+    EXPECT_EQ(row.retries, c.retries)
+        << "object " << o << ": heatmap row vs per-stripe counters";
+    EXPECT_EQ(row.blockings, 0) << "lock-free objects never block";
+    if (c.retries == 0) {
+      EXPECT_EQ(c.backoff_spins, 0)
+          << "object " << o << ": backoff without a retry";
+    } else {
+      EXPECT_GE(c.backoff_spins, c.retries)
+          << "object " << o << ": every retry pauses at least one spin";
+    }
+    structure_retries += c.retries;
+  }
+  EXPECT_EQ(m.totals().retries, structure_retries);
+  EXPECT_EQ(m.totals().ops,
+            static_cast<std::int64_t>(kTasks) * kAccessesPerThread);
+
+  // The always-on latency histogram saw every completed access.
+  EXPECT_EQ(set.latency_of(0).count() + set.latency_of(1).count(),
+            static_cast<std::int64_t>(kTasks) * kAccessesPerThread);
+  EXPECT_GT(set.latency_of(0).percentile(0.99), 0);
+}
+
+}  // namespace
+}  // namespace lfrt

@@ -66,10 +66,10 @@ TEST_P(SharedObjectAllCombos, AttributionSumsAgree) {
 
   for (std::int32_t o = 0; o < kObjects; ++o) {
     const ContentionCell row = m.object_totals(o);
-    const ObjectStats& st = set.stats_of(o);
-    EXPECT_EQ(row.retries, st.retry_count())
+    const ObjectCounts st = set.counts_of(o);
+    EXPECT_EQ(row.retries, st.retries)
         << "object " << o << ": registry row vs structure retries";
-    EXPECT_EQ(row.blockings, st.contended_count())
+    EXPECT_EQ(row.blockings, st.contended)
         << "object " << o << ": registry row vs structure blockings";
   }
   // Ops are counted once per *completed* access, on the registry side.
@@ -126,7 +126,7 @@ TEST(SharedObject, OutOfRangeTaskIsUnattributed) {
   set.access(0, AccessOp::kWrite, /*task=*/kTasks + 7, 1, [] {});
   EXPECT_EQ(set.matrix().totals().ops, 0);
   // The structure itself still counted the operations.
-  EXPECT_GT(set.stats_of(0).op_count(), 0);
+  EXPECT_GT(set.counts_of(0).ops, 0);
 }
 
 /// Out-of-range *object* ids are a caller bug and trip the invariant.
