@@ -14,10 +14,14 @@
 #      the M-worker mode witnesses (executor_multicpu_test), the
 #      unified shared-object layer hammered from parallel threads
 #      (shared_object_test), the read/write object flavours on the
-#      executor adapter (exec_objects_test), and the sharded stripes
+#      executor adapter (exec_objects_test), the sharded stripes
 #      plus live contention controller — conservation and attribution
 #      across concurrent promote/demote (sharded_object_test,
-#      contention_controller_test),
+#      contention_controller_test), and the service-mode pieces: the
+#      batched SpscRing push_n/pop_n paths (lockfree_test), the
+#      concurrent latency histogram, the sharded timer wheel, and the
+#      streaming Service ingest/admission front end
+#      (latency_histogram_test, timer_wheel_test, service_test),
 #   3. -O2 build, tier-1 suite, tiny sched_throughput + sim_throughput
 #      sweeps as bench smoke tests (the latter also re-checks
 #      serial-vs-parallel result identity in production), a
@@ -55,9 +59,10 @@ cmake --build build-tsan -j "$JOBS" \
                executor_shutdown_race_test executor_multicpu_test \
                shared_object_test exec_objects_test \
                sharded_object_test contention_controller_test \
+               latency_histogram_test timer_wheel_test service_test \
                ext_executor_validation
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R '^(ExpThreadPool|ExpParallelMap|ExpSweep|ExpThreads|Determinism|ConcurrentBuild|MsQueue|TreiberStack|SpscRing|NodePool|TaggedRef|Sweep/AbaHammerTest|ExecutorStorm|ExecutorShutdownRace|ExecutorMultiCpu|SharedObject|Zoo/SharedObjectAllCombos|ObjectRegistryTest|ReaderWriterKinds/ExecObjects|ExecObjectsLockBased|ExecObjectsMixed|ShardedQueue|ShardedStack|EliminationArray|SharedObjectSharded|LiveController)\.'
+      -R '^(ExpThreadPool|ExpParallelMap|ExpSweep|ExpThreads|Determinism|ConcurrentBuild|MsQueue|TreiberStack|SpscRing|NodePool|TaggedRef|Sweep/AbaHammerTest|ExecutorStorm|ExecutorShutdownRace|ExecutorMultiCpu|SharedObject|Zoo/SharedObjectAllCombos|ObjectRegistryTest|ReaderWriterKinds/ExecObjects|ExecObjectsLockBased|ExecObjectsMixed|ShardedQueue|ShardedStack|EliminationArray|SharedObjectSharded|LiveController|LatencyHistogram|TimerWheel|Service)\.'
 ./build-tsan/bench/ext_executor_validation --tiny --cpus=1 \
       --out build-tsan/BENCH_xval_smoke.json
 ./build-tsan/bench/ext_executor_validation --tiny --cpus=4 \
@@ -84,4 +89,11 @@ SHARD_OUT=$(./build-o2/bench/shard_adaptive --tiny \
       --out build-o2/BENCH_shard_smoke.json)
 echo "$SHARD_OUT" | tail -n 2
 echo "$SHARD_OUT" | grep -q 'shard_adaptive: all checks ok'
+# Service-mode smoke: 20k-job open-loop soak through both universes
+# with the ingest conservation ledger, latency percentiles, and the
+# 10x batched-ingest-over-seed assertion all live even in --tiny.
+SOAK_OUT=$(./build-o2/bench/soak_service --tiny \
+      --out build-o2/BENCH_soak_smoke.json)
+echo "$SOAK_OUT" | tail -n 2
+echo "$SOAK_OUT" | grep -q 'soak_service: all checks ok'
 echo "OK: ASan+TSan clean, tier-1 green twice, bench smokes passed"

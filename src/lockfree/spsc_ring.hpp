@@ -10,7 +10,10 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "runtime/object_stats.hpp"
@@ -38,6 +41,51 @@ class SpscRing {
     return true;
   }
 
+  /// Move-in overload of push; same wait-free contract.
+  bool push(T&& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = advance(head);
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    buf_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    stats_.record_op();
+    return true;
+  }
+
+  /// Batch push: copies up to `n` elements from `src` and publishes
+  /// them with ONE release store (a consumer sees either none or a
+  /// prefix of the batch, never a gap).  Returns how many fit — 0..n,
+  /// bounded by the free space observed at entry.  Wait-free.
+  std::size_t push_n(const T* src, std::size_t n) {
+    return push_some<const T>(src, n);
+  }
+
+  /// Batch push, moving from `src`.  Elements NOT accepted (beyond the
+  /// returned count) are left untouched in `src`, so a producer can
+  /// retry the remainder later.
+  std::size_t push_n(T* src, std::size_t n) { return push_some<T>(src, n); }
+
+  /// Batch pop: moves up to `max_n` elements into `dst` and retires
+  /// them with ONE release store.  Returns how many were popped —
+  /// 0..max_n, bounded by the occupancy observed at entry.  Wait-free.
+  std::size_t pop_n(T* dst, std::size_t max_n) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t cap = buf_.size();
+    const std::size_t avail = (head + cap - tail) % cap;
+    const std::size_t take = max_n < avail ? max_n : avail;
+    std::size_t t = tail;
+    for (std::size_t i = 0; i < take; ++i) {
+      dst[i] = std::move(buf_[t]);
+      t = advance(t);
+    }
+    if (take > 0) {
+      tail_.store(t, std::memory_order_release);
+      stats_.record_op(static_cast<std::int64_t>(take));
+    }
+    return take;
+  }
+
   /// Empty optional when empty (never blocks, never retries).
   std::optional<T> pop() {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
@@ -59,6 +107,30 @@ class SpscRing {
  private:
   std::size_t advance(std::size_t i) const {
     return (i + 1) % buf_.size();
+  }
+
+  /// Shared body of the push_n overloads: U is `const T` (copy) or
+  /// `T` (move).  One acquire load of tail, one release store of head.
+  template <typename U>
+  std::size_t push_some(U* src, std::size_t n) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t cap = buf_.size();
+    const std::size_t free_slots = (tail + cap - head - 1) % cap;
+    const std::size_t take = n < free_slots ? n : free_slots;
+    std::size_t h = head;
+    for (std::size_t i = 0; i < take; ++i) {
+      if constexpr (std::is_const_v<U>)
+        buf_[h] = src[i];
+      else
+        buf_[h] = std::move(src[i]);
+      h = advance(h);
+    }
+    if (take > 0) {
+      head_.store(h, std::memory_order_release);
+      stats_.record_op(static_cast<std::int64_t>(take));
+    }
+    return take;
   }
 
   std::vector<T> buf_;

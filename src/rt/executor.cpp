@@ -1,14 +1,18 @@
 #include "rt/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "runtime/latency_histogram.hpp"
 #include "runtime/object_stats.hpp"
+#include "runtime/timer_wheel.hpp"
 #include "sched/dispatch.hpp"
 #include "sched/scheduler.hpp"
 #include "support/check.hpp"
@@ -19,7 +23,7 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 enum class RtState : std::uint8_t {
-  kReady,      // submitted, waiting for its first dispatch
+  kReady,      // admitted, waiting for its first dispatch
   kRunning,    // dispatched to a CPU slot (its worker owns that CPU)
   kPreempted,  // parked inside checkpoint()
   kAborting,   // abort requested; body will throw at its next checkpoint
@@ -31,29 +35,84 @@ bool terminal(RtState s) {
   return s == RtState::kCompleted || s == RtState::kAborted;
 }
 
+void validate(const RtJob& job) {
+  LFRT_CHECK_MSG(job.tuf != nullptr, "job needs a TUF");
+  LFRT_CHECK_MSG(job.body != nullptr, "job needs a body");
+  LFRT_CHECK_MSG(job.expected_exec > 0, "job needs an execution estimate");
+}
+
+// Abort-deadline wheel shape: firing is per-entry exact, so the
+// granularity only bounds how many slots one advance() walks.  512us x
+// 2048 slots ~= a 1s in-slot horizon; longer critical times park in
+// the overflow list and cascade in as they approach.
+constexpr Time kWheelGranularity = usec(512);
+constexpr std::size_t kWheelSlots = 2048;
+
 }  // namespace
 
 struct Executor::Impl {
   struct JobRec;
 
+  struct Worker {
+    std::thread th;
+    JobRec* assigned = nullptr;  // under mu; non-null = has work
+  };
+
   const sched::Scheduler* scheduler;
   const int cpu_count;
+  const ExecutorConfig cfg;
   Clock::time_point epoch = Clock::now();
 
   std::mutex mu;
   std::condition_variable sched_cv;    // wakes the scheduling thread
-  std::condition_variable worker_cv;   // wakes parked workers
-  std::map<JobId, std::unique_ptr<JobRec>> jobs;
+  std::condition_variable worker_cv;   // wakes parked/idle workers
+
+  // Job records live in a stable-address slab and recycle through a
+  // free list: steady-state admission touches no allocator, and the
+  // slab's size is the run's peak backlog, not its job count.  `live`
+  // (a std::map for deterministic id-order view building) holds only
+  // admitted-but-not-terminal jobs.
+  std::deque<JobRec> slab;
+  std::vector<JobRec*> free_recs;
+  std::map<JobId, JobRec*> live;
   JobId next_id = 0;
+
+  // Worker pool.  Workers park on worker_cv between jobs; `idle` is a
+  // LIFO so recently-run (cache-warm) threads go first.
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<Worker*> idle;
+  bool workers_stop = false;
+
+  // Ingest lanes + admission (lane pointers are stable; the vector is
+  // only ever appended to under mu).
+  std::vector<std::unique_ptr<IngestLane>> lanes;
+  std::vector<IngestLane::Entry> scratch;
+  AdmissionFilter admission;  // scheduling thread only, under mu
+  // Producer/consumer sleep handshake: the scheduling thread publishes
+  // "about to sleep" here, re-checks the lanes, and only then waits;
+  // offer() publishes the push, re-checks this flag, and only then
+  // notifies (taking mu, so the notify cannot land before the wait).
+  // The seq_cst fences on both sides make the two re-checks a Dekker
+  // pair: at least one side always sees the other.
+  std::atomic<bool> sched_idle{false};
+
+  // Abort timer: one wheel entry per admission, fired (or skipped as
+  // stale, when the job already reached a terminal state) by the
+  // scheduling thread.  Replaces the per-wakeup O(live) scans for
+  // expiry and for the next critical time.
+  runtime::TimerWheel<JobId> abort_wheel{kWheelGranularity, kWheelSlots};
+
   // Per-CPU occupancy: running_on[c] is the job dispatched to CPU c
   // (kNoJob = idle).  Invariant under mu: running_on[c] == id iff
-  // jobs.at(id)->cpu == c.
+  // live.at(id)->cpu == c.
   std::vector<JobId> running_on;
   // Gauge of workers currently inside job bodies; feeds the report's
   // max_concurrency_observed high-water mark.
   int executing_now = 0;
   bool stopping = false;
   ExecutorReport report;
+  runtime::LatencyHistogram sojourn_hist;  // completed jobs only
+  runtime::LatencyHistogram ingest_hist;   // lane offer -> admission
   sched::DispatchSelector selector;
   const std::vector<JobId> no_front;  // handlers run off-CPU, no front jobs
   std::thread sched_thread;
@@ -65,15 +124,26 @@ struct Executor::Impl {
     RtState state = RtState::kReady;
     int cpu = -1;            // CPU slot currently held, -1 = none
     bool counted = false;    // inside the executing_now gauge
+    bool bound = false;      // a pool worker owns this record
     Time ran_for = 0;        // accumulated execution time estimate input
     Time last_dispatch = 0;  // when it last got a CPU
-    std::thread worker;
 
     /// The job's terminal record for the RunReport: arrival/critical
     /// from real clocks, retries/blockings credited by the shared
-    /// structures through this worker's ScopedAccessSink, preemptions
+    /// structures through its worker's ScopedAccessSink, preemptions
     /// counted by the scheduling thread.
     Job acct;
+
+    void reset() {
+      spec = RtJob{};
+      state = RtState::kReady;
+      cpu = -1;
+      counted = false;
+      bound = false;
+      ran_for = 0;
+      last_dispatch = 0;
+      acct = Job{};
+    }
 
     // --- JobContext ---
     void checkpoint() override {
@@ -103,12 +173,21 @@ struct Executor::Impl {
     JobId id() const override { return jid; }
   };
 
-  Impl(const sched::Scheduler& sch, ExecutorConfig cfg)
-      : scheduler(&sch), cpu_count(cfg.cpu_count) {
+  Impl(const sched::Scheduler& sch, ExecutorConfig config)
+      : scheduler(&sch), cpu_count(config.cpu_count), cfg(config) {
     LFRT_CHECK_MSG(cpu_count >= 1, "ExecutorConfig::cpu_count must be >= 1");
+    LFRT_CHECK_MSG(cfg.worker_reserve >= 0,
+                   "ExecutorConfig::worker_reserve must be >= 0");
+    LFRT_CHECK_MSG(cfg.ingest_batch >= 1,
+                   "ExecutorConfig::ingest_batch must be >= 1");
     running_on.assign(static_cast<std::size_t>(cpu_count), kNoJob);
     report.cpu_count = cpu_count;
     report.cpu_busy.assign(static_cast<std::size_t>(cpu_count), 0);
+    scratch.resize(cfg.ingest_batch);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      for (int i = 0; i < cpu_count + cfg.worker_reserve; ++i) start_worker();
+    }
     sched_thread = std::thread([this] { scheduler_loop(); });
   }
 
@@ -146,57 +225,233 @@ struct Executor::Impl {
     r.cpu = -1;
   }
 
-  JobId submit(RtJob job) {
-    LFRT_CHECK_MSG(job.tuf != nullptr, "job needs a TUF");
-    LFRT_CHECK_MSG(job.body != nullptr, "job needs a body");
-    LFRT_CHECK_MSG(job.expected_exec > 0, "job needs an execution estimate");
-    std::unique_lock<std::mutex> lock(mu);
-    // Reject instead of racing the drain: once shutdown has begun the
-    // scheduling thread may already be gone, so an accepted job could
-    // never be dispatched and counted_jobs == submitted would break.
-    if (stopping) return kNoJob;
+  Worker* start_worker() {
+    workers.push_back(std::make_unique<Worker>());
+    Worker* w = workers.back().get();
+    w->th = std::thread([this, w] { worker_loop(w); });
+    report.worker_pool_peak = static_cast<std::int64_t>(workers.size());
+    return w;
+  }
+
+  // Attach a free pool worker to the record (growing the pool when all
+  // workers are pinned by preempted jobs).  Caller notifies worker_cv.
+  void bind_worker(JobRec& r) {
+    Worker* w;
+    if (!idle.empty()) {
+      w = idle.back();
+      idle.pop_back();
+    } else {
+      w = start_worker();
+    }
+    w->assigned = &r;
+    r.bound = true;
+  }
+
+  JobRec* alloc_rec() {
+    JobRec* r;
+    if (!free_recs.empty()) {
+      r = free_recs.back();
+      free_recs.pop_back();
+    } else {
+      slab.emplace_back();
+      r = &slab.back();
+      report.record_slab_size = static_cast<std::int64_t>(slab.size());
+    }
+    r->reset();
+    return r;
+  }
+
+  // Admit one validated job: assign an id, account it, arm its abort
+  // timer.  `arrival` is submit-time for the direct paths and
+  // offer-time for lane ingest (lane wait is part of the sojourn).
+  JobId admit(RtJob&& job, Time arrival) {
     const JobId id = next_id++;
-    auto rec = std::make_unique<JobRec>();
-    JobRec* r = rec.get();
+    JobRec* r = alloc_rec();
     r->owner = this;
     r->jid = id;
     r->spec = std::move(job);
     r->acct.id = id;
     r->acct.task = r->spec.task;
-    r->acct.arrival = now();
-    r->acct.critical_abs = r->acct.arrival + r->spec.tuf->critical_time();
+    r->acct.arrival = arrival;
+    r->acct.critical_abs = arrival + r->spec.tuf->critical_time();
     ++report.submitted;
     report.max_possible_utility += r->spec.tuf->utility(0);
-    jobs.emplace(id, std::move(rec));
-    r->worker = std::thread([this, r] { worker_main(r); });
+    live.emplace(id, r);
+    report.peak_live_records = std::max(
+        report.peak_live_records, static_cast<std::int64_t>(live.size()));
+    abort_wheel.schedule(r->acct.critical_abs, id);
+    return id;
+  }
+
+  // Terminal bookkeeping: account the outcome, fold the per-job tallies
+  // into the running totals, and recycle the record.  After this
+  // returns the record may be reused for a new admission — callers must
+  // not touch it again.
+  void finalize(JobRec& r, bool completed, Time t) {
+    leave_body(r);
+    vacate_cpu(r, t);
+    r.acct.exec_actual = r.ran_for;
+    if (completed) {
+      r.state = RtState::kCompleted;
+      r.acct.state = JobState::kCompleted;
+      r.acct.completion = t;
+      ++report.completed;
+      report.accrued_utility +=
+          r.spec.tuf->utility(r.acct.completion - r.acct.arrival);
+      sojourn_hist.record(r.acct.completion - r.acct.arrival);
+    } else {
+      r.state = RtState::kAborted;
+      r.acct.state = JobState::kAborted;
+      ++report.aborted;
+    }
+    report.total_retries += r.acct.retries;
+    report.total_blockings += r.acct.blockings;
+    report.total_backoff_spins += r.acct.backoff_spins;
+    if (cfg.retain_job_records) report.jobs.push_back(r.acct);
+    live.erase(r.jid);
+    r.spec = RtJob{};  // drop closures now, not at reuse
+    free_recs.push_back(&r);
+    sched_cv.notify_all();
+  }
+
+  // Request an abort.  A job that never started and has no handler is
+  // finalized inline (nothing will ever run for it); one with a handler
+  // gets a worker bound just to deliver the handler on its own thread
+  // with the access sink installed, same as any interrupted body.
+  void mark_aborting(JobRec& r, Time t) {
+    if (!r.bound && !r.spec.abort_handler) {
+      finalize(r, /*completed=*/false, t);
+      return;
+    }
+    r.state = RtState::kAborting;
+    vacate_cpu(r, t);
+    if (!r.bound) bind_worker(r);
+    worker_cv.notify_all();  // parked workers observe and throw
+  }
+
+  JobId submit(RtJob job) {
+    validate(job);
+    std::unique_lock<std::mutex> lock(mu);
+    // Reject instead of racing the drain: once shutdown has begun the
+    // scheduling thread may already be gone, so an accepted job could
+    // never be dispatched and the counted_jobs invariant would break.
+    if (stopping) return kNoJob;
+    const JobId id = admit(std::move(job), now());
     sched_cv.notify_all();
     return id;
   }
 
-  void worker_main(JobRec* r) {
-    {
-      // Wait for the first dispatch (or an abort before ever running).
-      std::unique_lock<std::mutex> lock(mu);
-      worker_cv.wait(lock, [&] {
-        return r->cpu >= 0 || r->state == RtState::kAborting;
-      });
-      if (r->state != RtState::kAborting) {
-        r->state = RtState::kRunning;
-        enter_body(*r);
+  std::size_t submit_batch(RtJob* batch, std::size_t count, JobId* ids) {
+    for (std::size_t i = 0; i < count; ++i) validate(batch[i]);
+    std::unique_lock<std::mutex> lock(mu);
+    if (stopping) return 0;
+    const Time t = now();
+    for (std::size_t i = 0; i < count; ++i) {
+      const JobId id = admit(std::move(batch[i]), t);
+      if (ids != nullptr) ids[i] = id;
+    }
+    if (count > 0) sched_cv.notify_all();
+    return count;
+  }
+
+  IngestLane& open_lane(std::size_t capacity) {
+    std::lock_guard<std::mutex> lock(mu);
+    LFRT_CHECK_MSG(!stopping, "open_lane on a stopping executor");
+    lanes.push_back(
+        std::unique_ptr<IngestLane>(new IngestLane(this, capacity)));
+    return *lanes.back();
+  }
+
+  void set_admission(AdmissionFilter filter) {
+    std::lock_guard<std::mutex> lock(mu);
+    admission = std::move(filter);
+  }
+
+  bool lanes_empty() const {
+    for (const auto& lane : lanes)
+      if (!lane->ring_.empty()) return false;
+    return true;
+  }
+
+  // Pull everything currently staged in the ingest lanes and run each
+  // entry through backpressure + admission — the whole burst under the
+  // single already-held mutex acquisition.  Returns entries processed.
+  std::size_t drain_lanes() {
+    if (lanes.empty()) return 0;
+    std::size_t processed = 0;
+    const Time t = now();
+    for (auto& lane : lanes) {
+      for (;;) {
+        const std::size_t n =
+            lane->ring_.pop_n(scratch.data(), cfg.ingest_batch);
+        if (n == 0) break;
+        for (std::size_t i = 0; i < n; ++i) {
+          IngestLane::Entry& e = scratch[i];
+          ++report.lane_ingested;
+          Admission verdict = Admission::kAdmit;
+          if (cfg.max_live_jobs > 0 && live.size() >= cfg.max_live_jobs)
+            verdict = Admission::kReject;
+          else if (admission)
+            verdict = admission(e.job);
+          if (verdict == Admission::kReject) {
+            // Shed: accrues zero but still weighs in the denominator —
+            // rejecting is an abort-at-admission, not a free pass.
+            ++report.rejected;
+            report.max_possible_utility += e.job.tuf->utility(0);
+            e.job = RtJob{};
+            continue;
+          }
+          if (verdict == Admission::kDegrade) ++report.degraded;
+          ingest_hist.record(t - e.offered_ns);
+          admit(std::move(e.job), e.offered_ns);
+        }
+        processed += n;
+        if (n < cfg.ingest_batch) break;
       }
     }
+    if (processed > 0) sched_cv.notify_all();  // a blocked drain() re-checks
+    return processed;
+  }
+
+  void worker_loop(Worker* w) {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      worker_cv.wait(lock, [&] { return w->assigned != nullptr || workers_stop; });
+      if (w->assigned == nullptr) return;  // stop, nothing bound
+      JobRec* r = w->assigned;
+      w->assigned = nullptr;
+      run_job(lock, r);
+      // r is recycled by finalize; never touch it past this point.
+      idle.push_back(w);
+    }
+  }
+
+  // Runs one job on the calling pool worker: wait for the first
+  // dispatch (or a pre-start abort), execute body/abort-handler with
+  // the job's access sink installed, finalize.  mu held on entry and
+  // exit, released around the body.
+  void run_job(std::unique_lock<std::mutex>& lock, JobRec* r) {
+    worker_cv.wait(lock, [&] {
+      return r->cpu >= 0 || r->state == RtState::kAborting;
+    });
+    if (r->state != RtState::kAborting) {
+      r->state = RtState::kRunning;
+      enter_body(*r);
+    }
     bool completed = false;
+    lock.unlock();
     {
       // Structure-level retry/contention events on this thread credit
       // the job's own counters — per-job f_i from real CAS failures.
       // One sink covers body and abort handler: both run here, and this
-      // thread runs nothing else, so credits cannot leak across jobs no
-      // matter how many workers are inside a structure at once.
+      // thread runs nothing else until the job is terminal, so credits
+      // cannot leak across jobs no matter how many workers are inside a
+      // structure at once.
       runtime::ScopedAccessSink sink(&r->acct.retries, &r->acct.blockings,
                                      &r->acct.backoff_spins);
       try {
         {
-          std::lock_guard<std::mutex> lock(mu);
+          std::lock_guard<std::mutex> g(mu);
           if (r->state == RtState::kAborting) throw JobAborted{};
         }
         r->spec.body(*r);
@@ -205,29 +460,14 @@ struct Executor::Impl {
         {
           // The handler runs off-CPU: it is compensation, not body
           // execution, so it leaves the concurrency gauge first.
-          std::lock_guard<std::mutex> lock(mu);
+          std::lock_guard<std::mutex> g(mu);
           leave_body(*r);
         }
         if (r->spec.abort_handler) r->spec.abort_handler();
       }
     }
-    std::unique_lock<std::mutex> lock(mu);
-    leave_body(*r);
-    if (completed) {
-      r->state = RtState::kCompleted;
-      r->acct.state = JobState::kCompleted;
-      r->acct.completion = now();
-      ++report.completed;
-      report.accrued_utility +=
-          r->spec.tuf->utility(r->acct.completion - r->acct.arrival);
-    } else {
-      r->state = RtState::kAborted;
-      r->acct.state = JobState::kAborted;
-      ++report.aborted;
-    }
-    vacate_cpu(*r, now());
-    r->acct.exec_actual = r->ran_for;
-    sched_cv.notify_all();
+    lock.lock();
+    finalize(*r, completed, now());
   }
 
   void scheduler_loop() {
@@ -238,22 +478,24 @@ struct Executor::Impl {
     sched::ScheduleResult res;
     std::vector<sched::SchedJob> view;
     while (true) {
+      drain_lanes();
       const Time t = now();
 
-      // Raise abort-exceptions for expired jobs (the timer going off).
-      for (auto& [id, r] : jobs) {
-        if (terminal(r->state) || r->state == RtState::kAborting) continue;
-        if (t >= r->acct.critical_abs) {
-          r->state = RtState::kAborting;
-          vacate_cpu(*r, t);
-          worker_cv.notify_all();  // parked workers observe and throw
-        }
-      }
+      // Fire due abort timers (the timer going off).  Entries whose job
+      // already reached a terminal state miss the live map: stale, skip.
+      abort_wheel.advance(t, [&](Time, JobId id) {
+        const auto it = live.find(id);
+        if (it == live.end()) return;
+        JobRec& r = *it->second;
+        if (terminal(r.state) || r.state == RtState::kAborting) return;
+        mark_aborting(r, t);
+      });
 
-      // Build the scheduler view over pending jobs.
+      // Build the scheduler view over pending jobs (live is id-ordered,
+      // so ties break identically run to run).
       view.clear();
-      for (auto& [id, r] : jobs) {
-        if (terminal(r->state) || r->state == RtState::kAborting) continue;
+      for (auto& [id, r] : live) {
+        if (r->state == RtState::kAborting) continue;
         sched::SchedJob sj;
         sj.id = id;
         sj.arrival = r->acct.arrival;
@@ -265,7 +507,7 @@ struct Executor::Impl {
         view.push_back(sj);
       }
 
-      if (stopping && view.empty()) return;
+      if (stopping && live.empty() && lanes_empty()) return;
 
       scheduler->build_into(view, t, ws.get(), res);
       ++report.sched_invocations;
@@ -277,17 +519,16 @@ struct Executor::Impl {
       const auto& targets = selector.select_steered(
           no_front, res, cpu_count, static_cast<std::size_t>(next_id),
           [&](JobId id) {
-            const auto it = jobs.find(id);
-            if (it == jobs.end()) return false;
-            const RtState s = it->second->state;
-            return !terminal(s) && s != RtState::kAborting;
+            const auto it = live.find(id);
+            if (it == live.end()) return false;
+            return it->second->state != RtState::kAborting;
           },
           [&](JobId id) -> TaskId {
-            const auto it = jobs.find(id);
-            return it == jobs.end() ? TaskId{-1} : it->second->spec.task;
+            const auto it = live.find(id);
+            return it == live.end() ? TaskId{-1} : it->second->spec.task;
           });
       const auto& next = selector.assign_sticky(
-          targets, cpu_count, [&](JobId id) { return jobs.at(id)->cpu; });
+          targets, cpu_count, [&](JobId id) { return live.at(id)->cpu; });
 
       bool changed = false;
       for (int c = 0; c < cpu_count; ++c) {
@@ -299,7 +540,7 @@ struct Executor::Impl {
         if (prev != kNoJob) {
           // Deschedule: account the stint (a preemption if the job is
           // still unfinished).
-          JobRec& p = *jobs.at(prev);
+          JobRec& p = *live.at(prev);
           vacate_cpu(p, t);
           if (!terminal(p.state) && p.state != RtState::kAborting) {
             ++p.acct.preemptions;
@@ -307,7 +548,8 @@ struct Executor::Impl {
           }
         }
         if (target != kNoJob) {
-          JobRec& n = *jobs.at(target);
+          JobRec& n = *live.at(target);
+          if (!n.bound) bind_worker(n);  // first dispatch: claim a worker
           n.cpu = c;
           n.last_dispatch = t;
           running_on[ci] = target;
@@ -316,18 +558,26 @@ struct Executor::Impl {
       }
       if (changed) worker_cv.notify_all();
 
-      // Sleep until the next critical time (abort timer) or any event.
-      Time next_expiry = kTimeNever;
-      for (auto& [id, r] : jobs) {
-        if (terminal(r->state) || r->state == RtState::kAborting) continue;
-        next_expiry = std::min(next_expiry, r->acct.critical_abs);
+      // Sleep until the next abort deadline or any event.  The
+      // idle-flag/fence handshake with IngestLane::offer (see
+      // sched_idle) closes the lost-wakeup window: after publishing
+      // sched_idle we re-check the lanes, and a producer that missed
+      // the flag is guaranteed (Dekker, via the paired seq_cst fences)
+      // to have its push visible to that re-check.
+      const Time next_expiry = abort_wheel.next_deadline();
+      sched_idle.store(true, std::memory_order_seq_cst);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (!lanes_empty()) {
+        sched_idle.store(false, std::memory_order_relaxed);
+        continue;
       }
       if (next_expiry == kTimeNever) {
         sched_cv.wait(lock);
       } else {
-        sched_cv.wait_until(
-            lock, epoch + std::chrono::nanoseconds(next_expiry));
+        sched_cv.wait_until(lock,
+                            epoch + std::chrono::nanoseconds(next_expiry));
       }
+      sched_idle.store(false, std::memory_order_relaxed);
     }
   }
 
@@ -339,43 +589,65 @@ struct Executor::Impl {
 
   void drain() {
     std::unique_lock<std::mutex> lock(mu);
-    sched_cv.wait(lock, [&] {
-      return std::all_of(jobs.begin(), jobs.end(), [](const auto& kv) {
-        return terminal(kv.second->state);
-      });
-    });
+    sched_cv.wait(lock, [&] { return live.empty() && lanes_empty(); });
   }
 
   ExecutorReport shutdown() {
     {
       // Close the door first: submissions from here on are rejected
       // (submit returns kNoJob), so the drain below is over a frozen
-      // job population and counted_jobs == submitted holds.
+      // job population and the counted_jobs invariant holds.
       std::lock_guard<std::mutex> lock(mu);
       stopping = true;
       sched_cv.notify_all();
     }
     drain();
     sched_thread.join();
-    for (auto& [id, r] : jobs)
-      if (r->worker.joinable()) r->worker.join();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      workers_stop = true;
+      worker_cv.notify_all();
+    }
+    for (auto& w : workers)
+      if (w->th.joinable()) w->th.join();
     std::lock_guard<std::mutex> lock(mu);
-    // Assemble the shared RunReport view: every accepted job reached a
-    // terminal state (drain above), so all of them are counted.
-    report.counted_jobs = report.submitted;
-    report.jobs.clear();
-    report.total_retries = 0;
-    report.total_blockings = 0;
-    report.total_backoff_spins = 0;
-    for (const auto& [id, r] : jobs) {  // std::map: id order
-      report.jobs.push_back(r->acct);
-      report.total_retries += r->acct.retries;
-      report.total_blockings += r->acct.blockings;
-      report.total_backoff_spins += r->acct.backoff_spins;
+    // Assemble the shared RunReport view.  Totals and per-job records
+    // were folded in incrementally at each finalize; records only need
+    // the historical id-order presentation restored (terminal order is
+    // completion order).
+    report.counted_jobs = report.submitted + report.rejected;
+    if (cfg.retain_job_records) {
+      std::sort(report.jobs.begin(), report.jobs.end(),
+                [](const Job& a, const Job& b) { return a.id < b.id; });
+    }
+    report.sojourn_p50_ns = sojourn_hist.percentile(0.50);
+    report.sojourn_p99_ns = sojourn_hist.percentile(0.99);
+    report.sojourn_p999_ns = sojourn_hist.percentile(0.999);
+    if (report.lane_ingested > 0) {
+      report.ingest_p50_ns = ingest_hist.percentile(0.50);
+      report.ingest_p99_ns = ingest_hist.percentile(0.99);
+      report.ingest_p999_ns = ingest_hist.percentile(0.999);
     }
     return report;
   }
 };
+
+bool IngestLane::offer(RtJob job) {
+  validate(job);
+  Entry e;
+  e.offered_ns = owner_->now();
+  e.job = std::move(job);
+  if (!ring_.push(std::move(e))) return false;
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (owner_->sched_idle.load(std::memory_order_relaxed)) {
+    // Rare path (scheduler idle == no load): take the mutex so the
+    // notify cannot slip between the scheduler's lane re-check and its
+    // wait.  The fast path above stays wait-free.
+    std::lock_guard<std::mutex> lock(owner_->mu);
+    owner_->sched_cv.notify_all();
+  }
+  return true;
+}
 
 Executor::Executor(const sched::Scheduler& scheduler, ExecutorConfig config)
     : impl_(std::make_unique<Impl>(scheduler, config)) {}
@@ -385,6 +657,19 @@ Executor::~Executor() {
 }
 
 JobId Executor::submit(RtJob job) { return impl_->submit(std::move(job)); }
+
+std::size_t Executor::submit_batch(RtJob* jobs, std::size_t count,
+                                   JobId* ids) {
+  return impl_->submit_batch(jobs, count, ids);
+}
+
+IngestLane& Executor::open_lane(std::size_t capacity) {
+  return impl_->open_lane(capacity);
+}
+
+void Executor::set_admission(AdmissionFilter filter) {
+  impl_->set_admission(std::move(filter));
+}
 
 void Executor::drain() { impl_->drain(); }
 

@@ -25,12 +25,14 @@
 // statistics come from those structures.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "lockfree/spsc_ring.hpp"
 #include "runtime/run_report.hpp"
 #include "support/time.hpp"
 #include "task/task.hpp"
@@ -94,7 +96,51 @@ struct ExecutorConfig {
   /// parallelism (the paper's "multiprocessor systems" future-work
   /// direction).
   int cpu_count = 1;
+
+  /// Extra worker threads started beyond cpu_count.  The pool is sized
+  /// cpu_count + worker_reserve at construction and grows on demand
+  /// only when every pooled worker is pinned by a preempted-mid-body
+  /// job (cooperative preemption parks a body on its thread, so a
+  /// worker cannot be recycled until its job reaches a terminal
+  /// state).  It never shrinks during a run.
+  int worker_reserve = 2;
+
+  /// Keep per-job terminal records for ExecutorReport::jobs.  Default
+  /// on (the cross-validation benches read them).  A streaming service
+  /// pushing millions of jobs turns this off: aggregate tallies,
+  /// percentile histograms, and the heatmap still populate, but the
+  /// O(jobs) record vector does not.
+  bool retain_job_records = true;
+
+  /// Max entries the scheduling thread moves from one ingest lane per
+  /// drain burst (scratch-buffer size; the lane is re-polled until
+  /// empty regardless).
+  std::size_t ingest_batch = 256;
+
+  /// Backpressure cap on jobs admitted-but-not-yet-terminal.  When a
+  /// lane-ingested job would push the live count past this, it is
+  /// rejected (counted in RunReport::rejected) before any admission
+  /// filter runs.  0 = unlimited.  Direct submit()/submit_batch() are
+  /// exempt: they keep the pre-service contract of accepting every
+  /// well-formed job until shutdown.
+  std::size_t max_live_jobs = 0;
 };
+
+/// Admission verdict for one lane-ingested job (see
+/// Executor::set_admission).
+enum class Admission : std::uint8_t {
+  kAdmit,    ///< submit as-is
+  kDegrade,  ///< submit, but the filter rewrote the job (cheaper TUF)
+  kReject,   ///< shed: never runs, accrues zero, counted in `rejected`
+};
+
+/// Policy hook deciding each lane-ingested job's fate.  Runs on the
+/// scheduling thread under the executor mutex: it must be fast and must
+/// not call back into the executor.  It may mutate the job (e.g. swap
+/// in a degraded TUF) when returning kDegrade.
+using AdmissionFilter = std::function<Admission(RtJob&)>;
+
+class IngestLane;
 
 /// Aggregate outcome of an Executor run.  The shared job-lifecycle
 /// accounting (AUR/CMR, per-job terminal records with real-clock
@@ -102,14 +148,33 @@ struct ExecutorConfig {
 /// via runtime::ScopedAccessSink, per-task breakdowns) lives in
 /// runtime::RunReport — the same shape sim::SimReport extends, so the
 /// two substrates cross-validate (bench/ext_executor_validation).
-/// counted_jobs == submitted: shutdown() drains every accepted job to a
-/// terminal state (submissions rejected during shutdown are not
-/// counted).
+/// counted_jobs == submitted + rejected: shutdown() drains every
+/// accepted job to a terminal state, and every lane-ingested job that
+/// admission shed is accounted as rejected (submissions refused during
+/// shutdown are not counted).
 struct ExecutorReport : runtime::RunReport {
   std::int64_t submitted = 0;
 
   /// CPU slots the dispatcher filled (ExecutorConfig::cpu_count).
   int cpu_count = 1;
+
+  /// High-water mark of admitted-but-not-yet-terminal jobs.  With
+  /// incremental record reclamation this — not `submitted` — bounds the
+  /// executor's live memory; the regression test pins it over a
+  /// 100k-job run (tests/executor_reclaim_test.cpp).
+  std::int64_t peak_live_records = 0;
+
+  /// JobRec slab size at shutdown == peak_live_records ever reached
+  /// (records are free-listed, the slab never shrinks).
+  std::int64_t record_slab_size = 0;
+
+  /// Worker threads ever started (pool high-water; the pool never
+  /// shrinks during a run).
+  std::int64_t worker_pool_peak = 0;
+
+  /// Jobs the scheduling thread pulled out of ingest lanes (admitted +
+  /// degraded + rejected).
+  std::int64_t lane_ingested = 0;
 
   /// Wall-clock ns each CPU slot spent occupied by a dispatched job,
   /// indexed by CPU — the executor-side analogue of the simulator's
@@ -128,7 +193,7 @@ struct ExecutorReport : runtime::RunReport {
 
 /// Middleware UA scheduler over real threads.
 ///
-/// Thread model: one scheduling thread, one worker thread per job, and
+/// Thread model: one scheduling thread, a persistent worker POOL, and
 /// M = ExecutorConfig::cpu_count CPU slots.  The scheduling thread
 /// computes one global schedule at every scheduling event and dispatches
 /// its top M eligible jobs (the simulator's multi-CPU rule, shared via
@@ -141,6 +206,22 @@ struct ExecutorReport : runtime::RunReport {
 /// paper's uniprocessor-only results (Theorem 2's derivation, Theorem
 /// 3's tradeoff, Lemmas 4/5) are validated at cpu_count = 1 and merely
 /// *measured* beyond it.
+///
+/// Workers are pooled, not per-job: a job binds to a free worker at its
+/// first dispatch and keeps that thread until it reaches a terminal
+/// state (a preempted body parks ON its thread — its stack is its
+/// state — so workers never migrate mid-job and per-job retry
+/// attribution via the thread-local ScopedAccessSink stays exact).
+/// The pool starts at cpu_count + worker_reserve and grows only when
+/// every worker is pinned by a preempted job; terminal JobRecs are
+/// recycled through a free list immediately, so a long run's memory is
+/// bounded by its peak backlog, not its job count.
+///
+/// Ingest paths, fastest first: (1) per-producer wait-free IngestLanes
+/// (open_lane) drained in batches by the scheduling thread — the
+/// streaming-service path, subject to admission control; (2)
+/// submit_batch(), N jobs under one mutex acquisition; (3) submit(),
+/// a one-element batch kept for the original tests and benches.
 ///
 /// Retry/blocking attribution: every job's body and abort handler run
 /// on that job's own worker thread, whose thread-local
@@ -164,7 +245,28 @@ class Executor {
   /// drain — see tests/executor_shutdown_race_test.cpp.
   JobId submit(RtJob job);
 
-  /// Block until every submitted job has completed or aborted.
+  /// Submit up to `count` jobs under ONE mutex acquisition; arrival is
+  /// "now" for all of them.  Jobs are moved from.  Returns how many
+  /// were accepted — `count`, or 0 when the executor is shutting down
+  /// (all-or-nothing, same rejection contract as submit).  When `ids`
+  /// is non-null it receives the assigned JobIds (must have room for
+  /// `count`).  Thread-safe.
+  std::size_t submit_batch(RtJob* jobs, std::size_t count,
+                           JobId* ids = nullptr);
+
+  /// Open a wait-free single-producer submission lane of the given
+  /// capacity.  The returned lane lives until shutdown.  Thread-safe,
+  /// but open all lanes before producers start offering.
+  IngestLane& open_lane(std::size_t capacity);
+
+  /// Install the admission filter applied to every lane-ingested job
+  /// (direct submit()s are exempt).  Runs on the scheduling thread
+  /// under the executor mutex.  Install before producers start
+  /// offering; pass nullptr to clear.
+  void set_admission(AdmissionFilter filter);
+
+  /// Block until every ingest lane is drained and every admitted job
+  /// has completed or aborted.
   void drain();
 
   /// Install the contention controller's per-task conflict vector:
@@ -182,8 +284,50 @@ class Executor {
   ExecutorReport shutdown();
 
  private:
+  friend class IngestLane;
   struct Impl;
   std::unique_ptr<Impl> impl_;
+};
+
+/// Wait-free single-producer submission lane (Executor::open_lane).
+///
+/// One producer thread stages jobs into its own SpscRing; the
+/// scheduling thread drains every lane in batches at the top of each
+/// scheduling pass, so N offers cost ONE mutex acquisition instead of
+/// N.  A job's arrival time is when offer() accepted it — lane wait is
+/// part of its sojourn, and is also tracked separately in the report's
+/// ingest percentiles.
+class IngestLane {
+ public:
+  IngestLane(const IngestLane&) = delete;
+  IngestLane& operator=(const IngestLane&) = delete;
+
+  /// Stage a job; its arrival is "now".  Wait-free.  Returns false when
+  /// the lane is full (backpressure) — the job is not accepted and
+  /// leaves no trace.  Malformed jobs (no TUF/body/estimate) fail the
+  /// invariant check here, on the producer.  Exactly one thread may
+  /// call offer() on a given lane.
+  ///
+  /// Offers racing Executor::shutdown() may be silently dropped; a
+  /// service must stop its producers before shutting the executor
+  /// down (runtime::Service::close_ingest sequences this).
+  bool offer(RtJob job);
+
+  /// True when the scheduling thread has consumed everything offered
+  /// so far.
+  bool drained() const { return ring_.empty(); }
+
+ private:
+  friend class Executor;
+  struct Entry {
+    RtJob job;
+    Time offered_ns = 0;
+  };
+  IngestLane(Executor::Impl* owner, std::size_t capacity)
+      : owner_(owner), ring_(capacity) {}
+
+  Executor::Impl* owner_;
+  lockfree::SpscRing<Entry> ring_;
 };
 
 }  // namespace lfrt::rt

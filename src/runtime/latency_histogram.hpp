@@ -53,6 +53,24 @@ class LatencyHistogram {
     return upper_bound(kBuckets - 1);
   }
 
+  /// Fold another histogram's counts into this one (bucket-wise add).
+  /// Safe concurrently with record() on either side; percentiles read
+  /// mid-merge see a consistent-enough snapshot (same tolerance as a
+  /// live run).
+  void merge(const LatencyHistogram& other) {
+    for (int b = 0; b < kBuckets; ++b) {
+      const std::int64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+      if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
+  /// Reset all buckets to zero.  Not linearizable against concurrent
+  /// record() — samples racing a clear land before or after it; callers
+  /// that need an exact epoch boundary must quiesce writers first.
+  void clear() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
   static int bucket_of(std::int64_t ns) {
     if (ns <= 0) return 0;
     const int b = std::bit_width(static_cast<std::uint64_t>(ns));

@@ -88,6 +88,30 @@ std::string to_json(const RunReport& rep) {
   append_int(out, rep.total_preemptions);
   out += R"(,"total_backoff_spins":)";
   append_int(out, rep.total_backoff_spins);
+  // Service-mode admission + percentile fields (PR 7).  Emitted only
+  // when any is non-zero so pre-service reports stay byte-identical;
+  // parsed optionally with zero defaults.
+  if (rep.rejected != 0 || rep.degraded != 0 || rep.sojourn_p50_ns != 0 ||
+      rep.sojourn_p99_ns != 0 || rep.sojourn_p999_ns != 0 ||
+      rep.ingest_p50_ns != 0 || rep.ingest_p99_ns != 0 ||
+      rep.ingest_p999_ns != 0) {
+    out += R"(,"rejected":)";
+    append_int(out, rep.rejected);
+    out += R"(,"degraded":)";
+    append_int(out, rep.degraded);
+    out += R"(,"sojourn_p50_ns":)";
+    append_int(out, rep.sojourn_p50_ns);
+    out += R"(,"sojourn_p99_ns":)";
+    append_int(out, rep.sojourn_p99_ns);
+    out += R"(,"sojourn_p999_ns":)";
+    append_int(out, rep.sojourn_p999_ns);
+    out += R"(,"ingest_p50_ns":)";
+    append_int(out, rep.ingest_p50_ns);
+    out += R"(,"ingest_p99_ns":)";
+    append_int(out, rep.ingest_p99_ns);
+    out += R"(,"ingest_p999_ns":)";
+    append_int(out, rep.ingest_p999_ns);
+  }
   out += R"(,"jobs":[)";
   for (std::size_t i = 0; i < rep.jobs.size(); ++i) {
     if (i > 0) out += ',';
@@ -144,6 +168,33 @@ RunReport from_json(std::string_view json) {
   rep.total_blockings = get_int(*o, "total_blockings");
   rep.total_preemptions = get_int(*o, "total_preemptions");
   rep.total_backoff_spins = get_int(*o, "total_backoff_spins");
+
+  // Service-mode fields: absent in legacy reports (defaults stay 0).
+  rep.rejected = get_int(*o, "rejected", 0);
+  rep.degraded = get_int(*o, "degraded", 0);
+  rep.sojourn_p50_ns = get_int(*o, "sojourn_p50_ns", 0);
+  rep.sojourn_p99_ns = get_int(*o, "sojourn_p99_ns", 0);
+  rep.sojourn_p999_ns = get_int(*o, "sojourn_p999_ns", 0);
+  rep.ingest_p50_ns = get_int(*o, "ingest_p50_ns", 0);
+  rep.ingest_p99_ns = get_int(*o, "ingest_p99_ns", 0);
+  rep.ingest_p999_ns = get_int(*o, "ingest_p999_ns", 0);
+  if (rep.rejected < 0 || rep.degraded < 0)
+    throw std::runtime_error(
+        "report_json: rejected/degraded must be non-negative");
+  const auto check_pcts = [](std::int64_t p50, std::int64_t p99,
+                             std::int64_t p999, const char* what) {
+    if (p50 < 0 || p99 < 0 || p999 < 0)
+      throw std::runtime_error(std::string("report_json: negative ") + what +
+                               " percentile");
+    if (p50 > p99 || p99 > p999)
+      throw std::runtime_error(std::string("report_json: ") + what +
+                               " percentiles must be monotone "
+                               "(p50 <= p99 <= p999)");
+  };
+  check_pcts(rep.sojourn_p50_ns, rep.sojourn_p99_ns, rep.sojourn_p999_ns,
+             "sojourn");
+  check_pcts(rep.ingest_p50_ns, rep.ingest_p99_ns, rep.ingest_p999_ns,
+             "ingest");
 
   if (const JsonValue* jobs = find(*o, "jobs")) {
     const JsonArray* arr = jobs->as_array();

@@ -57,6 +57,32 @@ struct RunReport {
   std::int64_t total_preemptions = 0;
   std::int64_t total_backoff_spins = 0;  ///< sum of Job::backoff_spins
 
+  // --- service-mode admission + ingest accounting (PR 7) ---
+  // Jobs arriving through ingest lanes pass an admission filter before
+  // they become submissions.  A rejected job never runs: it accrues
+  // zero utility but its U(0) still counts toward max_possible_utility
+  // (shedding load is an abort-at-admission, not a free pass), and it
+  // counts in counted_jobs: counted_jobs == submitted + rejected on the
+  // executor.  A degraded job runs under a renegotiated (cheaper) TUF
+  // and is a normal submission otherwise.  All zero outside service
+  // mode.
+  std::int64_t rejected = 0;
+  std::int64_t degraded = 0;
+
+  /// Sojourn (arrival -> completion) percentiles over completed jobs,
+  /// ns, resolved to log2-bucket upper bounds (LatencyHistogram).
+  /// Zero when the substrate doesn't record them (the simulator) or
+  /// nothing completed.
+  std::int64_t sojourn_p50_ns = 0;
+  std::int64_t sojourn_p99_ns = 0;
+  std::int64_t sojourn_p999_ns = 0;
+
+  /// Ingest-lane wait (offer -> admission decision) percentiles, ns.
+  /// Zero when no lanes were used.
+  std::int64_t ingest_p50_ns = 0;
+  std::int64_t ingest_p99_ns = 0;
+  std::int64_t ingest_p999_ns = 0;
+
   /// Per-job terminal records (arrival, sojourn, retries, ...).
   std::vector<Job> jobs;
 

@@ -6,8 +6,10 @@
 // Before the stopping-gate in submit, a submission landing after the
 // drain's all-terminal check but before the scheduling thread exited
 // could leave a worker waiting on a dispatch that would never come and
-// break counted_jobs == submitted.  This hammers that window from
-// several threads; runs under ASan and TSan in scripts/check.sh.
+// break counted_jobs == submitted + rejected.  This hammers that window
+// from several threads — for direct submit(), batched submit_batch(),
+// and the wait-free ingest-lane path with an admission filter in the
+// mix; runs under ASan and TSan in scripts/check.sh.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -61,7 +63,8 @@ TEST(ExecutorShutdownRace, SubmitDuringShutdownIsCountedOrRejected) {
     // Every accepted job was counted and reached a terminal state;
     // rejected ones left no trace.
     EXPECT_EQ(rep.submitted, accepted.load());
-    EXPECT_EQ(rep.counted_jobs, rep.submitted);
+    EXPECT_EQ(rep.counted_jobs, rep.submitted + rep.rejected);
+    EXPECT_EQ(rep.rejected, 0);  // no lanes, no admission control here
     EXPECT_EQ(rep.completed + rep.aborted, rep.submitted);
     EXPECT_EQ(static_cast<std::int64_t>(rep.jobs.size()), rep.submitted);
     for (const Job& j : rep.jobs)
@@ -77,6 +80,77 @@ TEST(ExecutorShutdownRace, SubmitAfterShutdownIsRejected) {
   const rt::ExecutorReport rep = ex.shutdown();
   EXPECT_EQ(rep.submitted, 1);
   EXPECT_EQ(ex.submit(quick_job()), kNoJob);
+}
+
+TEST(ExecutorShutdownRace, BatchSubmitDuringShutdownIsAllOrNothing) {
+  constexpr int kRounds = 10;
+  constexpr std::size_t kBatch = 16;
+  for (int round = 0; round < kRounds; ++round) {
+    const sched::RuaScheduler rua(sched::Sharing::kLockFree);
+    rt::Executor ex(rua);
+    std::atomic<std::int64_t> accepted{0};
+    std::atomic<bool> stop{false};
+    std::thread submitter([&] {
+      std::vector<rt::RtJob> batch(kBatch);
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (auto& j : batch) j = quick_job();
+        const std::size_t n = ex.submit_batch(batch.data(), kBatch);
+        ASSERT_TRUE(n == 0 || n == kBatch);  // never a partial batch
+        accepted.fetch_add(static_cast<std::int64_t>(n),
+                           std::memory_order_relaxed);
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::microseconds(100 * (round % 4)));
+    const rt::ExecutorReport rep = ex.shutdown();
+    stop.store(true);
+    submitter.join();
+
+    EXPECT_EQ(rep.submitted, accepted.load());
+    EXPECT_EQ(rep.counted_jobs, rep.submitted + rep.rejected);
+    EXPECT_EQ(rep.completed + rep.aborted, rep.submitted);
+  }
+}
+
+TEST(ExecutorShutdownRace, LaneOffersStoppedBeforeShutdownAllAccounted) {
+  // The streaming contract: producers stop and join BEFORE shutdown();
+  // then every offer() that returned true is accounted — ingested by
+  // the scheduling thread and either submitted or rejected by
+  // admission.  An admission filter that sheds every 7th job keeps
+  // rejected > 0 so the generalized invariant is actually exercised.
+  constexpr int kRounds = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    const sched::RuaScheduler rua(sched::Sharing::kLockFree);
+    rt::ExecutorConfig cfg;
+    cfg.cpu_count = 2;
+    rt::Executor ex(rua, cfg);
+    int seen = 0;
+    ex.set_admission([&seen](rt::RtJob&) {
+      return (++seen % 7 == 0) ? rt::Admission::kReject
+                               : rt::Admission::kAdmit;
+    });
+    rt::IngestLane& lane = ex.open_lane(/*capacity=*/256);
+
+    std::atomic<std::int64_t> offered{0};
+    std::atomic<bool> stop{false};
+    std::thread producer([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (lane.offer(quick_job()))
+          offered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + round));
+    stop.store(true);
+    producer.join();  // producer stopped: nothing can race the drain
+    const rt::ExecutorReport rep = ex.shutdown();
+
+    EXPECT_EQ(rep.lane_ingested, offered.load());
+    EXPECT_EQ(rep.submitted + rep.rejected, rep.lane_ingested);
+    EXPECT_EQ(rep.counted_jobs, rep.submitted + rep.rejected);
+    EXPECT_EQ(rep.completed + rep.aborted, rep.submitted);
+    if (offered.load() >= 7) {
+      EXPECT_GT(rep.rejected, 0);
+    }
+  }
 }
 
 }  // namespace

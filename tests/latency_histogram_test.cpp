@@ -1,0 +1,121 @@
+// runtime::LatencyHistogram — direct coverage for the log2-bucket
+// histogram behind the p50/p99/p999 sojourn and ingest SLOs: bucket
+// boundary placement, percentile monotonicity, merge/clear, and a
+// concurrent recording hammer (run under TSan via scripts/check.sh).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/latency_histogram.hpp"
+
+namespace lfrt::runtime {
+namespace {
+
+TEST(LatencyHistogram, BucketBoundaries) {
+  // bucket 0 holds {<= 0}; bucket b holds [2^(b-1), 2^b).
+  EXPECT_EQ(LatencyHistogram::bucket_of(-5), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1), 1);
+  EXPECT_EQ(LatencyHistogram::bucket_of(2), 2);
+  EXPECT_EQ(LatencyHistogram::bucket_of(3), 2);
+  EXPECT_EQ(LatencyHistogram::bucket_of(4), 3);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1023), 10);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1024), 11);
+  // The top bucket absorbs everything beyond the range.
+  EXPECT_EQ(LatencyHistogram::bucket_of(INT64_MAX),
+            LatencyHistogram::kBuckets - 1);
+
+  EXPECT_EQ(LatencyHistogram::upper_bound(0), 0);
+  EXPECT_EQ(LatencyHistogram::upper_bound(1), 2);
+  EXPECT_EQ(LatencyHistogram::upper_bound(10), 1024);
+  // A sample always resolves to a percentile bound >= its value / 2.
+  for (std::int64_t v : {1, 7, 100, 5'000, 1'000'000}) {
+    const std::int64_t ub =
+        LatencyHistogram::upper_bound(LatencyHistogram::bucket_of(v));
+    EXPECT_GE(ub, v);
+    EXPECT_LT(ub, 2 * v + 2);
+  }
+}
+
+TEST(LatencyHistogram, PercentilesResolveToBucketUpperBounds) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.percentile(0.5), 0);
+
+  // 90 fast samples (~100ns), 9 medium (~10us), 1 slow (~1ms).
+  for (int i = 0; i < 90; ++i) h.record(100);
+  for (int i = 0; i < 9; ++i) h.record(10'000);
+  h.record(1'000'000);
+  EXPECT_EQ(h.count(), 100);
+
+  EXPECT_EQ(h.percentile(0.50),
+            LatencyHistogram::upper_bound(LatencyHistogram::bucket_of(100)));
+  EXPECT_EQ(h.percentile(0.95),
+            LatencyHistogram::upper_bound(LatencyHistogram::bucket_of(10'000)));
+  EXPECT_EQ(
+      h.percentile(0.999),
+      LatencyHistogram::upper_bound(LatencyHistogram::bucket_of(1'000'000)));
+}
+
+TEST(LatencyHistogram, PercentileMonotoneInP) {
+  LatencyHistogram h;
+  for (std::int64_t v = 1; v <= 100'000; v = v * 3 + 1) h.record(v);
+  std::int64_t prev = -1;
+  for (double p = 0.0; p <= 1.0; p += 0.01) {
+    const std::int64_t q = h.percentile(p);
+    EXPECT_GE(q, prev) << "p=" << p;
+    prev = q;
+  }
+}
+
+TEST(LatencyHistogram, MergeAddsBucketwiseAndClearResets) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 10; ++i) a.record(100);
+  for (int i = 0; i < 20; ++i) b.record(100'000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 30);
+  // Merged tail comes from b.
+  EXPECT_EQ(
+      a.percentile(0.99),
+      LatencyHistogram::upper_bound(LatencyHistogram::bucket_of(100'000)));
+  // b unchanged by being merged from.
+  EXPECT_EQ(b.count(), 20);
+
+  a.clear();
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_EQ(a.percentile(0.99), 0);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordHammer) {
+  // 4 writers x 100k samples racing a merging reader; total count must
+  // be exact after join (relaxed fetch_add loses nothing).  TSan guards
+  // the memory-order claims.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100'000;
+  LatencyHistogram h;
+  LatencyHistogram sink;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.record((i % 1'000) * (t + 1));
+    });
+  }
+  // Reader races merge + percentile against the writers (values are
+  // only required to be valid, not exact, until the writers join).
+  for (int i = 0; i < 50; ++i) {
+    sink.clear();
+    sink.merge(h);
+    (void)sink.percentile(0.99);
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::int64_t>(kThreads) * kPerThread);
+  sink.clear();
+  sink.merge(h);
+  EXPECT_EQ(sink.count(), h.count());
+}
+
+}  // namespace
+}  // namespace lfrt::runtime

@@ -58,6 +58,19 @@ RunReport sample_report() {
   return r;
 }
 
+RunReport service_report() {
+  RunReport r = sample_report();
+  r.rejected = 9;
+  r.degraded = 4;
+  r.sojourn_p50_ns = 2'048;
+  r.sojourn_p99_ns = 65'536;
+  r.sojourn_p999_ns = 524'288;
+  r.ingest_p50_ns = 256;
+  r.ingest_p99_ns = 256;  // equal neighbours are legal (monotone, not strict)
+  r.ingest_p999_ns = 8'192;
+  return r;
+}
+
 TEST(ReportJson, HandBuiltRoundTrip) {
   const RunReport r = sample_report();
   const RunReport back = from_json(to_json(r));
@@ -109,6 +122,55 @@ TEST(ReportJson, LegacyReportWithoutNewFieldsParses) {
   EXPECT_EQ(back.jobs[0].backoff_spins, 0);
   EXPECT_TRUE(back.contention.shard_counts.empty());
   EXPECT_EQ(back.contention.at(0, 0).ops, 3);
+}
+
+/// Service-mode fields (PR 7): admission tallies and latency
+/// percentiles round-trip; reports without them parse with zero
+/// defaults; reports with all of them zero serialize without the keys
+/// at all (pre-service reports stay byte-identical).
+TEST(ReportJson, ServiceFieldsRoundTrip) {
+  const RunReport r = service_report();
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"rejected\":9"), std::string::npos);
+  const RunReport back = from_json(json);
+  EXPECT_EQ(back.rejected, r.rejected);
+  EXPECT_EQ(back.degraded, r.degraded);
+  EXPECT_EQ(back.sojourn_p50_ns, r.sojourn_p50_ns);
+  EXPECT_EQ(back.sojourn_p99_ns, r.sojourn_p99_ns);
+  EXPECT_EQ(back.sojourn_p999_ns, r.sojourn_p999_ns);
+  EXPECT_EQ(back.ingest_p50_ns, r.ingest_p50_ns);
+  EXPECT_EQ(back.ingest_p99_ns, r.ingest_p99_ns);
+  EXPECT_EQ(back.ingest_p999_ns, r.ingest_p999_ns);
+
+  // Legacy report: fields absent -> zero, and not emitted when zero.
+  const RunReport legacy = from_json("{\"counted_jobs\": 3}");
+  EXPECT_EQ(legacy.rejected, 0);
+  EXPECT_EQ(legacy.degraded, 0);
+  EXPECT_EQ(legacy.sojourn_p999_ns, 0);
+  EXPECT_EQ(legacy.ingest_p999_ns, 0);
+  EXPECT_EQ(to_json(sample_report()).find("rejected"), std::string::npos);
+}
+
+TEST(ReportJson, ServiceFieldValidationThrows) {
+  // Negative admission tallies.
+  EXPECT_THROW(from_json("{\"rejected\": -1}"), std::runtime_error);
+  EXPECT_THROW(from_json("{\"degraded\": -2}"), std::runtime_error);
+  // Negative percentiles.
+  EXPECT_THROW(from_json("{\"sojourn_p50_ns\": -5}"), std::runtime_error);
+  EXPECT_THROW(from_json("{\"ingest_p999_ns\": -1}"), std::runtime_error);
+  // Non-monotone percentile chains (p50 <= p99 <= p999).
+  EXPECT_THROW(
+      from_json("{\"sojourn_p50_ns\": 100, \"sojourn_p99_ns\": 50,"
+                " \"sojourn_p999_ns\": 200}"),
+      std::runtime_error);
+  EXPECT_THROW(
+      from_json("{\"ingest_p50_ns\": 1, \"ingest_p99_ns\": 300,"
+                " \"ingest_p999_ns\": 200}"),
+      std::runtime_error);
+  // A monotone chain with an absent p50 (defaults 0) is fine.
+  EXPECT_EQ(from_json("{\"sojourn_p99_ns\": 5, \"sojourn_p999_ns\": 9}")
+                .sojourn_p999_ns,
+            9);
 }
 
 TEST(ReportJson, EmptyReportRoundTrips) {
