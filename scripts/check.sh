@@ -8,7 +8,9 @@
 #      guarantee (determinism_test), the shared-const-scheduler
 #      contract (concurrent_build_test), the lock-free structures
 #      (lockfree_test — their relaxed/acquire orderings must satisfy
-#      TSan, including the wide-payload value-slot path), executor
+#      TSan, including the wide-payload value-slot path), the lock
+#      zoo's mutual-exclusion/FIFO/accounting properties under real
+#      contention (lock_zoo_test), executor
 #      abort storms (executor_storm_test, with parallel workers),
 #      the submit-vs-shutdown race (executor_shutdown_race_test),
 #      the M-worker mode witnesses (executor_multicpu_test), the
@@ -55,14 +57,14 @@ cmake -B build-tsan -S . -DLFRT_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j "$JOBS" \
       --target exp_test determinism_test concurrent_build_test \
-               lockfree_test executor_storm_test \
+               lockfree_test lock_zoo_test executor_storm_test \
                executor_shutdown_race_test executor_multicpu_test \
                shared_object_test exec_objects_test \
                sharded_object_test contention_controller_test \
                latency_histogram_test timer_wheel_test service_test \
                ext_executor_validation
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R '^(ExpThreadPool|ExpParallelMap|ExpSweep|ExpThreads|Determinism|ConcurrentBuild|MsQueue|TreiberStack|SpscRing|NodePool|TaggedRef|Sweep/AbaHammerTest|ExecutorStorm|ExecutorShutdownRace|ExecutorMultiCpu|SharedObject|Zoo/SharedObjectAllCombos|ObjectRegistryTest|ReaderWriterKinds/ExecObjects|ExecObjectsLockBased|ExecObjectsMixed|ShardedQueue|ShardedStack|EliminationArray|SharedObjectSharded|LiveController|LatencyHistogram|TimerWheel|Service)\.'
+      -R '^(ExpThreadPool|ExpParallelMap|ExpSweep|ExpThreads|Determinism|ConcurrentBuild|MsQueue|TreiberStack|SpscRing|NodePool|TaggedRef|Sweep/AbaHammerTest|ExecutorStorm|ExecutorShutdownRace|ExecutorMultiCpu|SharedObject|Zoo/SharedObjectAllCombos|ObjectRegistryTest|LockZoo/(Ticket|Anderson|Mcs)|LockedWrappers|ReaderWriterKinds/ExecObjects|ExecObjectsLockBased|ExecObjectsMixed|ShardedQueue|ShardedStack|EliminationArray|SharedObjectSharded|LiveController|LatencyHistogram|TimerWheel|Service)\.'
 ./build-tsan/bench/ext_executor_validation --tiny --cpus=1 \
       --out build-tsan/BENCH_xval_smoke.json
 ./build-tsan/bench/ext_executor_validation --tiny --cpus=4 \
@@ -81,7 +83,7 @@ ctest --test-dir build-o2 --output-on-failure -j "$JOBS"
 HEAT_OUT=$(./build-o2/bench/heatmap_contention --tiny \
       --out build-o2/BENCH_heatmap_smoke.json)
 echo "$HEAT_OUT" | tail -n 2
-echo "$HEAT_OUT" | grep -q '8 combos, 4x8 cells each — all checks ok'
+echo "$HEAT_OUT" | grep -q '20 combos, 4x8 cells each — all checks ok'
 # Adaptive-sharding smoke: attribution invariants and the controller
 # acting are asserted even in --tiny; the pinned line catches a
 # silently skipped check block.

@@ -108,6 +108,41 @@ bool lockfree_wins(const TaskSet& ts, TaskId i, Time s, Time r) {
          lockfree_ratio_threshold(ts, i);
 }
 
+Time effective_access_cost(const TaskSet& ts, TaskId i,
+                           runtime::ObjectKind kind,
+                           runtime::ObjectImpl impl,
+                           const runtime::CostModel& model) {
+  const auto& ti = task(ts, i);
+  const std::int64_t contenders = std::min<std::int64_t>(
+      ti.access_count(), max_blocking_jobs(ts, i));
+  // Snapshot reads carry the scan term; folding it in unconditionally
+  // keeps t_eff the worst case over the job's access directions.
+  return runtime::access_cost(model.at(kind, impl), kind,
+                              /*write=*/kind != runtime::ObjectKind::kSnapshot,
+                              contenders);
+}
+
+Time worst_sojourn_cost(const TaskSet& ts, TaskId i,
+                        runtime::ObjectKind kind, runtime::ObjectImpl impl,
+                        const runtime::CostModel& model) {
+  const Time t_eff = effective_access_cost(ts, i, kind, impl, model);
+  return runtime::is_lock_based(impl)
+             ? worst_sojourn_lockbased(ts, i, t_eff)
+             : worst_sojourn_lockfree(ts, i, t_eff);
+}
+
+bool lockfree_wins_cost(const TaskSet& ts, TaskId i,
+                        runtime::ObjectKind kind,
+                        runtime::ObjectImpl lock_impl,
+                        const runtime::CostModel& model) {
+  LFRT_CHECK_MSG(runtime::is_lock_based(lock_impl),
+                 "lockfree_wins_cost compares against a lock impl");
+  const Time s_eff = effective_access_cost(
+      ts, i, kind, runtime::ObjectImpl::kLockFree, model);
+  const Time r_eff = effective_access_cost(ts, i, kind, lock_impl, model);
+  return lockfree_wins(ts, i, s_eff, r_eff);
+}
+
 namespace {
 
 /// Shared body of Lemmas 4 and 5: the band is

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "runtime/cost_model.hpp"
 #include "task/task.hpp"
 
 namespace lfrt::analysis {
@@ -93,6 +94,43 @@ double lockfree_exact_threshold(const TaskSet& ts, TaskId i);
 /// True iff Theorem 3's sufficient condition holds for the given access
 /// times, i.e. lock-free is guaranteed the shorter worst-case sojourn.
 bool lockfree_wins(const TaskSet& ts, TaskId i, Time s, Time r);
+
+// --- Per-impl variants over the calibrated cost model ----------------
+//
+// The flat bounds above take one scalar per regime; these take a
+// runtime::CostModel cell and fold its contention terms into an
+// *effective* scalar for task i first, then reuse the identical
+// formulas — so Theorem 3's structure is unchanged and only the access
+// cost became mechanism-aware.  The effective per-access cost is
+//
+//     t_eff = base + per_contender * min(m_i, n_i)
+//             (+ per_segment * segments for snapshot kinds)
+//
+// min(m_i, n_i) caps the concurrent contenders a job of task i can
+// meet at an object: at most one per of its own m_i accesses, at most
+// n_i jobs alive in its window (Theorem 3's blocking count).
+
+/// t_eff of task i for one (kind, impl) cell of `model` (>= 1 tick).
+Time effective_access_cost(const TaskSet& ts, TaskId i,
+                           runtime::ObjectKind kind,
+                           runtime::ObjectImpl impl,
+                           const runtime::CostModel& model);
+
+/// Worst-case sojourn of task i when every object is (kind, impl):
+/// worst_sojourn_lockbased(t_eff) for lock impls, _lockfree(t_eff) for
+/// kLockFree.
+Time worst_sojourn_cost(const TaskSet& ts, TaskId i,
+                        runtime::ObjectKind kind, runtime::ObjectImpl impl,
+                        const runtime::CostModel& model);
+
+/// Theorem 3 against the calibrated cells: true iff s_eff/r_eff — the
+/// lock-free cell's effective cost over the lock impl's — is below
+/// task i's ratio threshold, i.e. lock-free is guaranteed the shorter
+/// worst-case sojourn versus this particular lock mechanism.
+bool lockfree_wins_cost(const TaskSet& ts, TaskId i,
+                        runtime::ObjectKind kind,
+                        runtime::ObjectImpl lock_impl,
+                        const runtime::CostModel& model);
 
 /// Lower/upper bounds on the accrued utility ratio.
 struct AurBounds {

@@ -1,0 +1,185 @@
+// Generic lock-serialized structures, written once and parameterized by
+// lock type.
+//
+// Every ObjectKind the unified access layer speaks (queue / stack /
+// buffer / snapshot) gets one wrapper here, templated on a
+// BasicLockable-shaped Lock (lock / unlock / try_lock) — std::mutex or
+// any member of the zoo in locks.hpp.  The pre-zoo MutexQueue /
+// MutexStack / MutexBuffer / MutexSnapshot are now aliases of these
+// with Lock = std::mutex (mutex_queue.hpp / mutex_rw.hpp), so growing
+// the zoo never forks the structure code: a new mechanism is a new
+// template argument, not four new classes.
+//
+// Accounting is uniform across all locks: every acquire goes through
+// Guard, which try_lock()s first — recording an uncontended acquisition
+// on success and a contended one (a blocking episode / queue handoff,
+// the paper's n_i event) before falling back to the blocking lock().
+// record_acquisition feeds ObjectStats and, through the thread-local
+// sinks, the per-job tallies and the (object, task) heatmap cell — so
+// the three-way attribution invariants hold for every (kind, impl)
+// combo, not just the mutex ones.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "runtime/object_stats.hpp"
+
+namespace lfrt::lockbased {
+
+namespace detail {
+
+/// Scoped acquire with contention accounting (see header comment).
+template <typename Lock>
+class AccountedGuard {
+ public:
+  AccountedGuard(Lock& lock, runtime::ObjectStats& stats) : lock_(lock) {
+    if (lock_.try_lock()) {
+      stats.record_acquisition(/*was_contended=*/false);
+    } else {
+      stats.record_acquisition(/*was_contended=*/true);
+      lock_.lock();
+    }
+  }
+  ~AccountedGuard() { lock_.unlock(); }
+  AccountedGuard(const AccountedGuard&) = delete;
+  AccountedGuard& operator=(const AccountedGuard&) = delete;
+
+ private:
+  Lock& lock_;
+};
+
+}  // namespace detail
+
+/// Unbounded lock-serialized MPMC FIFO.
+template <typename T, typename Lock>
+class LockedQueue {
+ public:
+  void enqueue(const T& value) {
+    detail::AccountedGuard<Lock> g(lock_, stats_);
+    q_.push_back(value);
+    stats_.record_op();
+  }
+
+  std::optional<T> dequeue() {
+    detail::AccountedGuard<Lock> g(lock_, stats_);
+    stats_.record_op();
+    if (q_.empty()) return std::nullopt;
+    T value = q_.front();
+    q_.pop_front();
+    return value;
+  }
+
+  bool empty() const {
+    detail::AccountedGuard<Lock> g(lock_, stats_);
+    return q_.empty();
+  }
+
+  const runtime::ObjectStats& stats() const { return stats_; }
+
+ private:
+  mutable Lock lock_;
+  std::deque<T> q_;
+  mutable runtime::ObjectStats stats_;
+};
+
+/// Unbounded lock-serialized MPMC LIFO.
+template <typename T, typename Lock>
+class LockedStack {
+ public:
+  void push(const T& value) {
+    detail::AccountedGuard<Lock> g(lock_, stats_);
+    s_.push_back(value);
+    stats_.record_op();
+  }
+
+  std::optional<T> pop() {
+    detail::AccountedGuard<Lock> g(lock_, stats_);
+    stats_.record_op();
+    if (s_.empty()) return std::nullopt;
+    T value = s_.back();
+    s_.pop_back();
+    return value;
+  }
+
+  bool empty() const {
+    detail::AccountedGuard<Lock> g(lock_, stats_);
+    return s_.empty();
+  }
+
+  const runtime::ObjectStats& stats() const { return stats_; }
+
+ private:
+  mutable Lock lock_;
+  std::deque<T> s_;
+  mutable runtime::ObjectStats stats_;
+};
+
+/// Lock-serialized state buffer: the lock-based answer to NBW's
+/// single-writer message, without the single-writer restriction —
+/// mutual exclusion already serializes writers, which is exactly the
+/// flexibility-for-blocking trade the paper examines.
+template <typename T, typename Lock>
+class LockedBuffer {
+ public:
+  explicit LockedBuffer(const T& initial = T{}) : data_(initial) {}
+
+  void write(const T& value) {
+    detail::AccountedGuard<Lock> g(lock_, stats_);
+    data_ = value;
+    stats_.record_op();
+  }
+
+  T read() const {
+    detail::AccountedGuard<Lock> g(lock_, stats_);
+    stats_.record_op();
+    return data_;
+  }
+
+  const runtime::ObjectStats& stats() const { return stats_; }
+
+ private:
+  mutable Lock lock_;
+  T data_;
+  mutable runtime::ObjectStats stats_;
+};
+
+/// Lock-serialized N-segment snapshot: update one segment or scan all N
+/// under one acquire.  Scans are trivially linearizable (the lock holds
+/// every writer off) at the cost of blocking every concurrent access —
+/// the contrast AtomicSnapshot's double-collect avoids.
+template <typename T, std::size_t N, typename Lock>
+class LockedSnapshot {
+  static_assert(N >= 1, "need at least one segment");
+
+ public:
+  void update(std::size_t i, const T& value) {
+    detail::AccountedGuard<Lock> g(lock_, stats_);
+    segments_[i] = value;
+    stats_.record_op();
+  }
+
+  std::array<T, N> scan() const {
+    detail::AccountedGuard<Lock> g(lock_, stats_);
+    stats_.record_op();
+    return segments_;
+  }
+
+  T read(std::size_t i) const {
+    detail::AccountedGuard<Lock> g(lock_, stats_);
+    return segments_[i];
+  }
+
+  const runtime::ObjectStats& stats() const { return stats_; }
+
+  static constexpr std::size_t size() { return N; }
+
+ private:
+  mutable Lock lock_;
+  std::array<T, N> segments_{};
+  mutable runtime::ObjectStats stats_;
+};
+
+}  // namespace lfrt::lockbased

@@ -1,0 +1,264 @@
+// The lock zoo: ticket, Anderson array, and MCS queue spin locks.
+//
+// The paper's lock-based baseline is a single pthread mutex with one
+// access time r, but the lock-vs-lock-free tradeoff space is organized
+// by *mechanism*: how an acquire waits and what a release costs under
+// contention.
+//
+//   * TicketLock — FIFO by a fetch-add ticket; every waiter spins on
+//     the one `serving` word, so each release invalidates every
+//     waiter's cached copy: cost grows linearly with the contender
+//     count (the per-contender term of its cost model).
+//   * AndersonArrayLock — FIFO by the same ticket, but each waiter
+//     spins on its own cache-line-padded slot; a release touches
+//     exactly one remote line.  The fixed slot array caps concurrent
+//     waiters at kSlots (compile-time, far above any thread count this
+//     repo spawns).
+//   * McsLock — FIFO by an explicit waiter queue; each waiter spins on
+//     a flag in its *own* queue node, and a handoff is one cache-line
+//     transfer (store to the successor's node): near-flat scaling, the
+//     mechanism whose crossover bench/thm3_sojourn relocates.
+//
+// All three model BasicLockable + try_lock (`lock() / unlock() /
+// try_lock()`), interchangeable with std::mutex, so the generic
+// structure wrappers in locked.hpp are written once and parameterized
+// by lock type — and runtime::SharedObject instantiates every
+// (ObjectKind, lock) combination from one template.
+//
+// Accounting stays in the wrappers (locked.hpp's Guard): an acquire
+// first try_lock()s, recording an uncontended acquisition on success
+// and a contended one (a blocking episode, the paper's n_i event — for
+// the queue locks, equivalently a *handoff*: the grant arrives from a
+// predecessor's release, not from finding the lock free) before
+// falling back to lock().  The locks themselves only expose `queued()`,
+// a relaxed holder+waiter gauge the FIFO property tests rendezvous on.
+//
+// Real-time caveat: these are spin locks — waiters burn their CPU, so
+// on the executor they model the "busy-wait blocking" regime of spin-
+// lock analyses (Jiang et al.), while the simulator models the same
+// mechanisms with suspension semantics.  Critical sections in this
+// repo are microseconds, where spinning is the honest choice.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "lockfree/backoff.hpp"
+#include "support/cacheline.hpp"
+#include "support/check.hpp"
+
+namespace lfrt::lockbased {
+
+/// FIFO ticket lock: acquire takes a ticket, waits for `serving` to
+/// reach it; release advances `serving`.  Fair, compact, but every
+/// waiter spins on the same word.
+class TicketLock {
+ public:
+  void lock() {
+    const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
+    while (serving_.load(std::memory_order_acquire) != my)
+      lockfree::cpu_relax();
+  }
+
+  /// Succeeds only when no one holds or waits (next == serving) and the
+  /// CAS wins the ticket — FIFO order is preserved for losers.
+  bool try_lock() {
+    std::uint32_t cur = serving_.load(std::memory_order_acquire);
+    std::uint32_t expect = cur;
+    return next_.compare_exchange_strong(expect, cur + 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock() {
+    // Only the holder writes serving_, so the relaxed self-read is
+    // race-free; the release publishes the critical section to the
+    // next ticket's acquire spin.
+    serving_.store(serving_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+  }
+
+  /// Holder + waiters currently ticketed (relaxed gauge; exact once
+  /// admission is externally quiesced — the FIFO tests' rendezvous).
+  std::int32_t queued() const {
+    return static_cast<std::int32_t>(
+        next_.load(std::memory_order_relaxed) -
+        serving_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  // Tickets and grants on separate lines: waiters hammer serving_ while
+  // arrivals fetch-add next_; sharing a line would couple the two.
+  alignas(support::kCacheLineSize) std::atomic<std::uint32_t> next_{0};
+  alignas(support::kCacheLineSize) std::atomic<std::uint32_t> serving_{0};
+};
+
+/// FIFO array (Anderson) lock: ticket t spins on its own padded slot
+/// t % kSlots; release flips exactly the successor's slot.
+class AndersonArrayLock {
+ public:
+  /// Upper bound on holder + concurrent waiters (ticket t and t+kSlots
+  /// alias one slot).  64 is far beyond any thread count this repo
+  /// spawns; the check in lock() turns an overflow into a loud failure
+  /// instead of a silent aliasing hang.
+  static constexpr std::uint32_t kSlots = 64;
+
+  AndersonArrayLock() {
+    slots_[0].value.store(1, std::memory_order_relaxed);
+  }
+
+  void lock() {
+    const std::uint32_t t = tail_.fetch_add(1, std::memory_order_acq_rel);
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    LFRT_CHECK_MSG(queued() <= static_cast<std::int32_t>(kSlots),
+                   "AndersonArrayLock: more waiters than slots");
+    const std::uint32_t s = t % kSlots;
+    while (slots_[s].value.load(std::memory_order_acquire) == 0)
+      lockfree::cpu_relax();
+    // Consume the grant; the slot is re-armed by ticket t + kSlots - 1's
+    // release, which the handoff chain orders after this store.
+    slots_[s].value.store(0, std::memory_order_relaxed);
+    owner_slot_ = s;
+  }
+
+  bool try_lock() {
+    std::uint32_t t = tail_.load(std::memory_order_acquire);
+    // Only the front ticket's slot can be armed while the lock is free;
+    // winning the tail CAS makes ticket t exclusively ours.
+    if (slots_[t % kSlots].value.load(std::memory_order_acquire) == 0)
+      return false;
+    if (!tail_.compare_exchange_strong(t, t + 1, std::memory_order_acq_rel,
+                                       std::memory_order_relaxed))
+      return false;
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    slots_[t % kSlots].value.store(0, std::memory_order_relaxed);
+    owner_slot_ = t % kSlots;
+    return true;
+  }
+
+  void unlock() {
+    const std::uint32_t next = (owner_slot_ + 1) % kSlots;
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    slots_[next].value.store(1, std::memory_order_release);
+  }
+
+  /// Holder + waiters (relaxed gauge, see TicketLock::queued).
+  std::int32_t queued() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // One padded slot per waiting position: a release writes one slot,
+  // invalidating only its owner's spin — the whole point vs Ticket.
+  support::CacheAligned<std::atomic<std::uint32_t>> slots_[kSlots];
+  alignas(support::kCacheLineSize) std::atomic<std::uint32_t> tail_{0};
+  std::atomic<std::int32_t> inflight_{0};
+  // Written by the holder only; handoff release/acquire orders it
+  // between consecutive holders.
+  std::uint32_t owner_slot_ = 0;
+};
+
+/// FIFO MCS queue lock: waiters form an explicit linked queue and spin
+/// on a flag inside their own node; a release hands off by one store
+/// into the successor's node.
+class McsLock {
+ public:
+  void lock() {
+    QNode* n = node_acquire();
+    QNode* prev = tail_.exchange(n, std::memory_order_acq_rel);
+    queued_.fetch_add(1, std::memory_order_relaxed);
+    if (prev != nullptr) {
+      prev->next.store(n, std::memory_order_release);
+      while (!n->ready.load(std::memory_order_acquire))
+        lockfree::cpu_relax();
+    }
+    owner_ = n;
+  }
+
+  bool try_lock() {
+    QNode* n = node_acquire();
+    QNode* expected = nullptr;
+    if (tail_.compare_exchange_strong(expected, n, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      queued_.fetch_add(1, std::memory_order_relaxed);
+      owner_ = n;
+      return true;
+    }
+    node_release(n);
+    return false;
+  }
+
+  void unlock() {
+    QNode* n = owner_;
+    owner_ = nullptr;
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    QNode* expected = n;
+    if (!tail_.compare_exchange_strong(expected, nullptr,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+      // A successor won the tail; wait for its link, then hand off with
+      // the one remote store that makes MCS near-flat under contention.
+      QNode* next;
+      while ((next = n->next.load(std::memory_order_acquire)) == nullptr)
+        lockfree::cpu_relax();
+      next->ready.store(true, std::memory_order_release);
+    }
+    node_release(n);
+  }
+
+  /// Holder + waiters queued (relaxed gauge, see TicketLock::queued).
+  std::int32_t queued() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(support::kCacheLineSize) QNode {
+    std::atomic<QNode*> next{nullptr};
+    std::atomic<bool> ready{false};
+  };
+
+  /// Per-thread node pool: lock()/unlock() carry no handle (the
+  /// BasicLockable shape), so the queue node lives thread-locally.  A
+  /// node is in use only between its acquire's queue insertion and the
+  /// handoff in unlock, and a thread holds at most a handful of locks
+  /// at once (the wrappers hold exactly one), so a small slot pool
+  /// suffices — overflow is a loud invariant failure, not corruption.
+  static constexpr std::uint32_t kTlsNodes = 8;
+  struct TlsPool {
+    QNode nodes[kTlsNodes];
+    bool used[kTlsNodes] = {};
+  };
+
+  static TlsPool& tls_pool() {
+    static thread_local TlsPool pool;
+    return pool;
+  }
+
+  static QNode* node_acquire() {
+    TlsPool& p = tls_pool();
+    for (std::uint32_t i = 0; i < kTlsNodes; ++i) {
+      if (!p.used[i]) {
+        p.used[i] = true;
+        QNode* n = &p.nodes[i];
+        n->next.store(nullptr, std::memory_order_relaxed);
+        n->ready.store(false, std::memory_order_relaxed);
+        return n;
+      }
+    }
+    LFRT_CHECK_MSG(false, "McsLock: thread exceeds TLS queue-node pool");
+    return nullptr;
+  }
+
+  static void node_release(QNode* n) {
+    TlsPool& p = tls_pool();
+    p.used[static_cast<std::size_t>(n - p.nodes)] = false;
+  }
+
+  alignas(support::kCacheLineSize) std::atomic<QNode*> tail_{nullptr};
+  std::atomic<std::int32_t> queued_{0};
+  // Holder's own node; handoff release/acquire orders it between
+  // consecutive holders.
+  QNode* owner_ = nullptr;
+};
+
+}  // namespace lfrt::lockbased

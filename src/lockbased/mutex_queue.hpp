@@ -1,113 +1,28 @@
-// Lock-based counterparts of the lock-free structures.
+// Mutex-serialized queue/stack — the std::mutex members of the zoo.
 //
 // These serialize access by mutual exclusion, exactly the class of
-// mechanism the paper's lock-based RUA manages.  Contention accounting
-// (how often an acquire found the lock held) lets the rt-layer
-// microbenchmarks separate the raw critical-section cost from the
-// blocking cost, mirroring the r-vs-s decomposition of Section 5.
+// mechanism the paper's lock-based RUA manages.  Since the lock zoo
+// landed they are thin aliases of the generic wrappers in locked.hpp
+// with Lock = std::mutex: the structure code, the Guard-based
+// contention accounting (how often an acquire found the lock held —
+// letting the rt-layer microbenchmarks separate raw critical-section
+// cost from blocking cost, the r-vs-s decomposition of Section 5), and
+// the sink plumbing are all written once and shared with TicketLock /
+// AndersonArrayLock / McsLock (locks.hpp).
 #pragma once
 
-#include <cstdint>
-#include <deque>
 #include <mutex>
-#include <optional>
 
-#include "runtime/object_stats.hpp"
+#include "lockbased/locked.hpp"
 
 namespace lfrt::lockbased {
 
 /// Unbounded mutex-protected MPMC FIFO.
 template <typename T>
-class MutexQueue {
- public:
-  void enqueue(const T& value) {
-    Guard g(*this);
-    q_.push_back(value);
-    stats_.record_op();
-  }
-
-  std::optional<T> dequeue() {
-    Guard g(*this);
-    stats_.record_op();
-    if (q_.empty()) return std::nullopt;
-    T value = q_.front();
-    q_.pop_front();
-    return value;
-  }
-
-  bool empty() const {
-    Guard g(const_cast<MutexQueue&>(*this));
-    return q_.empty();
-  }
-
-  const runtime::ObjectStats& stats() const { return stats_; }
-
- private:
-  /// Lock guard that records whether the acquire contended.
-  class Guard {
-   public:
-    explicit Guard(MutexQueue& q) : q_(q) {
-      if (q_.mutex_.try_lock()) {
-        q_.stats_.record_acquisition(/*was_contended=*/false);
-      } else {
-        q_.stats_.record_acquisition(/*was_contended=*/true);
-        q_.mutex_.lock();
-      }
-    }
-    ~Guard() { q_.mutex_.unlock(); }
-    Guard(const Guard&) = delete;
-    Guard& operator=(const Guard&) = delete;
-
-   private:
-    MutexQueue& q_;
-  };
-
-  mutable std::mutex mutex_;
-  std::deque<T> q_;
-  runtime::ObjectStats stats_;
-};
+using MutexQueue = LockedQueue<T, std::mutex>;
 
 /// Unbounded mutex-protected MPMC LIFO.
 template <typename T>
-class MutexStack {
- public:
-  void push(const T& value) {
-    record_acquire();
-    std::lock_guard<std::mutex> g(mutex_);
-    s_.push_back(value);
-    stats_.record_op();
-  }
-
-  std::optional<T> pop() {
-    record_acquire();
-    std::lock_guard<std::mutex> g(mutex_);
-    stats_.record_op();
-    if (s_.empty()) return std::nullopt;
-    T value = s_.back();
-    s_.pop_back();
-    return value;
-  }
-
-  bool empty() const {
-    std::lock_guard<std::mutex> g(mutex_);
-    return s_.empty();
-  }
-
-  const runtime::ObjectStats& stats() const { return stats_; }
-
- private:
-  void record_acquire() {
-    if (mutex_.try_lock()) {
-      mutex_.unlock();
-      stats_.record_acquisition(/*was_contended=*/false);
-    } else {
-      stats_.record_acquisition(/*was_contended=*/true);
-    }
-  }
-
-  mutable std::mutex mutex_;
-  std::deque<T> s_;
-  runtime::ObjectStats stats_;
-};
+using MutexStack = LockedStack<T, std::mutex>;
 
 }  // namespace lfrt::lockbased

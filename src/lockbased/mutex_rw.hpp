@@ -1,122 +1,28 @@
-// Lock-based counterparts of the reader/writer structures in
+// Mutex-serialized counterparts of the reader/writer structures in
 // src/lockfree (NbwBuffer, AtomicSnapshot).
 //
-// Same contention-accounting discipline as MutexQueue/MutexStack: every
-// acquire records whether it found the lock held, so the blocking
-// episodes (the paper's n_i events) flow into ObjectStats and — via the
+// Thin aliases of the generic wrappers in locked.hpp with Lock =
+// std::mutex (see mutex_queue.hpp for the zoo rationale).  Same
+// contention-accounting discipline as every locked structure: each
+// acquire records whether it found the lock held, so blocking episodes
+// (the paper's n_i events) flow into ObjectStats and — via the
 // thread-local sinks — into per-job and per-(object, task) tallies.
-// These are the `impl = kLockBased` lowering targets for
+// These are the `impl = kMutex` lowering targets for
 // ObjectKind::kBuffer / kSnapshot in runtime::SharedObject.
 #pragma once
 
-#include <array>
-#include <cstdint>
 #include <mutex>
 
-#include "runtime/object_stats.hpp"
+#include "lockbased/locked.hpp"
 
 namespace lfrt::lockbased {
 
-/// Mutex-protected state buffer: the lock-based answer to NBW's
-/// single-writer message.  No single-writer restriction — mutual
-/// exclusion already serializes writers, which is exactly the
-/// flexibility-for-blocking trade the paper examines.
+/// Mutex-protected state buffer (lock-based NBW counterpart).
 template <typename T>
-class MutexBuffer {
- public:
-  explicit MutexBuffer(const T& initial = T{}) : data_(initial) {}
+using MutexBuffer = LockedBuffer<T, std::mutex>;
 
-  void write(const T& value) {
-    Guard g(*this);
-    data_ = value;
-    stats_.record_op();
-  }
-
-  T read() const {
-    Guard g(const_cast<MutexBuffer&>(*this));
-    stats_.record_op();
-    return data_;
-  }
-
-  const runtime::ObjectStats& stats() const { return stats_; }
-
- private:
-  /// Lock guard that records whether the acquire contended.
-  class Guard {
-   public:
-    explicit Guard(MutexBuffer& b) : b_(b) {
-      if (b_.mutex_.try_lock()) {
-        b_.stats_.record_acquisition(/*was_contended=*/false);
-      } else {
-        b_.stats_.record_acquisition(/*was_contended=*/true);
-        b_.mutex_.lock();
-      }
-    }
-    ~Guard() { b_.mutex_.unlock(); }
-    Guard(const Guard&) = delete;
-    Guard& operator=(const Guard&) = delete;
-
-   private:
-    MutexBuffer& b_;
-  };
-
-  mutable std::mutex mutex_;
-  T data_;
-  mutable runtime::ObjectStats stats_;
-};
-
-/// Mutex-protected N-segment snapshot: update one segment or scan all N
-/// under one lock.  Scans are trivially linearizable (the lock holds
-/// every writer off), at the cost of blocking every concurrent access —
-/// the contrast AtomicSnapshot's double-collect avoids.
+/// Mutex-protected N-segment snapshot.
 template <typename T, std::size_t N>
-class MutexSnapshot {
-  static_assert(N >= 1, "need at least one segment");
-
- public:
-  void update(std::size_t i, const T& value) {
-    Guard g(*this);
-    segments_[i] = value;
-    stats_.record_op();
-  }
-
-  std::array<T, N> scan() const {
-    Guard g(const_cast<MutexSnapshot&>(*this));
-    stats_.record_op();
-    return segments_;
-  }
-
-  T read(std::size_t i) const {
-    Guard g(const_cast<MutexSnapshot&>(*this));
-    return segments_[i];
-  }
-
-  const runtime::ObjectStats& stats() const { return stats_; }
-
-  static constexpr std::size_t size() { return N; }
-
- private:
-  class Guard {
-   public:
-    explicit Guard(MutexSnapshot& s) : s_(s) {
-      if (s_.mutex_.try_lock()) {
-        s_.stats_.record_acquisition(/*was_contended=*/false);
-      } else {
-        s_.stats_.record_acquisition(/*was_contended=*/true);
-        s_.mutex_.lock();
-      }
-    }
-    ~Guard() { s_.mutex_.unlock(); }
-    Guard(const Guard&) = delete;
-    Guard& operator=(const Guard&) = delete;
-
-   private:
-    MutexSnapshot& s_;
-  };
-
-  mutable std::mutex mutex_;
-  std::array<T, N> segments_{};
-  mutable runtime::ObjectStats stats_;
-};
+using MutexSnapshot = LockedSnapshot<T, N, std::mutex>;
 
 }  // namespace lfrt::lockbased

@@ -42,6 +42,7 @@
 #include "lockfree/treiber_stack.hpp"
 #include "runtime/object_spec.hpp"
 #include "runtime/object_stats.hpp"
+#include "support/cacheline.hpp"
 
 namespace lfrt::lockfree {
 
@@ -50,7 +51,7 @@ namespace detail {
 /// Stripe bookkeeping shared by queue and stack: the active count and
 /// the hint → stripe map.  Padded so the hot `active_` word does not
 /// false-share with the first stripe's head pointer.
-class alignas(64) ShardDirectory {
+class alignas(support::kCacheLineSize) ShardDirectory {
  public:
   explicit ShardDirectory(std::int32_t initial)
       : active_(runtime::clamp_shards(initial)) {}
@@ -128,7 +129,7 @@ class ShardedQueue {
   }
 
  private:
-  struct alignas(64) Stripe {
+  struct alignas(support::kCacheLineSize) Stripe {
     std::optional<MsQueue<T>> q;
   };
   detail::ShardDirectory dir_;
@@ -208,7 +209,7 @@ class ShardedStack {
     }
   }
 
-  struct alignas(64) Stripe {
+  struct alignas(support::kCacheLineSize) Stripe {
     std::optional<TreiberStack<T>> st;
   };
   detail::ShardDirectory dir_;

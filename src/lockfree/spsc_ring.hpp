@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "runtime/object_stats.hpp"
+#include "support/cacheline.hpp"
 #include "support/check.hpp"
 
 namespace lfrt::lockfree {
@@ -134,8 +135,11 @@ class SpscRing {
   }
 
   std::vector<T> buf_;
-  std::atomic<std::size_t> head_{0};
-  std::atomic<std::size_t> tail_{0};
+  // Producer-written head and consumer-written tail on their own lines:
+  // unpadded they share one, and every push invalidates the consumer's
+  // cached tail (and vice versa) even when neither index changed hands.
+  alignas(support::kCacheLineSize) std::atomic<std::size_t> head_{0};
+  alignas(support::kCacheLineSize) std::atomic<std::size_t> tail_{0};
   runtime::ObjectStats stats_;
 };
 

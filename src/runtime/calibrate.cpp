@@ -3,15 +3,19 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "runtime/json_min.hpp"
+#include "runtime/shared_object.hpp"
 
 namespace lfrt::runtime {
 namespace {
@@ -25,6 +29,7 @@ struct CacheEntry {
   std::int64_t samples = 0;
   Time lockfree_ns = 0;
   Time lock_ns = 0;
+  CostModel model;  // enabled iff the entry carried a full cell table
 };
 
 std::string host_name() {
@@ -48,6 +53,10 @@ std::vector<CacheEntry> load_cache(const std::string& path) {
     const jsonmin::JsonValue root = jsonmin::Parser(buf.str()).parse();
     const jsonmin::JsonObject* o = root.as_object();
     if (o == nullptr) return {};
+    // Schema gate: the pre-zoo flat format had no "schema" key, and any
+    // other version means a different entry shape — both read as an
+    // empty cache, so the caller silently re-measures and overwrites.
+    if (jsonmin::get_int(*o, "schema") != kCalibrationCacheSchema) return {};
     const jsonmin::JsonValue* ev = jsonmin::find(*o, "entries");
     const jsonmin::JsonArray* arr = ev != nullptr ? ev->as_array() : nullptr;
     if (arr == nullptr) return {};
@@ -63,6 +72,35 @@ std::vector<CacheEntry> load_cache(const std::string& path) {
       e.samples = jsonmin::get_int(*eo, "samples");
       e.lockfree_ns = jsonmin::get_int(*eo, "lockfree_ns");
       e.lock_ns = jsonmin::get_int(*eo, "lock_ns");
+      // The per-(kind, impl) table: every cell must parse for the model
+      // to count as present; a partial table disables it (the flat
+      // scalars still serve) rather than serving half-measured costs.
+      std::size_t cells_seen = 0;
+      if (const jsonmin::JsonValue* cv = jsonmin::find(*eo, "cells")) {
+        if (const jsonmin::JsonArray* cells = cv->as_array()) {
+          for (const jsonmin::JsonValue& c : *cells) {
+            const jsonmin::JsonObject* co = c.as_object();
+            if (co == nullptr) continue;
+            const jsonmin::JsonValue* kv = jsonmin::find(*co, "kind");
+            const jsonmin::JsonValue* iv = jsonmin::find(*co, "impl");
+            const std::string* ks = kv != nullptr ? kv->as_string() : nullptr;
+            const std::string* is = iv != nullptr ? iv->as_string() : nullptr;
+            ObjectKind kind;
+            ObjectImpl impl;
+            if (ks == nullptr || is == nullptr ||
+                !parse_object_kind(*ks, &kind) ||
+                !parse_object_impl(*is, &impl))
+              continue;
+            AccessCost& cell = e.model.at(kind, impl);
+            cell.base = jsonmin::get_int(*co, "base_ns");
+            cell.per_contender = jsonmin::get_int(*co, "per_contender_ns");
+            cell.per_segment = jsonmin::get_int(*co, "per_segment_ns");
+            cell.retry_penalty = jsonmin::get_int(*co, "retry_ns");
+            ++cells_seen;
+          }
+        }
+      }
+      e.model.enabled = cells_seen == kObjectKindCount * kObjectImplCount;
       if (e.lockfree_ns > 0 && e.lock_ns > 0) entries.push_back(std::move(e));
     }
   } catch (const std::exception&) {
@@ -83,7 +121,9 @@ void append_json_string(std::string& out, const std::string& s) {
 
 void store_cache(const std::string& path,
                  const std::vector<CacheEntry>& entries) {
-  std::string out = "{\"entries\":[";
+  std::string out =
+      "{\"schema\":" + std::to_string(kCalibrationCacheSchema) +
+      ",\"entries\":[";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const CacheEntry& e = entries[i];
     if (i > 0) out += ',';
@@ -93,6 +133,25 @@ void store_cache(const std::string& path,
     out += ",\"samples\":" + std::to_string(e.samples);
     out += ",\"lockfree_ns\":" + std::to_string(e.lockfree_ns);
     out += ",\"lock_ns\":" + std::to_string(e.lock_ns);
+    if (e.model.enabled) {
+      out += ",\"cells\":[";
+      bool first = true;
+      for (ObjectKind kind : all_object_kinds()) {
+        for (ObjectImpl impl : all_object_impls()) {
+          const AccessCost& cell = e.model.at(kind, impl);
+          if (!first) out += ',';
+          first = false;
+          out += "{\"kind\":\"" + to_string(kind) + "\"";
+          out += ",\"impl\":\"" + to_string(impl) + "\"";
+          out += ",\"base_ns\":" + std::to_string(cell.base);
+          out += ",\"per_contender_ns\":" + std::to_string(cell.per_contender);
+          out += ",\"per_segment_ns\":" + std::to_string(cell.per_segment);
+          out += ",\"retry_ns\":" + std::to_string(cell.retry_penalty);
+          out += '}';
+        }
+      }
+      out += ']';
+    }
     out += '}';
   }
   out += "]}\n";
@@ -104,7 +163,81 @@ void store_cache(const std::string& path,
   if (f) f << out;  // best-effort: an unwritable cache is not an error
 }
 
+/// Mean per-access wall time (ns) of `threads` workers each performing
+/// `ops` accesses of `op` against one fresh SharedObject of `spec`.
+/// Workers rendezvous on a start flag so the measured window is all-
+/// threads-hot; with T workers in lockstep the wall time per completed
+/// round IS the contended per-access latency a thread experiences.
+double measure_access_ns(ObjectSpec spec, AccessOp op, int threads,
+                         std::int64_t ops) {
+  SharedObject obj(spec, /*queue_capacity=*/1024);
+  const std::function<void()> checkpoint = [] {};
+  std::atomic<bool> go{false};
+  std::atomic<int> ready{0};
+  auto worker = [&](TaskId tid) {
+    ready.fetch_add(1, std::memory_order_relaxed);
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    for (std::int64_t i = 0; i < ops; ++i)
+      obj.access(op, tid, static_cast<JobId>(i), checkpoint, nullptr);
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker, TaskId{t});
+  while (ready.load(std::memory_order_relaxed) < threads - 1)
+    std::this_thread::yield();
+  const auto begin = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  worker(TaskId{0});
+  for (std::thread& t : pool) t.join();
+  const auto end = std::chrono::steady_clock::now();
+  const double total_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+          .count());
+  return total_ns / static_cast<double>(ops);
+}
+
+Time round_ns(double ns) {
+  const Time t = static_cast<Time>(std::llround(ns));
+  return t < 0 ? 0 : t;
+}
+
 }  // namespace
+
+CostModel measure_cost_model(std::int64_t ops) {
+  CostModel model;
+  model.enabled = true;
+  // Contended pass capped at the core count: the zoo's locks spin, and
+  // oversubscribed spinning measures the OS scheduler, not the lock.
+  const int contended = static_cast<int>(
+      std::min<std::int64_t>(4, cpu_count()));
+  for (ObjectKind kind : all_object_kinds()) {
+    for (ObjectImpl impl : all_object_impls()) {
+      const ObjectSpec spec{kind, impl};
+      AccessCost& cell = model.at(kind, impl);
+      const double base = measure_access_ns(spec, AccessOp::kWrite, 1, ops);
+      cell.base = std::max<Time>(1, round_ns(base));
+      if (contended > 1) {
+        const double hot =
+            measure_access_ns(spec, AccessOp::kWrite, contended, ops);
+        // Clamped linear fit through the two points; negative slopes are
+        // measurement noise, not a lock that speeds up under load.
+        cell.per_contender = round_ns(std::max(0.0, (hot - base) /
+                                                        (contended - 1)));
+      }
+      if (kind == ObjectKind::kSnapshot) {
+        // A scan's extra cost over an update, spread over the segments
+        // it collects.
+        const double scan = measure_access_ns(spec, AccessOp::kRead, 1, ops);
+        cell.per_segment = round_ns(
+            std::max(0.0, (scan - base) /
+                              static_cast<double>(kSnapshotSegments)));
+      }
+      // retry_penalty stays 0: the simulator re-runs the whole attempt
+      // on a retry, which already charges the re-execution cost.
+    }
+  }
+  return model;
+}
 
 std::string calibration_cache_path() {
   if (const char* env = std::getenv("LFRT_CALIBRATION_CACHE");
@@ -138,14 +271,17 @@ AccessCalibration calibrate(ExecConfig& cfg, const TaskSet& ts,
 
   if (opts.use_cache && !opts.force) {
     for (const CacheEntry& e : load_cache(path)) {
-      if (e.host == host && e.cpus == cpus && e.samples == samples) {
+      if (e.host == host && e.cpus == cpus && e.samples == samples &&
+          e.model.enabled) {
         AccessCalibration cal;
         cal.lockfree_access_time = e.lockfree_ns;
         cal.lock_access_time = e.lock_ns;
         cal.samples = e.samples;
         cal.from_cache = true;
+        cal.model = e.model;
         cfg.sim_lockfree_access_time = cal.lockfree_access_time;
         cfg.sim_lock_access_time = cal.lock_access_time;
+        cfg.sim_cost_model = cal.model;
         return cal;
       }
     }
@@ -156,9 +292,11 @@ AccessCalibration calibrate(ExecConfig& cfg, const TaskSet& ts,
   mcfg.task_count =
       std::max<std::int32_t>(1, static_cast<std::int32_t>(ts.tasks.size()));
   mcfg.samples = samples;
-  const AccessCalibration cal = calibrate_access_times(mcfg);
+  AccessCalibration cal = calibrate_access_times(mcfg);
+  cal.model = measure_cost_model(samples);
   cfg.sim_lockfree_access_time = cal.lockfree_access_time;
   cfg.sim_lock_access_time = cal.lock_access_time;
+  cfg.sim_cost_model = cal.model;
 
   if (opts.use_cache) {
     std::vector<CacheEntry> entries = load_cache(path);
@@ -169,7 +307,7 @@ AccessCalibration calibrate(ExecConfig& cfg, const TaskSet& ts,
                                  }),
                   entries.end());
     entries.push_back({host, cpus, samples, cal.lockfree_access_time,
-                       cal.lock_access_time});
+                       cal.lock_access_time, cal.model});
     store_cache(path, entries);
   }
   return cal;

@@ -11,12 +11,27 @@
 // produces the executor side (the paper's Section 5 measurement,
 // feeding its Section 6 simulation).
 //
+// Beyond the two flat scalars, calibrate() measures one AccessCost cell
+// per (ObjectKind, ObjectImpl) combo by hammering the real
+// runtime::SharedObject for that spec: a single-threaded pass gives the
+// cell's base cost, a multi-threaded pass (capped at the host's core
+// count) gives the contended cost, and the per-contender slope is the
+// clamped difference per extra thread — the measured counterpart of the
+// mechanism shapes the zoo's cost models predict (ticket linear,
+// Anderson flatter, MCS near-flat).  Snapshot cells also get a
+// per-segment scan term from the read-vs-write gap.
+//
 // Measurements are stable per host, so they are cached persistently:
 // calibrate() consults a small JSON file keyed by hostname + CPU count
 // + sample budget and skips the microbenchmarks on a hit.  The cache
 // lives at $LFRT_CALIBRATION_CACHE if set, else
 // $HOME/.cache/lfrt_calibration.json, else ./.lfrt_calibration.json.
-// Pass CalibrateOptions{.force = true} (the benches' --recalibrate) to
+// The file carries a schema version (kCalibrationCacheSchema); a cache
+// written by an older build — including the pre-zoo flat-scalar format,
+// which had no version field — fails the schema check and is treated
+// exactly like a missing cache: calibrate() silently re-measures and
+// overwrites it in the current format.  Pass
+// CalibrateOptions{.force = true} (the benches' --recalibrate) to
 // re-measure and overwrite the entry; cache I/O failures fall back to
 // measuring — calibration never fails because the cache is unwritable.
 #pragma once
@@ -24,10 +39,15 @@
 #include <string>
 
 #include "rt/access_time.hpp"
+#include "runtime/cost_model.hpp"
 #include "runtime/exec_adapter.hpp"
 #include "support/time.hpp"
 
 namespace lfrt::runtime {
+
+/// Version of the on-disk calibration-cache format.  Bump when the
+/// entry shape changes; old files then read as empty and recalibrate.
+inline constexpr std::int64_t kCalibrationCacheSchema = 2;
 
 /// Measured per-access costs, in the simulator's vocabulary.
 struct AccessCalibration {
@@ -35,6 +55,9 @@ struct AccessCalibration {
   Time lock_access_time = 0;      ///< r — mean lock-based access (ns)
   std::int64_t samples = 0;       ///< samples behind each mean
   bool from_cache = false;        ///< true when served from the cache
+
+  /// Per-(kind, impl) cell measurements (enabled = true once filled).
+  CostModel model;
 };
 
 /// Cache behaviour for calibrate().
@@ -51,11 +74,19 @@ std::string calibration_cache_path();
 
 /// Run both fig08 microbenchmarks and return the measured means,
 /// clamped to >= 1 ns (the simulator requires positive access times).
+/// Flat scalars only; the per-cell table comes from measure_cost_model.
 AccessCalibration calibrate_access_times(const rt::AccessTimeConfig& mcfg);
+
+/// Measure one AccessCost cell per (kind, impl) combo on this host (see
+/// the header comment for the method).  `ops` is the access count per
+/// measurement pass; a few hundred suffices for cross-validation-grade
+/// numbers.  The returned model has enabled = true.
+CostModel measure_cost_model(std::int64_t ops);
 
 /// Measure with a config shaped like `ts`'s universe (object/task
 /// counts) and write the results into cfg.sim_lockfree_access_time /
-/// cfg.sim_lock_access_time.  `samples` trades precision for startup
+/// cfg.sim_lock_access_time / cfg.sim_cost_model.  `samples` trades
+/// precision for startup
 /// time (the fig08 bench uses 2000; a few hundred suffices to get the
 /// order of magnitude right for cross-validation).  With the default
 /// options a prior measurement for this host/CPU-count/sample budget is

@@ -21,6 +21,7 @@
 
 #include "rt/executor.hpp"
 #include "runtime/contention_controller.hpp"
+#include "runtime/cost_model.hpp"
 #include "runtime/object_spec.hpp"
 #include "task/task.hpp"
 #include "workload/workload.hpp"
@@ -81,6 +82,14 @@ struct ExecConfig {
   /// host by the fig08 access-time machinery.
   Time sim_lockfree_access_time = usec(1);
   Time sim_lock_access_time = usec(2);
+
+  /// Per-(kind, impl) cost table for the simulator side of a cross-
+  /// validation run.  Disabled by default (the flat scalars above rule,
+  /// as before the lock zoo); calibrate() fills and enables it, and a
+  /// harness copies it into SimConfig::cost_model so the zoo's
+  /// mechanisms separate in simulated time the way they do on the
+  /// executor's real locks.
+  CostModel sim_cost_model;
 };
 
 /// Per-task arrival traces over [0, horizon], indexed by TaskId — byte-

@@ -2,16 +2,20 @@
 // execution substrates speak.
 //
 // Brandenburg's locking-protocol survey organizes results by *access
-// pattern* (queue/stack vs reader-writer vs snapshot); this header is
-// that axis for our object universe.  An ObjectSpec names, for one
-// ObjectId, (a) the access pattern the object serves (kind) and (b) the
-// synchronization mechanism implementing it (impl).  The simulator uses
-// the impl to pick its per-object access-cost/blocking model; the
-// executor adapter (runtime::SharedObject) instantiates the matching
-// real structure.  Deliberately header-light: sim::SimConfig includes
-// this without dragging in src/lockfree / src/lockbased.
+// pattern* (queue/stack vs reader-writer vs snapshot) and by
+// *mechanism* (how an acquire waits); this header is both axes for our
+// object universe.  An ObjectSpec names, for one ObjectId, (a) the
+// access pattern the object serves (kind) and (b) the synchronization
+// mechanism implementing it (impl) — lock-free CAS retries or one of
+// the lock zoo's mechanisms (std::mutex, ticket, Anderson array, MCS
+// queue; lockbased/locks.hpp).  The simulator uses the impl to pick its
+// per-object cost/blocking model (runtime/cost_model.hpp); the executor
+// adapter (runtime::SharedObject) instantiates the matching real
+// structure.  Deliberately header-light: sim::SimConfig includes this
+// without dragging in src/lockfree / src/lockbased.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -20,22 +24,66 @@ namespace lfrt::runtime {
 
 /// Access pattern of one shared object.
 enum class ObjectKind : std::uint8_t {
-  kQueue,     ///< MPMC FIFO (MS queue / mutex queue) — the paper's shape
-  kStack,     ///< MPMC LIFO (Treiber stack / mutex stack)
-  kBuffer,    ///< single-writer state message (NBW buffer / mutex buffer)
-  kSnapshot,  ///< N-segment atomic snapshot (double-collect / mutex)
+  kQueue,     ///< MPMC FIFO (MS queue / locked queue) — the paper's shape
+  kStack,     ///< MPMC LIFO (Treiber stack / locked stack)
+  kBuffer,    ///< single-writer state message (NBW buffer / locked buffer)
+  kSnapshot,  ///< N-segment atomic snapshot (double-collect / locked)
 };
 
 /// Synchronization mechanism implementing the object.
 enum class ObjectImpl : std::uint8_t {
-  kLockFree,   ///< CAS/version retries under interference (f_i events)
-  kLockBased,  ///< mutual exclusion; blocking episodes (n_i events)
+  kLockFree,  ///< CAS/version retries under interference (f_i events)
+  kMutex,     ///< std::mutex mutual exclusion; blocking episodes (n_i)
+  kTicket,    ///< FIFO ticket spin lock — all waiters share one word
+  kAnderson,  ///< FIFO array spin lock — padded per-waiter slots
+  kMcs,       ///< FIFO queue spin lock — local spin, one-line handoff
+
+  /// Deprecated alias for the pre-zoo name: "lock-based" meant the one
+  /// mutex implementation.  Kept so existing code and configs compile
+  /// and parse unchanged; serializes as "mutex".
+  kLockBased = kMutex,
 };
+
+/// Number of distinct ObjectImpl mechanisms (alias excluded).
+inline constexpr std::size_t kObjectImplCount = 5;
+/// Number of ObjectKind access patterns.
+inline constexpr std::size_t kObjectKindCount = 4;
+
+/// Every kind / every distinct impl, in enum order — the sweep axes the
+/// heatmap and crossover benches iterate.
+inline constexpr std::array<ObjectKind, kObjectKindCount> all_object_kinds() {
+  return {ObjectKind::kQueue, ObjectKind::kStack, ObjectKind::kBuffer,
+          ObjectKind::kSnapshot};
+}
+inline constexpr std::array<ObjectImpl, kObjectImplCount> all_object_impls() {
+  return {ObjectImpl::kLockFree, ObjectImpl::kMutex, ObjectImpl::kTicket,
+          ObjectImpl::kAnderson, ObjectImpl::kMcs};
+}
+/// The lock mechanisms only (everything that blocks rather than
+/// retries), in enum order.
+inline constexpr std::array<ObjectImpl, kObjectImplCount - 1> lock_impls() {
+  return {ObjectImpl::kMutex, ObjectImpl::kTicket, ObjectImpl::kAnderson,
+          ObjectImpl::kMcs};
+}
+
+/// Whether `impl` serializes by blocking (any lock mechanism) as
+/// opposed to retrying (lock-free).  The simulator's blocking-vs-retry
+/// fork and the controller's shardability test key off this, never off
+/// equality with one particular lock.
+inline constexpr bool is_lock_based(ObjectImpl impl) {
+  return impl != ObjectImpl::kLockFree;
+}
 
 /// Hard cap on the shard fan-out of one object (compile-time: shard
 /// headers and the simulator's per-shard conflict state are sized by
 /// it).  8 stripes already spread 8 hammering tasks one-per-stripe.
 inline constexpr std::int32_t kMaxObjectShards = 8;
+
+/// Segment fan-out of snapshot-kind objects (fixed at compile time; the
+/// writer's segment is chosen by task id modulo this).  Lives here —
+/// not in shared_object.hpp — because the cost model's per-segment scan
+/// term needs it without depending on the access layer.
+inline constexpr std::size_t kSnapshotSegments = 4;
 
 /// One shared object of a run's universe, indexed by ObjectId.
 struct ObjectSpec {
@@ -65,6 +113,11 @@ inline std::int32_t clamp_shards(std::int32_t shards) {
   return shards;
 }
 
+// to_string for both enums is exhaustive by construction: no default
+// case, so -Wswitch flags a new enumerator at compile time, and the
+// trailing unreachable keeps a corrupted value from leaking a "?" into
+// JSON output.
+
 inline std::string to_string(ObjectKind kind) {
   switch (kind) {
     case ObjectKind::kQueue:
@@ -76,20 +129,46 @@ inline std::string to_string(ObjectKind kind) {
     case ObjectKind::kSnapshot:
       return "snapshot";
   }
-  return "?";
+  __builtin_unreachable();
 }
 
 inline std::string to_string(ObjectImpl impl) {
-  return impl == ObjectImpl::kLockFree ? "lock-free" : "lock-based";
+  switch (impl) {
+    case ObjectImpl::kLockFree:
+      return "lock-free";
+    case ObjectImpl::kMutex:  // == kLockBased (alias)
+      return "mutex";
+    case ObjectImpl::kTicket:
+      return "ticket";
+    case ObjectImpl::kAnderson:
+      return "anderson";
+    case ObjectImpl::kMcs:
+      return "mcs";
+  }
+  __builtin_unreachable();
 }
 
 /// Parse "queue" | "stack" | "buffer" | "snapshot" (bench --objects=
-/// flags).  Returns false on anything else.
+/// flags, spec JSON).  Returns false on anything else.
 inline bool parse_object_kind(const std::string& s, ObjectKind* out) {
   if (s == "queue") *out = ObjectKind::kQueue;
   else if (s == "stack") *out = ObjectKind::kStack;
   else if (s == "buffer") *out = ObjectKind::kBuffer;
   else if (s == "snapshot") *out = ObjectKind::kSnapshot;
+  else return false;
+  return true;
+}
+
+/// Parse "lock-free" | "mutex" | "ticket" | "anderson" | "mcs", plus
+/// the legacy alias "lock-based" -> kMutex (pre-zoo configs and
+/// committed BENCH JSONs stay readable).  Returns false on anything
+/// else.
+inline bool parse_object_impl(const std::string& s, ObjectImpl* out) {
+  if (s == "lock-free") *out = ObjectImpl::kLockFree;
+  else if (s == "mutex" || s == "lock-based") *out = ObjectImpl::kMutex;
+  else if (s == "ticket") *out = ObjectImpl::kTicket;
+  else if (s == "anderson") *out = ObjectImpl::kAnderson;
+  else if (s == "mcs") *out = ObjectImpl::kMcs;
   else return false;
   return true;
 }

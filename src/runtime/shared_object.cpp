@@ -1,9 +1,10 @@
 #include "runtime/shared_object.hpp"
 
 #include <chrono>
+#include <mutex>
 
-#include "lockbased/mutex_queue.hpp"
-#include "lockbased/mutex_rw.hpp"
+#include "lockbased/locked.hpp"
+#include "lockbased/locks.hpp"
 #include "lockfree/sharded.hpp"
 #include "lockfree/snapshot.hpp"
 #include "lockfree/nbw_buffer.hpp"
@@ -12,6 +13,76 @@
 namespace lfrt::runtime {
 
 namespace {
+
+// --- lock-based adapters: Locked*<int, Lock> behind the detail::Lb*
+//     interfaces, one factory switch per kind over the zoo ---
+
+template <typename Lock>
+class QueueAdapter final : public detail::LbQueue {
+ public:
+  void enqueue(int v) override { q_.enqueue(v); }
+  std::optional<int> dequeue() override { return q_.dequeue(); }
+  bool empty() const override { return q_.empty(); }
+  const ObjectStats& stats() const override { return q_.stats(); }
+
+ private:
+  lockbased::LockedQueue<int, Lock> q_;
+};
+
+template <typename Lock>
+class StackAdapter final : public detail::LbStack {
+ public:
+  void push(int v) override { s_.push(v); }
+  std::optional<int> pop() override { return s_.pop(); }
+  bool empty() const override { return s_.empty(); }
+  const ObjectStats& stats() const override { return s_.stats(); }
+
+ private:
+  lockbased::LockedStack<int, Lock> s_;
+};
+
+template <typename Lock>
+class BufferAdapter final : public detail::LbBuffer {
+ public:
+  void write(int v) override { b_.write(v); }
+  int read() override { return b_.read(); }
+  const ObjectStats& stats() const override { return b_.stats(); }
+
+ private:
+  lockbased::LockedBuffer<int, Lock> b_;
+};
+
+template <typename Lock>
+class SnapshotAdapter final : public detail::LbSnapshot {
+ public:
+  void update(std::size_t i, int v) override { s_.update(i, v); }
+  std::array<int, kSnapshotSegments> scan() override { return s_.scan(); }
+  const ObjectStats& stats() const override { return s_.stats(); }
+
+ private:
+  lockbased::LockedSnapshot<int, kSnapshotSegments, Lock> s_;
+};
+
+// `make` builds the impl-selected instantiation of one kind's adapter.
+// Adapter<Lock> is passed as a template-template so the switch over the
+// zoo is written once, not once per kind.
+template <template <typename> class Adapter, typename Interface>
+std::unique_ptr<Interface> make(ObjectImpl impl) {
+  switch (impl) {
+    case ObjectImpl::kMutex:  // == kLockBased (alias)
+      return std::make_unique<Adapter<std::mutex>>();
+    case ObjectImpl::kTicket:
+      return std::make_unique<Adapter<lockbased::TicketLock>>();
+    case ObjectImpl::kAnderson:
+      return std::make_unique<Adapter<lockbased::AndersonArrayLock>>();
+    case ObjectImpl::kMcs:
+      return std::make_unique<Adapter<lockbased::McsLock>>();
+    case ObjectImpl::kLockFree:
+      break;  // caller forked on is_lock_based already
+  }
+  LFRT_CHECK_MSG(false, "make: not a lock-based impl");
+  return nullptr;
+}
 
 inline std::int64_t now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -78,35 +149,34 @@ ContentionMatrix ObjectRegistry::to_matrix() const {
 
 SharedObject::SharedObject(ObjectSpec spec, std::size_t queue_capacity)
     : spec_(spec) {
-  const bool lf = spec.impl == ObjectImpl::kLockFree;
+  const bool lf = !is_lock_based(spec.impl);
   switch (spec.kind) {
     case ObjectKind::kQueue:
       if (lf)
         lf_queue_ = std::make_unique<lockfree::ShardedQueue<int>>(
             queue_capacity, clamp_shards(spec.shards));
       else
-        lb_queue_ = std::make_unique<lockbased::MutexQueue<int>>();
+        lb_queue_ = make<QueueAdapter, detail::LbQueue>(spec.impl);
       break;
     case ObjectKind::kStack:
       if (lf)
         lf_stack_ = std::make_unique<lockfree::ShardedStack<int>>(
             queue_capacity, clamp_shards(spec.shards));
       else
-        lb_stack_ = std::make_unique<lockbased::MutexStack<int>>();
+        lb_stack_ = make<StackAdapter, detail::LbStack>(spec.impl);
       break;
     case ObjectKind::kBuffer:
       if (lf)
         lf_buffer_ = std::make_unique<lockfree::NbwBuffer<int>>();
       else
-        lb_buffer_ = std::make_unique<lockbased::MutexBuffer<int>>();
+        lb_buffer_ = make<BufferAdapter, detail::LbBuffer>(spec.impl);
       break;
     case ObjectKind::kSnapshot:
       if (lf)
         lf_snapshot_ = std::make_unique<
             lockfree::AtomicSnapshot<int, kSnapshotSegments>>();
       else
-        lb_snapshot_ =
-            std::make_unique<lockbased::MutexSnapshot<int, kSnapshotSegments>>();
+        lb_snapshot_ = make<SnapshotAdapter, detail::LbSnapshot>(spec.impl);
       break;
   }
 }

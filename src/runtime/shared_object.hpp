@@ -34,10 +34,12 @@
 // checkpoint runs after the operation with nothing to roll back.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "runtime/contention.hpp"
@@ -57,18 +59,56 @@ template <typename T, std::size_t N>
 class AtomicSnapshot;
 }  // namespace lfrt::lockfree
 
-namespace lfrt::lockbased {
-template <typename T>
-class MutexQueue;
-template <typename T>
-class MutexStack;
-template <typename T>
-class MutexBuffer;
-template <typename T, std::size_t N>
-class MutexSnapshot;
-}  // namespace lfrt::lockbased
-
 namespace lfrt::runtime {
+
+namespace detail {
+
+// Type-erased lock-based structures, one small interface per
+// ObjectKind.  The concrete types behind them are the generic wrappers
+// lockbased::Locked{Queue,Stack,Buffer,Snapshot}<int, Lock> — one
+// template instantiation per zoo lock (std::mutex / TicketLock /
+// AndersonArrayLock / McsLock), selected by ObjectImpl in the factories
+// in shared_object.cpp.  Erasure keeps this header free of lockbased
+// includes and keeps SharedObject at four members instead of four
+// members × five impls; the cost is one virtual hop per structure op,
+// identical across impls so it cancels out of every comparison the
+// benches make.
+
+class LbQueue {
+ public:
+  virtual ~LbQueue() = default;
+  virtual void enqueue(int v) = 0;
+  virtual std::optional<int> dequeue() = 0;
+  virtual bool empty() const = 0;
+  virtual const ObjectStats& stats() const = 0;
+};
+
+class LbStack {
+ public:
+  virtual ~LbStack() = default;
+  virtual void push(int v) = 0;
+  virtual std::optional<int> pop() = 0;
+  virtual bool empty() const = 0;
+  virtual const ObjectStats& stats() const = 0;
+};
+
+class LbBuffer {
+ public:
+  virtual ~LbBuffer() = default;
+  virtual void write(int v) = 0;
+  virtual int read() = 0;
+  virtual const ObjectStats& stats() const = 0;
+};
+
+class LbSnapshot {
+ public:
+  virtual ~LbSnapshot() = default;
+  virtual void update(std::size_t i, int v) = 0;
+  virtual std::array<int, kSnapshotSegments> scan() = 0;
+  virtual const ObjectStats& stats() const = 0;
+};
+
+}  // namespace detail
 
 /// Direction of one logical access.  Queue/stack: write = insert +
 /// remove pair (occupancy-balanced), read = emptiness probe.  Buffer:
@@ -76,9 +116,8 @@ namespace lfrt::runtime {
 /// update, read = full double-collect scan.
 enum class AccessOp : std::uint8_t { kWrite, kRead };
 
-/// Segment fan-out of snapshot-kind objects (fixed at compile time; the
-/// writer's segment is chosen by task id modulo this).
-inline constexpr std::size_t kSnapshotSegments = 4;
+// kSnapshotSegments moved to object_spec.hpp (the cost model needs it);
+// re-exported here via that include for existing users.
 
 /// Dense objects × tasks grid of concurrently-bumpable accounting
 /// cells, flattened into the plain ContentionMatrix a report carries.
@@ -148,17 +187,18 @@ class SharedObject {
  private:
   ObjectSpec spec_;
 
-  // Exactly one of these is non-null, per spec_.
+  // Exactly one of these is non-null, per spec_.  Lock-free shapes are
+  // concrete (the controller pokes stripe counts on them); lock-based
+  // shapes are type-erased over the zoo lock (see detail above).
   std::unique_ptr<lockfree::ShardedQueue<int>> lf_queue_;
   std::unique_ptr<lockfree::ShardedStack<int>> lf_stack_;
   std::unique_ptr<lockfree::NbwBuffer<int>> lf_buffer_;
   std::unique_ptr<lockfree::AtomicSnapshot<int, kSnapshotSegments>>
       lf_snapshot_;
-  std::unique_ptr<lockbased::MutexQueue<int>> lb_queue_;
-  std::unique_ptr<lockbased::MutexStack<int>> lb_stack_;
-  std::unique_ptr<lockbased::MutexBuffer<int>> lb_buffer_;
-  std::unique_ptr<lockbased::MutexSnapshot<int, kSnapshotSegments>>
-      lb_snapshot_;
+  std::unique_ptr<detail::LbQueue> lb_queue_;
+  std::unique_ptr<detail::LbStack> lb_stack_;
+  std::unique_ptr<detail::LbBuffer> lb_buffer_;
+  std::unique_ptr<detail::LbSnapshot> lb_snapshot_;
 
   LatencyHistogram latency_;
 

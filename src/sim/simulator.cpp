@@ -22,7 +22,7 @@ std::string to_string(ShareMode mode) {
     case ShareMode::kIdeal:
       return "ideal";
   }
-  return "?";
+  __builtin_unreachable();
 }
 
 namespace {
@@ -75,6 +75,12 @@ struct Simulator::Impl {
   // Job& is ever held across an insertion anyway.
   std::vector<Job> jobs;
   std::vector<int> job_cpu;  // per job: CPU it occupies, or -1
+  // Per job: length of its current access attempt, set when the attempt
+  // starts (access start, lock acquisition, retry).  With the cost
+  // model disabled this always equals access_len(object); enabled, it
+  // bakes in the contender count observed at attempt start — stored so
+  // milestone reposts see one stable length for the whole attempt.
+  std::vector<Time> attempt_len_;
   std::vector<JobId> alive;
   std::vector<JobId> running_on;    // per CPU: job or kNoJob
   std::vector<Time> run_start_on;   // per CPU: instant its job (re)starts
@@ -165,8 +171,8 @@ struct Simulator::Impl {
       for (const auto& t : tasks.tasks)
         for (const auto& sp : t.spans)
           LFRT_CHECK_MSG(
-              obj_specs[static_cast<std::size_t>(sp.object)].impl ==
-                  runtime::ObjectImpl::kLockBased,
+              runtime::is_lock_based(
+                  obj_specs[static_cast<std::size_t>(sp.object)].impl),
               "nested spans require lock-based objects");
     }
     running_on.assign(static_cast<std::size_t>(cfg.cpu_count), kNoJob);
@@ -220,11 +226,12 @@ struct Simulator::Impl {
     return nominal_offset * j.exec_actual / nominal;
   }
 
-  /// Whether object `o` blocks (lock-based) rather than retries.
+  /// Whether object `o` blocks (lock-based — any zoo lock) rather than
+  /// retries.
   bool lock_based_obj(ObjectId o) const {
     if (cfg.mode == ShareMode::kIdeal) return false;
-    return obj_specs[static_cast<std::size_t>(o)].impl ==
-           runtime::ObjectImpl::kLockBased;
+    return runtime::is_lock_based(
+        obj_specs[static_cast<std::size_t>(o)].impl);
   }
 
   runtime::ObjectKind kind_of(ObjectId o) const {
@@ -240,12 +247,62 @@ struct Simulator::Impl {
                                      static_cast<std::uint32_t>(k));
   }
 
-  /// Per-object access segment length: r for lock-based objects, s for
-  /// lock-free ones, 0 under the ideal yardstick.
+  /// Per-object access segment length under the flat model: r for
+  /// lock-based objects, s for lock-free ones, 0 under the ideal
+  /// yardstick.  With the cost model enabled this is superseded per
+  /// attempt by attempt_cost below.
   Time access_len(ObjectId o) const {
     if (cfg.mode == ShareMode::kIdeal) return 0;
     return lock_based_obj(o) ? cfg.lock_access_time
                              : cfg.lockfree_access_time;
+  }
+
+  /// Other alive jobs currently in, or blocked on, an access of `o` —
+  /// the contender count the cost model's per-contender term scales by.
+  std::int64_t contenders_on(ObjectId o, JobId self) const {
+    std::int64_t n = 0;
+    for (JobId id : alive) {
+      if (id == self) continue;
+      const Job& other = job(id);
+      if (other.access_object == o &&
+          (other.in_access || other.state == JobState::kBlocked))
+        ++n;
+    }
+    return n;
+  }
+
+  /// Length of the access attempt job `self` starts on `o` right now.
+  /// Flat path (model disabled) is access_len — bit-identical to the
+  /// pre-model simulator; enabled, the object's (kind, impl) cell is
+  /// evaluated against the live contender count.  `retried` marks a
+  /// restarted attempt (adds the cell's retry penalty).
+  Time attempt_cost(ObjectId o, bool write, JobId self, bool retried) const {
+    if (cfg.mode == ShareMode::kIdeal) return 0;
+    if (!cfg.cost_model.enabled) return access_len(o);
+    const runtime::ObjectSpec& spec = obj_specs[static_cast<std::size_t>(o)];
+    return runtime::access_cost(cfg.cost_model.at(spec.kind, spec.impl),
+                                spec.kind, write, contenders_on(o, self),
+                                retried ? 1 : 0);
+  }
+
+  /// Cost estimate of a not-yet-started access for the scheduler's
+  /// remaining-work view: the uncontended cell cost (the scheduler is
+  /// shown estimates, not clairvoyant contention).
+  Time pending_cost(ObjectId o, bool write) const {
+    if (cfg.mode == ShareMode::kIdeal) return 0;
+    if (!cfg.cost_model.enabled) return access_len(o);
+    const runtime::ObjectSpec& spec = obj_specs[static_cast<std::size_t>(o)];
+    return runtime::access_cost(cfg.cost_model.at(spec.kind, spec.impl),
+                                spec.kind, write, /*contenders=*/0);
+  }
+
+  /// The stored length of `j`'s in-flight attempt (valid while
+  /// j.in_access).
+  Time attempt_len(const Job& j) const {
+    return attempt_len_[static_cast<std::size_t>(j.id)];
+  }
+  void set_attempt_len(const Job& j, Time len) {
+    attempt_len_[static_cast<std::size_t>(j.id)] = len;
   }
 
   runtime::ContentionCell& ccell(ObjectId o, TaskId t) {
@@ -298,16 +355,22 @@ struct Simulator::Impl {
     // demand overruns it simply looks (optimistically) nearly done.
     Time rem = std::max<Time>(1, p.exec_time - j.compute_done);
     if (p.nested()) {
+      // Span accesses are critical sections — write-shaped for the cost
+      // model (no snapshot scan term).
       for (std::size_t s = j.next_span; s < p.spans.size(); ++s)
-        rem += access_len(p.spans[s].object);
-      if (j.in_access)
-        rem += access_len(j.access_object) - j.access_progress;
+        rem += pending_cost(p.spans[s].object, /*write=*/true);
+      if (j.in_access) rem += attempt_len(j) - j.access_progress;
       return rem;
     }
     // next_access still indexes the in-flight access, so the sum
-    // covers it in full; subtracting the progress leaves its remainder.
-    for (std::size_t a = j.next_access; a < p.accesses.size(); ++a)
-      rem += access_len(p.accesses[a].object);
+    // covers it in full (at its live attempt length); subtracting the
+    // progress leaves its remainder.
+    for (std::size_t a = j.next_access; a < p.accesses.size(); ++a) {
+      if (j.in_access && a == j.next_access)
+        rem += attempt_len(j);
+      else
+        rem += pending_cost(p.accesses[a].object, p.accesses[a].write);
+    }
     if (j.in_access) rem -= j.access_progress;
     return rem;
   }
@@ -319,8 +382,7 @@ struct Simulator::Impl {
     if (j.state == JobState::kAborting)
       return {p.abort_handler_time - j.handler_done, MsKind::kHandlerEnd};
     if (j.in_access)
-      return {access_len(j.access_object) - j.access_progress,
-              MsKind::kAccessEnd};
+      return {attempt_len(j) - j.access_progress, MsKind::kAccessEnd};
     if (p.nested()) {
       // Next interesting compute offset: the innermost open span's
       // release, the next span's acquire, or completion — release
@@ -364,7 +426,7 @@ struct Simulator::Impl {
         LFRT_CHECK(j.handler_done <= params_of(j).abort_handler_time);
       } else if (j.in_access) {
         j.access_progress += delta;
-        LFRT_CHECK(j.access_progress <= access_len(j.access_object));
+        LFRT_CHECK(j.access_progress <= attempt_len(j));
       } else {
         j.compute_done += delta;
         LFRT_CHECK(j.compute_done <= j.exec_actual);
@@ -525,6 +587,7 @@ struct Simulator::Impl {
     LFRT_CHECK(j.id == static_cast<JobId>(jobs.size()));
     jobs.push_back(j);
     job_cpu.push_back(-1);
+    attempt_len_.push_back(0);
     reschedule();
   }
 
@@ -624,11 +687,14 @@ struct Simulator::Impl {
           continue_running();
           return;
         }
+        const bool is_write = p.accesses[j.next_access].write;
         if (!lock_based_obj(obj)) {
           j.in_access = true;
           j.access_progress = 0;
           j.access_object = obj;
           j.access_attempt_start = now;
+          set_attempt_len(j, attempt_cost(obj, is_write, j.id,
+                                          /*retried=*/false));
           continue_running();  // not a scheduling event
           return;
         }
@@ -640,6 +706,8 @@ struct Simulator::Impl {
           j.in_access = true;
           j.access_progress = 0;
           j.access_object = obj;
+          set_attempt_len(j, attempt_cost(obj, is_write, j.id,
+                                          /*retried=*/false));
           trace("lock acquired job=", j.id, " obj=", obj);
         } else {
           // Block on the earliest holder: the dependency chain's target.
@@ -660,7 +728,7 @@ struct Simulator::Impl {
 
       case MsKind::kAccessEnd: {
         LFRT_CHECK(j.in_access);
-        LFRT_CHECK(j.access_progress == access_len(j.access_object));
+        LFRT_CHECK(j.access_progress == attempt_len(j));
         if (!lock_based_obj(j.access_object)) {
           // The CAS executes here, at the end of the attempt: it fails
           // iff another job completed a WRITE to the same object since
@@ -691,6 +759,10 @@ struct Simulator::Impl {
             ++ccell(j.access_object, j.task).retries;
             j.access_progress = 0;
             j.access_attempt_start = now;
+            // The restarted attempt is re-costed against the contention
+            // now in force, plus the cell's retry penalty.
+            set_attempt_len(j, attempt_cost(j.access_object, is_write, j.id,
+                                            /*retried=*/true));
             trace("retry job=", j.id, " obj=", j.access_object);
             continue_running();
             return;
@@ -735,6 +807,8 @@ struct Simulator::Impl {
           j.in_access = true;
           j.access_progress = 0;
           j.access_object = obj;
+          set_attempt_len(j, attempt_cost(obj, /*write=*/true, j.id,
+                                          /*retried=*/false));
           trace("span acquired job=", j.id, " obj=", obj,
                 " depth=", j.held_stack.size());
         } else {
@@ -845,6 +919,7 @@ struct Simulator::Impl {
     // run (and the parallel index vectors with it).
     jobs.reserve(total_arrivals);
     job_cpu.reserve(total_arrivals);
+    attempt_len_.reserve(total_arrivals);
     selector.reserve(total_arrivals);
 
     if (controller)

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "runtime/contention_controller.hpp"
+#include "runtime/cost_model.hpp"
 #include "runtime/object_spec.hpp"
 #include "runtime/run_report.hpp"
 #include "sched/scheduler.hpp"
@@ -70,6 +71,16 @@ struct SimConfig {
   ShareMode mode = ShareMode::kLockFree;
   Time lock_access_time = usec(10);    ///< r — lock-based access time
   Time lockfree_access_time = usec(1); ///< s — lock-free access time
+
+  /// Per-(kind, impl) access-cost table (runtime/cost_model.hpp).  When
+  /// `cost_model.enabled`, an access attempt's length is computed from
+  /// the object's cell — base + per-contender scaling by the number of
+  /// other jobs concurrently in or blocked on the same object, plus the
+  /// snapshot scan and retry terms — instead of the two flat scalars
+  /// above, so the zoo's mechanisms (ticket's linear slope, MCS's flat
+  /// handoff) separate in simulated time.  Disabled (default) preserves
+  /// the flat model bit-for-bit; kIdeal zeroes accesses either way.
+  runtime::CostModel cost_model;
   double sched_ns_per_op = 0.0;        ///< overhead per counted op
   Time horizon = msec(1000);           ///< simulation end
   bool record_trace = false;           ///< collect a human-readable trace

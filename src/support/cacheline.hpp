@@ -1,0 +1,48 @@
+// Shared cache-line geometry for hot concurrent state.
+//
+// Every structure in src/lockfree and src/lockbased that separates hot
+// atomics (stripe heads, lock words, ring indices) previously hard-coded
+// `alignas(64)` at each site.  This header is the one definition of the
+// line size those paddings protect against: two hot words on one line
+// false-share — each writer's store invalidates the other's cached copy
+// even though they never touch the same datum — and the resulting
+// coherence traffic is exactly the per-contender cost the calibrated
+// cost models (runtime/cost_model.hpp) measure per lock mechanism.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+
+namespace lfrt::support {
+
+/// Destructive-interference granularity padding targets.  Fixed at 64:
+/// the std::hardware_destructive_interference_size constant is not
+/// required to exist and varies per TU with GCC's -mtune, which would
+/// silently change struct layouts between builds; every mainstream
+/// target this repo builds on (x86-64, aarch64) uses 64-byte lines.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+#ifdef __cpp_lib_hardware_interference_size
+static_assert(kCacheLineSize >= std::hardware_constructive_interference_size ||
+                  kCacheLineSize % 64 == 0,
+              "kCacheLineSize must cover the platform line");
+#endif
+
+/// T padded out to sole ownership of its cache line(s).  Use for array
+/// elements whose neighbours are written by other threads (lock slots,
+/// stripe headers): `CacheAligned<std::atomic<bool>> slots[N]`.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+};
+
+static_assert(alignof(CacheAligned<std::atomic<std::size_t>>) ==
+                  kCacheLineSize,
+              "CacheAligned must align to the line");
+static_assert(sizeof(CacheAligned<char>) == kCacheLineSize,
+              "CacheAligned must pad to a whole line");
+static_assert(kCacheLineSize >= alignof(std::max_align_t),
+              "line alignment must satisfy every natural alignment");
+
+}  // namespace lfrt::support

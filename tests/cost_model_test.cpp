@@ -1,0 +1,250 @@
+// runtime::CostModel and its calibration cache.
+//
+// Three contracts:
+//
+//   * arithmetic — access_cost folds base / per-contender / retry /
+//     snapshot-scan terms exactly as documented, and never returns a
+//     zero-length access,
+//   * flat identity — a CostModel::flat(s, r) table fed to the
+//     simulator reproduces the disabled-model (pre-zoo flat-scalar)
+//     runs bit-exactly, pinned by comparing serialized reports; this is
+//     the compatibility bridge that keeps pre-refactor default-config
+//     sims unchanged,
+//   * cache schema — the persistent calibration cache is gated on
+//     kCalibrationCacheSchema: a malformed file, a pre-zoo flat-format
+//     file (no "schema" key), or a current-schema entry without the
+//     full cell table all read as a miss, so calibrate() silently
+//     re-measures and overwrites in the current format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "runtime/calibrate.hpp"
+#include "runtime/cost_model.hpp"
+#include "runtime/report_json.hpp"
+#include "sched/rua.hpp"
+#include "sim/simulator.hpp"
+#include "workload/workload.hpp"
+
+namespace lfrt {
+namespace {
+
+using runtime::AccessCost;
+using runtime::CostModel;
+using runtime::ObjectImpl;
+using runtime::ObjectKind;
+
+TEST(AccessCostArithmetic, FoldsEveryTerm) {
+  AccessCost c;
+  c.base = 100;
+  c.per_contender = 7;
+  c.per_segment = 11;
+  c.retry_penalty = 30;
+
+  // Queue write: base + slope * contenders + retry term, no scan term.
+  EXPECT_EQ(runtime::access_cost(c, ObjectKind::kQueue, true, 0), 100);
+  EXPECT_EQ(runtime::access_cost(c, ObjectKind::kQueue, true, 3), 121);
+  EXPECT_EQ(runtime::access_cost(c, ObjectKind::kQueue, true, 3, 2), 181);
+  // Only snapshot *reads* collect segments.
+  EXPECT_EQ(runtime::access_cost(c, ObjectKind::kSnapshot, true, 0), 100);
+  EXPECT_EQ(
+      runtime::access_cost(c, ObjectKind::kSnapshot, false, 0),
+      100 + 11 * static_cast<Time>(runtime::kSnapshotSegments));
+  EXPECT_EQ(runtime::access_cost(c, ObjectKind::kQueue, false, 0), 100);
+}
+
+TEST(AccessCostArithmetic, NeverShorterThanOneTick) {
+  EXPECT_EQ(runtime::access_cost(AccessCost{}, ObjectKind::kQueue, true, 0),
+            1);
+  EXPECT_EQ(
+      runtime::access_cost(AccessCost{}, ObjectKind::kSnapshot, false, 5),
+      1);
+}
+
+TEST(AccessCostArithmetic, MonotoneInContenders) {
+  AccessCost c;
+  c.base = 50;
+  c.per_contender = 5;
+  Time prev = 0;
+  for (std::int64_t n = 0; n <= 8; ++n) {
+    const Time t = runtime::access_cost(c, ObjectKind::kQueue, true, n);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CostModelTable, FlatFillsEveryCell) {
+  const CostModel m = CostModel::flat(7, 13);
+  EXPECT_TRUE(m.enabled);
+  for (const ObjectKind kind : runtime::all_object_kinds()) {
+    for (const ObjectImpl impl : runtime::all_object_impls()) {
+      const AccessCost& c = m.at(kind, impl);
+      EXPECT_EQ(c.base, impl == ObjectImpl::kLockFree ? 7 : 13);
+      EXPECT_EQ(c.per_contender, 0);
+      EXPECT_EQ(c.per_segment, 0);
+      EXPECT_EQ(c.retry_penalty, 0);
+    }
+  }
+  EXPECT_FALSE(CostModel{}.enabled);
+}
+
+// ---- flat identity against the simulator ---------------------------
+
+sim::SimReport run_once(sim::ShareMode mode, bool with_flat_model) {
+  workload::WorkloadSpec spec;
+  spec.task_count = 5;
+  spec.object_count = 2;
+  spec.accesses_per_job = 3;
+  spec.avg_exec = usec(300);
+  spec.load = 0.9;
+  spec.read_fraction = 0.5;
+  spec.tuf_class = workload::TufClass::kStep;
+  spec.seed = 33;
+  const TaskSet ts = workload::make_task_set(spec);
+
+  sim::SimConfig cfg;
+  cfg.mode = mode;
+  Time max_window = 0;
+  for (const auto& t : ts.tasks)
+    max_window = std::max(max_window, t.arrival.window);
+  cfg.horizon = max_window * 20;
+  if (with_flat_model)
+    cfg.cost_model =
+        CostModel::flat(cfg.lockfree_access_time, cfg.lock_access_time);
+
+  static const sched::RuaScheduler lb(sched::Sharing::kLockBased);
+  static const sched::RuaScheduler lf(sched::Sharing::kLockFree);
+  sim::Simulator sim(ts,
+                     mode == sim::ShareMode::kLockBased
+                         ? static_cast<const sched::Scheduler&>(lb)
+                         : static_cast<const sched::Scheduler&>(lf),
+                     cfg);
+  sim.seed_arrivals(42);
+  return sim.run();
+}
+
+/// CostModel::flat(s, r) must be indistinguishable from the disabled
+/// model: same jobs, same retries/blockings, same completions — pinned
+/// by comparing the serialized reports byte for byte.
+TEST(CostModelFlatIdentity, LockFreeRunsBitIdentical) {
+  const sim::SimReport off = run_once(sim::ShareMode::kLockFree, false);
+  const sim::SimReport on = run_once(sim::ShareMode::kLockFree, true);
+  EXPECT_GT(off.counted_jobs, 0);
+  EXPECT_EQ(runtime::to_json(off), runtime::to_json(on));
+}
+
+TEST(CostModelFlatIdentity, LockBasedRunsBitIdentical) {
+  const sim::SimReport off = run_once(sim::ShareMode::kLockBased, false);
+  const sim::SimReport on = run_once(sim::ShareMode::kLockBased, true);
+  EXPECT_GT(off.counted_jobs, 0);
+  EXPECT_EQ(runtime::to_json(off), runtime::to_json(on));
+}
+
+// ---- calibration cache schema --------------------------------------
+
+constexpr const char* kCachePath = "cost_model_test_cache.json";
+constexpr std::int64_t kSamples = 64;
+
+void write_file(const std::string& content) {
+  std::ofstream f(kCachePath, std::ios::trunc);
+  f << content;
+}
+
+std::string read_file() {
+  std::ifstream in(kCachePath);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+runtime::AccessCalibration calibrate_here(runtime::ExecConfig& cfg) {
+  workload::WorkloadSpec spec;
+  spec.task_count = 2;
+  spec.object_count = 2;
+  const TaskSet ts = workload::make_task_set(spec);
+  runtime::CalibrateOptions opts;
+  opts.cache_path = kCachePath;
+  return runtime::calibrate(cfg, ts, kSamples, opts);
+}
+
+TEST(CalibrationCache, MalformedFileRecalibratesAndRewrites) {
+  write_file("this is not json {{{");
+  runtime::ExecConfig cfg;
+  const runtime::AccessCalibration cal = calibrate_here(cfg);
+  EXPECT_FALSE(cal.from_cache);
+  EXPECT_TRUE(cal.model.enabled);
+  EXPECT_TRUE(cfg.sim_cost_model.enabled);
+  EXPECT_GE(cal.lockfree_access_time, 1);
+  EXPECT_GE(cal.lock_access_time, 1);
+
+  const std::string rewritten = read_file();
+  EXPECT_NE(rewritten.find("\"schema\":2"), std::string::npos);
+  EXPECT_NE(rewritten.find("\"cells\":"), std::string::npos);
+  std::remove(kCachePath);
+}
+
+TEST(CalibrationCache, PreZooFlatSchemaReadsAsMiss) {
+  // The pre-zoo format: no "schema" key, flat scalars only.  Must be
+  // treated exactly like a missing cache, then overwritten in v2.
+  write_file(R"({"entries":[{"host":"anyhost","cpus":1,"samples":64,)"
+             R"("lockfree_ns":123,"lock_ns":456}]})");
+  runtime::ExecConfig cfg;
+  const runtime::AccessCalibration cal = calibrate_here(cfg);
+  EXPECT_FALSE(cal.from_cache);
+  EXPECT_TRUE(cal.model.enabled);
+
+  // The rewrite is schema-current, so the very next calibrate hits.
+  runtime::ExecConfig cfg2;
+  const runtime::AccessCalibration cal2 = calibrate_here(cfg2);
+  EXPECT_TRUE(cal2.from_cache);
+  EXPECT_TRUE(cal2.model.enabled);
+  EXPECT_EQ(cal2.model, cal.model);
+  EXPECT_EQ(cal2.lockfree_access_time, cal.lockfree_access_time);
+  EXPECT_EQ(cal2.lock_access_time, cal.lock_access_time);
+  EXPECT_EQ(cfg2.sim_cost_model, cal.model);
+  std::remove(kCachePath);
+}
+
+TEST(CalibrationCache, SchemaCurrentEntryWithoutCellsIsAMiss) {
+  // Seed a valid v2 cache, then strip the cell table: a hit requires
+  // the *full* per-(kind, impl) model, not just the flat scalars.
+  runtime::ExecConfig cfg;
+  const runtime::AccessCalibration seeded = calibrate_here(cfg);
+  ASSERT_FALSE(seeded.from_cache);
+
+  std::string content = read_file();
+  const std::size_t cells = content.find(",\"cells\":[");
+  ASSERT_NE(cells, std::string::npos);
+  const std::size_t end = content.find(']', cells);
+  ASSERT_NE(end, std::string::npos);
+  content.erase(cells, end - cells + 1);
+  write_file(content);
+
+  runtime::ExecConfig cfg2;
+  const runtime::AccessCalibration cal = calibrate_here(cfg2);
+  EXPECT_FALSE(cal.from_cache);
+  EXPECT_TRUE(cal.model.enabled);
+  std::remove(kCachePath);
+}
+
+TEST(CalibrationCache, SecondCalibrationHits) {
+  std::remove(kCachePath);
+  runtime::ExecConfig cfg;
+  const runtime::AccessCalibration measured = calibrate_here(cfg);
+  EXPECT_FALSE(measured.from_cache);
+
+  runtime::ExecConfig cfg2;
+  const runtime::AccessCalibration cached = calibrate_here(cfg2);
+  EXPECT_TRUE(cached.from_cache);
+  EXPECT_EQ(cached.model, measured.model);
+  for (const ObjectKind kind : runtime::all_object_kinds())
+    for (const ObjectImpl impl : runtime::all_object_impls())
+      EXPECT_GE(cached.model.at(kind, impl).base, 1);
+  std::remove(kCachePath);
+}
+
+}  // namespace
+}  // namespace lfrt

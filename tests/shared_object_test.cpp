@@ -83,21 +83,21 @@ TEST_P(SharedObjectAllCombos, AttributionSumsAgree) {
     EXPECT_EQ(m.totals().retries, 0);
 }
 
+std::vector<std::pair<ObjectKind, ObjectImpl>> all_combos() {
+  std::vector<std::pair<ObjectKind, ObjectImpl>> v;
+  for (const ObjectKind kind : all_object_kinds())
+    for (const ObjectImpl impl : all_object_impls()) v.push_back({kind, impl});
+  return v;
+}
+
 INSTANTIATE_TEST_SUITE_P(
-    Zoo, SharedObjectAllCombos,
-    ::testing::Values(
-        std::pair{ObjectKind::kQueue, ObjectImpl::kLockFree},
-        std::pair{ObjectKind::kQueue, ObjectImpl::kLockBased},
-        std::pair{ObjectKind::kStack, ObjectImpl::kLockFree},
-        std::pair{ObjectKind::kStack, ObjectImpl::kLockBased},
-        std::pair{ObjectKind::kBuffer, ObjectImpl::kLockFree},
-        std::pair{ObjectKind::kBuffer, ObjectImpl::kLockBased},
-        std::pair{ObjectKind::kSnapshot, ObjectImpl::kLockFree},
-        std::pair{ObjectKind::kSnapshot, ObjectImpl::kLockBased}),
+    Zoo, SharedObjectAllCombos, ::testing::ValuesIn(all_combos()),
     [](const auto& info) {
-      return std::string(to_string(info.param.first)) + "_" +
-             (info.param.second == ObjectImpl::kLockFree ? "lockfree"
-                                                         : "lockbased");
+      std::string name = std::string(to_string(info.param.first)) + "_" +
+                         to_string(info.param.second);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
     });
 
 /// An aborted access (checkpoint throws) is rolled back: the exception
