@@ -62,9 +62,10 @@ cmake --build build-tsan -j "$JOBS" \
                shared_object_test exec_objects_test \
                sharded_object_test contention_controller_test \
                latency_histogram_test timer_wheel_test service_test \
+               analysis_mp_test cost_model_test report_json_test \
                ext_executor_validation
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R '^(ExpThreadPool|ExpParallelMap|ExpSweep|ExpThreads|Determinism|ConcurrentBuild|MsQueue|TreiberStack|SpscRing|NodePool|TaggedRef|Sweep/AbaHammerTest|ExecutorStorm|ExecutorShutdownRace|ExecutorMultiCpu|SharedObject|Zoo/SharedObjectAllCombos|ObjectRegistryTest|LockZoo/(Ticket|Anderson|Mcs)|LockedWrappers|ReaderWriterKinds/ExecObjects|ExecObjectsLockBased|ExecObjectsMixed|ShardedQueue|ShardedStack|EliminationArray|SharedObjectSharded|LiveController|LatencyHistogram|TimerWheel|Service)\.'
+      -R '^(ExpThreadPool|ExpParallelMap|ExpSweep|ExpThreads|Determinism|ConcurrentBuild|MsQueue|TreiberStack|SpscRing|NodePool|TaggedRef|Sweep/AbaHammerTest|ExecutorStorm|ExecutorShutdownRace|ExecutorMultiCpu|SharedObject|Zoo/SharedObjectAllCombos|ObjectRegistryTest|LockZoo/(Ticket|Anderson|Mcs)|LockedWrappers|ReaderWriterKinds/ExecObjects|ExecObjectsLockBased|ExecObjectsMixed|ShardedQueue|ShardedStack|EliminationArray|SharedObjectSharded|LiveController|LatencyHistogram|TimerWheel|Service|AnalysisMpBounds|AnalysisMpStrict|AnalysisMpSaturate|AnalysisMpCertify|AccessCostArithmetic|CostModelTable|CostModelFlatIdentity|CalibrationCache|ReportJson|ObjectSpecJson)\.'
 ./build-tsan/bench/ext_executor_validation --tiny --cpus=1 \
       --out build-tsan/BENCH_xval_smoke.json
 ./build-tsan/bench/ext_executor_validation --tiny --cpus=4 \
@@ -98,4 +99,11 @@ SOAK_OUT=$(./build-o2/bench/soak_service --tiny \
       --out build-o2/BENCH_soak_smoke.json)
 echo "$SOAK_OUT" | tail -n 2
 echo "$SOAK_OUT" | grep -q 'soak_service: all checks ok'
+# Multiprocessor certification smoke: every (cpus, impl, substrate)
+# heatmap cell must sit under its analysis::mp bound — the bench exits
+# non-zero on any violation; the pinned line catches truncated sweeps.
+MPB_OUT=$(./build-o2/bench/mp_bounds --tiny \
+      --out build-o2/BENCH_mp_bounds_smoke.json)
+echo "$MPB_OUT" | tail -n 2
+echo "$MPB_OUT" | grep -q 'mp_bounds: all checks ok'
 echo "OK: ASan+TSan clean, tier-1 green twice, bench smokes passed"

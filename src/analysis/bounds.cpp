@@ -5,22 +5,29 @@
 #include <numeric>
 
 #include "support/check.hpp"
+#include "support/saturate.hpp"
 
 namespace lfrt::analysis {
 
 namespace {
+
+using support::sat_add;
+using support::sat_ceil_div;
+using support::sat_mul;
 
 const TaskParams& task(const TaskSet& ts, TaskId i) { return ts.by_id(i); }
 
 }  // namespace
 
 std::int64_t interference_arrivals(const TaskSet& ts, TaskId i) {
+  // Saturating throughout: a near-INT64_MAX critical time against a
+  // 1-tick window must clamp, not wrap into a negative "bound".
   const Time ci = task(ts, i).critical_time();
   std::int64_t x = 0;
   for (const auto& tj : ts.tasks) {
     if (tj.id == i) continue;
-    x += tj.arrival.max_per_window *
-         (ceil_div(ci, tj.arrival.window) + 1);
+    x = sat_add(x, sat_mul(tj.arrival.max_per_window,
+                           sat_add(sat_ceil_div(ci, tj.arrival.window), 1)));
   }
   return x;
 }
@@ -35,7 +42,8 @@ std::int64_t retry_bound(const TaskSet& ts, TaskId i) {
   // a_j (ceil(C_i/W_j)+1) releases, each worth two events
   // (arrival + completion-or-abort).
   const auto& ti = task(ts, i);
-  return 3 * ti.arrival.max_per_window + 2 * interference_arrivals(ts, i);
+  return sat_add(sat_mul(3, ti.arrival.max_per_window),
+                 sat_mul(2, interference_arrivals(ts, i)));
 }
 
 std::int64_t max_scheduling_events(const TaskSet& ts, TaskId i) {
@@ -46,17 +54,18 @@ std::int64_t max_blocking_jobs(const TaskSet& ts, TaskId i) {
   // n_i <= 2 a_i + x_i (proof of Theorem 3): the job's own task can have
   // at most 2 a_i peer jobs alive in the window, other tasks x_i.
   const auto& ti = task(ts, i);
-  return 2 * ti.arrival.max_per_window + interference_arrivals(ts, i);
+  return sat_add(sat_mul(2, ti.arrival.max_per_window),
+                 interference_arrivals(ts, i));
 }
 
 Time worst_blocking_time(const TaskSet& ts, TaskId i, Time r) {
   const auto& ti = task(ts, i);
-  return r * std::min<std::int64_t>(ti.access_count(),
-                                    max_blocking_jobs(ts, i));
+  return sat_mul(r, std::min<std::int64_t>(ti.access_count(),
+                                           max_blocking_jobs(ts, i)));
 }
 
 Time worst_retry_time(const TaskSet& ts, TaskId i, Time s) {
-  return s * retry_bound(ts, i);
+  return sat_mul(s, retry_bound(ts, i));
 }
 
 Time worst_interference(const TaskSet& ts, TaskId i, Time t_acc) {
@@ -64,23 +73,28 @@ Time worst_interference(const TaskSet& ts, TaskId i, Time t_acc) {
   Time interference = 0;
   for (const auto& tj : ts.tasks) {
     if (tj.id == i) continue;
-    const Time cj = tj.exec_time + tj.access_count() * t_acc;
-    interference += tj.arrival.max_per_window *
-                    (ceil_div(ci, tj.arrival.window) + 1) * cj;
+    const Time cj = sat_add(tj.exec_time, sat_mul(tj.access_count(), t_acc));
+    interference = sat_add(
+        interference,
+        sat_mul(sat_mul(tj.arrival.max_per_window,
+                        sat_add(sat_ceil_div(ci, tj.arrival.window), 1)),
+                cj));
   }
   return interference;
 }
 
 Time worst_sojourn_lockbased(const TaskSet& ts, TaskId i, Time r) {
   const auto& ti = task(ts, i);
-  return ti.exec_time + worst_interference(ts, i, r) +
-         r * ti.access_count() + worst_blocking_time(ts, i, r);
+  return sat_add(sat_add(ti.exec_time, worst_interference(ts, i, r)),
+                 sat_add(sat_mul(r, ti.access_count()),
+                         worst_blocking_time(ts, i, r)));
 }
 
 Time worst_sojourn_lockfree(const TaskSet& ts, TaskId i, Time s) {
   const auto& ti = task(ts, i);
-  return ti.exec_time + worst_interference(ts, i, s) +
-         s * ti.access_count() + worst_retry_time(ts, i, s);
+  return sat_add(sat_add(ti.exec_time, worst_interference(ts, i, s)),
+                 sat_add(sat_mul(s, ti.access_count()),
+                         worst_retry_time(ts, i, s)));
 }
 
 double lockfree_ratio_threshold(const TaskSet& ts, TaskId i) {

@@ -1,0 +1,221 @@
+// analysis::mp — multiprocessor blocking/retry analysis frontend.
+//
+// The uniprocessor theorems in bounds.hpp charge retries to scheduling
+// events; on the M-worker executor a CAS can fail with *no* scheduling
+// event anywhere — another worker's op landed first.  This module
+// derives per-(object, task) count bounds in the style of the
+// multiprocessor literature (PAPERS.md: Brandenburg's locking-protocol
+// survey for the spin-lock terms, LEFT-RS for the lock-free ones) and
+// certifies every measured ContentionMatrix cell against them.
+//
+// The charging arguments (all derivations in DESIGN.md §11):
+//
+// * Lock-free retries.  A failed CAS means the structure changed inside
+//   the loser's read → CAS window, so every retry is chargeable to a
+//   distinct shared-state transition by a *conflicting op* that
+//   overlaps the job — LEFT-RS's discipline, not Theorem 2's
+//   scheduling-event count.  Transitions per logical write access are
+//   a small per-kind constant (MS queue: link + tail swing per enqueue,
+//   head swing + tail fix per dequeue; Treiber: one top swing per
+//   push/pop), plus one "stale sighting" per own structure op (a lag
+//   left by a writer preempted mid-enqueue predates the attempt).
+//
+// * Spin-lock blockings.  A contended acquisition requires a
+//   conflicting *hold* in flight, and one hold blocks a given job at
+//   most once (re-blocking needs an intervening release), so a job's
+//   blockings on object o are bounded by the conflicting holds that can
+//   overlap it.  This is the count dimension; the FIFO-vs-unordered
+//   distinction (ticket/anderson/mcs vs mutex) lives in the *time*
+//   bounds, where a FIFO acquisition waits for at most
+//   min(workers - 1, conflicting jobs) predecessor critical sections
+//   while an unordered mutex can be barged by every conflicting
+//   request.
+//
+// * Backoff spins.  Every recorded retry executes at most one
+//   Backoff::pause() of at most kMaxSpins relax hints, so
+//   backoff_spins <= kMaxSpins * retries per job — an invariant of the
+//   ladder that certify() checks job by job.
+//
+// * Conflict-group refinement.  When sched::DispatchSelector runs with
+//   strict conflict groups (set_strict_groups(true): deferred
+//   same-group jobs are NOT refilled into free slots), two tasks of one
+//   group never co-dispatch, their structure ops cannot overlap, and
+//   both bound families drop the same-group conflict terms.  The
+//   default (work-conserving) steering can still co-dispatch a deferred
+//   job into an idle slot, so the refinement is only applied when
+//   MpOptions::strict_groups says the run really held that guarantee.
+//
+// Everything saturates (support/saturate.hpp): a bound may be
+// infinitely pessimistic, never negative.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/cost_model.hpp"
+#include "runtime/object_spec.hpp"
+#include "runtime/run_report.hpp"
+#include "task/task.hpp"
+
+namespace lfrt::sched {
+class DispatchSelector;
+}
+
+namespace lfrt::analysis::mp {
+
+/// Which substrate produced the report being certified.  The executor's
+/// NBW/snapshot *readers* record one retry per spin iteration while a
+/// writer is mid-flight — a duration-coupled count no arrival curve
+/// bounds — so those cells certify as unbounded.  The simulator models
+/// at most one retry per completed attempt, which the transition charge
+/// does bound.
+enum class Substrate {
+  kExecutor,
+  kSimulator,
+};
+
+struct MpOptions {
+  int cpu_count = 1;
+  Substrate substrate = Substrate::kExecutor;
+
+  /// Per-task conflict groups (task -> group id, -1 = ungrouped), the
+  /// vector sched::DispatchSelector::conflict_groups() holds.  Empty =
+  /// no steering.
+  std::vector<std::int32_t> conflict_groups;
+
+  /// Apply the same-group exclusion.  Only sound when the selector ran
+  /// with set_strict_groups(true) for the whole run.
+  bool strict_groups = false;
+};
+
+/// MpOptions seeded from a live selector: copies its conflict groups
+/// and strict flag.  The caller still owns cpu_count/substrate.
+MpOptions options_from_selector(const sched::DispatchSelector& sel,
+                                int cpu_count, Substrate substrate);
+
+/// Jobs of task j whose execution can overlap one fixed job window of
+/// length `window`: a_j * (ceil((window + C_j) / W_j) + 1), the
+/// straddle-generous UAM arrival curve (alive-at-start jobs arrived up
+/// to C_j earlier).  Saturating.
+std::int64_t overlapping_jobs(const TaskSet& ts, TaskId j, Time window);
+
+/// Write / total accesses one job of task i makes to object o.
+std::int64_t writes_to(const TaskSet& ts, TaskId i, ObjectId o);
+std::int64_t accesses_to(const TaskSet& ts, TaskId i, ObjectId o);
+
+/// True when tasks i and j are barred from co-dispatch under opt
+/// (same non-negative conflict group and strict_groups set).
+bool co_dispatch_prevented(const MpOptions& opt, TaskId i, TaskId j);
+
+/// Per-JOB lock-free retry bound for task i on object o, i.e. the
+/// transition charge over every conflicting op that can overlap one job
+/// of i, plus the stale-sighting term.  Returns support::kSaturated for
+/// cells the model cannot bound (executor buffer/snapshot cells where
+/// task i reads).  Lock-based impls retry nowhere: 0.
+std::int64_t retry_job_bound(const TaskSet& ts, TaskId i, ObjectId o,
+                             const runtime::ObjectSpec& spec,
+                             const MpOptions& opt);
+
+/// Per-JOB blocking bound for task i on object o: the conflicting holds
+/// that can overlap one job of i.  Lock-free impls block nowhere: 0.
+std::int64_t blocking_job_bound(const TaskSet& ts, TaskId i, ObjectId o,
+                                const runtime::ObjectSpec& spec,
+                                const MpOptions& opt);
+
+/// Workers that can simultaneously touch object o: min(cpu_count,
+/// tasks accessing o after collapsing strict conflict groups).  The W
+/// of the FIFO spin term.
+std::int64_t worker_cap(const TaskSet& ts, ObjectId o, const MpOptions& opt);
+
+/// Conflicting jobs that can overlap one job of task i on object o
+/// (the n_i of the spin terms, object-resolved).
+std::int64_t conflicting_jobs(const TaskSet& ts, TaskId i, ObjectId o,
+                              const MpOptions& opt);
+
+/// Worst spin-blocking TIME one job of task i spends on object o, from
+/// the calibrated AccessCost cell.  Critical-section length is
+/// access_cost(cell, ..., contenders = min(m_i, n_i)) — the paper's
+/// contender cap, object-resolved.  FIFO locks (ticket/anderson/mcs)
+/// wait at most min(worker_cap - 1, n_i) predecessors per acquisition;
+/// an unordered mutex can be barged by every conflicting hold, but each
+/// conflicting hold delays the job at most once overall, so both are
+/// also capped by the total conflicting-hold charge.  0 for lock-free.
+Time spin_block_time_bound(const TaskSet& ts, TaskId i, ObjectId o,
+                           const runtime::ObjectSpec& spec,
+                           const runtime::CostModel& model,
+                           const MpOptions& opt);
+
+/// Worst retry TIME one job of task i spends on object o: the retry
+/// count bound priced at the cell's retried-attempt cost.  0 for
+/// lock-based impls; kTimeNever-saturated when the count is unbounded.
+Time retry_time_bound(const TaskSet& ts, TaskId i, ObjectId o,
+                      const runtime::ObjectSpec& spec,
+                      const runtime::CostModel& model, const MpOptions& opt);
+
+// --- end-to-end certifier -------------------------------------------
+
+/// One measured heatmap cell against its analytical bound.  `bound` is
+/// the per-cell total (per-job bound * jobs the report counted for the
+/// task); `unbounded` marks cells the model declines to bound (their
+/// measurement is reported, not gated).
+struct CellCheck {
+  ObjectId object = kNoObject;
+  TaskId task = -1;
+  std::int64_t measured = 0;
+  std::int64_t bound = 0;
+  bool unbounded = false;
+  bool ok = true;
+
+  /// Fraction of the bound left unused (1.0 = untouched, 0.0 = tight,
+  /// negative = violated); 1.0 for unbounded or zero-bound-zero-measured
+  /// cells.
+  double slack() const;
+};
+
+/// Per-job backoff-ladder invariant for one task:
+/// backoff_spins <= Backoff::kMaxSpins * retries, worst job reported.
+struct BackoffCheck {
+  TaskId task = -1;
+  std::int64_t measured = 0;  ///< worst per-job spins
+  std::int64_t bound = 0;     ///< kMaxSpins * that job's retries
+  bool ok = true;
+};
+
+/// Per-task time-dimension analytics (reported, not gated — the
+/// heatmap has no per-cell time axis to compare against).
+struct TaskTimeBounds {
+  TaskId task = -1;
+  Time spin_block_time = 0;  ///< sum over objects, per job
+  Time retry_time = 0;       ///< sum over objects, per job
+};
+
+struct Certificate {
+  bool ok = true;
+  std::int64_t cells_checked = 0;
+  std::int64_t violations = 0;
+  std::vector<CellCheck> retries;    ///< objects x tasks
+  std::vector<CellCheck> blockings;  ///< objects x tasks
+  std::vector<BackoffCheck> backoff;
+  std::vector<TaskTimeBounds> time_bounds;
+  /// Minimum slack over checked (non-unbounded) cells with a nonzero
+  /// bound; 1.0 when no such cell exists.
+  double min_slack = 1.0;
+};
+
+/// Certify every measured ContentionMatrix cell of `rep` (retries and
+/// blockings per object x task, plus the per-job backoff invariant)
+/// against the analytical bounds for `ts` under `specs`.  The cost
+/// model prices the reported time bounds.  An empty heatmap certifies
+/// trivially (ok, 0 cells).
+Certificate certify(const runtime::RunReport& rep, const TaskSet& ts,
+                    const std::vector<runtime::ObjectSpec>& specs,
+                    const runtime::CostModel& model,
+                    const MpOptions& opt = {});
+
+}  // namespace lfrt::analysis::mp
+
+namespace lfrt::analysis {
+// The certifier is the module's public face; make the ISSUE/ROADMAP
+// spelling analysis::certify(...) work unqualified.
+using mp::certify;
+}  // namespace lfrt::analysis

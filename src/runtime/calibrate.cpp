@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <iostream>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -31,6 +32,17 @@ struct CacheEntry {
   Time lock_ns = 0;
   CostModel model;  // enabled iff the entry carried a full cell table
 };
+
+// Cache degradation is warned about exactly once per process: a bench
+// sweeping dozens of calibrate() calls should not repeat the same
+// message, and a missing cache is a degraded mode, not an error.
+std::atomic<bool> warned_no_cache_location{false};
+std::atomic<bool> warned_unwritable_cache{false};
+
+void warn_once(std::atomic<bool>& flag, const std::string& msg) {
+  if (!flag.exchange(true, std::memory_order_relaxed))
+    std::cerr << "lfrt: warning: " << msg << "\n";
+}
 
 std::string host_name() {
   char buf[256] = {};
@@ -160,7 +172,14 @@ void store_cache(const std::string& path,
   if (p.has_parent_path())
     std::filesystem::create_directories(p.parent_path(), ec);
   std::ofstream f(path, std::ios::trunc);
-  if (f) f << out;  // best-effort: an unwritable cache is not an error
+  if (f) f << out;
+  f.flush();
+  // Best-effort: an unwritable cache is not an error, but say so once
+  // so a silently-uncached fleet is diagnosable.
+  if (!f)
+    warn_once(warned_unwritable_cache,
+              "calibration cache '" + path +
+                  "' is not writable; results will not persist");
 }
 
 /// Mean per-access wall time (ns) of `threads` workers each performing
@@ -246,7 +265,12 @@ std::string calibration_cache_path() {
   if (const char* home = std::getenv("HOME");
       home != nullptr && home[0] != '\0')
     return std::string(home) + "/.cache/lfrt_calibration.json";
-  return ".lfrt_calibration.json";
+  // No env override and no $HOME: there is no sane place for a
+  // persistent cache.  Returning a cwd-relative name here used to
+  // scatter .lfrt_calibration.json files into whatever directory the
+  // process happened to run from; calibrate() now treats the empty
+  // path as "run uncached" instead.
+  return {};
 }
 
 AccessCalibration calibrate_access_times(const rt::AccessTimeConfig& mcfg) {
@@ -266,10 +290,18 @@ AccessCalibration calibrate(ExecConfig& cfg, const TaskSet& ts,
                             const CalibrateOptions& opts) {
   const std::string path =
       opts.cache_path.empty() ? calibration_cache_path() : opts.cache_path;
+  // No resolvable cache location (LFRT_CALIBRATION_CACHE and HOME both
+  // unset): degrade to uncached measurement — never throw, never write
+  // into the cwd.
+  const bool use_cache = opts.use_cache && !path.empty();
+  if (opts.use_cache && path.empty())
+    warn_once(warned_no_cache_location,
+              "no calibration-cache location (LFRT_CALIBRATION_CACHE and "
+              "HOME unset); calibrating uncached");
   const std::string host = host_name();
   const std::int64_t cpus = cpu_count();
 
-  if (opts.use_cache && !opts.force) {
+  if (use_cache && !opts.force) {
     for (const CacheEntry& e : load_cache(path)) {
       if (e.host == host && e.cpus == cpus && e.samples == samples &&
           e.model.enabled) {
@@ -298,7 +330,7 @@ AccessCalibration calibrate(ExecConfig& cfg, const TaskSet& ts,
   cfg.sim_lock_access_time = cal.lock_access_time;
   cfg.sim_cost_model = cal.model;
 
-  if (opts.use_cache) {
+  if (use_cache) {
     std::vector<CacheEntry> entries = load_cache(path);
     entries.erase(std::remove_if(entries.begin(), entries.end(),
                                  [&](const CacheEntry& e) {

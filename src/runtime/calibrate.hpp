@@ -25,7 +25,9 @@
 // calibrate() consults a small JSON file keyed by hostname + CPU count
 // + sample budget and skips the microbenchmarks on a hit.  The cache
 // lives at $LFRT_CALIBRATION_CACHE if set, else
-// $HOME/.cache/lfrt_calibration.json, else ./.lfrt_calibration.json.
+// $HOME/.cache/lfrt_calibration.json.  When neither variable names a
+// location, there is no cache: calibrate() measures every time, warns
+// once per process, and never drops files into the working directory.
 // The file carries a schema version (kCalibrationCacheSchema); a cache
 // written by an older build — including the pre-zoo flat-scalar format,
 // which had no version field — fails the schema check and is treated
@@ -33,7 +35,8 @@
 // overwrites it in the current format.  Pass
 // CalibrateOptions{.force = true} (the benches' --recalibrate) to
 // re-measure and overwrite the entry; cache I/O failures fall back to
-// measuring — calibration never fails because the cache is unwritable.
+// measuring with a once-per-process warning — calibration never fails
+// because the cache is missing or unwritable.
 #pragma once
 
 #include <string>
@@ -68,8 +71,9 @@ struct CalibrateOptions {
 };
 
 /// The cache file calibrate() would use for an empty
-/// CalibrateOptions::cache_path — env override, then
-/// $HOME/.cache/lfrt_calibration.json, then ./.lfrt_calibration.json.
+/// CalibrateOptions::cache_path — $LFRT_CALIBRATION_CACHE if set, else
+/// $HOME/.cache/lfrt_calibration.json.  Empty when neither variable is
+/// set: calibrate() then runs uncached (and says so, once).
 std::string calibration_cache_path();
 
 /// Run both fig08 microbenchmarks and return the measured means,

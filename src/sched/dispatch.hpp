@@ -90,6 +90,16 @@ class DispatchSelector {
   }
   const std::vector<std::int32_t>& conflict_groups() const { return groups_; }
 
+  /// Strict steering: deferred same-group schedule entries are NOT
+  /// refilled into idle slots, so no two same-group schedule entries
+  /// ever co-dispatch (front jobs and the scheduler's dispatch
+  /// nomination stay exempt — they must run).  This trades work
+  /// conservation for the hard no-co-dispatch guarantee the
+  /// analysis::mp conflict-group refinement assumes
+  /// (MpOptions::strict_groups).  Off by default.
+  void set_strict_groups(bool strict) { strict_groups_ = strict; }
+  bool strict_groups() const { return strict_groups_; }
+
   /// select() with conflict-group steering.  `task_of(id)` maps a job to
   /// its task (< groups.size(); -1 or out of range = unsteered).  Front
   /// jobs and the scheduler's dispatch nomination are never steered
@@ -157,10 +167,13 @@ class DispatchSelector {
       }
       push(id);
     }
-    // Work conservation: a deferred job beats an idle CPU.
-    for (JobId id : deferred_) {
-      if (full()) break;
-      push(id);
+    // Work conservation: a deferred job beats an idle CPU — unless
+    // strict mode promised the analysis no same-group co-dispatch.
+    if (!strict_groups_) {
+      for (JobId id : deferred_) {
+        if (full()) break;
+        push(id);
+      }
     }
     return targets_;
   }
@@ -202,6 +215,7 @@ class DispatchSelector {
   std::vector<std::int64_t> group_stamp_;
   std::int64_t gen_ = 0;
   std::vector<std::int32_t> groups_;  ///< task -> conflict group (-1 none)
+  bool strict_groups_ = false;        ///< no refill from deferred_
 };
 
 }  // namespace lfrt::sched

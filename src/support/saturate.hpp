@@ -1,0 +1,39 @@
+// Saturating int64 arithmetic for the analysis bounds.
+//
+// The Theorem-2/Theorem-3 terms multiply arrival rates by
+// ceil(C_i / W_j) + 1; a task set with a near-horizon critical time and
+// a tight window (large C_i, W_j == 1) overflows the naive product and
+// a bound silently turns negative — which every "measured <= bound"
+// gate then passes vacuously.  These helpers clamp to INT64_MAX
+// instead: a saturated bound stays a *bound* (infinitely pessimistic,
+// never unsound), and callers can still detect saturation by comparing
+// against kSaturated.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lfrt::support {
+
+inline constexpr std::int64_t kSaturated =
+    std::numeric_limits<std::int64_t>::max();
+
+/// a + b clamped to INT64_MAX.  Requires a, b >= 0 (bound arithmetic is
+/// non-negative by construction).
+constexpr std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  return a > kSaturated - b ? kSaturated : a + b;
+}
+
+/// a * b clamped to INT64_MAX.  Requires a, b >= 0.
+constexpr std::int64_t sat_mul(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return a > kSaturated / b ? kSaturated : a * b;
+}
+
+/// ceil(num / den) without the (num + den - 1) intermediate that
+/// overflows for num near INT64_MAX.  Requires num >= 0, den > 0.
+constexpr std::int64_t sat_ceil_div(std::int64_t num, std::int64_t den) {
+  return num / den + (num % den != 0 ? 1 : 0);
+}
+
+}  // namespace lfrt::support

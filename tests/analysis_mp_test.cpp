@@ -1,0 +1,468 @@
+// Unit tests for analysis::mp — the multiprocessor blocking/retry
+// bounds and the heatmap certifier — validated against hand-computed
+// values on the same two-task fixture analysis_test uses.
+#include "analysis/mp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "lockfree/backoff.hpp"
+#include "sched/dispatch.hpp"
+#include "support/saturate.hpp"
+#include "tuf/tuf.hpp"
+
+namespace lfrt {
+namespace {
+
+using analysis::mp::MpOptions;
+using analysis::mp::Substrate;
+using runtime::ObjectImpl;
+using runtime::ObjectKind;
+using runtime::ObjectSpec;
+using support::kSaturated;
+
+/// The analysis_test fixture:
+///   T0: a=2, W=100us, C=100us, u=10us, writes obj0 and obj1
+///   T1: a=1, W=50us,  C=50us,  u=5us,  writes obj0
+///
+/// Overlap counts ovl_j(L) = a_j (ceil((L + C_j)/W_j) + 1):
+///   ovl_0(C_0) = 2*(ceil(200/100)+1) = 6   (5 once self-adjusted)
+///   ovl_1(C_0) = 1*(ceil(150/50)+1)  = 4
+///   ovl_0(C_1) = 2*(ceil(150/100)+1) = 6
+///   ovl_1(C_1) = 1*(ceil(100/50)+1)  = 3   (2 once self-adjusted)
+TaskSet two_task_set() {
+  TaskSet ts;
+  ts.object_count = 2;
+  {
+    TaskParams p;
+    p.id = 0;
+    p.arrival = UamSpec{1, 2, usec(100)};
+    p.tuf = make_step_tuf(10.0, usec(100));
+    p.exec_time = usec(10);
+    p.accesses = {{0, usec(2)}, {1, usec(5)}};
+    ts.tasks.push_back(std::move(p));
+  }
+  {
+    TaskParams p;
+    p.id = 1;
+    p.arrival = UamSpec{1, 1, usec(50)};
+    p.tuf = make_step_tuf(20.0, usec(50));
+    p.exec_time = usec(5);
+    p.accesses = {{0, usec(1)}};
+    ts.tasks.push_back(std::move(p));
+  }
+  ts.validate();
+  return ts;
+}
+
+ObjectSpec spec_of(ObjectKind kind, ObjectImpl impl) {
+  ObjectSpec s;
+  s.kind = kind;
+  s.impl = impl;
+  return s;
+}
+
+MpOptions opts(int cpus, Substrate sub) {
+  MpOptions o;
+  o.cpu_count = cpus;
+  o.substrate = sub;
+  return o;
+}
+
+TEST(AnalysisMpBounds, OverlappingJobsHandComputed) {
+  const TaskSet ts = two_task_set();
+  EXPECT_EQ(analysis::mp::overlapping_jobs(ts, 0, usec(100)), 6);
+  EXPECT_EQ(analysis::mp::overlapping_jobs(ts, 1, usec(100)), 4);
+  EXPECT_EQ(analysis::mp::overlapping_jobs(ts, 0, usec(50)), 6);
+  EXPECT_EQ(analysis::mp::overlapping_jobs(ts, 1, usec(50)), 3);
+}
+
+TEST(AnalysisMpBounds, AccessCountsResolvePerObject) {
+  const TaskSet ts = two_task_set();
+  EXPECT_EQ(analysis::mp::writes_to(ts, 0, 0), 1);
+  EXPECT_EQ(analysis::mp::writes_to(ts, 0, 1), 1);
+  EXPECT_EQ(analysis::mp::writes_to(ts, 1, 1), 0);
+  EXPECT_EQ(analysis::mp::accesses_to(ts, 1, 0), 1);
+}
+
+TEST(AnalysisMpBounds, QueueRetryBoundHandComputed) {
+  const TaskSet ts = two_task_set();
+  const ObjectSpec q = spec_of(ObjectKind::kQueue, ObjectImpl::kLockFree);
+  const MpOptions opt = opts(4, Substrate::kExecutor);
+  // Task 0, object 0: 4 transitions per conflicting write.
+  //   self peers: 1 write * 4 * (6-1) = 20
+  //   T1:         1 write * 4 * 4    = 16
+  //   stale sightings: 2 structure ops * 1 own write = 2   -> 38.
+  EXPECT_EQ(analysis::mp::retry_job_bound(ts, 0, 0, q, opt), 38);
+  // Task 1, object 0: self 1*4*2 = 8, T0 1*4*6 = 24, stale 2 -> 34.
+  EXPECT_EQ(analysis::mp::retry_job_bound(ts, 1, 0, q, opt), 34);
+  // Object 1 is written only by T0: self 20 + stale 2 = 22; T1 never
+  // touches it -> 0.
+  EXPECT_EQ(analysis::mp::retry_job_bound(ts, 0, 1, q, opt), 22);
+  EXPECT_EQ(analysis::mp::retry_job_bound(ts, 1, 1, q, opt), 0);
+}
+
+TEST(AnalysisMpBounds, LocksNeverRetryLockFreeNeverBlocks) {
+  const TaskSet ts = two_task_set();
+  const MpOptions opt = opts(2, Substrate::kExecutor);
+  for (const ObjectImpl impl : runtime::lock_impls()) {
+    const ObjectSpec s = spec_of(ObjectKind::kQueue, impl);
+    EXPECT_EQ(analysis::mp::retry_job_bound(ts, 0, 0, s, opt), 0);
+  }
+  const ObjectSpec lf = spec_of(ObjectKind::kQueue, ObjectImpl::kLockFree);
+  EXPECT_EQ(analysis::mp::blocking_job_bound(ts, 0, 0, lf, opt), 0);
+}
+
+TEST(AnalysisMpBounds, BlockingBoundExecutorCapsAtOwnAcquisitions) {
+  const TaskSet ts = two_task_set();
+  const ObjectSpec m = spec_of(ObjectKind::kQueue, ObjectImpl::kMutex);
+  // Queue writes lock twice (insert + remove): own = 2 per job.
+  // Conflicting holds overlapping one T0 job: self 2*5 + T1 2*4 = 18.
+  EXPECT_EQ(analysis::mp::blocking_job_bound(ts, 0, 0, m,
+                                             opts(4, Substrate::kExecutor)),
+            2);
+  // The simulator can re-block one access per intervening hold, so only
+  // the conflicting-hold charge is sound there.
+  EXPECT_EQ(analysis::mp::blocking_job_bound(ts, 0, 0, m,
+                                             opts(4, Substrate::kSimulator)),
+            18);
+  // Task 1: own = 2, conflict = self 2*2 + T0 2*6 = 16.
+  EXPECT_EQ(analysis::mp::blocking_job_bound(ts, 1, 0, m,
+                                             opts(4, Substrate::kSimulator)),
+            16);
+}
+
+TEST(AnalysisMpBounds, ExecutorRwReadersAreUnboundedSimulatorBounded) {
+  // Buffer readers on the executor retry once per spin iteration while
+  // a writer is mid-flight — duration-coupled, declined.  The simulator
+  // charges at most one retry per completed attempt, which the
+  // one-transition-per-write model bounds.
+  TaskSet ts = two_task_set();
+  ts.tasks[0].accesses = {{0, usec(2), /*write=*/false}};
+  ts.validate();
+  const ObjectSpec b = spec_of(ObjectKind::kBuffer, ObjectImpl::kLockFree);
+  EXPECT_EQ(analysis::mp::retry_job_bound(ts, 0, 0, b,
+                                          opts(2, Substrate::kExecutor)),
+            kSaturated);
+  // Simulator: T1's 1 write * 1 transition * ovl_1(C_0)=4 -> 4.
+  EXPECT_EQ(analysis::mp::retry_job_bound(ts, 0, 0, b,
+                                          opts(2, Substrate::kSimulator)),
+            4);
+  // Wait-free writers never retry, on either substrate.
+  EXPECT_EQ(analysis::mp::retry_job_bound(ts, 1, 0, b,
+                                          opts(2, Substrate::kExecutor)),
+            0);
+}
+
+TEST(AnalysisMpBounds, WorkerCapAndConflictingJobs) {
+  const TaskSet ts = two_task_set();
+  EXPECT_EQ(analysis::mp::worker_cap(ts, 0, opts(1, Substrate::kExecutor)),
+            1);
+  EXPECT_EQ(analysis::mp::worker_cap(ts, 0, opts(4, Substrate::kExecutor)),
+            2);  // only two accessor tasks
+  // Object 1 has a single accessor.
+  EXPECT_EQ(analysis::mp::worker_cap(ts, 1, opts(4, Substrate::kExecutor)),
+            1);
+  // n_0 on object 0: self-adjusted 5 + T1's 4 = 9.
+  EXPECT_EQ(
+      analysis::mp::conflicting_jobs(ts, 0, 0, opts(4, Substrate::kExecutor)),
+      9);
+}
+
+TEST(AnalysisMpBounds, FifoSpinTimeNeverExceedsUnorderedMutex) {
+  const TaskSet ts = two_task_set();
+  const runtime::CostModel model = runtime::CostModel::flat(usec(1), usec(2));
+  const MpOptions opt = opts(4, Substrate::kExecutor);
+  const Time mutex_t = analysis::mp::spin_block_time_bound(
+      ts, 0, 0, spec_of(ObjectKind::kQueue, ObjectImpl::kMutex), model, opt);
+  for (const ObjectImpl impl :
+       {ObjectImpl::kTicket, ObjectImpl::kAnderson, ObjectImpl::kMcs}) {
+    const Time fifo_t = analysis::mp::spin_block_time_bound(
+        ts, 0, 0, spec_of(ObjectKind::kQueue, impl), model, opt);
+    EXPECT_GT(fifo_t, 0);
+    EXPECT_LE(fifo_t, mutex_t) << to_string(impl);
+  }
+  // Lock-free spins on nothing; locks pay no retry time.
+  EXPECT_EQ(analysis::mp::spin_block_time_bound(
+                ts, 0, 0, spec_of(ObjectKind::kQueue, ObjectImpl::kLockFree),
+                model, opt),
+            0);
+  EXPECT_EQ(analysis::mp::retry_time_bound(
+                ts, 0, 0, spec_of(ObjectKind::kQueue, ObjectImpl::kMutex),
+                model, opt),
+            0);
+  EXPECT_GT(analysis::mp::retry_time_bound(
+                ts, 0, 0, spec_of(ObjectKind::kQueue, ObjectImpl::kLockFree),
+                model, opt),
+            0);
+}
+
+// ---- strict conflict-group refinement --------------------------------
+
+TEST(AnalysisMpStrict, RefinementDropsSameGroupTerms) {
+  const TaskSet ts = two_task_set();
+  const ObjectSpec q = spec_of(ObjectKind::kQueue, ObjectImpl::kLockFree);
+  MpOptions strict = opts(4, Substrate::kExecutor);
+  strict.conflict_groups = {0, 0};  // both tasks share one storm cell
+  strict.strict_groups = true;
+  // Every conflicting writer is barred from co-dispatch; only the
+  // stale-sighting term survives.
+  EXPECT_EQ(analysis::mp::retry_job_bound(ts, 0, 0, q, strict), 2);
+  // The same groups WITHOUT the strict guarantee refine nothing: the
+  // work-conserving selector may still co-dispatch deferred jobs.
+  MpOptions loose = strict;
+  loose.strict_groups = false;
+  EXPECT_EQ(analysis::mp::retry_job_bound(ts, 0, 0, q, loose), 38);
+  // Blocking drops to zero the same way.
+  const ObjectSpec m = spec_of(ObjectKind::kQueue, ObjectImpl::kMutex);
+  EXPECT_EQ(analysis::mp::blocking_job_bound(ts, 0, 0, m, strict), 0);
+  // Strict groups collapse the accessor count: one worker can touch o0.
+  EXPECT_EQ(analysis::mp::worker_cap(ts, 0, strict), 1);
+}
+
+TEST(AnalysisMpStrict, RefinedBoundsAreMonotonicallyTighter) {
+  const TaskSet ts = two_task_set();
+  for (const ObjectKind kind : runtime::all_object_kinds()) {
+    for (const ObjectImpl impl : runtime::all_object_impls()) {
+      const ObjectSpec s = spec_of(kind, impl);
+      for (const Substrate sub :
+           {Substrate::kExecutor, Substrate::kSimulator}) {
+        MpOptions strict = opts(4, sub);
+        strict.conflict_groups = {0, 0};
+        strict.strict_groups = true;
+        const MpOptions plain = opts(4, sub);
+        for (TaskId i : {0, 1}) {
+          for (ObjectId o : {0, 1}) {
+            EXPECT_LE(analysis::mp::retry_job_bound(ts, i, o, s, strict),
+                      analysis::mp::retry_job_bound(ts, i, o, s, plain));
+            EXPECT_LE(analysis::mp::blocking_job_bound(ts, i, o, s, strict),
+                      analysis::mp::blocking_job_bound(ts, i, o, s, plain));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(AnalysisMpStrict, OptionsFromSelectorCopyGroupsAndFlag) {
+  sched::DispatchSelector sel;
+  sel.set_conflict_groups({1, 2, -1});
+  sel.set_strict_groups(true);
+  const MpOptions opt = analysis::mp::options_from_selector(
+      sel, 4, Substrate::kSimulator);
+  EXPECT_EQ(opt.cpu_count, 4);
+  EXPECT_EQ(opt.substrate, Substrate::kSimulator);
+  EXPECT_EQ(opt.conflict_groups, (std::vector<std::int32_t>{1, 2, -1}));
+  EXPECT_TRUE(opt.strict_groups);
+  EXPECT_TRUE(analysis::mp::co_dispatch_prevented(opt, 0, 0));
+  EXPECT_FALSE(analysis::mp::co_dispatch_prevented(opt, 0, 1));
+  EXPECT_FALSE(analysis::mp::co_dispatch_prevented(opt, 0, 2));
+}
+
+// ---- saturation ------------------------------------------------------
+
+TEST(AnalysisMpSaturate, NearMaxHorizonsClampNotWrap) {
+  // A task whose critical time nears INT64_MAX against a 1-tick window
+  // must drive every count to the saturation rail, never negative.
+  TaskSet ts;
+  ts.object_count = 1;
+  {
+    TaskParams p;
+    p.id = 0;
+    p.arrival = UamSpec{1, 1, std::numeric_limits<Time>::max()};
+    p.tuf = make_step_tuf(1.0, std::numeric_limits<Time>::max());
+    p.exec_time = 1;
+    p.accesses = {{0, 0}};
+    ts.tasks.push_back(std::move(p));
+  }
+  {
+    TaskParams p;
+    p.id = 1;
+    p.arrival = UamSpec{1, 1, 1};
+    p.tuf = make_step_tuf(1.0, 1);
+    p.exec_time = 1;
+    p.accesses = {{0, 0}};
+    ts.tasks.push_back(std::move(p));
+  }
+  ts.validate();
+  const ObjectSpec q = spec_of(ObjectKind::kQueue, ObjectImpl::kLockFree);
+  const ObjectSpec m = spec_of(ObjectKind::kQueue, ObjectImpl::kMutex);
+  const MpOptions opt = opts(2, Substrate::kSimulator);
+  EXPECT_EQ(analysis::mp::overlapping_jobs(ts, 1, ts.tasks[0].critical_time()),
+            kSaturated);
+  const std::int64_t retry = analysis::mp::retry_job_bound(ts, 0, 0, q, opt);
+  EXPECT_EQ(retry, kSaturated);
+  EXPECT_GE(retry, 0);
+  const std::int64_t block = analysis::mp::blocking_job_bound(ts, 0, 0, m, opt);
+  EXPECT_EQ(block, kSaturated);
+  EXPECT_GE(block, 0);
+}
+
+// ---- the certifier ---------------------------------------------------
+
+/// A report shaped like a substrate would produce for two_task_set():
+/// one job per task, a 2x2 heatmap.
+runtime::RunReport report_for(const TaskSet& ts) {
+  runtime::RunReport rep;
+  rep.contention = runtime::ContentionMatrix(
+      ts.object_count, static_cast<std::int32_t>(ts.tasks.size()));
+  for (const TaskParams& t : ts.tasks) {
+    Job j;
+    j.id = t.id;
+    j.task = t.id;
+    rep.jobs.push_back(j);
+  }
+  return rep;
+}
+
+TEST(AnalysisMpCertify, EmptyHeatmapCertifiesTrivially) {
+  const TaskSet ts = two_task_set();
+  const auto cert = analysis::certify(
+      runtime::RunReport{}, ts,
+      runtime::uniform_objects(2, ObjectKind::kQueue, ObjectImpl::kLockFree),
+      runtime::CostModel::flat(usec(1), usec(2)));
+  EXPECT_TRUE(cert.ok);
+  EXPECT_EQ(cert.cells_checked, 0);
+}
+
+TEST(AnalysisMpCertify, UnderBoundMeasurementsPass) {
+  const TaskSet ts = two_task_set();
+  runtime::RunReport rep = report_for(ts);
+  rep.contention.at(0, 0).retries = 10;  // per-job bound is 38
+  rep.jobs[0].retries = 10;
+  rep.jobs[0].backoff_spins = 10 * lockfree::Backoff::kMaxSpins;
+  const auto cert = analysis::certify(
+      rep, ts,
+      runtime::uniform_objects(2, ObjectKind::kQueue, ObjectImpl::kLockFree),
+      runtime::CostModel::flat(usec(1), usec(2)),
+      opts(4, Substrate::kExecutor));
+  EXPECT_TRUE(cert.ok);
+  EXPECT_EQ(cert.violations, 0);
+  // 2 objects x 2 tasks x {retries, blockings} + 2 backoff checks.
+  EXPECT_EQ(cert.cells_checked, 10);
+  ASSERT_EQ(cert.retries.size(), 4u);
+  EXPECT_EQ(cert.retries[0].bound, 38);
+  EXPECT_EQ(cert.retries[0].measured, 10);
+  // Tightest cell: (obj0, T0) at 28/38 slack.
+  EXPECT_NEAR(cert.min_slack, 28.0 / 38.0, 1e-12);
+  ASSERT_EQ(cert.time_bounds.size(), 2u);
+  EXPECT_EQ(cert.time_bounds[0].spin_block_time, 0);  // lock-free universe
+  EXPECT_GT(cert.time_bounds[0].retry_time, 0);
+}
+
+TEST(AnalysisMpCertify, OverBoundCellIsFlagged) {
+  const TaskSet ts = two_task_set();
+  runtime::RunReport rep = report_for(ts);
+  rep.contention.at(0, 0).retries = 39;  // bound is 38 * 1 job
+  const auto cert = analysis::certify(
+      rep, ts,
+      runtime::uniform_objects(2, ObjectKind::kQueue, ObjectImpl::kLockFree),
+      runtime::CostModel::flat(usec(1), usec(2)),
+      opts(4, Substrate::kExecutor));
+  EXPECT_FALSE(cert.ok);
+  EXPECT_EQ(cert.violations, 1);
+  EXPECT_FALSE(cert.retries[0].ok);
+  EXPECT_LT(cert.retries[0].slack(), 0.0);
+  EXPECT_LT(cert.min_slack, 0.0);
+}
+
+TEST(AnalysisMpCertify, LockUniverseGatesBlockings) {
+  const TaskSet ts = two_task_set();
+  runtime::RunReport rep = report_for(ts);
+  rep.contention.at(0, 0).blockings = 2;  // executor cap: own 2 holds
+  {
+    const auto cert = analysis::certify(
+        rep, ts,
+        runtime::uniform_objects(2, ObjectKind::kQueue, ObjectImpl::kMcs),
+        runtime::CostModel::flat(usec(1), usec(2)),
+        opts(4, Substrate::kExecutor));
+    EXPECT_TRUE(cert.ok);
+    ASSERT_EQ(cert.blockings.size(), 4u);
+    EXPECT_EQ(cert.blockings[0].bound, 2);
+  }
+  rep.contention.at(0, 0).blockings = 3;
+  {
+    const auto cert = analysis::certify(
+        rep, ts,
+        runtime::uniform_objects(2, ObjectKind::kQueue, ObjectImpl::kMcs),
+        runtime::CostModel::flat(usec(1), usec(2)),
+        opts(4, Substrate::kExecutor));
+    EXPECT_FALSE(cert.ok);
+    EXPECT_EQ(cert.violations, 1);
+  }
+}
+
+TEST(AnalysisMpCertify, BackoffLadderViolationIsCaught) {
+  const TaskSet ts = two_task_set();
+  runtime::RunReport rep = report_for(ts);
+  rep.contention.at(0, 0).retries = 1;
+  rep.jobs[0].retries = 1;
+  rep.jobs[0].backoff_spins = lockfree::Backoff::kMaxSpins + 1;
+  const auto cert = analysis::certify(
+      rep, ts,
+      runtime::uniform_objects(2, ObjectKind::kQueue, ObjectImpl::kLockFree),
+      runtime::CostModel::flat(usec(1), usec(2)),
+      opts(4, Substrate::kExecutor));
+  EXPECT_FALSE(cert.ok);
+  EXPECT_EQ(cert.violations, 1);
+  ASSERT_EQ(cert.backoff.size(), 2u);
+  EXPECT_FALSE(cert.backoff[0].ok);
+  EXPECT_EQ(cert.backoff[0].measured, lockfree::Backoff::kMaxSpins + 1);
+  EXPECT_EQ(cert.backoff[0].bound, lockfree::Backoff::kMaxSpins);
+}
+
+TEST(AnalysisMpCertify, UnboundedCellsReportButNeverGate) {
+  // Executor buffer READER cells are declined, not gated: an enormous
+  // measurement passes there but fails under the simulator's model.
+  TaskSet ts = two_task_set();
+  ts.tasks[0].accesses = {{0, usec(2), /*write=*/false}};
+  ts.object_count = 1;
+  ts.tasks[0].accesses.resize(1);
+  ts.validate();
+  runtime::RunReport rep;
+  rep.contention = runtime::ContentionMatrix(1, 2);
+  for (const TaskParams& t : ts.tasks) {
+    Job j;
+    j.id = t.id;
+    j.task = t.id;
+    rep.jobs.push_back(j);
+  }
+  rep.contention.at(0, 0).retries = 1'000'000;
+  const auto specs =
+      runtime::uniform_objects(1, ObjectKind::kBuffer, ObjectImpl::kLockFree);
+  const auto model = runtime::CostModel::flat(usec(1), usec(2));
+  const auto exec_cert =
+      analysis::certify(rep, ts, specs, model, opts(2, Substrate::kExecutor));
+  EXPECT_TRUE(exec_cert.ok);
+  EXPECT_TRUE(exec_cert.retries[0].unbounded);
+  EXPECT_DOUBLE_EQ(exec_cert.retries[0].slack(), 1.0);
+  const auto sim_cert =
+      analysis::certify(rep, ts, specs, model, opts(2, Substrate::kSimulator));
+  EXPECT_FALSE(sim_cert.ok);
+  EXPECT_FALSE(sim_cert.retries[0].unbounded);
+}
+
+TEST(AnalysisMpCertify, JobCountScalesTheCellBound) {
+  const TaskSet ts = two_task_set();
+  runtime::RunReport rep = report_for(ts);
+  // Three more T0 jobs: per-cell bound becomes 38 * 4.
+  for (int k = 0; k < 3; ++k) {
+    Job j;
+    j.id = 10 + k;
+    j.task = 0;
+    rep.jobs.push_back(j);
+  }
+  rep.contention.at(0, 0).retries = 38 * 4;
+  const auto cert = analysis::certify(
+      rep, ts,
+      runtime::uniform_objects(2, ObjectKind::kQueue, ObjectImpl::kLockFree),
+      runtime::CostModel::flat(usec(1), usec(2)),
+      opts(4, Substrate::kExecutor));
+  EXPECT_TRUE(cert.ok);
+  EXPECT_EQ(cert.retries[0].bound, 38 * 4);
+  EXPECT_DOUBLE_EQ(cert.retries[0].slack(), 0.0);
+}
+
+}  // namespace
+}  // namespace lfrt

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "support/check.hpp"
+#include "support/saturate.hpp"
 #include "workload/workload.hpp"
 
 namespace lfrt {
@@ -188,6 +191,43 @@ TEST(AsymptoticCost, LockFreeBeatsLockBasedBeyondTrivialN) {
                       analysis::rua_lockfree_asymptotic(256);
   EXPECT_DOUBLE_EQ(g16, 4.0);
   EXPECT_DOUBLE_EQ(g256, 8.0);
+}
+
+TEST(Saturation, NearMaxHorizonsClampNotWrap) {
+  // A critical time near INT64_MAX against a 1-tick window used to
+  // overflow ceil(C_i/W_j) * a_j and wrap the "bounds" negative; the
+  // saturating arithmetic must clamp them to the rail instead.
+  TaskSet ts;
+  ts.object_count = 1;
+  {
+    TaskParams p;
+    p.id = 0;
+    p.arrival = UamSpec{1, 1, std::numeric_limits<Time>::max()};
+    p.tuf = make_step_tuf(1.0, std::numeric_limits<Time>::max());
+    p.exec_time = 1;
+    p.accesses = {{0, 0}};
+    ts.tasks.push_back(std::move(p));
+  }
+  {
+    TaskParams p;
+    p.id = 1;
+    p.arrival = UamSpec{1, 1, 1};
+    p.tuf = make_step_tuf(1.0, 1);
+    p.exec_time = 1;
+    p.accesses = {{0, 0}};
+    ts.tasks.push_back(std::move(p));
+  }
+  ts.validate();
+  EXPECT_EQ(analysis::interference_arrivals(ts, 0), support::kSaturated);
+  EXPECT_EQ(analysis::retry_bound(ts, 0), support::kSaturated);
+  EXPECT_EQ(analysis::max_blocking_jobs(ts, 0), support::kSaturated);
+  EXPECT_GE(analysis::worst_retry_time(ts, 0, usec(1)), 0);
+  EXPECT_EQ(analysis::worst_retry_time(ts, 0, usec(1)), support::kSaturated);
+  EXPECT_GE(analysis::worst_interference(ts, 1, usec(1)), 0);
+  EXPECT_EQ(analysis::worst_sojourn_lockfree(ts, 0, usec(1)),
+            support::kSaturated);
+  // The small-horizon task still gets finite numbers.
+  EXPECT_EQ(analysis::interference_arrivals(ts, 1), 2);
 }
 
 /// Property sweep over generated workloads: structural relations between

@@ -249,6 +249,34 @@ TEST(DispatchSteering, WorkConservationRefillsFromDeferred) {
   EXPECT_EQ(picked, (std::vector<JobId>{0, 1}));
 }
 
+TEST(DispatchSteering, StrictGroupsLeaveDeferredSlotsIdle) {
+  sched::DispatchSelector sel;
+  sel.set_conflict_groups({7, 7});
+  sel.set_strict_groups(true);
+  EXPECT_TRUE(sel.strict_groups());
+  const auto res = schedule_of({0, 1});
+  // Job 1 shares job 0's group; with strict groups the second slot
+  // stays idle instead of refilling — the no-co-dispatch guarantee the
+  // analysis::mp refinement assumes.
+  const auto& picked = sel.select_steered({}, res, 2, /*id_limit=*/4,
+                                          kAllEligible, kIdentityTask);
+  EXPECT_EQ(picked, (std::vector<JobId>{0}));
+}
+
+TEST(DispatchSteering, StrictGroupsStillAdmitFrontAndNomination) {
+  sched::DispatchSelector sel;
+  sel.set_conflict_groups({7, 7});
+  sel.set_strict_groups(true);
+  sched::ScheduleResult res;
+  res.dispatch = 0;
+  res.schedule = {0, 1};
+  // Front job 1 and nomination 0 share group 7 yet both dispatch: the
+  // must-run paths are exempt even in strict mode.
+  const auto& picked = sel.select_steered({1}, res, 2, /*id_limit=*/4,
+                                          kAllEligible, kIdentityTask);
+  EXPECT_EQ(picked, (std::vector<JobId>{1, 0}));
+}
+
 TEST(DispatchSteering, FrontAndDispatchNominationAreNeverSteered) {
   sched::DispatchSelector sel;
   sel.set_conflict_groups({7, 7, 7});

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -228,6 +229,60 @@ TEST(CalibrationCache, SchemaCurrentEntryWithoutCellsIsAMiss) {
   EXPECT_FALSE(cal.from_cache);
   EXPECT_TRUE(cal.model.enabled);
   std::remove(kCachePath);
+}
+
+TEST(CalibrationCache, NoCacheLocationCalibratesUncachedWithoutFiles) {
+  // With both $LFRT_CALIBRATION_CACHE and $HOME unset there is nowhere
+  // sensible to persist measurements.  calibrate() must degrade to an
+  // uncached measurement — no throw, no ./.lfrt_calibration.json
+  // dropped into the working directory (the old fallback).
+  const char* old_cache = std::getenv("LFRT_CALIBRATION_CACHE");
+  const char* old_home = std::getenv("HOME");
+  const std::string saved_cache = old_cache ? old_cache : "";
+  const std::string saved_home = old_home ? old_home : "";
+  unsetenv("LFRT_CALIBRATION_CACHE");
+  unsetenv("HOME");
+  std::remove(".lfrt_calibration.json");
+
+  EXPECT_TRUE(runtime::calibration_cache_path().empty());
+  workload::WorkloadSpec spec;
+  spec.task_count = 2;
+  spec.object_count = 2;
+  const TaskSet ts = workload::make_task_set(spec);
+  runtime::ExecConfig cfg;
+  runtime::AccessCalibration cal;
+  EXPECT_NO_THROW(cal = runtime::calibrate(cfg, ts, kSamples));
+  EXPECT_FALSE(cal.from_cache);
+  EXPECT_TRUE(cal.model.enabled);
+  EXPECT_GE(cal.lockfree_access_time, 1);
+
+  // Still uncached on the second call (nothing was persisted), and the
+  // cwd stays clean.
+  runtime::ExecConfig cfg2;
+  const runtime::AccessCalibration cal2 = runtime::calibrate(cfg2, ts,
+                                                             kSamples);
+  EXPECT_FALSE(cal2.from_cache);
+  EXPECT_FALSE(std::ifstream(".lfrt_calibration.json").good());
+
+  if (old_cache) setenv("LFRT_CALIBRATION_CACHE", saved_cache.c_str(), 1);
+  if (old_home) setenv("HOME", saved_home.c_str(), 1);
+}
+
+TEST(CalibrationCache, UnwritableCachePathStillCalibrates) {
+  // A cache directory that cannot be created/written must not fail the
+  // calibration — measure, warn once, move on.
+  runtime::CalibrateOptions opts;
+  opts.cache_path = "/proc/definitely/not/writable/cache.json";
+  workload::WorkloadSpec spec;
+  spec.task_count = 2;
+  spec.object_count = 2;
+  const TaskSet ts = workload::make_task_set(spec);
+  runtime::ExecConfig cfg;
+  runtime::AccessCalibration cal;
+  EXPECT_NO_THROW(cal = runtime::calibrate(cfg, ts, kSamples, opts));
+  EXPECT_FALSE(cal.from_cache);
+  EXPECT_TRUE(cal.model.enabled);
+  EXPECT_GE(cal.lock_access_time, 1);
 }
 
 TEST(CalibrationCache, SecondCalibrationHits) {

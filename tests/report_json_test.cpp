@@ -7,6 +7,10 @@
 // producing a silently wrong report.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -107,6 +111,32 @@ TEST(ReportJson, HandBuiltRoundTrip) {
   }
   // operator== covers shard_counts: the sharding dimension round-trips.
   EXPECT_EQ(back.contention, r.contention);
+}
+
+/// Edge-of-representation doubles must survive the trip bit-exactly,
+/// not merely compare equal: EXPECT_EQ(-0.0, 0.0) passes, so the sign
+/// bit and the exact mantissa are asserted through bit_cast.
+TEST(ReportJson, NegativeZeroAndSubnormalsRoundTripBitExact) {
+  RunReport r = sample_report();
+  r.accrued_utility = -0.0;
+  r.max_possible_utility = 1e-300;
+  RunReport back = from_json(to_json(r));
+  EXPECT_TRUE(std::signbit(back.accrued_utility));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.accrued_utility),
+            std::bit_cast<std::uint64_t>(-0.0));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.max_possible_utility),
+            std::bit_cast<std::uint64_t>(1e-300));
+
+  // The smallest positive double (one denormal bit) and a negative
+  // subnormal: %.17g must carry enough digits to reproduce them.
+  r.accrued_utility = std::numeric_limits<double>::denorm_min();
+  r.max_possible_utility = -4.9406564584124654e-316;
+  back = from_json(to_json(r));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.accrued_utility),
+            std::bit_cast<std::uint64_t>(
+                std::numeric_limits<double>::denorm_min()));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.max_possible_utility),
+            std::bit_cast<std::uint64_t>(-4.9406564584124654e-316));
 }
 
 /// Reports written before backoff accounting and sharding existed still

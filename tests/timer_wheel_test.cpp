@@ -135,6 +135,67 @@ TEST(TimerWheel, RandomizedFiringMatchesOracle) {
   }
 }
 
+// Multi-revolution variant: random wheel geometry, deadlines spread
+// over MANY horizons (so every entry rides the overflow cascade at
+// least once), and a mid-stream batch scheduled after the cursor has
+// already advanced deep into the timeline — the wraparound paths the
+// single-horizon sweep above never exercises.
+TEST(TimerWheel, RandomizedMultiRevolutionMatchesOracle) {
+  std::mt19937 rng(20'260'810);
+  for (int round = 0; round < 10; ++round) {
+    const Time granularity = 1 + static_cast<Time>(rng() % 13);
+    const std::size_t slots = 4 + rng() % 29;
+    const Time horizon = granularity * static_cast<Time>(slots);
+    TimerWheel<std::size_t> w(granularity, slots);
+    constexpr std::size_t kN = 300;
+    std::vector<Time> deadline(kN);
+    std::vector<bool> fired(kN, false);
+    std::vector<bool> scheduled(kN, false);
+    // First batch: 0 .. 40 horizons out.
+    std::uniform_int_distribution<Time> d(0, 40 * horizon);
+    for (std::size_t i = 0; i < kN / 2; ++i) {
+      deadline[i] = d(rng);
+      scheduled[i] = true;
+      w.schedule(deadline[i], i);
+    }
+    Time now = 0;
+    std::size_t next_unscheduled = kN / 2;
+    // Steps up to ~1.5 horizons skip whole revolutions at once.
+    std::uniform_int_distribution<Time> step(1, 3 * horizon / 2 + 1);
+    while (!w.empty() || next_unscheduled < kN) {
+      Time expect_min = kTimeNever;
+      for (std::size_t i = 0; i < kN; ++i)
+        if (scheduled[i] && !fired[i])
+          expect_min = std::min(expect_min, deadline[i]);
+      ASSERT_EQ(w.next_deadline(), expect_min);
+
+      now += step(rng);
+      w.advance(now, [&](Time, std::size_t i) {
+        ASSERT_FALSE(fired[i]);
+        ASSERT_LE(deadline[i], now);
+        fired[i] = true;
+      });
+      for (std::size_t i = 0; i < kN; ++i)
+        ASSERT_TRUE(!scheduled[i] || fired[i] || deadline[i] > now);
+
+      // Second batch trickles in mid-stream, from the advanced cursor:
+      // deadlines relative to `now`, up to several horizons ahead (and
+      // occasionally already overdue).
+      if (next_unscheduled < kN) {
+        const std::size_t i = next_unscheduled++;
+        deadline[i] = std::max<Time>(0, now - horizon / 2) +
+                      static_cast<Time>(rng() % (5 * horizon + 1));
+        // Overdue schedules clamp to "next advance", never lost.
+        if (deadline[i] < now) deadline[i] = now;
+        scheduled[i] = true;
+        w.schedule(deadline[i], i);
+      }
+    }
+    for (std::size_t i = 0; i < kN; ++i)
+      EXPECT_TRUE(fired[i]) << "entry " << i << " never fired";
+  }
+}
+
 TEST(TimerWheel, ShardedConcurrentProducersIndependentShards) {
   // One shard per producer (the Service layout): schedule + advance
   // race across shards; per-shard totals must be exact.
