@@ -63,9 +63,9 @@ cmake --build build-tsan -j "$JOBS" \
                sharded_object_test contention_controller_test \
                latency_histogram_test timer_wheel_test service_test \
                analysis_mp_test cost_model_test report_json_test \
-               ext_executor_validation
+               placement_test ext_executor_validation
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R '^(ExpThreadPool|ExpParallelMap|ExpSweep|ExpThreads|Determinism|ConcurrentBuild|MsQueue|TreiberStack|SpscRing|NodePool|TaggedRef|Sweep/AbaHammerTest|ExecutorStorm|ExecutorShutdownRace|ExecutorMultiCpu|SharedObject|Zoo/SharedObjectAllCombos|ObjectRegistryTest|LockZoo/(Ticket|Anderson|Mcs)|LockedWrappers|ReaderWriterKinds/ExecObjects|ExecObjectsLockBased|ExecObjectsMixed|ShardedQueue|ShardedStack|EliminationArray|SharedObjectSharded|LiveController|LatencyHistogram|TimerWheel|Service|AnalysisMpBounds|AnalysisMpStrict|AnalysisMpSaturate|AnalysisMpCertify|AccessCostArithmetic|CostModelTable|CostModelFlatIdentity|CalibrationCache|ReportJson|ObjectSpecJson)\.'
+      -R '^(ExpThreadPool|ExpParallelMap|ExpSweep|ExpThreads|Determinism|ConcurrentBuild|MsQueue|TreiberStack|SpscRing|NodePool|TaggedRef|Sweep/AbaHammerTest|ExecutorStorm|ExecutorShutdownRace|ExecutorMultiCpu|SharedObject|Zoo/SharedObjectAllCombos|ObjectRegistryTest|LockZoo/(Ticket|Anderson|Mcs)|LockedWrappers|ReaderWriterKinds/ExecObjects|ExecObjectsLockBased|ExecObjectsMixed|ShardedQueue|ShardedStack|EliminationArray|SharedObjectSharded|LiveController|LatencyHistogram|TimerWheel|Service|AnalysisMpBounds|AnalysisMpStrict|AnalysisMpSaturate|AnalysisMpCertify|AccessCostArithmetic|CostModelTable|CostModelFlatIdentity|CalibrationCache|ReportJson|ObjectSpecJson|Placement(Select|Sim|Controller|Analysis|Executor|Json)?)\.'
 ./build-tsan/bench/ext_executor_validation --tiny --cpus=1 \
       --out build-tsan/BENCH_xval_smoke.json
 ./build-tsan/bench/ext_executor_validation --tiny --cpus=4 \
@@ -106,4 +106,12 @@ MPB_OUT=$(./build-o2/bench/mp_bounds --tiny \
       --out build-o2/BENCH_mp_bounds_smoke.json)
 echo "$MPB_OUT" | tail -n 2
 echo "$MPB_OUT" | grep -q 'mp_bounds: all checks ok'
+# Placement smoke: every placement's certificate must be violation-free
+# and the partitioned bounds at least as tight as the global ones with
+# a strictly tighter cell per (cpus, impl); exits non-zero on any
+# violation, the pinned line catches truncated sweeps.
+PLACE_OUT=$(./build-o2/bench/placement_sweep --tiny \
+      --out build-o2/BENCH_placement_smoke.json)
+echo "$PLACE_OUT" | tail -n 2
+echo "$PLACE_OUT" | grep -q 'placement_sweep: all checks ok'
 echo "OK: ASan+TSan clean, tier-1 green twice, bench smokes passed"

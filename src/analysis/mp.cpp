@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "lockfree/backoff.hpp"
+#include "runtime/shared_object.hpp"
 #include "sched/dispatch.hpp"
 #include "support/check.hpp"
 #include "support/saturate.hpp"
@@ -92,6 +93,7 @@ MpOptions options_from_selector(const sched::DispatchSelector& sel,
   opt.substrate = substrate;
   opt.conflict_groups = sel.conflict_groups();
   opt.strict_groups = sel.strict_groups();
+  opt.placement = sel.options().placement;
   return opt;
 }
 
@@ -131,6 +133,16 @@ bool co_dispatch_prevented(const MpOptions& opt, TaskId i, TaskId j) {
   return gi >= 0 && gi == group(j);
 }
 
+bool placement_separated(const MpOptions& opt, const ObjectSpec& spec,
+                         TaskId i, TaskId j) {
+  if (!runtime::is_scoped_kind(spec.kind)) return false;
+  const sched::Placement& p = opt.placement;
+  if (p.global() || !p.scope_objects) return false;
+  const std::int32_t ci = p.cluster_of_task(i);
+  const std::int32_t cj = p.cluster_of_task(j);
+  return ci >= 0 && cj >= 0 && ci != cj;
+}
+
 std::int64_t retry_job_bound(const TaskSet& ts, TaskId i, ObjectId o,
                              const ObjectSpec& spec, const MpOptions& opt) {
   if (runtime::is_lock_based(spec.impl)) return 0;  // locks never retry
@@ -152,6 +164,9 @@ std::int64_t retry_job_bound(const TaskSet& ts, TaskId i, ObjectId o,
   std::int64_t conflict = 0;
   for (const TaskParams& tj : ts.tasks) {
     if (co_dispatch_prevented(opt, i, tj.id) && tj.id != i) continue;
+    // Disjoint per-cluster instances: tj's writes land on a structure
+    // task i never reads — zero transitions chargeable to i's retries.
+    if (tj.id != i && placement_separated(opt, spec, i, tj.id)) continue;
     const std::int64_t w = writes_to(ts, tj.id, o);
     if (w == 0) continue;
     std::int64_t ovl = overlapping_jobs(ts, tj.id, ci);
@@ -181,6 +196,8 @@ std::int64_t blocking_job_bound(const TaskSet& ts, TaskId i, ObjectId o,
   std::int64_t conflict = 0;
   for (const TaskParams& tj : ts.tasks) {
     if (co_dispatch_prevented(opt, i, tj.id) && tj.id != i) continue;
+    // Disjoint per-cluster instances: tj holds a different lock.
+    if (tj.id != i && placement_separated(opt, spec, i, tj.id)) continue;
     const std::int64_t holds = holds_per_job(ts, tj.id, o, spec.kind);
     if (holds == 0) continue;
     std::int64_t ovl = overlapping_jobs(ts, tj.id, ci);
@@ -199,13 +216,20 @@ std::int64_t blocking_job_bound(const TaskSet& ts, TaskId i, ObjectId o,
   return conflict;
 }
 
-std::int64_t worker_cap(const TaskSet& ts, ObjectId o, const MpOptions& opt) {
+namespace {
+
+/// Shared body of the two worker_cap forms: `exclude(t)` drops
+/// accessors that cannot touch the viewpoint instance.
+template <typename Exclude>
+std::int64_t worker_cap_impl(const TaskSet& ts, ObjectId o,
+                             const MpOptions& opt, Exclude exclude) {
   // Accessor tasks, with strict conflict groups collapsed to one slot
   // each (two same-group tasks never co-dispatch).
   std::int64_t ungrouped = 0;
   std::vector<std::int32_t> groups_seen;
   for (const TaskParams& t : ts.tasks) {
     if (accesses_to(ts, t.id, o) == 0) continue;
+    if (exclude(t.id)) continue;
     std::int32_t g = -1;
     if (opt.strict_groups &&
         static_cast<std::size_t>(t.id) < opt.conflict_groups.size())
@@ -223,13 +247,31 @@ std::int64_t worker_cap(const TaskSet& ts, ObjectId o, const MpOptions& opt) {
       1, std::min<std::int64_t>(opt.cpu_count, accessors));
 }
 
-std::int64_t conflicting_jobs(const TaskSet& ts, TaskId i, ObjectId o,
-                              const MpOptions& opt) {
+}  // namespace
+
+std::int64_t worker_cap(const TaskSet& ts, ObjectId o, const MpOptions& opt) {
+  return worker_cap_impl(ts, o, opt, [](TaskId) { return false; });
+}
+
+std::int64_t worker_cap(const TaskSet& ts, ObjectId o, const MpOptions& opt,
+                        const ObjectSpec& spec, TaskId i) {
+  return worker_cap_impl(ts, o, opt, [&](TaskId t) {
+    return t != i && placement_separated(opt, spec, i, t);
+  });
+}
+
+namespace {
+
+/// Shared body of the two conflicting_jobs forms.
+template <typename Exclude>
+std::int64_t conflicting_jobs_impl(const TaskSet& ts, TaskId i, ObjectId o,
+                                   const MpOptions& opt, Exclude exclude) {
   const Time ci = ts.by_id(i).critical_time();
   std::int64_t n = 0;
   for (const TaskParams& tj : ts.tasks) {
     if (accesses_to(ts, tj.id, o) == 0) continue;
     if (co_dispatch_prevented(opt, i, tj.id) && tj.id != i) continue;
+    if (tj.id != i && exclude(tj.id)) continue;
     std::int64_t ovl = overlapping_jobs(ts, tj.id, ci);
     if (tj.id == i) {
       if (co_dispatch_prevented(opt, i, i)) continue;
@@ -240,6 +282,20 @@ std::int64_t conflicting_jobs(const TaskSet& ts, TaskId i, ObjectId o,
   return n;
 }
 
+}  // namespace
+
+std::int64_t conflicting_jobs(const TaskSet& ts, TaskId i, ObjectId o,
+                              const MpOptions& opt) {
+  return conflicting_jobs_impl(ts, i, o, opt, [](TaskId) { return false; });
+}
+
+std::int64_t conflicting_jobs(const TaskSet& ts, TaskId i, ObjectId o,
+                              const MpOptions& opt, const ObjectSpec& spec) {
+  return conflicting_jobs_impl(ts, i, o, opt, [&](TaskId t) {
+    return placement_separated(opt, spec, i, t);
+  });
+}
+
 Time spin_block_time_bound(const TaskSet& ts, TaskId i, ObjectId o,
                            const ObjectSpec& spec,
                            const runtime::CostModel& model,
@@ -247,8 +303,8 @@ Time spin_block_time_bound(const TaskSet& ts, TaskId i, ObjectId o,
   if (!runtime::is_lock_based(spec.impl)) return 0;
   const std::int64_t own = holds_per_job(ts, i, o, spec.kind);
   if (own == 0) return 0;
-  const std::int64_t n = conflicting_jobs(ts, i, o, opt);
-  const std::int64_t w = worker_cap(ts, o, opt);
+  const std::int64_t n = conflicting_jobs(ts, i, o, opt, spec);
+  const std::int64_t w = worker_cap(ts, o, opt, spec, i);
   // Contenders per critical section: the paper's min(m_i, n_i) cap,
   // object-resolved and further capped by the workers that can spin at
   // once.
@@ -271,6 +327,7 @@ Time spin_block_time_bound(const TaskSet& ts, TaskId i, ObjectId o,
   for (const TaskParams& tj : ts.tasks) {
     if (tj.id == i) continue;
     if (co_dispatch_prevented(opt, i, tj.id)) continue;
+    if (placement_separated(opt, spec, i, tj.id)) continue;
     conflict_holds = sat_add(
         conflict_holds, sat_mul(holds_per_job(ts, tj.id, o, spec.kind),
                                 overlapping_jobs(ts, tj.id, ci)));
@@ -286,7 +343,7 @@ Time retry_time_bound(const TaskSet& ts, TaskId i, ObjectId o,
   if (count == 0) return 0;
   if (count == kSaturated) return kTimeNever;
   const std::int64_t contenders = std::min<std::int64_t>(
-      accesses_to(ts, i, o), conflicting_jobs(ts, i, o, opt));
+      accesses_to(ts, i, o), conflicting_jobs(ts, i, o, opt, spec));
   const Time s_retry = runtime::access_cost(
       model.at(spec.kind, spec.impl), spec.kind,
       /*write=*/spec.kind != ObjectKind::kSnapshot, contenders,

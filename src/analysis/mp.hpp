@@ -55,6 +55,7 @@
 #include "runtime/cost_model.hpp"
 #include "runtime/object_spec.hpp"
 #include "runtime/run_report.hpp"
+#include "sched/placement.hpp"
 #include "task/task.hpp"
 
 namespace lfrt::sched {
@@ -86,6 +87,16 @@ struct MpOptions {
   /// Apply the same-group exclusion.  Only sound when the selector ran
   /// with set_strict_groups(true) for the whole run.
   bool strict_groups = false;
+
+  /// Placement the run executed under.  When non-global with
+  /// scope_objects (the substrates' per-cluster queue/stack instancing),
+  /// two placed tasks in different clusters touch disjoint instances of
+  /// every scoped object, so their accesses contribute ZERO to each
+  /// other's retry/blocking conflict terms — a structural separation,
+  /// not a scheduling accident.  Buffer/snapshot objects stay shared and
+  /// keep their full conflict terms.  Only sound when the run really
+  /// held this placement for its whole duration.
+  sched::Placement placement;
 };
 
 /// MpOptions seeded from a live selector: copies its conflict groups
@@ -107,6 +118,13 @@ std::int64_t accesses_to(const TaskSet& ts, TaskId i, ObjectId o);
 /// (same non-negative conflict group and strict_groups set).
 bool co_dispatch_prevented(const MpOptions& opt, TaskId i, TaskId j);
 
+/// True when tasks i and j touch disjoint per-cluster instances of the
+/// (queue/stack) object described by `spec` under opt.placement — their
+/// accesses can never conflict.  Always false for buffer/snapshot kinds,
+/// global placement, unscoped placements, or unplaced tasks.
+bool placement_separated(const MpOptions& opt,
+                         const runtime::ObjectSpec& spec, TaskId i, TaskId j);
+
 /// Per-JOB lock-free retry bound for task i on object o, i.e. the
 /// transition charge over every conflicting op that can overlap one job
 /// of i, plus the stale-sighting term.  Returns support::kSaturated for
@@ -127,10 +145,23 @@ std::int64_t blocking_job_bound(const TaskSet& ts, TaskId i, ObjectId o,
 /// of the FIFO spin term.
 std::int64_t worker_cap(const TaskSet& ts, ObjectId o, const MpOptions& opt);
 
+/// Same, from the viewpoint of task `i` on the object described by
+/// `spec`: accessors placement-separated from i touch a different
+/// instance and are excluded.  Equals the 3-arg form whenever the
+/// placement separates nothing.
+std::int64_t worker_cap(const TaskSet& ts, ObjectId o, const MpOptions& opt,
+                        const runtime::ObjectSpec& spec, TaskId i);
+
 /// Conflicting jobs that can overlap one job of task i on object o
 /// (the n_i of the spin terms, object-resolved).
 std::int64_t conflicting_jobs(const TaskSet& ts, TaskId i, ObjectId o,
                               const MpOptions& opt);
+
+/// Same, placement-aware: jobs of tasks placement-separated from i are
+/// not conflicting (disjoint instances).
+std::int64_t conflicting_jobs(const TaskSet& ts, TaskId i, ObjectId o,
+                              const MpOptions& opt,
+                              const runtime::ObjectSpec& spec);
 
 /// Worst spin-blocking TIME one job of task i spends on object o, from
 /// the calibrated AccessCost cell.  Critical-section length is

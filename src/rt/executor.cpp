@@ -180,9 +180,13 @@ struct Executor::Impl {
                    "ExecutorConfig::worker_reserve must be >= 0");
     LFRT_CHECK_MSG(cfg.ingest_batch >= 1,
                    "ExecutorConfig::ingest_batch must be >= 1");
+    cfg.dispatch.placement.validate(cpu_count,
+                                    cfg.dispatch.placement.task_affinity.size());
+    selector.set_options(cfg.dispatch);
     running_on.assign(static_cast<std::size_t>(cpu_count), kNoJob);
     report.cpu_count = cpu_count;
     report.cpu_busy.assign(static_cast<std::size_t>(cpu_count), 0);
+    report.cpu_jobs.assign(static_cast<std::size_t>(cpu_count), 0);
     scratch.resize(cfg.ingest_batch);
     {
       std::lock_guard<std::mutex> lock(mu);
@@ -513,22 +517,25 @@ struct Executor::Impl {
       ++report.sched_invocations;
       report.sched_ops += res.ops;
 
-      // Top-M target selection + sticky assignment: the exact rule the
-      // simulator's cpu_count > 1 path applies (sched/dispatch.hpp).
-      // With no conflict groups installed select_steered IS select.
-      const auto& targets = selector.select_steered(
+      // Placement-aware target selection + sticky assignment: the exact
+      // rule the simulator's cpu_count > 1 path applies
+      // (sched/dispatch.hpp).  Under the global policy select_placed IS
+      // select_steered, and with no conflict groups that IS select.
+      const auto task_of = [&](JobId id) -> TaskId {
+        const auto it = live.find(id);
+        return it == live.end() ? TaskId{-1} : it->second->spec.task;
+      };
+      const auto& targets = selector.select_placed(
           no_front, res, cpu_count, static_cast<std::size_t>(next_id),
           [&](JobId id) {
             const auto it = live.find(id);
             if (it == live.end()) return false;
             return it->second->state != RtState::kAborting;
           },
-          [&](JobId id) -> TaskId {
-            const auto it = live.find(id);
-            return it == live.end() ? TaskId{-1} : it->second->spec.task;
-          });
-      const auto& next = selector.assign_sticky(
-          targets, cpu_count, [&](JobId id) { return live.at(id)->cpu; });
+          task_of);
+      const auto& next = selector.assign_placed(
+          targets, cpu_count, task_of,
+          [&](JobId id) { return live.at(id)->cpu; });
 
       bool changed = false;
       for (int c = 0; c < cpu_count; ++c) {
@@ -554,6 +561,7 @@ struct Executor::Impl {
           n.last_dispatch = t;
           running_on[ci] = target;
           ++report.dispatches;
+          ++report.cpu_jobs[ci];
         }
       }
       if (changed) worker_cv.notify_all();
@@ -585,6 +593,14 @@ struct Executor::Impl {
     std::lock_guard<std::mutex> lock(mu);
     selector.set_conflict_groups(std::move(groups));
     sched_cv.notify_all();  // re-dispatch under the new steering
+  }
+
+  void set_placement(sched::Placement placement) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto opts = selector.options();
+    opts.placement = std::move(placement);
+    selector.set_options(std::move(opts));
+    sched_cv.notify_all();  // re-dispatch under the new affinities
   }
 
   void drain() {
@@ -675,6 +691,10 @@ void Executor::drain() { impl_->drain(); }
 
 void Executor::set_task_conflict_groups(std::vector<std::int32_t> groups) {
   impl_->set_task_conflict_groups(std::move(groups));
+}
+
+void Executor::set_placement(sched::Placement placement) {
+  impl_->set_placement(std::move(placement));
 }
 
 ExecutorReport Executor::shutdown() { return impl_->shutdown(); }

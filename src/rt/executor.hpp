@@ -34,6 +34,7 @@
 
 #include "lockfree/spsc_ring.hpp"
 #include "runtime/run_report.hpp"
+#include "sched/placement.hpp"
 #include "support/time.hpp"
 #include "task/task.hpp"
 
@@ -124,6 +125,13 @@ struct ExecutorConfig {
   /// exempt: they keep the pre-service contract of accepting every
   /// well-formed job until shutdown.
   std::size_t max_live_jobs = 0;
+
+  /// Dispatch mode flags, shared verbatim with SimConfig::dispatch so
+  /// the two substrates configure the selector identically: placement
+  /// policy (global / partitioned / clustered CPU-slot affinity) and
+  /// strict conflict-group steering.  The default (global, non-strict)
+  /// is today's dispatch, bit for bit.
+  sched::DispatchOptions dispatch;
 };
 
 /// Admission verdict for one lane-ingested job (see
@@ -176,10 +184,9 @@ struct ExecutorReport : runtime::RunReport {
   /// degraded + rejected).
   std::int64_t lane_ingested = 0;
 
-  /// Wall-clock ns each CPU slot spent occupied by a dispatched job,
-  /// indexed by CPU — the executor-side analogue of the simulator's
-  /// per-CPU execution slices.
-  std::vector<Time> cpu_busy;
+  // cpu_busy and cpu_jobs — the per-CPU-slot breakdowns — moved to
+  // runtime::RunReport so the simulator reports them through the same
+  // fields (placement quality is compared across substrates).
 
   /// High-water mark of worker threads simultaneously executing job
   /// bodies (abort handlers excluded).  The witness that a multi-CPU
@@ -278,6 +285,13 @@ class Executor {
   /// to clear it.  Thread-safe; takes effect at the next scheduling
   /// pass.
   void set_task_conflict_groups(std::vector<std::int32_t> groups);
+
+  /// Replace the live placement (ExecutorConfig::dispatch.placement)
+  /// — the contention controller's migration hook.  The policy and CPU
+  /// topology must match the configured one; only task affinities may
+  /// change.  Thread-safe; takes effect at the next scheduling pass
+  /// (an already-running job migrates at its next dispatch decision).
+  void set_placement(sched::Placement placement);
 
   /// Stop accepting submissions, drain, stop the scheduling thread, and
   /// return the tallies.

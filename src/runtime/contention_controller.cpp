@@ -7,6 +7,7 @@
 
 #include "rt/executor.hpp"
 #include "runtime/shared_object.hpp"
+#include "support/check.hpp"
 
 namespace lfrt::runtime {
 
@@ -23,8 +24,11 @@ struct ContentionController::Impl {
   std::thread thread;
 
   std::vector<ShardDecision> decisions;  // under mu
+  std::vector<PlacementMove> moves;      // under mu
   std::int64_t epochs_stepped = 0;       // under mu
   std::chrono::steady_clock::time_point started;
+
+  sched::Placement placement;  // live copy, epoch thread only after start
 
   Impl(ControllerConfig c, SharedObjectSet* objs, rt::Executor* ex)
       : cfg(c), objects(objs), executor(ex), core(c, collect_specs(objs)) {}
@@ -49,8 +53,19 @@ struct ContentionController::Impl {
       ContentionControllerCore::Epoch ep = core.step(objects->matrix());
       for (ShardDecision& d : ep.decisions)
         objects->set_shards(d.object, d.to_shards);
-      if (executor != nullptr)
+      for (const PlacementMove& mv : ep.placement_moves) {
+        // Instance routing first (the next access lands on the new
+        // cluster's instance), then the dispatch mask.
+        objects->set_task_instance(mv.task, mv.to_cluster);
+        if (mv.task >= 0 &&
+            static_cast<std::size_t>(mv.task) < placement.task_affinity.size())
+          placement.task_affinity[static_cast<std::size_t>(mv.task)] =
+              mv.to_cluster;
+      }
+      if (executor != nullptr) {
         executor->set_task_conflict_groups(ep.conflict_groups);
+        if (!ep.placement_moves.empty()) executor->set_placement(placement);
+      }
       const Time stamp = std::chrono::duration_cast<std::chrono::nanoseconds>(
                              std::chrono::steady_clock::now() - started)
                              .count();
@@ -59,6 +74,10 @@ struct ContentionController::Impl {
       for (ShardDecision& d : ep.decisions) {
         d.time = stamp;
         decisions.push_back(d);
+      }
+      for (PlacementMove& mv : ep.placement_moves) {
+        mv.time = stamp;
+        moves.push_back(mv);
       }
     }
   }
@@ -92,9 +111,27 @@ void ContentionController::stop() {
   impl_->running = false;
 }
 
+void ContentionController::enable_placement(
+    sched::Placement placement, std::int32_t cluster_count,
+    std::vector<std::vector<TaskId>> accessors_of,
+    std::vector<TaskId> writer_of) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  LFRT_CHECK_MSG(!impl_->running,
+                 "enable_placement must precede ContentionController::start");
+  std::vector<std::int32_t> clusters(placement.task_affinity);
+  impl_->placement = std::move(placement);
+  impl_->core.enable_placement(std::move(clusters), cluster_count,
+                               std::move(accessors_of), std::move(writer_of));
+}
+
 std::vector<ShardDecision> ContentionController::decisions() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   return impl_->decisions;
+}
+
+std::vector<PlacementMove> ContentionController::placement_moves() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->moves;
 }
 
 std::int64_t ContentionController::epochs() const {

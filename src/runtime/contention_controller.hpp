@@ -41,7 +41,9 @@
 
 #include "runtime/contention.hpp"
 #include "runtime/object_spec.hpp"
+#include "sched/placement.hpp"
 #include "support/time.hpp"
+#include "task/task.hpp"
 
 namespace lfrt::rt {
 class Executor;
@@ -63,6 +65,11 @@ struct ControllerConfig {
   std::int32_t demote_patience = 3;     ///< quiet epochs before halving
   std::int64_t steer_min_retries = 8;   ///< epoch Δretries to steer a task
 
+  /// Enable placement epoch actions (task-to-cluster migrations) when
+  /// the run has a non-global placement.  The substrate must call
+  /// enable_placement on the core/wrapper with the placement topology.
+  bool place = false;
+
   friend bool operator==(const ControllerConfig&,
                          const ControllerConfig&) = default;
 };
@@ -79,6 +86,24 @@ struct ShardDecision {
                          const ShardDecision&) = default;
 };
 
+/// One applied task-to-cluster migration (placement epoch action).
+struct PlacementMove {
+  /// Why the controller moved the task: home a single-writer object's
+  /// accessors onto the writer's cluster, or spread a hot scoped-kind
+  /// conflict group across clusters (separation = per-cluster instances
+  /// = zero cross-cluster conflicts).
+  enum class Why : std::uint8_t { kWriterHome, kSpreadHotGroup };
+
+  Time time = 0;  ///< stamped by the caller (sim time / ns since start)
+  TaskId task = -1;
+  std::int32_t to_cluster = 0;
+  std::int32_t object = 0;  ///< the hot object that drove the move
+  Why why = Why::kWriterHome;
+
+  friend bool operator==(const PlacementMove&,
+                         const PlacementMove&) = default;
+};
+
 /// Pure epoch-stepped policy core.  Feed it matrix snapshots; it
 /// returns what to change.  The caller is responsible for actually
 /// applying the decisions (the core assumes they are applied).
@@ -91,6 +116,7 @@ class ContentionControllerCore {
   struct Epoch {
     std::vector<ShardDecision> decisions;
     std::vector<std::int32_t> conflict_groups;
+    std::vector<PlacementMove> placement_moves;
   };
 
   ContentionControllerCore(ControllerConfig cfg, std::vector<ObjectSpec> specs)
@@ -181,8 +207,78 @@ class ContentionControllerCore {
     }
     if (any) out.conflict_groups = std::move(groups);
 
+    // Placement epoch actions: for each object hot this epoch (by
+    // Δretries + Δblockings past steer_min_retries), either spread its
+    // accessors round-robin across clusters (scoped kinds — separation
+    // gives each cluster its own instance, so the conflicts vanish) or
+    // home them onto the single writer's cluster (buffer/snapshot —
+    // readers co-located with the writer stop paying true-concurrency
+    // spin).  Deterministic: objects in id order, accessors in the
+    // caller-given (sorted) order, first move of a task per epoch wins.
+    if (placement_enabled_) {
+      moved_this_epoch_.assign(place_cluster_.size(), false);
+      for (std::int32_t o = 0; o < n_obj && o < object_count(); ++o) {
+        const auto oi = static_cast<std::size_t>(o);
+        if (oi >= accessors_of_.size()) break;
+        std::int64_t d_hot = 0;
+        for (std::int32_t t = 0; t < n_task; ++t)
+          d_hot += (live.at(o, t).retries - prev_.at(o, t).retries) +
+                   (live.at(o, t).blockings - prev_.at(o, t).blockings);
+        if (d_hot < cfg_.steer_min_retries) continue;
+        const ObjectKind kind = specs_[oi].kind;
+        const bool scoped =
+            kind == ObjectKind::kQueue || kind == ObjectKind::kStack;
+        const TaskId writer = oi < writer_of_.size() ? writer_of_[oi] : -1;
+        if (scoped) {
+          std::size_t idx = 0;
+          for (TaskId t : accessors_of_[oi]) {
+            const std::int32_t target = static_cast<std::int32_t>(
+                (static_cast<std::size_t>(o) + idx++) %
+                static_cast<std::size_t>(cluster_count_));
+            move_task(t, target, o, PlacementMove::Why::kSpreadHotGroup,
+                      &out.placement_moves);
+          }
+        } else if (writer >= 0) {
+          std::int32_t home = cluster_of(writer);
+          if (home < 0)
+            home = static_cast<std::int32_t>(
+                static_cast<std::size_t>(o) %
+                static_cast<std::size_t>(cluster_count_));
+          move_task(writer, home, o, PlacementMove::Why::kWriterHome,
+                    &out.placement_moves);
+          for (TaskId t : accessors_of_[oi])
+            move_task(t, home, o, PlacementMove::Why::kWriterHome,
+                      &out.placement_moves);
+        }
+      }
+    }
+
     prev_ = live;
     return out;
+  }
+
+  /// Turn on placement epoch actions.  `task_cluster` is the live
+  /// task -> cluster map (the core tracks it across its own moves),
+  /// `accessors_of[o]` lists the tasks whose jobs access object o (in a
+  /// deterministic, preferably sorted order), `writer_of[o]` is the
+  /// single task that writes o (-1 when zero or several do).
+  void enable_placement(std::vector<std::int32_t> task_cluster,
+                        std::int32_t cluster_count,
+                        std::vector<std::vector<TaskId>> accessors_of,
+                        std::vector<TaskId> writer_of) {
+    place_cluster_ = std::move(task_cluster);
+    cluster_count_ = cluster_count;
+    accessors_of_ = std::move(accessors_of);
+    writer_of_ = std::move(writer_of);
+    placement_enabled_ = cluster_count_ > 1;
+  }
+  bool placement_enabled() const { return placement_enabled_; }
+
+  /// The core's live view of each task's cluster (-1 unplaced).
+  std::int32_t cluster_of(TaskId t) const {
+    if (t < 0 || static_cast<std::size_t>(t) >= place_cluster_.size())
+      return -1;
+    return place_cluster_[static_cast<std::size_t>(t)];
   }
 
   std::int32_t object_count() const {
@@ -205,6 +301,19 @@ class ContentionControllerCore {
   const ControllerConfig& config() const { return cfg_; }
 
  private:
+  /// Record + apply one migration unless the task already sits on the
+  /// target cluster or was already moved this epoch.
+  void move_task(TaskId t, std::int32_t target, std::int32_t object,
+                 PlacementMove::Why why, std::vector<PlacementMove>* out) {
+    if (t < 0 || static_cast<std::size_t>(t) >= place_cluster_.size()) return;
+    const auto ti = static_cast<std::size_t>(t);
+    if (moved_this_epoch_[ti]) return;
+    if (place_cluster_[ti] == target) return;
+    moved_this_epoch_[ti] = true;
+    place_cluster_[ti] = target;
+    out->push_back({0, t, target, object, why});
+  }
+
   ControllerConfig cfg_;
   std::vector<ObjectSpec> specs_;
   std::vector<std::int32_t> shards_;       ///< current applied stripe count
@@ -212,6 +321,13 @@ class ContentionControllerCore {
   std::vector<bool> adaptive_;
   std::vector<std::int32_t> idle_epochs_;  ///< consecutive quiet epochs
   ContentionMatrix prev_;
+  // Placement epoch-action state (enable_placement).
+  bool placement_enabled_ = false;
+  std::int32_t cluster_count_ = 1;
+  std::vector<std::int32_t> place_cluster_;  ///< task -> cluster (-1 none)
+  std::vector<std::vector<TaskId>> accessors_of_;
+  std::vector<TaskId> writer_of_;
+  std::vector<bool> moved_this_epoch_;
 };
 
 /// The executor-side wrapper: a thread that steps the core every epoch
@@ -234,8 +350,20 @@ class ContentionController {
   void start();
   void stop();  ///< idempotent; joins the epoch thread
 
+  /// Turn on placement epoch actions (call before start()): the core
+  /// decides task migrations (writer-home / spread-hot-group) and the
+  /// epoch thread applies them live — re-routing scoped-object
+  /// instances via SharedObjectSet::set_task_instance and re-pinning
+  /// dispatch via Executor::set_placement.
+  void enable_placement(sched::Placement placement,
+                        std::int32_t cluster_count,
+                        std::vector<std::vector<TaskId>> accessors_of,
+                        std::vector<TaskId> writer_of);
+
   /// Shard-count changes applied so far (snapshot; thread-safe).
   std::vector<ShardDecision> decisions() const;
+  /// Placement migrations applied so far (snapshot; thread-safe).
+  std::vector<PlacementMove> placement_moves() const;
   std::int64_t epochs() const;  ///< epochs stepped so far
 
  private:

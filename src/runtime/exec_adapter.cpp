@@ -91,9 +91,38 @@ rt::ExecutorReport run_on_executor(const TaskSet& ts,
   ts.validate();
   TaskId max_task = -1;
   for (const auto& t : ts.tasks) max_task = std::max(max_task, t.id);
+  const std::vector<ObjectSpec> specs = resolve_object_specs(ts, cfg);
+
+  // Placement lowering: under a non-global policy with object scoping,
+  // queue/stack objects get one instance per cluster and each task is
+  // routed to its cluster's instance — the executor-side twin of the
+  // simulator's scoped conflict model.
+  sched::Placement placement = cfg.dispatch.placement;
+  placement.validate(cfg.cpu_count, static_cast<std::size_t>(max_task + 1));
+  placement.task_affinity.resize(static_cast<std::size_t>(max_task + 1), -1);
+  const std::int32_t cluster_count = placement.cluster_count(cfg.cpu_count);
+  bool any_adapt = false;
+  bool any_scoped_kind = false;
+  for (const ObjectSpec& s : specs) {
+    any_adapt = any_adapt || s.adapt;
+    any_scoped_kind = any_scoped_kind || is_scoped_kind(s.kind);
+  }
+  const bool scoped =
+      !placement.global() && placement.scope_objects && any_scoped_kind;
+  std::vector<std::int32_t> task_inst(static_cast<std::size_t>(max_task + 1),
+                                      0);
+  if (scoped) {
+    LFRT_CHECK_MSG(!any_adapt,
+                   "scoped placement excludes adaptive sharding");
+    for (TaskId t = 0; t <= max_task; ++t) {
+      const std::int32_t c = placement.cluster_of_task(t);
+      task_inst[static_cast<std::size_t>(t)] =
+          (c >= 0 && c < cluster_count) ? c : 0;
+    }
+  }
   auto objs = std::make_shared<SharedObjectSet>(
-      resolve_object_specs(ts, cfg), static_cast<std::int32_t>(max_task + 1),
-      cfg.queue_capacity);
+      specs, static_cast<std::int32_t>(max_task + 1), cfg.queue_capacity,
+      scoped ? cluster_count : 1, task_inst);
 
   // Flatten the per-task traces into one tape, keeping only jobs whose
   // critical time falls within the horizon (the simulator's counting
@@ -114,19 +143,51 @@ rt::ExecutorReport run_on_executor(const TaskSet& ts,
                      return a.at != b.at ? a.at < b.at : a.task < b.task;
                    });
 
-  rt::Executor ex(scheduler, rt::ExecutorConfig{cfg.cpu_count});
+  rt::ExecutorConfig excfg{cfg.cpu_count};
+  excfg.dispatch = cfg.dispatch;
+  rt::Executor ex(scheduler, excfg);
 
-  // Live contention controller, only when an object opted in: it reads
-  // the registry's heatmap every epoch, promotes/demotes stripes on the
-  // real structures, and installs dispatch steering.  Stopped before
-  // shutdown so the final matrix is quiescent.
+  // Live contention controller, when an object opted into adaptive
+  // sharding or the config opted into placement actions: it reads the
+  // registry's heatmap every epoch, promotes/demotes stripes on the
+  // real structures (or migrates tasks/instances), and installs
+  // dispatch steering.  Stopped before shutdown so the final matrix is
+  // quiescent.
+  const bool want_place = cfg.controller.place && !placement.global();
   std::unique_ptr<ContentionController> controller;
-  bool any_adapt = false;
-  for (std::int32_t o = 0; o < objs->object_count(); ++o)
-    any_adapt = any_adapt || objs->spec_of(o).adapt;
-  if (any_adapt) {
+  if (any_adapt || want_place) {
     controller =
         std::make_unique<ContentionController>(cfg.controller, objs.get(), &ex);
+    if (want_place) {
+      // Topology for the placement actions: who accesses each object
+      // (id order) and the single writer of each (or -1 if contested).
+      std::vector<std::vector<TaskId>> accessors_of(
+          static_cast<std::size_t>(objs->object_count()));
+      std::vector<TaskId> writer_of(
+          static_cast<std::size_t>(objs->object_count()), -1);
+      std::vector<bool> contested(
+          static_cast<std::size_t>(objs->object_count()), false);
+      for (const auto& t : ts.tasks) {
+        for (const AccessSpec& a : t.accesses) {
+          auto& acc = accessors_of[static_cast<std::size_t>(a.object)];
+          if (std::find(acc.begin(), acc.end(), t.id) == acc.end())
+            acc.push_back(t.id);
+          if (a.write) {
+            auto& w = writer_of[static_cast<std::size_t>(a.object)];
+            if (w >= 0 && w != t.id)
+              contested[static_cast<std::size_t>(a.object)] = true;
+            w = t.id;
+          }
+        }
+      }
+      for (std::size_t o = 0; o < writer_of.size(); ++o) {
+        if (contested[o]) writer_of[o] = -1;
+        std::sort(accessors_of[o].begin(), accessors_of[o].end());
+      }
+      controller->enable_placement(placement, cluster_count,
+                                   std::move(accessors_of),
+                                   std::move(writer_of));
+    }
     controller->start();
   }
 

@@ -21,6 +21,7 @@
 
 #include "rt/executor.hpp"
 #include "runtime/contention_controller.hpp"
+#include "sched/placement.hpp"
 #include "runtime/cost_model.hpp"
 #include "runtime/object_spec.hpp"
 #include "task/task.hpp"
@@ -52,6 +53,16 @@ struct ExecConfig {
   /// bodies in true parallel.  Match the simulator's SimConfig
   /// cpu_count when cross-validating.
   int cpu_count = 1;
+
+  /// Dispatch-layer options (placement policy + strict groups),
+  /// forwarded verbatim into rt::ExecutorConfig::dispatch — the mirror
+  /// of SimConfig::dispatch, so one placement statement drives both
+  /// substrates.  Under a non-global placement with scope_objects (the
+  /// default), queue/stack objects are instantiated once per cluster in
+  /// the SharedObjectSet and each task accesses its own cluster's
+  /// instance; buffer/snapshot stay shared.  Scoped instancing excludes
+  /// adaptive sharding (ObjectSpec::adapt).
+  sched::DispatchOptions dispatch;
 
   /// Arrival seeding, mirroring bench::make_cell_sim: per-task RNG
   /// seeded with `arrival_seed ^ (0xA5A5A5A5 * (id + 1))`, trace from

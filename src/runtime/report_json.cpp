@@ -112,6 +112,24 @@ std::string to_json(const RunReport& rep) {
     out += R"(,"ingest_p999_ns":)";
     append_int(out, rep.ingest_p999_ns);
   }
+  // Per-CPU-slot breakdowns (PR 10).  Emitted only when filled so
+  // legacy reports stay byte-identical; parsed optionally.
+  if (!rep.cpu_busy.empty()) {
+    out += R"(,"cpu_busy":[)";
+    for (std::size_t i = 0; i < rep.cpu_busy.size(); ++i) {
+      if (i > 0) out += ',';
+      append_int(out, rep.cpu_busy[i]);
+    }
+    out += ']';
+  }
+  if (!rep.cpu_jobs.empty()) {
+    out += R"(,"cpu_jobs":[)";
+    for (std::size_t i = 0; i < rep.cpu_jobs.size(); ++i) {
+      if (i > 0) out += ',';
+      append_int(out, rep.cpu_jobs[i]);
+    }
+    out += ']';
+  }
   out += R"(,"jobs":[)";
   for (std::size_t i = 0; i < rep.jobs.size(); ++i) {
     if (i > 0) out += ',';
@@ -195,6 +213,26 @@ RunReport from_json(std::string_view json) {
              "sojourn");
   check_pcts(rep.ingest_p50_ns, rep.ingest_p99_ns, rep.ingest_p999_ns,
              "ingest");
+
+  // Per-CPU-slot breakdowns: absent in legacy reports (stay empty).
+  const auto parse_int_array = [&](const char* key,
+                                   auto& dst) {
+    const JsonValue* v = find(*o, key);
+    if (v == nullptr) return;
+    const JsonArray* arr = v->as_array();
+    if (arr == nullptr)
+      throw std::runtime_error(std::string("report_json: ") + key +
+                               " must be an array");
+    dst.reserve(arr->size());
+    for (const JsonValue& e : *arr) {
+      if (!e.is_number())
+        throw std::runtime_error(std::string("report_json: ") + key +
+                                 " entries must be numbers");
+      dst.push_back(e.as_int());
+    }
+  };
+  parse_int_array("cpu_busy", rep.cpu_busy);
+  parse_int_array("cpu_jobs", rep.cpu_jobs);
 
   if (const JsonValue* jobs = find(*o, "jobs")) {
     const JsonArray* arr = jobs->as_array();

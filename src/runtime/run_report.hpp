@@ -83,6 +83,20 @@ struct RunReport {
   std::int64_t ingest_p99_ns = 0;
   std::int64_t ingest_p999_ns = 0;
 
+  // --- per-CPU-slot breakdowns (placement quality is invisible
+  //     without them) ---
+
+  /// Busy time per CPU slot: executor — wall-clock ns a worker held the
+  /// slot; simulator — simulated time a job occupied the CPU.  Empty
+  /// when the substrate predates the field (legacy JSON) — both
+  /// substrates fill it, sized cpu_count.
+  std::vector<Time> cpu_busy;
+
+  /// Times a job was newly dispatched onto each CPU slot (a sticky job
+  /// staying put does not recount).  Sums to `dispatches` on both
+  /// substrates.
+  std::vector<std::int64_t> cpu_jobs;
+
   /// Per-job terminal records (arrival, sojourn, retries, ...).
   std::vector<Job> jobs;
 

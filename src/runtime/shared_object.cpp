@@ -321,25 +321,87 @@ void SharedObject::access(AccessOp op, TaskId task, JobId job,
 SharedObjectSet::SharedObjectSet(std::vector<ObjectSpec> specs,
                                  std::int32_t task_count,
                                  std::size_t queue_capacity)
+    : SharedObjectSet(std::move(specs), task_count, queue_capacity, 1, {}) {}
+
+SharedObjectSet::SharedObjectSet(
+    std::vector<ObjectSpec> specs, std::int32_t task_count,
+    std::size_t queue_capacity, std::int32_t instance_count,
+    const std::vector<std::int32_t>& task_instance)
     : specs_(std::move(specs)),
+      task_count_(task_count),
       registry_(static_cast<std::int32_t>(specs_.size()), task_count) {
-  objects_.reserve(specs_.size());
-  for (const ObjectSpec& s : specs_)
-    objects_.push_back(std::make_unique<SharedObject>(s, queue_capacity));
+  LFRT_CHECK(instance_count >= 1);
+  base_.reserve(specs_.size());
+  inst_count_.reserve(specs_.size());
+  for (const ObjectSpec& s : specs_) {
+    const std::int32_t n = is_scoped_kind(s.kind) ? instance_count : 1;
+    base_.push_back(objects_.size());
+    inst_count_.push_back(n);
+    for (std::int32_t i = 0; i < n; ++i)
+      objects_.push_back(std::make_unique<SharedObject>(s, queue_capacity));
+  }
+  if (task_count_ > 0) {
+    task_instance_ = std::make_unique<std::atomic<std::int32_t>[]>(
+        static_cast<std::size_t>(task_count_));
+    for (std::int32_t t = 0; t < task_count_; ++t) {
+      const std::int32_t inst =
+          static_cast<std::size_t>(t) < task_instance.size()
+              ? task_instance[static_cast<std::size_t>(t)]
+              : 0;
+      task_instance_[static_cast<std::size_t>(t)].store(
+          inst, std::memory_order_relaxed);
+    }
+  }
+}
+
+void SharedObjectSet::set_task_instance(TaskId task, std::int32_t inst) {
+  if (task < 0 || task >= task_count_) return;
+  task_instance_[static_cast<std::size_t>(task)].store(
+      inst, std::memory_order_relaxed);
+}
+
+std::int32_t SharedObjectSet::task_instance(TaskId task) const {
+  if (task < 0 || task >= task_count_) return 0;
+  return task_instance_[static_cast<std::size_t>(task)].load(
+      std::memory_order_relaxed);
 }
 
 void SharedObjectSet::access(ObjectId o, AccessOp op, TaskId task, JobId job,
                              const std::function<void()>& checkpoint) {
   LFRT_CHECK_MSG(o >= 0 && o < object_count(), "object id out of range");
-  objects_[static_cast<std::size_t>(o)]->access(op, task, job, checkpoint,
-                                                registry_.cell(o, task));
+  const std::int32_t n = inst_count_[static_cast<std::size_t>(o)];
+  // One relaxed read per access: the paired insert+remove of a write
+  // can never straddle a migration, so per-instance occupancy stays
+  // balanced.
+  std::int32_t i = n > 1 ? task_instance(task) : 0;
+  if (i < 0 || i >= n) i = 0;
+  instance(o, i)->access(op, task, job, checkpoint, registry_.cell(o, task));
+}
+
+ObjectCounts SharedObjectSet::counts_of(ObjectId o) const {
+  ObjectCounts total;
+  for (std::int32_t i = 0; i < inst_count_[static_cast<std::size_t>(o)]; ++i)
+    total += instance(o, i)->counts();
+  return total;
+}
+
+void SharedObjectSet::set_shards(ObjectId o, std::int32_t k) {
+  for (std::int32_t i = 0; i < inst_count_[static_cast<std::size_t>(o)]; ++i)
+    instance(o, i)->set_shards(k);
+}
+
+std::int64_t SharedObjectSet::eliminations_of(ObjectId o) const {
+  std::int64_t total = 0;
+  for (std::int32_t i = 0; i < inst_count_[static_cast<std::size_t>(o)]; ++i)
+    total += instance(o, i)->eliminations();
+  return total;
 }
 
 ContentionMatrix SharedObjectSet::matrix() const {
   ContentionMatrix m = registry_.to_matrix();
-  m.shard_counts.reserve(objects_.size());
-  for (const auto& obj : objects_)
-    m.shard_counts.push_back(obj->shards());
+  m.shard_counts.reserve(specs_.size());
+  for (ObjectId o = 0; o < object_count(); ++o)
+    m.shard_counts.push_back(shards_of(o));
   return m;
 }
 

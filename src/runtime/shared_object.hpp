@@ -35,6 +35,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -211,15 +212,39 @@ class SharedObject {
   std::mutex writer_mu_;
 };
 
+/// The kinds the placement layer scopes per cluster: occupancy-balanced
+/// structures whose accesses carry no cross-task data dependency, so a
+/// per-cluster instance is semantically equivalent and physically
+/// conflict-free across clusters.  Buffer/snapshot are single-writer
+/// broadcast state — never scoped.
+inline bool is_scoped_kind(ObjectKind kind) {
+  return kind == ObjectKind::kQueue || kind == ObjectKind::kStack;
+}
+
 /// The whole universe of one run: objects built from a per-ObjectId
 /// spec list plus the registry that attributes their events.
+///
+/// Placement instancing: with `instance_count` > 1, every scoped-kind
+/// object (queue/stack — see is_scoped_kind) is instantiated once per
+/// cluster and a task's accesses route to the instance named by the
+/// live `task_instance` map (unmapped / negative = instance 0).  The
+/// map is atomic so the ContentionController can migrate a task's
+/// instance mid-run; an access reads it exactly once, so its paired
+/// insert+remove always lands on one instance and per-instance
+/// occupancy stays balanced across migrations.  Attribution is
+/// unchanged: the heatmap cell is per *logical* object, counts_of /
+/// eliminations_of aggregate across instances, so every cross-sum
+/// invariant holds as before.
 class SharedObjectSet {
  public:
   SharedObjectSet(std::vector<ObjectSpec> specs, std::int32_t task_count,
                   std::size_t queue_capacity);
+  SharedObjectSet(std::vector<ObjectSpec> specs, std::int32_t task_count,
+                  std::size_t queue_capacity, std::int32_t instance_count,
+                  const std::vector<std::int32_t>& task_instance);
 
   std::int32_t object_count() const {
-    return static_cast<std::int32_t>(objects_.size());
+    return static_cast<std::int32_t>(specs_.size());
   }
   const ObjectSpec& spec_of(ObjectId o) const {
     return specs_[static_cast<std::size_t>(o)];
@@ -230,20 +255,24 @@ class SharedObjectSet {
   void access(ObjectId o, AccessOp op, TaskId task, JobId job,
               const std::function<void()>& checkpoint);
 
-  ObjectCounts counts_of(ObjectId o) const {
-    return objects_[static_cast<std::size_t>(o)]->counts();
+  /// Physical instances behind logical object `o` (1 unless scoped).
+  std::int32_t instances_of(ObjectId o) const {
+    return inst_count_[static_cast<std::size_t>(o)];
   }
+
+  /// Live instance routing for `task` (placement migration).  Values
+  /// are clamped into [0, instances) per object at access time.
+  void set_task_instance(TaskId task, std::int32_t inst);
+  std::int32_t task_instance(TaskId task) const;
+
+  ObjectCounts counts_of(ObjectId o) const;
   std::int32_t shards_of(ObjectId o) const {
-    return objects_[static_cast<std::size_t>(o)]->shards();
+    return instance(o, 0)->shards();
   }
-  void set_shards(ObjectId o, std::int32_t k) {
-    objects_[static_cast<std::size_t>(o)]->set_shards(k);
-  }
-  std::int64_t eliminations_of(ObjectId o) const {
-    return objects_[static_cast<std::size_t>(o)]->eliminations();
-  }
+  void set_shards(ObjectId o, std::int32_t k);
+  std::int64_t eliminations_of(ObjectId o) const;
   const LatencyHistogram& latency_of(ObjectId o) const {
-    return objects_[static_cast<std::size_t>(o)]->latency();
+    return instance(o, 0)->latency();
   }
 
   /// Heatmap snapshot; shard_counts carries each object's live stripe
@@ -251,8 +280,23 @@ class SharedObjectSet {
   ContentionMatrix matrix() const;
 
  private:
+  const SharedObject* instance(ObjectId o, std::int32_t i) const {
+    return objects_[base_[static_cast<std::size_t>(o)] +
+                    static_cast<std::size_t>(i)]
+        .get();
+  }
+  SharedObject* instance(ObjectId o, std::int32_t i) {
+    return objects_[base_[static_cast<std::size_t>(o)] +
+                    static_cast<std::size_t>(i)]
+        .get();
+  }
+
   std::vector<ObjectSpec> specs_;
-  std::vector<std::unique_ptr<SharedObject>> objects_;
+  std::vector<std::unique_ptr<SharedObject>> objects_;  ///< flattened
+  std::vector<std::size_t> base_;        ///< o -> first instance index
+  std::vector<std::int32_t> inst_count_; ///< o -> instance count
+  std::int32_t task_count_;
+  std::unique_ptr<std::atomic<std::int32_t>[]> task_instance_;
   ObjectRegistry registry_;
 };
 

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "sched/placement.hpp"
 #include "sched/scheduler.hpp"
 #include "support/check.hpp"
 #include "task/task.hpp"
@@ -90,15 +91,24 @@ class DispatchSelector {
   }
   const std::vector<std::int32_t>& conflict_groups() const { return groups_; }
 
+  /// All mode flags in one struct so sim and executor wire the selector
+  /// identically: placement policy + strict-groups.  Conflict groups
+  /// are deliberately NOT here — they are live per-epoch state the
+  /// controller rewrites (set_conflict_groups), not configuration.
+  using Options = DispatchOptions;
+  void set_options(Options opts) { options_ = std::move(opts); }
+  const Options& options() const { return options_; }
+
   /// Strict steering: deferred same-group schedule entries are NOT
   /// refilled into idle slots, so no two same-group schedule entries
   /// ever co-dispatch (front jobs and the scheduler's dispatch
   /// nomination stay exempt — they must run).  This trades work
   /// conservation for the hard no-co-dispatch guarantee the
   /// analysis::mp conflict-group refinement assumes
-  /// (MpOptions::strict_groups).  Off by default.
-  void set_strict_groups(bool strict) { strict_groups_ = strict; }
-  bool strict_groups() const { return strict_groups_; }
+  /// (MpOptions::strict_groups).  Off by default.  Convenience wrapper
+  /// over Options::strict_groups.
+  void set_strict_groups(bool strict) { options_.strict_groups = strict; }
+  bool strict_groups() const { return options_.strict_groups; }
 
   /// select() with conflict-group steering.  `task_of(id)` maps a job to
   /// its task (< groups.size(); -1 or out of range = unsteered).  Front
@@ -169,9 +179,109 @@ class DispatchSelector {
     }
     // Work conservation: a deferred job beats an idle CPU — unless
     // strict mode promised the analysis no same-group co-dispatch.
-    if (!strict_groups_) {
+    if (!options_.strict_groups) {
       for (JobId id : deferred_) {
         if (full()) break;
+        push(id);
+      }
+    }
+    return targets_;
+  }
+
+  /// select_steered() with placement admission.  Under the global
+  /// policy this IS select_steered, bit for bit (and therefore select()
+  /// when no conflict groups are installed).  Otherwise each cluster
+  /// only admits as many placed jobs as it has CPUs; unplaced jobs
+  /// (affinity -1) are admitted against the global total.  Front jobs
+  /// must run (they already hold a CPU) and are pushed unconditionally;
+  /// the scheduler's nomination and schedule entries are subject to
+  /// cluster capacity.  A cluster-full schedule entry is *skipped*
+  /// (later entries of other clusters may still fit), never deferred —
+  /// its cluster cannot regain room within this pass.  Group steering
+  /// composes: same-group entries are deferred exactly as in
+  /// select_steered, and the non-strict refill re-checks capacity.
+  template <typename Eligible, typename TaskOf>
+  const std::vector<JobId>& select_placed(const std::vector<JobId>& front,
+                                          const ScheduleResult& res,
+                                          int cpu_count, std::size_t id_limit,
+                                          Eligible&& eligible,
+                                          TaskOf&& task_of) {
+    if (options_.placement.global())
+      return select_steered(front, res, cpu_count, id_limit,
+                            std::forward<Eligible>(eligible),
+                            std::forward<TaskOf>(task_of));
+    const Placement& pl = options_.placement;
+    const std::int32_t nclusters = pl.cluster_count(cpu_count);
+    cluster_room_.assign(static_cast<std::size_t>(nclusters), 0);
+    for (int c = 0; c < cpu_count; ++c) {
+      const std::int32_t cl = pl.cluster_of_cpu(c);
+      LFRT_CHECK(cl >= 0 && cl < nclusters);
+      ++cluster_room_[static_cast<std::size_t>(cl)];
+    }
+    targets_.clear();
+    deferred_.clear();
+    if (stamp_.size() < id_limit) stamp_.resize(id_limit, 0);
+    ++gen_;
+    const auto full = [&] {
+      return static_cast<int>(targets_.size()) >= cpu_count;
+    };
+    const auto group_of = [&](JobId id) -> std::int32_t {
+      const TaskId task = task_of(id);
+      if (task < 0 || static_cast<std::size_t>(task) >= groups_.size())
+        return -1;
+      return groups_[static_cast<std::size_t>(task)];
+    };
+    const auto group_taken = [&](std::int32_t g) {
+      return g >= 0 && static_cast<std::size_t>(g) < group_stamp_.size() &&
+             group_stamp_[static_cast<std::size_t>(g)] == gen_;
+    };
+    const auto cluster_of_job = [&](JobId id) -> std::int32_t {
+      return pl.cluster_of_task(task_of(id));
+    };
+    const auto has_room = [&](JobId id) {
+      const std::int32_t cl = cluster_of_job(id);
+      return cl < 0 || cluster_room_[static_cast<std::size_t>(cl)] > 0;
+    };
+    const auto push = [&](JobId id) {
+      stamp_[static_cast<std::size_t>(id)] = gen_;
+      const std::int32_t g = group_of(id);
+      if (g >= 0) {
+        if (static_cast<std::size_t>(g) >= group_stamp_.size())
+          group_stamp_.resize(static_cast<std::size_t>(g) + 1, 0);
+        group_stamp_[static_cast<std::size_t>(g)] = gen_;
+      }
+      const std::int32_t cl = cluster_of_job(id);
+      if (cl >= 0) --cluster_room_[static_cast<std::size_t>(cl)];
+      targets_.push_back(id);
+    };
+    const auto in_range = [&](JobId id) {
+      return id >= 0 && static_cast<std::size_t>(id) < id_limit;
+    };
+    for (JobId id : front) {
+      if (full()) break;
+      push(id);
+    }
+    if (!full() && in_range(res.dispatch) &&
+        stamp_[static_cast<std::size_t>(res.dispatch)] != gen_ &&
+        eligible(res.dispatch) && has_room(res.dispatch)) {
+      push(res.dispatch);
+    }
+    for (JobId id : res.schedule) {
+      if (full()) break;
+      if (!in_range(id)) continue;
+      if (stamp_[static_cast<std::size_t>(id)] == gen_) continue;
+      if (!eligible(id)) continue;
+      if (!has_room(id)) continue;
+      if (group_taken(group_of(id))) {
+        deferred_.push_back(id);
+        continue;
+      }
+      push(id);
+    }
+    if (!options_.strict_groups) {
+      for (JobId id : deferred_) {
+        if (full()) break;
+        if (!has_room(id)) continue;
         push(id);
       }
     }
@@ -203,11 +313,93 @@ class DispatchSelector {
     return next_;
   }
 
+  /// assign_sticky() with placement: targets keep their CPU only if it
+  /// is allowed for their cluster (a moved task migrates like a
+  /// newcomer).  Placed newcomers fill free CPUs of their cluster
+  /// first — preferring CPUs not currently held by an unplaced sticky
+  /// job, evicting one into the unplaced pool only when the cluster has
+  /// no other free slot — then unplaced jobs fill the remaining slots
+  /// in selection order.  select_placed's per-cluster admission
+  /// guarantees every placed target finds a cluster slot; the one
+  /// transient exception (an over-occupied cluster right after a
+  /// mid-run migration of an already-running job) degrades that job to
+  /// the unplaced pool rather than dying, which is sound because object
+  /// scoping routes by *task* cluster, not by the CPU the job happens
+  /// to occupy.
+  template <typename TaskOf, typename CpuOf>
+  const std::vector<JobId>& assign_placed(const std::vector<JobId>& targets,
+                                          int cpu_count, TaskOf&& task_of,
+                                          CpuOf&& cpu_of) {
+    if (options_.placement.global())
+      return assign_sticky(targets, cpu_count, std::forward<CpuOf>(cpu_of));
+    const Placement& pl = options_.placement;
+    next_.assign(static_cast<std::size_t>(cpu_count), kNoJob);
+    newcomers_.clear();
+    unplaced_.clear();
+    reserved_.assign(static_cast<std::size_t>(cpu_count), kNoJob);
+    for (JobId id : targets) {
+      const std::int32_t cl = pl.cluster_of_task(task_of(id));
+      const int c = cpu_of(id);
+      if (cl < 0) {
+        // Unplaced: soft-claim the current CPU; final unless a placed
+        // newcomer needs exactly that slot.
+        if (c >= 0)
+          reserved_[static_cast<std::size_t>(c)] = id;
+        else
+          unplaced_.push_back(id);
+      } else if (c >= 0 && pl.cluster_of_cpu(c) == cl) {
+        next_[static_cast<std::size_t>(c)] = id;  // sticky, allowed CPU
+      } else {
+        newcomers_.push_back(id);  // fresh dispatch or migrating
+      }
+    }
+    for (JobId id : newcomers_) {
+      const std::int32_t cl = pl.cluster_of_task(task_of(id));
+      int chosen = -1;
+      int fallback = -1;
+      for (int c = 0; c < cpu_count; ++c) {
+        if (next_[static_cast<std::size_t>(c)] != kNoJob) continue;
+        if (pl.cluster_of_cpu(c) != cl) continue;
+        if (reserved_[static_cast<std::size_t>(c)] == kNoJob) {
+          chosen = c;
+          break;
+        }
+        if (fallback < 0) fallback = c;
+      }
+      if (chosen < 0) chosen = fallback;
+      if (chosen < 0) {
+        unplaced_.push_back(id);  // transient migration overflow
+        continue;
+      }
+      if (reserved_[static_cast<std::size_t>(chosen)] != kNoJob) {
+        unplaced_.push_back(reserved_[static_cast<std::size_t>(chosen)]);
+        reserved_[static_cast<std::size_t>(chosen)] = kNoJob;
+      }
+      next_[static_cast<std::size_t>(chosen)] = id;
+    }
+    for (int c = 0; c < cpu_count; ++c) {
+      if (reserved_[static_cast<std::size_t>(c)] != kNoJob &&
+          next_[static_cast<std::size_t>(c)] == kNoJob) {
+        next_[static_cast<std::size_t>(c)] =
+            reserved_[static_cast<std::size_t>(c)];
+      }
+    }
+    std::size_t fill = 0;
+    for (JobId id : unplaced_) {
+      while (fill < next_.size() && next_[fill] != kNoJob) ++fill;
+      LFRT_CHECK(fill < next_.size());
+      next_[fill] = id;
+    }
+    return next_;
+  }
+
  private:
   std::vector<JobId> targets_;
   std::vector<JobId> next_;
   std::vector<JobId> newcomers_;
   std::vector<JobId> deferred_;
+  std::vector<JobId> unplaced_;
+  std::vector<JobId> reserved_;  ///< cpu -> unplaced sticky soft claim
   // Membership stamps: stamp_[id] == gen_ iff id is already in
   // targets_ this selection — O(1) dedup without a per-entry scan.
   // group_stamp_ is the same trick keyed by conflict-group id.
@@ -215,7 +407,8 @@ class DispatchSelector {
   std::vector<std::int64_t> group_stamp_;
   std::int64_t gen_ = 0;
   std::vector<std::int32_t> groups_;  ///< task -> conflict group (-1 none)
-  bool strict_groups_ = false;        ///< no refill from deferred_
+  std::vector<std::int32_t> cluster_room_;  ///< per-pass cluster capacity
+  Options options_;
 };
 
 }  // namespace lfrt::sched

@@ -1,0 +1,140 @@
+// Placement layer: which CPUs (or CPU clusters) each task is allowed
+// to occupy, consulted by DispatchSelector::select_placed/assign_placed
+// instead of the hard-coded top-M global rule.
+//
+// Three policies:
+//   - global       — any job on any CPU (today's behavior, the pinned
+//                    default; select_placed IS select_steered bit for
+//                    bit under it),
+//   - partitioned  — task_affinity[t] names the one CPU task t may run
+//                    on (every CPU is its own singleton cluster),
+//   - clustered    — cpu_cluster[cpu] groups CPUs into clusters and
+//                    task_affinity[t] names the cluster task t may run
+//                    in.
+//
+// A task with affinity -1 is *unplaced* and may run anywhere under any
+// policy — placement is an affinity mask, not an admission filter.
+//
+// Object scoping (scope_objects, on by default for non-global
+// placements): queue/stack shared objects are instantiated once per
+// cluster and a task only ever touches its own cluster's instance
+// (unplaced tasks use instance 0).  That is what makes the
+// analysis::mp zero-overlap charging argument *sound* rather than
+// heuristic: tasks in disjoint clusters touch disjoint structures, so
+// their accesses literally cannot conflict — not "are unlikely to".
+// Single-writer kinds (buffer/snapshot) are never scoped; their whole
+// point is cross-cluster visibility of the writer's data.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+#include "task/task.hpp"
+
+namespace lfrt::sched {
+
+enum class PlacementPolicy : std::uint8_t {
+  kGlobal = 0,
+  kPartitioned = 1,
+  kClustered = 2,
+};
+
+inline std::string to_string(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kGlobal: return "global";
+    case PlacementPolicy::kPartitioned: return "partitioned";
+    case PlacementPolicy::kClustered: return "clustered";
+  }
+  return "?";
+}
+
+struct Placement {
+  PlacementPolicy policy = PlacementPolicy::kGlobal;
+
+  /// task -> CPU (partitioned) or cluster id (clustered); -1 or out of
+  /// range = unplaced (runs anywhere).  Ignored under global.
+  std::vector<std::int32_t> task_affinity;
+
+  /// Clustered only: cpu -> cluster id, one entry per CPU.  Partitioned
+  /// derives the identity map (CPU c is cluster c); global ignores it.
+  std::vector<std::int32_t> cpu_cluster;
+
+  /// Instantiate queue/stack objects once per cluster so disjoint
+  /// clusters cannot conflict (see header comment).  Only meaningful
+  /// for non-global policies.
+  bool scope_objects = true;
+
+  bool global() const { return policy == PlacementPolicy::kGlobal; }
+
+  /// Cluster a task is pinned to (-1 = unplaced / global).
+  std::int32_t cluster_of_task(TaskId t) const {
+    if (policy == PlacementPolicy::kGlobal) return -1;
+    if (t < 0 || static_cast<std::size_t>(t) >= task_affinity.size())
+      return -1;
+    return task_affinity[static_cast<std::size_t>(t)];
+  }
+
+  /// Cluster a CPU belongs to (-1 under global).
+  std::int32_t cluster_of_cpu(int cpu) const {
+    if (policy == PlacementPolicy::kPartitioned) return cpu;
+    if (policy == PlacementPolicy::kClustered) {
+      if (cpu < 0 || static_cast<std::size_t>(cpu) >= cpu_cluster.size())
+        return -1;
+      return cpu_cluster[static_cast<std::size_t>(cpu)];
+    }
+    return -1;
+  }
+
+  /// Number of clusters for a machine with `cpu_count` CPUs: 1 under
+  /// global, cpu_count under partitioned, max(cpu_cluster)+1 under
+  /// clustered.
+  std::int32_t cluster_count(int cpu_count) const {
+    if (policy == PlacementPolicy::kPartitioned) return cpu_count;
+    if (policy == PlacementPolicy::kClustered) {
+      std::int32_t mx = -1;
+      for (std::int32_t c : cpu_cluster) mx = std::max(mx, c);
+      return mx + 1;
+    }
+    return 1;
+  }
+
+  /// Structural checks: clustered needs a full cpu -> cluster map with
+  /// no gaps in cluster numbering, and every placed task must name an
+  /// existing CPU/cluster.
+  void validate(int cpu_count, std::size_t task_count) const {
+    if (policy == PlacementPolicy::kGlobal) return;
+    if (policy == PlacementPolicy::kClustered) {
+      LFRT_CHECK(cpu_cluster.size() == static_cast<std::size_t>(cpu_count));
+      for (std::int32_t c : cpu_cluster) LFRT_CHECK(c >= 0);
+    }
+    const std::int32_t n = cluster_count(cpu_count);
+    LFRT_CHECK(n >= 1);
+    if (policy == PlacementPolicy::kClustered) {
+      // Every cluster id in [0, n) must own at least one CPU.
+      std::vector<bool> seen(static_cast<std::size_t>(n), false);
+      for (std::int32_t c : cpu_cluster)
+        seen[static_cast<std::size_t>(c)] = true;
+      for (bool s : seen) LFRT_CHECK(s);
+    }
+    for (std::size_t t = 0; t < task_count && t < task_affinity.size(); ++t) {
+      const std::int32_t a = task_affinity[t];
+      LFRT_CHECK(a < n);  // -1 (unplaced) is fine, >= n is not
+    }
+  }
+};
+
+/// Mode configuration for DispatchSelector, shared by SimConfig and
+/// ExecutorConfig so the two substrates cannot drift: everything that
+/// changes *which* eligible jobs occupy the M slots (but never the
+/// scheduler's job order) lives here.  Conflict groups stay live
+/// selector state (set_conflict_groups) because the controller rewrites
+/// them every epoch.
+struct DispatchOptions {
+  Placement placement;
+  bool strict_groups = false;
+};
+
+}  // namespace lfrt::sched

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "runtime/shared_object.hpp"
 #include "sched/dispatch.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
@@ -81,15 +82,23 @@ struct Simulator::Impl {
   // bakes in the contender count observed at attempt start — stored so
   // milestone reposts see one stable length for the whole attempt.
   std::vector<Time> attempt_len_;
+  // Per job: instance of the flat-mode held lock, recorded at
+  // acquisition, so a placement migration mid-hold still releases the
+  // instance actually held.
+  std::vector<std::int32_t> held_inst_;
   std::vector<JobId> alive;
   std::vector<JobId> running_on;    // per CPU: job or kNoJob
   std::vector<Time> run_start_on;   // per CPU: instant its job (re)starts
   std::int64_t epoch = 0;
   Time last_sync = 0;
   Time cpu_free_at = 0;  // when pending scheduler overhead drains
-  // Per-object holder set (multi-unit resources: capacity comes from
-  // TaskSet::object_units; the DATE paper's single-unit model is the
-  // one-unit special case).
+  // Per-(object, instance) holder set (multi-unit resources: capacity
+  // comes from TaskSet::object_units, per instance; the DATE paper's
+  // single-unit model is the one-unit special case).  Flattened
+  // [o * kMaxObjectShards + inst]: under per-cluster object scoping a
+  // queue/stack object has one instance per cluster and a task locks
+  // its own cluster's instance (lock_inst); every other configuration
+  // maps to instance 0 — the legacy per-object rule, bit for bit.
   std::vector<std::vector<JobId>> holders;
   // Per-(object, shard) last lock-free WRITE completion — the conflict
   // source.  Flattened [o * kMaxObjectShards + shard]; the shard of an
@@ -100,6 +109,11 @@ struct Simulator::Impl {
   // the pre-sharding per-object rule, bit for bit.
   std::vector<Time> last_shard_write;
   std::vector<std::int32_t> shard_count_;  // per-object live stripe count
+  // Live placement (task_affinity mutates under controller moves) and
+  // the derived cluster topology / object-scoping switch.
+  sched::Placement placement_;
+  std::int32_t cluster_count_ = 1;
+  bool scoped_ = false;  // per-cluster queue/stack instancing in force
   JobId next_job_id = 0;
   std::int64_t next_seq = 0;
   bool ran = false;
@@ -175,9 +189,19 @@ struct Simulator::Impl {
                   obj_specs[static_cast<std::size_t>(sp.object)].impl),
               "nested spans require lock-based objects");
     }
+    TaskId max_task = -1;
+    for (const auto& t : tasks.tasks) max_task = std::max(max_task, t.id);
+    placement_ = cfg.dispatch.placement;
+    placement_.validate(cfg.cpu_count, static_cast<std::size_t>(max_task + 1));
+    cluster_count_ = placement_.cluster_count(cfg.cpu_count);
+    selector.set_options(cfg.dispatch);
     running_on.assign(static_cast<std::size_t>(cfg.cpu_count), kNoJob);
     run_start_on.assign(static_cast<std::size_t>(cfg.cpu_count), 0);
-    holders.assign(static_cast<std::size_t>(tasks.object_count), {});
+    holders.assign(static_cast<std::size_t>(tasks.object_count) *
+                       static_cast<std::size_t>(runtime::kMaxObjectShards),
+                   {});
+    report.cpu_busy.assign(static_cast<std::size_t>(cfg.cpu_count), 0);
+    report.cpu_jobs.assign(static_cast<std::size_t>(cfg.cpu_count), 0);
     exec_rng = Rng(cfg.exec_seed);
     last_shard_write.assign(static_cast<std::size_t>(tasks.object_count) *
                                 static_cast<std::size_t>(
@@ -185,6 +209,7 @@ struct Simulator::Impl {
                             -1);
     shard_count_.reserve(static_cast<std::size_t>(tasks.object_count));
     bool any_adapt = false;
+    bool any_scoped_kind = false;
     for (const auto& s : obj_specs) {
       const bool shardable =
           s.impl == runtime::ObjectImpl::kLockFree &&
@@ -192,16 +217,74 @@ struct Simulator::Impl {
            s.kind == runtime::ObjectKind::kStack);
       shard_count_.push_back(shardable ? runtime::clamp_shards(s.shards) : 1);
       any_adapt = any_adapt || (shardable && s.adapt);
+      any_scoped_kind = any_scoped_kind || runtime::is_scoped_kind(s.kind);
     }
-    if (any_adapt && cfg.mode != ShareMode::kIdeal) {
+    scoped_ =
+        !placement_.global() && placement_.scope_objects && any_scoped_kind;
+    if (scoped_) {
+      // Per-cluster instancing reuses the per-object stripe index space
+      // (and conflicts with the other decompositions of the same
+      // structure), so the combinations are excluded up front rather
+      // than silently mis-modeled.
+      LFRT_CHECK_MSG(cluster_count_ <= runtime::kMaxObjectShards,
+                     "scoped placement supports at most kMaxObjectShards "
+                     "clusters");
+      LFRT_CHECK_MSG(!any_adapt,
+                     "scoped placement excludes adaptive sharding");
+      for (std::size_t o = 0; o < obj_specs.size(); ++o)
+        if (runtime::is_scoped_kind(obj_specs[o].kind))
+          LFRT_CHECK_MSG(shard_count_[o] == 1,
+                         "scoped placement excludes static sharding on "
+                         "queue/stack objects");
+      for (const auto& t : tasks.tasks)
+        LFRT_CHECK_MSG(t.spans.empty(),
+                       "scoped placement excludes nested lock spans");
+    }
+    const bool want_place = cfg.controller.place && !placement_.global();
+    if ((any_adapt || want_place) && cfg.mode != ShareMode::kIdeal) {
       LFRT_CHECK_MSG(cfg.controller.epoch > 0,
                      "controller epoch must be positive");
       controller = std::make_unique<runtime::ContentionControllerCore>(
           cfg.controller, obj_specs);
+      if (want_place) {
+        // Topology the placement actions need: each task's cluster, who
+        // accesses each object (id order), and the single writer of
+        // buffer/snapshot objects (or -1 when contested).
+        std::vector<std::int32_t> clusters(
+            static_cast<std::size_t>(max_task + 1), -1);
+        for (TaskId t = 0; t <= max_task; ++t)
+          clusters[static_cast<std::size_t>(t)] =
+              placement_.cluster_of_task(t);
+        std::vector<std::vector<TaskId>> accessors_of(
+            static_cast<std::size_t>(tasks.object_count));
+        std::vector<TaskId> writer_of(
+            static_cast<std::size_t>(tasks.object_count), -1);
+        std::vector<bool> contested(
+            static_cast<std::size_t>(tasks.object_count), false);
+        const auto note = [&](ObjectId o, TaskId t, bool write) {
+          auto& acc = accessors_of[static_cast<std::size_t>(o)];
+          if (std::find(acc.begin(), acc.end(), t) == acc.end())
+            acc.push_back(t);
+          if (write) {
+            auto& w = writer_of[static_cast<std::size_t>(o)];
+            if (w >= 0 && w != t) contested[static_cast<std::size_t>(o)] = true;
+            w = t;
+          }
+        };
+        for (const auto& t : tasks.tasks) {
+          for (const auto& a : t.accesses) note(a.object, t.id, a.write);
+          for (const auto& sp : t.spans) note(sp.object, t.id, true);
+        }
+        for (std::size_t o = 0; o < writer_of.size(); ++o) {
+          if (contested[o]) writer_of[o] = -1;
+          std::sort(accessors_of[o].begin(), accessors_of[o].end());
+        }
+        controller->enable_placement(std::move(clusters), cluster_count_,
+                                     std::move(accessors_of),
+                                     std::move(writer_of));
+      }
     }
     sched_ws = scheduler->make_workspace();
-    TaskId max_task = -1;
-    for (const auto& t : tasks.tasks) max_task = std::max(max_task, t.id);
     report.contention = runtime::ContentionMatrix(
         tasks.object_count, static_cast<std::int32_t>(max_task + 1));
   }
@@ -247,6 +330,23 @@ struct Simulator::Impl {
                                      static_cast<std::uint32_t>(k));
   }
 
+  /// Placement instance of object `o` that task `t`'s accesses land on:
+  /// the task's cluster for queue/stack kinds under per-cluster object
+  /// scoping, else 0 (the legacy single-instance model, bit for bit).
+  /// Unplaced tasks use instance 0.
+  std::int32_t lock_inst(ObjectId o, TaskId t) const {
+    if (!scoped_ || !runtime::is_scoped_kind(kind_of(o))) return 0;
+    const std::int32_t c = placement_.cluster_of_task(t);
+    return (c >= 0 && c < cluster_count_) ? c : 0;
+  }
+
+  /// Flattened holder-set index of (object, instance).
+  std::size_t hidx(ObjectId o, std::int32_t inst) const {
+    return static_cast<std::size_t>(o) *
+               static_cast<std::size_t>(runtime::kMaxObjectShards) +
+           static_cast<std::size_t>(inst);
+  }
+
   /// Per-object access segment length under the flat model: r for
   /// lock-based objects, s for lock-free ones, 0 under the ideal
   /// yardstick.  With the cost model enabled this is superseded per
@@ -259,13 +359,17 @@ struct Simulator::Impl {
 
   /// Other alive jobs currently in, or blocked on, an access of `o` —
   /// the contender count the cost model's per-contender term scales by.
+  /// Under scoped placement only same-instance jobs contend (disjoint
+  /// clusters touch disjoint structures).
   std::int64_t contenders_on(ObjectId o, JobId self) const {
+    const std::int32_t inst = lock_inst(o, job(self).task);
     std::int64_t n = 0;
     for (JobId id : alive) {
       if (id == self) continue;
       const Job& other = job(id);
       if (other.access_object == o &&
-          (other.in_access || other.state == JobState::kBlocked))
+          (other.in_access || other.state == JobState::kBlocked) &&
+          lock_inst(o, other.task) == inst)
         ++n;
     }
     return n;
@@ -420,6 +524,7 @@ struct Simulator::Impl {
           std::max(run_start_on[static_cast<std::size_t>(c)], last_sync);
       if (t <= from) continue;
       const Time delta = t - from;
+      report.cpu_busy[static_cast<std::size_t>(c)] += delta;
       if (cfg.record_slices) record_slice(id, j.task, c, from, t);
       if (j.state == JobState::kAborting) {
         j.handler_done += delta;
@@ -513,12 +618,14 @@ struct Simulator::Impl {
       return;
     }
 
-    // Top-M selection (shared with the executor): abort handlers first,
-    // then the scheduler's dispatch choice, then the schedule's
-    // runnable jobs in order.  Conflict-group steering engages only
-    // once the controller installed a vector; with none this IS the
-    // plain select, bit for bit.
-    const auto& targets = selector.select_steered(
+    // Placement-aware top-M selection (shared with the executor): abort
+    // handlers first, then the scheduler's dispatch choice, then the
+    // schedule's runnable jobs in order, each admitted against its
+    // cluster's CPU budget.  Under the global policy select_placed IS
+    // select_steered; conflict-group steering engages only once the
+    // controller installed a vector; with none this IS the plain
+    // select, bit for bit.
+    const auto& targets = selector.select_placed(
         aborting, res, cfg.cpu_count, jobs.size(),
         [&](JobId id) {
           const JobState s = job(id).state;
@@ -530,10 +637,12 @@ struct Simulator::Impl {
   }
 
   void dispatch(const std::vector<JobId>& targets, Time overhead) {
-    // Sticky assignment: keep selected jobs on their current CPUs, fill
-    // newcomers into the freed ones.
-    const auto& next = selector.assign_sticky(
-        targets, cfg.cpu_count, [&](JobId id) { return cpu_of(id); });
+    // Sticky, placement-respecting assignment: keep selected jobs on
+    // their current CPUs (when still inside their cluster), fill
+    // newcomers into their cluster's freed slots.
+    const auto& next = selector.assign_placed(
+        targets, cfg.cpu_count, [&](JobId id) { return job(id).task; },
+        [&](JobId id) { return cpu_of(id); });
 
     cpu_free_at = std::max(cpu_free_at, now) + overhead;
 
@@ -558,6 +667,7 @@ struct Simulator::Impl {
         if (j.state != JobState::kAborting) j.state = JobState::kRunning;
         run_start_on[ci] = cpu_free_at;
         ++report.dispatches;
+        ++report.cpu_jobs[ci];
       }
     }
     repost_milestones();
@@ -588,46 +698,53 @@ struct Simulator::Impl {
     jobs.push_back(j);
     job_cpu.push_back(-1);
     attempt_len_.push_back(0);
+    held_inst_.push_back(0);
     reschedule();
   }
 
-  /// Wake every job blocked on this object (a unit just freed); they
-  /// remain parked at their access boundary and re-request when
-  /// dispatched (if another waiter grabs the unit first, they re-block).
-  void wake_waiters_on(ObjectId obj) {
+  /// Wake every job blocked on this object instance (a unit just
+  /// freed); they remain parked at their access boundary and re-request
+  /// when dispatched (if another waiter grabs the unit first, they
+  /// re-block).  Instance-precise: a waiter whose task sits in another
+  /// cluster waits on a different structure and stays blocked.
+  void wake_waiters_on(ObjectId obj, std::int32_t inst) {
     for (JobId id : alive) {
       Job& w = job(id);
-      if (w.state == JobState::kBlocked && w.access_object == obj) {
+      if (w.state == JobState::kBlocked && w.access_object == obj &&
+          lock_inst(obj, w.task) == inst) {
         w.waits_on = kNoJob;
         w.state = JobState::kReady;
       }
     }
   }
 
-  void release_object(Job& j, ObjectId obj) {
-    auto& hs = holders[static_cast<std::size_t>(obj)];
+  void release_object(Job& j, ObjectId obj, std::int32_t inst) {
+    auto& hs = holders[hidx(obj, inst)];
     const auto it = std::find(hs.begin(), hs.end(), j.id);
     LFRT_CHECK_MSG(it != hs.end(), "release by a non-holder");
     hs.erase(it);
-    wake_waiters_on(obj);
+    wake_waiters_on(obj, inst);
   }
 
-  /// Flat-mode release of the single held lock.
+  /// Flat-mode release of the single held lock (at the instance it was
+  /// acquired on — a migration mid-hold must not strand the unit).
   void release_lock(Job& j) {
     if (j.held_object == kNoObject) return;
     const ObjectId obj = j.held_object;
     j.held_object = kNoObject;
-    release_object(j, obj);
+    release_object(j, obj, held_inst_[static_cast<std::size_t>(j.id)]);
   }
 
   /// Rollback: release everything the job holds (abort path; the
   /// exception handler restores object consistency — Section 3.5).
+  /// Span objects are never scoped (spans exclude scoped placement), so
+  /// their instance is always 0.
   void release_all_locks(Job& j) {
     release_lock(j);
     while (!j.held_stack.empty()) {
       const ObjectId obj = j.held_stack.back();
       j.held_stack.pop_back();
-      release_object(j, obj);
+      release_object(j, obj, 0);
     }
     j.open_spans.clear();
   }
@@ -699,10 +816,14 @@ struct Simulator::Impl {
           return;
         }
         // Lock-based: a lock request — a scheduling event either way.
-        auto& hs = holders[static_cast<std::size_t>(obj)];
+        // Scoped placement routes the request to the task's cluster
+        // instance of the object.
+        const std::int32_t inst = lock_inst(obj, j.task);
+        auto& hs = holders[hidx(obj, inst)];
         if (static_cast<std::int32_t>(hs.size()) < tasks.units_of(obj)) {
           hs.push_back(j.id);
           j.held_object = obj;
+          held_inst_[static_cast<std::size_t>(j.id)] = inst;
           j.in_access = true;
           j.access_progress = 0;
           j.access_object = obj;
@@ -743,12 +864,19 @@ struct Simulator::Impl {
           // Sharding narrows the window further: only writes to the
           // *same stripe* (task % live shard count) invalidate the CAS,
           // which is exactly why promotion collapses a retry storm.
+          // Under scoped placement the stripe IS the task's cluster
+          // instance (the decompositions are mutually exclusive), so
+          // cross-cluster writes literally cannot conflict.
           const auto oi = static_cast<std::size_t>(j.access_object);
+          const runtime::ObjectKind kind = kind_of(j.access_object);
+          const std::int32_t stripe =
+              (scoped_ && runtime::is_scoped_kind(kind))
+                  ? lock_inst(j.access_object, j.task)
+                  : shard_of(j.access_object, j.task);
           const auto si =
               oi * static_cast<std::size_t>(runtime::kMaxObjectShards) +
-              static_cast<std::size_t>(shard_of(j.access_object, j.task));
+              static_cast<std::size_t>(stripe);
           const bool is_write = p.accesses[j.next_access].write;
-          const runtime::ObjectKind kind = kind_of(j.access_object);
           const bool wait_free_write =
               is_write && (kind == runtime::ObjectKind::kBuffer ||
                            kind == runtime::ObjectKind::kSnapshot);
@@ -798,7 +926,7 @@ struct Simulator::Impl {
         LFRT_CHECK(j.compute_done ==
                    scaled(j, p.spans[j.next_span].acquire_offset));
         const ObjectId obj = p.spans[j.next_span].object;
-        auto& hs = holders[static_cast<std::size_t>(obj)];
+        auto& hs = holders[hidx(obj, 0)];  // spans exclude scoping
         if (static_cast<std::int32_t>(hs.size()) < tasks.units_of(obj)) {
           hs.push_back(j.id);
           j.held_stack.push_back(obj);
@@ -835,7 +963,7 @@ struct Simulator::Impl {
         LFRT_CHECK(!j.held_stack.empty() && j.held_stack.back() == obj);
         j.open_spans.pop_back();
         j.held_stack.pop_back();
-        release_object(j, obj);
+        release_object(j, obj, 0);
         trace("span released job=", j.id, " obj=", obj);
         reschedule();  // unlock request — a scheduling event
         return;
@@ -882,6 +1010,33 @@ struct Simulator::Impl {
             " obj=", d.object, " ", d.from_shards, "->", d.to_shards);
     }
     selector.set_conflict_groups(std::move(ep.conflict_groups));
+    for (runtime::PlacementMove& mv : ep.placement_moves) {
+      mv.time = now;
+      if (mv.task >= 0 &&
+          static_cast<std::size_t>(mv.task) < placement_.task_affinity.size())
+        placement_.task_affinity[static_cast<std::size_t>(mv.task)] =
+            mv.to_cluster;
+      trace("place task=", mv.task, " cluster=", mv.to_cluster,
+            " obj=", mv.object);
+      report.placement_moves.push_back(mv);
+      // The moved task now locks (and CASes against) its new cluster's
+      // instances; jobs parked on the old instance's wait list would
+      // otherwise never see a wake from the structure they re-request
+      // on, so re-ready them here — they re-block if that one is busy
+      // too.  Held locks are untouched: release goes to held_inst_.
+      for (JobId id : alive) {
+        Job& w = job(id);
+        if (w.task == mv.task && w.state == JobState::kBlocked) {
+          w.waits_on = kNoJob;
+          w.state = JobState::kReady;
+        }
+      }
+    }
+    if (!ep.placement_moves.empty()) {
+      auto opts = selector.options();
+      opts.placement = placement_;
+      selector.set_options(std::move(opts));
+    }
     if (now + cfg.controller.epoch <= cfg.horizon)
       q.push(Event{now + cfg.controller.epoch, 0, next_seq++,
                    EvKind::kController, kNoJob, -1, 0, MsKind::kCompletion});
@@ -920,6 +1075,7 @@ struct Simulator::Impl {
     jobs.reserve(total_arrivals);
     job_cpu.reserve(total_arrivals);
     attempt_len_.reserve(total_arrivals);
+    held_inst_.reserve(total_arrivals);
     selector.reserve(total_arrivals);
 
     if (controller)

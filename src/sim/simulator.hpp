@@ -112,6 +112,18 @@ struct SimConfig {
   /// retries to act on).
   runtime::ControllerConfig controller;
 
+  /// Dispatch-layer options, shared verbatim with
+  /// rt::ExecutorConfig::dispatch so one placement/steering statement
+  /// drives both substrates.  The default (global placement, non-strict
+  /// groups) reproduces the historical top-M dispatch bit for bit.
+  /// Under a partitioned/clustered placement with
+  /// `placement.scope_objects` (the default), queue/stack objects are
+  /// instantiated once per cluster and a task's accesses land on its
+  /// cluster's instance, so cross-cluster conflicts vanish — the
+  /// separation analysis::mp charges for.  Scoped instancing excludes
+  /// adaptive sharding (ObjectSpec::adapt) and nested lock spans.
+  sched::DispatchOptions dispatch;
+
   /// Seed for per-job actual-execution draws (TaskParams::
   /// exec_variation); runs are reproducible for a fixed seed.
   std::uint64_t exec_seed = 77;
@@ -150,6 +162,11 @@ struct SimReport : runtime::RunReport {
   std::vector<runtime::ShardDecision> shard_decisions;
 
   std::int64_t controller_epochs = 0;  ///< controller steps taken
+
+  /// Placement migrations the contention controller applied
+  /// (ControllerConfig::place under a non-global placement), in
+  /// simulation-time order.
+  std::vector<runtime::PlacementMove> placement_moves;
 
   /// Optional event trace (record_trace).
   std::vector<std::string> trace;
